@@ -1,0 +1,87 @@
+//! E8 — Theorem 5 (1)–(2): DTD satisfiability is NP-complete in the number
+//! of event variables. The workload is random 3-CNF at the phase
+//! transition, put through the paper's reduction; we compare
+//!
+//! * DPLL on the original CNF (the "native SAT" baseline),
+//! * the pruned backtracking DTD-satisfiability checker on the reduced
+//!   prob-tree, and
+//! * the brute-force `2^{|W|}` sweep.
+//!
+//! All three are exponential in the worst case; the point of the experiment
+//! is that the reduction preserves the answer and that the structure-aware
+//! checkers beat the naive sweep by orders of magnitude.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pxml_bench::rng;
+use pxml_dtd::reduction::reduce_sat;
+use pxml_dtd::satisfiability::{satisfiable_backtracking, satisfiable_bruteforce};
+use pxml_sat::gen3sat::{random_3sat, ThreeSatConfig};
+use pxml_sat::solve_dpll;
+
+fn instances(num_vars: usize, count: usize) -> Vec<pxml_sat::Cnf> {
+    let mut r = rng();
+    (0..count)
+        .map(|_| random_3sat(ThreeSatConfig::at_ratio(num_vars, 4.26), &mut r))
+        .collect()
+}
+
+fn bench_dpll_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_dpll_on_cnf");
+    for num_vars in [8usize, 12, 16, 20] {
+        let cnfs = instances(num_vars, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(num_vars), &cnfs, |b, cnfs| {
+            b.iter(|| cnfs.iter().filter(|cnf| solve_dpll(cnf).is_some()).count());
+        });
+    }
+    group.finish();
+}
+
+fn bench_dtd_backtracking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_dtd_backtracking");
+    for num_vars in [8usize, 12, 16, 20] {
+        let trees: Vec<_> = instances(num_vars, 5).iter().map(reduce_sat).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(num_vars), &trees, |b, trees| {
+            b.iter(|| {
+                trees
+                    .iter()
+                    .filter(|i| satisfiable_backtracking(&i.tree, &i.satisfiability_dtd).0.is_some())
+                    .count()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dtd_bruteforce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_dtd_bruteforce");
+    // The naive sweep visits 2^{|W|} worlds; keep the sizes modest.
+    for num_vars in [8usize, 12, 16] {
+        let trees: Vec<_> = instances(num_vars, 5).iter().map(reduce_sat).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(num_vars), &trees, |b, trees| {
+            b.iter(|| {
+                trees
+                    .iter()
+                    .filter(|i| {
+                        satisfiable_bruteforce(&i.tree, &i.satisfiability_dtd, 24)
+                            .unwrap()
+                            .is_some()
+                    })
+                    .count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_millis(1500));
+    targets = bench_dpll_baseline, bench_dtd_backtracking, bench_dtd_bruteforce
+}
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! E6 — Theorem 2: the randomized (Figure 3) structural-equivalence
+//! algorithm runs in polynomial time, while the exhaustive baseline
+//! enumerates `2^{|W|}` valuations.
+//!
+//! The workload pairs a document produced by "pipeline A" with an
+//! equivalent rewrite of it (reordered children, redundant literals), for a
+//! growing number of sections (each section adds two event variables), plus
+//! inequivalent pairs obtained by flipping one literal.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pxml_bench::rng;
+use pxml_core::equivalence::{
+    structural_equivalent_exhaustive, structural_equivalent_randomized, EquivalenceConfig,
+};
+use pxml_core::probtree::ProbTree;
+use pxml_events::{Condition, Literal};
+
+fn document(sections: usize, reorder: bool, redundant: bool) -> ProbTree {
+    let mut t = ProbTree::new("doc");
+    let mut events = Vec::new();
+    for i in 0..sections {
+        let accepted = t.events_mut().insert(format!("a{i}"), 0.9);
+        let flagged = t.events_mut().insert(format!("f{i}"), 0.2);
+        events.push((accepted, flagged));
+    }
+    let root = t.tree().root();
+    let order: Vec<usize> = if reorder {
+        (0..sections).rev().collect()
+    } else {
+        (0..sections).collect()
+    };
+    for i in order {
+        let (accepted, flagged) = events[i];
+        let cond = Condition::from_literals([Literal::pos(accepted), Literal::neg(flagged)]);
+        let section = t.add_child(root, "section", cond.clone());
+        let para_cond = if redundant { cond } else { Condition::always() };
+        t.add_child(section, format!("para{i}"), para_cond);
+    }
+    t
+}
+
+fn bench_randomized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_equivalence_randomized");
+    for sections in [2usize, 4, 6, 8, 16, 32, 64] {
+        let a = document(sections, false, false);
+        let b = document(sections, true, true);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sections * 2),
+            &(a, b),
+            |bencher, (a, b)| {
+                let mut r = rng();
+                bencher.iter(|| {
+                    structural_equivalent_randomized(a, b, &EquivalenceConfig::default(), &mut r)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_exhaustive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_equivalence_exhaustive");
+    // The exhaustive check is 2^{|W|}: stop at 16 events.
+    for sections in [2usize, 4, 6, 8] {
+        let a = document(sections, false, false);
+        let b = document(sections, true, true);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sections * 2),
+            &(a, b),
+            |bencher, (a, b)| {
+                bencher.iter(|| structural_equivalent_exhaustive(a, b, 24).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_randomized_inequivalent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_equivalence_randomized_inequivalent");
+    for sections in [8usize, 32] {
+        let a = document(sections, false, false);
+        let mut b = document(sections, true, true);
+        // Flip one literal.
+        let flagged0 = b.events().by_name("f0").unwrap();
+        let accepted0 = b.events().by_name("a0").unwrap();
+        let section = b
+            .tree()
+            .iter()
+            .find(|&n| b.tree().label(n) == "section")
+            .unwrap();
+        b.set_condition(
+            section,
+            Condition::from_literals([Literal::pos(accepted0), Literal::pos(flagged0)]),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sections * 2),
+            &(a, b),
+            |bencher, (a, b)| {
+                let mut r = rng();
+                bencher.iter(|| {
+                    structural_equivalent_randomized(a, b, &EquivalenceConfig::default(), &mut r)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_millis(1500));
+    targets = bench_randomized, bench_exhaustive, bench_randomized_inequivalent
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E3 — Theorem 1 / Proposition 2 (queries): locally monotone query
+//! evaluation over prob-trees is polynomial, with cost
+//! `time(Q(t)) + O(|Q(t)|·|T|)` on top of the plain data-tree evaluation.
+//!
+//! Two groups: the query on the bare data tree (the `time(Q(t))` term) and
+//! the same query on the prob-tree (adds the condition collection and
+//! probability evaluation). Both should scale polynomially (roughly
+//! linearly for this fixed two-step pattern) in the tree size.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pxml_bench::{rng, scaling_probtree, scaling_query, SCALING_SIZES};
+use pxml_core::query::prob::query_probtree;
+use pxml_core::query::Query;
+
+fn bench_query_scaling(c: &mut Criterion) {
+    let query = scaling_query();
+    let mut r = rng();
+    let trees: Vec<_> = SCALING_SIZES
+        .iter()
+        .map(|&n| (n, scaling_probtree(n, &mut r)))
+        .collect();
+
+    let mut group = c.benchmark_group("e3_query_data_tree");
+    for (n, tree) in &trees {
+        group.bench_with_input(BenchmarkId::from_parameter(n), tree, |b, tree| {
+            b.iter(|| query.evaluate(tree.tree()));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e3_query_probtree");
+    for (n, tree) in &trees {
+        group.bench_with_input(BenchmarkId::from_parameter(n), tree, |b, tree| {
+            b.iter(|| query_probtree(&query, tree));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_millis(1500));
+    targets = bench_query_scaling
+}
+criterion_main!(benches);

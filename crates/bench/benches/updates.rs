@@ -1,0 +1,78 @@
+//! E4/E5 — Proposition 2 (updates) and Theorem 3: probabilistic insertions
+//! stay polynomial while the `d0` deletion on the Theorem 3 family takes
+//! time (and space) exponential in `n`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pxml_bench::{rng, scaling_probtree, SCALING_SIZES};
+use pxml_core::update::{ProbabilisticUpdate, UpdateOperation};
+use pxml_core::PatternQuery;
+use pxml_tree::DataTree;
+use pxml_workloads::paper::{d0_deletion, theorem3_tree};
+
+/// E4: insertion scaling on random prob-trees (insert an `E` child under
+/// every `L0` node, confidence 0.9).
+fn bench_insertions(c: &mut Criterion) {
+    let mut r = rng();
+    let trees: Vec<_> = SCALING_SIZES
+        .iter()
+        .map(|&n| (n, scaling_probtree(n, &mut r)))
+        .collect();
+    let mut group = c.benchmark_group("e4_insertion_scaling");
+    for (n, tree) in &trees {
+        group.bench_with_input(BenchmarkId::from_parameter(n), tree, |b, tree| {
+            b.iter(|| {
+                let q = PatternQuery::new(Some("L0"));
+                let at = q.root();
+                let update = ProbabilisticUpdate::new(
+                    UpdateOperation::insert(q, at, DataTree::new("E")),
+                    0.9,
+                );
+                update.apply_to_probtree(tree)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// E5: the Theorem 3 deletion blow-up — `d0` on the n-C-children family.
+/// Time doubles (at least) with every increment of n; the companion table
+/// (`tables --exp e5`) reports the output sizes.
+fn bench_theorem3_deletion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_theorem3_deletion");
+    for n in [2usize, 4, 6, 8, 10, 12] {
+        let tree = theorem3_tree(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, tree| {
+            b.iter(|| d0_deletion(1.0).apply_to_probtree(tree));
+        });
+    }
+    group.finish();
+}
+
+/// E5 (contrast): the same query used for an insertion instead of a
+/// deletion stays flat on the very same family.
+fn bench_theorem3_insertion_contrast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_theorem3_insertion_contrast");
+    for n in [2usize, 4, 6, 8, 10, 12] {
+        let tree = theorem3_tree(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, tree| {
+            b.iter(|| {
+                let (update, _) = pxml_workloads::paper::d0_insertion(1.0);
+                update.apply_to_probtree(tree)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_millis(1500));
+    targets = bench_insertions, bench_theorem3_deletion, bench_theorem3_insertion_contrast
+}
+criterion_main!(benches);

@@ -1,0 +1,607 @@
+//! The experiment table generator.
+//!
+//! Prints, for every experiment E1–E11 of `EXPERIMENTS.md`, the table of
+//! measured sizes/counts/times that reproduces the *shape* of the
+//! corresponding result of the paper. Sizes matter as much as times here:
+//! Theorems 3–5 are statements about representation size.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p pxml-bench --release --bin tables            # all experiments
+//! cargo run -p pxml-bench --release --bin tables -- --exp e5
+//! ```
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pxml_bench::{rng, scaling_probtree, scaling_query, SEED};
+use pxml_core::equivalence::{
+    structural_equivalent_exhaustive, structural_equivalent_randomized, EquivalenceConfig,
+};
+use pxml_core::probtree::figure1_example;
+use pxml_core::query::prob::{query_probtree, query_pw_set};
+use pxml_core::query::Query;
+use pxml_core::semantics::{possible_worlds, pw_set_to_probtree};
+use pxml_core::threshold::{restrict_to_threshold, restriction_as_probtree};
+use pxml_core::update::{ProbabilisticUpdate, UpdateOperation};
+use pxml_core::variants::FormulaProbTree;
+use pxml_core::PatternQuery;
+use pxml_dtd::reduction::reduce_sat;
+use pxml_dtd::restriction::{restriction_as_probtree as dtd_restriction_as_probtree, theorem5_restriction_family};
+use pxml_dtd::satisfiability::{satisfiable_backtracking, satisfiable_bruteforce};
+use pxml_events::{Condition, Literal};
+use pxml_poly::zippel::ZippelConfig;
+use pxml_sat::gen3sat::{random_3sat, ThreeSatConfig};
+use pxml_sat::solve_dpll;
+use pxml_sat::{Formula, Var};
+use pxml_tree::stats::rooted_tree_counts_cumulative;
+use pxml_tree::DataTree;
+use pxml_workloads::paper::{
+    d0_deletion, d0_insertion, theorem3_tree, theorem4_tree, theorem4_world_probability,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let selected = args
+        .iter()
+        .position(|a| a == "--exp")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.to_lowercase());
+    let run = |id: &str| selected.as_deref().is_none_or(|s| s == id);
+
+    println!("probxml experiment tables (seed 0x{SEED:x})");
+    println!("==========================================\n");
+
+    if run("e1") {
+        e1_figure1();
+    }
+    if run("e2") {
+        e2_conciseness();
+    }
+    if run("e3") {
+        e3_query_scaling();
+    }
+    if run("e4") {
+        e4_insertion_scaling();
+    }
+    if run("e5") {
+        e5_deletion_blowup();
+    }
+    if run("e6") {
+        e6_equivalence();
+    }
+    if run("e7") {
+        e7_threshold();
+    }
+    if run("e8") {
+        e8_dtd_satisfiability();
+    }
+    if run("e9") {
+        e9_dtd_restriction();
+    }
+    if run("e10") {
+        e10_formula_variant();
+    }
+    if run("e11") {
+        e11_set_semantics_and_semantic_equivalence();
+    }
+}
+
+fn header(id: &str, title: &str) {
+    println!("--- {id}: {title} ---");
+}
+
+fn ms(duration: std::time::Duration) -> f64 {
+    duration.as_secs_f64() * 1e3
+}
+
+/// E1: Figure 1 / Figure 2 — the worked example.
+fn e1_figure1() {
+    header("E1", "Figure 1 prob-tree and its Figure 2 possible worlds");
+    let tree = figure1_example();
+    println!("{}", tree.to_ascii());
+    let worlds = possible_worlds(&tree, 20).unwrap().normalized();
+    println!("{:>10}  {:<30}", "p", "world (node labels)");
+    for (world, p) in worlds.iter() {
+        let labels: Vec<&str> = world.iter().map(|n| world.label(n)).collect();
+        println!("{p:>10.2}  {labels:?}");
+    }
+    let q = {
+        let mut q = PatternQuery::new(Some("C"));
+        q.add_child(q.root(), "D");
+        q
+    };
+    let direct = query_probtree(&q, &tree);
+    let via_worlds = query_pw_set(&q, &worlds);
+    println!(
+        "query //C/D: direct probability {:.2}, via possible worlds {:.2} (Theorem 1)",
+        direct.iter().map(|a| a.probability).sum::<f64>(),
+        via_worlds.total_probability()
+    );
+    println!();
+}
+
+/// E2: Proposition 1 — conciseness limits of any representation.
+fn e2_conciseness() {
+    header(
+        "E2",
+        "Proposition 1 — size of PW-set encodings and the counting lower bound",
+    );
+    println!(
+        "{:>3} {:>28} | {:>8} {:>14} {:>12}",
+        "n", "bit lower bound (= #trees<=n)", "#worlds", "probtree size", "build (ms)"
+    );
+    let cumulative = rooted_tree_counts_cumulative(16);
+    for n in [2usize, 4, 6, 8, 10, 12, 14, 16] {
+        // Counting side (the lower bound of Proposition 1): the number of
+        // PW sets over trees of <= n nodes is at least 2^(#trees), so any
+        // representation needs that many bits on average.
+        let bits = cumulative[n];
+        // Constructive side: encode a synthetic PW set with `2^(n/2)` worlds
+        // of n nodes into a prob-tree and report its size.
+        let worlds = 1usize << (n / 2);
+        let mut set = Vec::new();
+        for i in 0..worlds {
+            // World i keeps the children whose index is a set bit of i, so
+            // all 2^(n/2) worlds are pairwise non-isomorphic.
+            let mut t = DataTree::new("R");
+            let root = t.root();
+            for j in 0..n - 1 {
+                if (i >> (j % (n / 2))) & 1 == 1 {
+                    t.add_child(root, format!("L{j}"));
+                }
+            }
+            set.push((t, 1.0 / worlds as f64));
+        }
+        let pw = pxml_core::pwset::PossibleWorldSet::from_worlds(set).normalized();
+        let start = Instant::now();
+        let probtree = pw_set_to_probtree(&pw).unwrap();
+        let elapsed = start.elapsed();
+        println!(
+            "{n:>3} {bits:>28} | {:>8} {:>14} {:>12.3}",
+            pw.len(),
+            probtree.size(),
+            ms(elapsed)
+        );
+    }
+    println!("(the lower bound column is doubly exponential in n; any representation, including prob-trees, needs that many bits on average)\n");
+}
+
+/// E3: Proposition 2 — query evaluation is PTIME on prob-trees.
+fn e3_query_scaling() {
+    header("E3", "Theorem 1 / Proposition 2 — query evaluation scaling");
+    println!(
+        "{:>8} {:>10} {:>10} {:>14} {:>16} {:>10}",
+        "|T|", "literals", "answers", "data tree (ms)", "prob-tree (ms)", "overhead"
+    );
+    let query = scaling_query();
+    let mut r = rng();
+    for nodes in [100usize, 500, 2_000, 8_000, 32_000] {
+        let tree = scaling_probtree(nodes, &mut r);
+        let start = Instant::now();
+        let plain = query.evaluate(tree.tree());
+        let plain_time = start.elapsed();
+        let start = Instant::now();
+        let answers = query_probtree(&query, &tree);
+        let prob_time = start.elapsed();
+        println!(
+            "{:>8} {:>10} {:>10} {:>14.3} {:>16.3} {:>9.2}x",
+            nodes,
+            tree.num_literals(),
+            answers.len(),
+            ms(plain_time),
+            ms(prob_time),
+            ms(prob_time) / ms(plain_time).max(1e-9)
+        );
+        let _ = plain;
+    }
+    println!();
+}
+
+/// E4: Proposition 2 — insertion is PTIME and output growth is linear.
+fn e4_insertion_scaling() {
+    header("E4", "Proposition 2 — probabilistic insertion scaling");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "|T|", "size before", "size after", "growth", "time (ms)"
+    );
+    let mut r = rng();
+    for nodes in [100usize, 500, 2_000, 8_000] {
+        let tree = scaling_probtree(nodes, &mut r);
+        let q = PatternQuery::new(Some("L0"));
+        let at = q.root();
+        let update =
+            ProbabilisticUpdate::new(UpdateOperation::insert(q, at, DataTree::new("E")), 0.9);
+        let before = tree.size();
+        let start = Instant::now();
+        let (updated, _) = update.apply_to_probtree(&tree);
+        let elapsed = start.elapsed();
+        println!(
+            "{:>8} {:>12} {:>12} {:>12} {:>12.3}",
+            nodes,
+            before,
+            updated.size(),
+            updated.size() - before,
+            ms(elapsed)
+        );
+    }
+    println!();
+}
+
+/// E5: Theorem 3 — the deletion blow-up.
+fn e5_deletion_blowup() {
+    header("E5", "Theorem 3 — deletion d0 blow-up vs insertion on the same family");
+    println!(
+        "{:>3} {:>10} | {:>12} {:>12} {:>12} | {:>12} {:>12}",
+        "n", "input size", "del. size", "B copies", "del. (ms)", "ins. size", "ins. (ms)"
+    );
+    for n in [1usize, 2, 4, 6, 8, 10, 12, 14] {
+        let tree = theorem3_tree(n);
+        let start = Instant::now();
+        let (deleted, _) = d0_deletion(1.0).apply_to_probtree(&tree);
+        let del_time = start.elapsed();
+        let b_copies = deleted
+            .tree()
+            .iter()
+            .filter(|&nd| deleted.tree().label(nd) == "B")
+            .count();
+        let (insertion, _) = d0_insertion(1.0);
+        let start = Instant::now();
+        let (inserted, _) = insertion.apply_to_probtree(&tree);
+        let ins_time = start.elapsed();
+        println!(
+            "{n:>3} {:>10} | {:>12} {:>12} {:>12.3} | {:>12} {:>12.3}",
+            tree.size(),
+            deleted.size(),
+            b_copies,
+            ms(del_time),
+            inserted.size(),
+            ms(ins_time)
+        );
+    }
+    println!("(deletion output doubles with every n — Ω(2^n) — while insertion stays linear)\n");
+}
+
+/// E6: Theorem 2 — randomized vs exhaustive structural equivalence.
+fn e6_equivalence() {
+    header("E6", "Theorem 2 — randomized (Fig. 3) vs exhaustive structural equivalence");
+
+    fn document(sections: usize, rewrite: bool) -> pxml_core::probtree::ProbTree {
+        let mut t = pxml_core::probtree::ProbTree::new("doc");
+        let mut events = Vec::new();
+        for i in 0..sections {
+            let a = t.events_mut().insert(format!("a{i}"), 0.9);
+            let f = t.events_mut().insert(format!("f{i}"), 0.2);
+            events.push((a, f));
+        }
+        let root = t.tree().root();
+        let order: Vec<usize> = if rewrite {
+            (0..sections).rev().collect()
+        } else {
+            (0..sections).collect()
+        };
+        for i in order {
+            let (a, f) = events[i];
+            let cond = Condition::from_literals([Literal::pos(a), Literal::neg(f)]);
+            let s = t.add_child(root, "section", cond.clone());
+            t.add_child(s, format!("para{i}"), if rewrite { cond } else { Condition::always() });
+        }
+        t
+    }
+
+    println!(
+        "{:>5} {:>8} | {:>16} {:>16} | {:>10}",
+        "|W|", "nodes", "randomized (ms)", "exhaustive (ms)", "agree"
+    );
+    let mut r = rng();
+    for sections in [2usize, 4, 6, 8, 10, 32, 128] {
+        let a = document(sections, false);
+        let b = document(sections, true);
+        let start = Instant::now();
+        let randomized =
+            structural_equivalent_randomized(&a, &b, &EquivalenceConfig::default(), &mut r);
+        let rand_time = start.elapsed();
+        let (exhaustive, exh_text) = if sections * 2 <= 20 {
+            let start = Instant::now();
+            let result = structural_equivalent_exhaustive(&a, &b, 24).unwrap();
+            (Some(result), format!("{:>16.3}", ms(start.elapsed())))
+        } else {
+            (None, format!("{:>16}", "skipped (2^|W|)"))
+        };
+        println!(
+            "{:>5} {:>8} | {:>16.3} {} | {:>10}",
+            sections * 2,
+            a.num_nodes() + b.num_nodes(),
+            ms(rand_time),
+            exh_text,
+            match exhaustive {
+                Some(e) => (e == randomized).to_string(),
+                None => "-".to_string(),
+            }
+        );
+    }
+
+    // Empirical one-sided error of the underlying Schwartz–Zippel
+    // count-equivalence test with a deliberately tiny sample set S, on the
+    // pair ψ = x1∧x2 vs ψ' = x1 (not count-equivalent; the difference
+    // polynomial x1·(x2 − 1) vanishes on 3 of the 4 points of {0,1}²).
+    {
+        use pxml_events::{Condition as Cond, Dnf, EventId, Literal as Lit};
+        use pxml_poly::zippel::count_equivalent_randomized;
+        let x1 = EventId::from_index(0);
+        let x2 = EventId::from_index(1);
+        let lhs = Dnf::of(Cond::from_literals([Lit::pos(x1), Lit::pos(x2)]));
+        let rhs = Dnf::of(Cond::of(Lit::pos(x1)));
+        println!("one-sided error of the count-equivalence test on x1∧x2 vs x1 (1 trial):");
+        for sample_set in [2u64, 4, 16, 256, 1 << 16] {
+            let config = ZippelConfig {
+                trials: 1,
+                sample_set_size: sample_set,
+            };
+            let trials = 20_000;
+            let mut false_accepts = 0;
+            for _ in 0..trials {
+                if count_equivalent_randomized(&lhs, &rhs, &config, &mut r) {
+                    false_accepts += 1;
+                }
+            }
+            println!(
+                "  |S| = {sample_set:>6}: {false_accepts:>6}/{trials} false accepts (Schwartz–Zippel bound: ≤ {:.4})",
+                (2.0f64 / sample_set as f64).min(1.0)
+            );
+        }
+        // And at the full-algorithm level, on an inequivalent document pair.
+        let a = document(4, false);
+        let mut b = document(4, true);
+        let f0 = b.events().by_name("f0").unwrap();
+        let a0 = b.events().by_name("a0").unwrap();
+        let section = b
+            .tree()
+            .iter()
+            .find(|&n| b.tree().label(n) == "section")
+            .unwrap();
+        b.set_condition(
+            section,
+            Condition::from_literals([Literal::pos(a0), Literal::pos(f0)]),
+        );
+        for sample_set in [2u64, 1 << 16] {
+            let config = EquivalenceConfig {
+                zippel: ZippelConfig {
+                    trials: 1,
+                    sample_set_size: sample_set,
+                },
+            };
+            let trials = 2_000;
+            let mut false_accepts = 0;
+            for _ in 0..trials {
+                if structural_equivalent_randomized(&a, &b, &config, &mut r) {
+                    false_accepts += 1;
+                }
+            }
+            println!(
+                "  Figure 3 on an inequivalent pair, |S| = {sample_set:>6}: {false_accepts}/{trials} false accepts (bound ≤ 1/2)"
+            );
+        }
+    }
+    println!();
+}
+
+/// E7: Theorem 4 — threshold restriction blow-up.
+fn e7_threshold() {
+    header("E7", "Theorem 4 — threshold restriction on the 2n-children family");
+    println!(
+        "{:>3} {:>6} {:>12} | {:>10} {:>14} {:>14} {:>12}",
+        "n", "|W|", "input size", "worlds>=p", "restr. mass", "probtree size", "time (ms)"
+    );
+    for n in [1usize, 2, 3, 4, 5] {
+        let tree = theorem4_tree(n);
+        let threshold = theorem4_world_probability(n) - 1e-12;
+        let start = Instant::now();
+        let restriction = restrict_to_threshold(&tree, threshold, 24).unwrap();
+        let rep = restriction_as_probtree(&tree, threshold, 24).unwrap().unwrap();
+        let elapsed = start.elapsed();
+        println!(
+            "{n:>3} {:>6} {:>12} | {:>10} {:>14.4} {:>14} {:>12.3}",
+            2 * n,
+            tree.size(),
+            restriction.worlds.len(),
+            restriction.retained_mass,
+            rep.size(),
+            ms(elapsed)
+        );
+    }
+    println!("(the input grows linearly in n, the restriction representation exponentially)\n");
+}
+
+/// E8: Theorem 5 (1)–(2) — DTD satisfiability via the SAT reduction.
+fn e8_dtd_satisfiability() {
+    header("E8", "Theorem 5 — DTD satisfiability on reduced random 3-SAT (ratio 4.26)");
+    println!(
+        "{:>5} {:>8} {:>10} | {:>10} {:>12} {:>16} {:>16} {:>8}",
+        "vars", "clauses", "tree size", "dpll (ms)", "backtr (ms)", "backtr decisions", "brute (ms)", "agree"
+    );
+    let mut r = StdRng::seed_from_u64(SEED ^ 0xE8);
+    for num_vars in [6usize, 8, 10, 12, 14, 16, 18] {
+        let cnf = random_3sat(ThreeSatConfig::at_ratio(num_vars, 4.26), &mut r);
+        let instance = reduce_sat(&cnf);
+        let start = Instant::now();
+        let dpll = solve_dpll(&cnf).is_some();
+        let dpll_time = start.elapsed();
+        let start = Instant::now();
+        let (witness, stats) = satisfiable_backtracking(&instance.tree, &instance.satisfiability_dtd);
+        let backtrack_time = start.elapsed();
+        let (brute_text, brute_result) = if num_vars <= 16 {
+            let start = Instant::now();
+            let result = satisfiable_bruteforce(&instance.tree, &instance.satisfiability_dtd, 24)
+                .unwrap()
+                .is_some();
+            (format!("{:>16.3}", ms(start.elapsed())), Some(result))
+        } else {
+            (format!("{:>16}", "skipped"), None)
+        };
+        let agree = witness.is_some() == dpll && brute_result.is_none_or(|b| b == dpll);
+        println!(
+            "{num_vars:>5} {:>8} {:>10} | {:>10.3} {:>12.3} {:>16} {} {:>8}",
+            cnf.len(),
+            instance.tree.size(),
+            ms(dpll_time),
+            ms(backtrack_time),
+            stats.decisions,
+            brute_text,
+            agree
+        );
+    }
+    println!();
+}
+
+/// E9: Theorem 5 (3) — DTD restriction blow-up.
+fn e9_dtd_restriction() {
+    header("E9", "Theorem 5 (3) — DTD restriction on the ≤ n-of-2n family");
+    println!(
+        "{:>3} {:>6} {:>12} | {:>12} {:>14} {:>12}",
+        "n", "|W|", "input size", "valid worlds", "probtree size", "time (ms)"
+    );
+    for n in [1usize, 2, 3, 4, 5] {
+        let (tree, dtd) = theorem5_restriction_family(n);
+        let start = Instant::now();
+        let restriction = pxml_dtd::restriction::restrict_to_dtd(&tree, &dtd, 24).unwrap();
+        let rep = dtd_restriction_as_probtree(&tree, &dtd, 24).unwrap().unwrap();
+        let elapsed = start.elapsed();
+        println!(
+            "{n:>3} {:>6} {:>12} | {:>12} {:>14} {:>12.3}",
+            2 * n,
+            tree.size(),
+            restriction.worlds.len(),
+            rep.size(),
+            ms(elapsed)
+        );
+    }
+    println!();
+}
+
+/// E10: Section 5 — the arbitrary-formula variant trade-off.
+fn e10_formula_variant() {
+    header(
+        "E10",
+        "Section 5 — arbitrary-formula conditions: cheap deletions, expensive queries",
+    );
+
+    fn theorem3_formula_tree(n: usize) -> FormulaProbTree {
+        let mut t = FormulaProbTree::new("A");
+        let root = t.tree().root();
+        t.add_child(root, "B", Formula::True);
+        for _ in 0..n {
+            let w0 = t.events_mut().fresh(0.5);
+            let w1 = t.events_mut().fresh(0.5);
+            t.add_child(
+                root,
+                "C",
+                Formula::Var(Var(w0.index() as u32)).and(Formula::Var(Var(w1.index() as u32))),
+            );
+        }
+        t
+    }
+
+    println!(
+        "{:>4} | {:>14} {:>14} | {:>14} {:>14} | {:>18}",
+        "n", "conj. del size", "conj. del (ms)", "form. del size", "form. del (ms)", "bool query SAT (ms)"
+    );
+    for n in [2usize, 4, 6, 8, 10, 12, 64, 256] {
+        // Conjunctive (base model) deletion — exponential; skip when too big.
+        let (conj_text_size, conj_text_time) = if n <= 14 {
+            let tree = theorem3_tree(n);
+            let start = Instant::now();
+            let (deleted, _) = d0_deletion(1.0).apply_to_probtree(&tree);
+            (format!("{:>14}", deleted.size()), format!("{:>14.3}", ms(start.elapsed())))
+        } else {
+            (format!("{:>14}", "skipped"), format!("{:>14}", "-"))
+        };
+        // Formula-model deletion — linear.
+        let mut ftree = theorem3_formula_tree(n);
+        let mut q = PatternQuery::anchored(Some("A"));
+        let b = q.add_child(q.root(), "B");
+        let _c = q.add_child(q.root(), "C");
+        let start = Instant::now();
+        ftree.delete(&q, b, 1.0);
+        let fdel_time = start.elapsed();
+        // Boolean query on the result — needs a SAT call.
+        let mut q_b = PatternQuery::anchored(Some("A"));
+        q_b.add_child(q_b.root(), "B");
+        let start = Instant::now();
+        let possible = ftree.query_possible(&q_b);
+        let query_time = start.elapsed();
+        println!(
+            "{n:>4} | {conj_text_size} {conj_text_time} | {:>14} {:>14.3} | {:>12.3} ({})",
+            ftree.size(),
+            ms(fdel_time),
+            ms(query_time),
+            possible
+        );
+    }
+    println!();
+}
+
+/// E11: Section 5 — set semantics and semantic vs structural equivalence.
+fn e11_set_semantics_and_semantic_equivalence() {
+    header(
+        "E11",
+        "Section 5 / Proposition 4 — set semantics and semantic vs structural equivalence",
+    );
+
+    // (a) The paper's ≡sem-but-not-≡struct example.
+    let mut a = pxml_core::probtree::ProbTree::new("A");
+    let w1 = a.events_mut().insert("w1", 0.8);
+    let w2 = a.events_mut().insert("w2", 0.5);
+    let ra = a.tree().root();
+    a.add_child(ra, "B", Condition::from_literals([Literal::pos(w1), Literal::pos(w2)]));
+    let mut b = pxml_core::probtree::ProbTree::new("A");
+    let w3 = b.events_mut().insert("w3", 0.4);
+    let rb = b.tree().root();
+    b.add_child(rb, "B", Condition::of(Literal::pos(w3)));
+    println!(
+        "w1∧w2 (0.8·0.5) vs w3 (0.4):  semantically equivalent = {}, structurally equivalent = {}",
+        pxml_core::equivalence::semantic_equivalent(&a, &b, 20).unwrap(),
+        structural_equivalent_exhaustive(&a, &b, 20).unwrap()
+    );
+
+    // (b) Multiset vs set semantics on duplicate children.
+    let mut two = pxml_core::probtree::ProbTree::new("A");
+    let w = two.events_mut().insert("w", 0.5);
+    let rt = two.tree().root();
+    two.add_child(rt, "B", Condition::of(Literal::pos(w)));
+    two.add_child(rt, "B", Condition::of(Literal::pos(w)));
+    let mut one = pxml_core::probtree::ProbTree::new("A");
+    let w_ = one.events_mut().insert("w", 0.5);
+    let ro = one.tree().root();
+    one.add_child(ro, "B", Condition::of(Literal::pos(w_)));
+    println!(
+        "two conditioned B children vs one:  multiset-equivalent = {}, set-equivalent = {}",
+        structural_equivalent_exhaustive(&two, &one, 20).unwrap(),
+        pxml_core::equivalence::structural_equivalent_exhaustive_with(
+            &two,
+            &one,
+            20,
+            pxml_tree::canon::Semantics::Set
+        )
+        .unwrap()
+    );
+
+    // (c) Semantic equivalence cost: it expands both PW sets (exptime).
+    println!("\nsemantic-equivalence cost (exhaustive PW expansion):");
+    println!("{:>5} {:>14}", "|W|", "time (ms)");
+    for events in [4usize, 8, 12, 16] {
+        let mut t = pxml_core::probtree::ProbTree::new("R");
+        let root = t.tree().root();
+        for _ in 0..events {
+            let w = t.events_mut().fresh(0.5);
+            t.add_child(root, "X", Condition::of(Literal::pos(w)));
+        }
+        let u = t.clone();
+        let start = Instant::now();
+        let equal = pxml_core::equivalence::semantic_equivalent(&t, &u, 24).unwrap();
+        println!("{events:>5} {:>14.3}   (equivalent = {equal})", ms(start.elapsed()));
+    }
+    println!();
+}

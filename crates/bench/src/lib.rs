@@ -1,0 +1,79 @@
+//! # pxml-bench — the experiment harness
+//!
+//! One criterion bench target and/or one `tables` section per experiment of
+//! `EXPERIMENTS.md` (E1–E11), each reproducing the complexity *shape* of a
+//! formal result of the paper. See `DESIGN.md` §3 for the experiment ↔
+//! result mapping.
+//!
+//! The `tables` binary (`cargo run -p pxml-bench --release --bin tables`)
+//! prints the size/count tables (exponential blow-ups are statements about
+//! *representation size*, which criterion does not capture); the criterion
+//! benches (`cargo bench`) measure running times.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pxml_core::probtree::ProbTree;
+use pxml_core::PatternQuery;
+use pxml_workloads::random::{random_probtree, ProbTreeConfig, TreeConfig};
+
+/// The fixed RNG seed used by every experiment (full determinism).
+pub const SEED: u64 = 0x2007_0611;
+
+/// A seeded RNG for the experiments.
+pub fn rng() -> StdRng {
+    StdRng::seed_from_u64(SEED)
+}
+
+/// The standard random prob-tree used by the query/update scaling
+/// experiments: `nodes` nodes, fan-out ≤ 8, 4 labels, 16 event variables,
+/// 40% of the nodes annotated with ≤ 2 literals.
+pub fn scaling_probtree(nodes: usize, rng: &mut StdRng) -> ProbTree {
+    random_probtree(
+        &ProbTreeConfig {
+            tree: TreeConfig {
+                nodes,
+                max_fanout: 8,
+                labels: 4,
+            },
+            events: 16,
+            annotation_density: 0.4,
+            max_literals: 2,
+        },
+        rng,
+    )
+}
+
+/// The query used by the E3/E4 scaling experiments: `L0` nodes with an `L1`
+/// child (unanchored), i.e. a two-step tree-pattern query.
+pub fn scaling_query() -> PatternQuery {
+    let mut q = PatternQuery::new(Some("L0"));
+    q.add_child(q.root(), "L1");
+    q
+}
+
+/// Node counts used by the scaling experiments.
+pub const SCALING_SIZES: [usize; 4] = [100, 500, 2_000, 8_000];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_core::query::prob::query_probtree;
+
+    #[test]
+    fn scaling_fixtures_are_generated_deterministically() {
+        let a = scaling_probtree(500, &mut rng());
+        let b = scaling_probtree(500, &mut rng());
+        assert_eq!(a.num_nodes(), 500);
+        assert_eq!(a.num_literals(), b.num_literals());
+    }
+
+    #[test]
+    fn scaling_query_has_answers_on_the_fixture() {
+        let tree = scaling_probtree(2_000, &mut rng());
+        let answers = query_probtree(&scaling_query(), &tree);
+        assert!(!answers.is_empty(), "the scaling query should match something");
+    }
+}

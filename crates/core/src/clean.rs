@@ -1,0 +1,191 @@
+//! Cleaning of prob-trees (Section 3 of the paper).
+//!
+//! A prob-tree can be *cleaned* in linear time by
+//!
+//! 1. removing **superfluous** atomic conditions — literals already implied
+//!    by a condition on an ancestor (a node is only present when all its
+//!    ancestors are, so repeating an ancestor's literal is redundant); and
+//! 2. pruning nodes with **inconsistent** conditions — conditions that are
+//!    intrinsically contradictory (`w ∧ ¬w`) or that contradict a literal
+//!    imposed by an ancestor.
+//!
+//! Cleaning preserves structural equivalence and is the first step of the
+//! Figure 3 randomized equivalence algorithm.
+
+use pxml_events::{Condition, Literal};
+use pxml_tree::NodeId;
+
+use crate::probtree::ProbTree;
+
+/// Returns a cleaned, compacted copy of `tree`.
+pub fn clean(tree: &ProbTree) -> ProbTree {
+    let mut work = tree.clone();
+    let mut to_detach: Vec<NodeId> = Vec::new();
+
+    // Pre-order walk guarantees ancestors are processed before descendants,
+    // so ancestor conditions read below are already cleaned.
+    let nodes: Vec<NodeId> = work.tree().iter().collect();
+    for node in nodes {
+        if node == work.tree().root() {
+            continue;
+        }
+        let ancestor = work.ancestor_condition(node);
+        if !ancestor.is_consistent() {
+            // An ancestor is already impossible; this node can never exist.
+            to_detach.push(node);
+            continue;
+        }
+        let own = work.condition(node);
+        let mut kept: Vec<Literal> = Vec::new();
+        let mut inconsistent = !own.is_consistent();
+        for &literal in own.literals() {
+            if ancestor.literals().contains(&literal.negated()) {
+                // Contradicts an ancestor: the node can never be present.
+                inconsistent = true;
+                break;
+            }
+            if ancestor.literals().contains(&literal) {
+                // Superfluous: already guaranteed by the ancestor.
+                continue;
+            }
+            kept.push(literal);
+        }
+        if inconsistent {
+            to_detach.push(node);
+        } else {
+            work.set_condition(node, Condition::from_literals(kept));
+        }
+    }
+    for node in to_detach {
+        // A node may already hang below a previously detached ancestor; the
+        // arena detach is idempotent enough for our purposes (detaching a
+        // node whose parent was detached is harmless).
+        if work.tree().parent(node).is_some() {
+            work.detach(node);
+        }
+    }
+    let (compacted, _) = work.compact();
+    compacted
+}
+
+/// `true` if `tree` is already clean: no node condition repeats or
+/// contradicts an ancestor literal, and every condition is consistent.
+pub fn is_clean(tree: &ProbTree) -> bool {
+    for node in tree.tree().iter() {
+        if node == tree.tree().root() {
+            continue;
+        }
+        let own = tree.condition(node);
+        if !own.is_consistent() {
+            return false;
+        }
+        let ancestor = tree.ancestor_condition(node);
+        for &literal in own.literals() {
+            if ancestor.literals().contains(&literal)
+                || ancestor.literals().contains(&literal.negated())
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probtree::figure1_example;
+    use crate::semantics::possible_worlds;
+    use pxml_events::{Condition, Literal};
+
+    #[test]
+    fn figure1_is_already_clean() {
+        let t = figure1_example();
+        assert!(is_clean(&t));
+        let cleaned = clean(&t);
+        assert_eq!(cleaned.num_nodes(), t.num_nodes());
+        assert_eq!(cleaned.num_literals(), t.num_literals());
+    }
+
+    #[test]
+    fn superfluous_ancestor_literals_are_removed() {
+        let mut t = ProbTree::new("A");
+        let w = t.events_mut().insert("w", 0.5);
+        let root = t.tree().root();
+        let b = t.add_child(root, "B", Condition::of(Literal::pos(w)));
+        // C repeats the ancestor's literal.
+        t.add_child(b, "C", Condition::of(Literal::pos(w)));
+        assert!(!is_clean(&t));
+        let cleaned = clean(&t);
+        assert!(is_clean(&cleaned));
+        assert_eq!(cleaned.num_nodes(), 3);
+        assert_eq!(cleaned.num_literals(), 1, "only B keeps its literal");
+    }
+
+    #[test]
+    fn intrinsically_inconsistent_nodes_are_pruned() {
+        let mut t = ProbTree::new("A");
+        let w = t.events_mut().insert("w", 0.5);
+        let root = t.tree().root();
+        let b = t.add_child(
+            root,
+            "B",
+            Condition::from_literals([Literal::pos(w), Literal::neg(w)]),
+        );
+        t.add_child(b, "C", Condition::always());
+        let cleaned = clean(&t);
+        assert_eq!(cleaned.num_nodes(), 1, "B and its descendant C are gone");
+    }
+
+    #[test]
+    fn nodes_contradicting_ancestors_are_pruned() {
+        let mut t = ProbTree::new("A");
+        let w = t.events_mut().insert("w", 0.5);
+        let root = t.tree().root();
+        let b = t.add_child(root, "B", Condition::of(Literal::pos(w)));
+        t.add_child(b, "C", Condition::of(Literal::neg(w)));
+        let cleaned = clean(&t);
+        assert_eq!(cleaned.num_nodes(), 2);
+        assert!(is_clean(&cleaned));
+    }
+
+    #[test]
+    fn cleaning_preserves_possible_world_semantics() {
+        let mut t = ProbTree::new("A");
+        let w1 = t.events_mut().insert("w1", 0.6);
+        let w2 = t.events_mut().insert("w2", 0.3);
+        let root = t.tree().root();
+        let b = t.add_child(root, "B", Condition::of(Literal::pos(w1)));
+        // Superfluous w1 plus a real w2 condition.
+        t.add_child(
+            b,
+            "C",
+            Condition::from_literals([Literal::pos(w1), Literal::pos(w2)]),
+        );
+        // An impossible node.
+        t.add_child(
+            root,
+            "D",
+            Condition::from_literals([Literal::pos(w2), Literal::neg(w2)]),
+        );
+        let before = possible_worlds(&t, 20).unwrap().normalized();
+        let cleaned = clean(&t);
+        let after = possible_worlds(&cleaned, 20).unwrap().normalized();
+        assert!(before.isomorphic(&after));
+        assert!(is_clean(&cleaned));
+        assert!(cleaned.num_literals() < t.num_literals());
+    }
+
+    #[test]
+    fn cleaning_is_idempotent() {
+        let mut t = ProbTree::new("A");
+        let w = t.events_mut().insert("w", 0.5);
+        let root = t.tree().root();
+        let b = t.add_child(root, "B", Condition::of(Literal::pos(w)));
+        t.add_child(b, "C", Condition::of(Literal::pos(w)));
+        let once = clean(&t);
+        let twice = clean(&once);
+        assert_eq!(once.num_nodes(), twice.num_nodes());
+        assert_eq!(once.num_literals(), twice.num_literals());
+    }
+}

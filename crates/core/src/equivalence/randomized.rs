@@ -1,0 +1,377 @@
+//! The Figure 3 randomized algorithm for structural equivalence
+//! (Theorem 2: the problem is in co-RP).
+//!
+//! The algorithm combines the Aho–Hopcroft–Ullman bottom-up canonization of
+//! unordered trees with randomized *count-equivalence* testing of the DNF
+//! formulas formed by the conditions of same-class children (Lemmas 1–2):
+//!
+//! 1. clean both prob-trees;
+//! 2. assign integers ("classes") to nodes bottom-up, two nodes receiving
+//!    the same class iff they carry the same label, their children fall in
+//!    the same set of classes, and for every child class the disjunctions
+//!    of the children's conditions are count-equivalent — tested via
+//!    Schwartz–Zippel evaluation of characteristic polynomials;
+//! 3. answer `true` iff the two roots receive the same class.
+//!
+//! The answer is always `true` for structurally equivalent inputs; for
+//! inequivalent inputs it is `false` with probability at least
+//! `(1 − (N_l/|S|)^m)^{N_n³}` (≥ ½ for the parameter choice of
+//! [`EquivalenceConfig::for_error_half`]).
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+
+use pxml_events::Dnf;
+use pxml_poly::zippel::{count_equivalent_randomized, ZippelConfig};
+use pxml_tree::NodeId;
+
+use crate::clean::clean;
+use crate::probtree::ProbTree;
+
+/// Parameters of the randomized structural-equivalence test.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EquivalenceConfig {
+    /// Parameters of the underlying count-equivalence tests.
+    pub zippel: ZippelConfig,
+}
+
+impl EquivalenceConfig {
+    /// Parameters guaranteeing overall one-sided error at most ½, following
+    /// the bound in the proof of Theorem 2: with `m = 1` trial per test, a
+    /// sample set of size `|S| ≥ N_l / (1 − (1/2)^{1/N_n³})` suffices; we
+    /// compute that bound from the sizes of the two inputs.
+    pub fn for_error_half(a: &ProbTree, b: &ProbTree) -> Self {
+        let literals = (a.num_literals() + b.num_literals()).max(1) as f64;
+        let nodes = (a.num_nodes() + b.num_nodes()).max(2) as f64;
+        let denom = 1.0 - 0.5f64.powf(1.0 / nodes.powi(3));
+        let sample = (literals / denom).ceil().max(4.0) as u64;
+        EquivalenceConfig {
+            zippel: ZippelConfig {
+                trials: 1,
+                sample_set_size: sample,
+            },
+        }
+    }
+}
+
+/// One node's "signature" during the bottom-up classification: its label
+/// and, for every class occurring among its children, the disjunction of
+/// the conditions of the children in that class.
+struct Signature {
+    label: String,
+    per_class: BTreeMap<u32, Dnf>,
+}
+
+/// The Figure 3 algorithm. Returns `true` if the prob-trees are (believed
+/// to be) structurally equivalent.
+///
+/// * Always returns `true` when `a ≡struct b`.
+/// * Returns `false` with probability at least ½ (for
+///   [`EquivalenceConfig::for_error_half`]; overwhelmingly more for the
+///   default config) when they are not.
+pub fn structural_equivalent_randomized<R: Rng + ?Sized>(
+    a: &ProbTree,
+    b: &ProbTree,
+    config: &EquivalenceConfig,
+    rng: &mut R,
+) -> bool {
+    if !a.events().same_distribution(b.events()) {
+        return false;
+    }
+    // Step (a): clean.
+    let ca = clean(a);
+    let cb = clean(b);
+
+    // Group the nodes of both trees by height (distance from the farthest
+    // leaf below), so that children are always classified before their
+    // parents.
+    let mut classes_a: BTreeMap<NodeId, u32> = BTreeMap::new();
+    let mut classes_b: BTreeMap<NodeId, u32> = BTreeMap::new();
+    // Registry of class representatives; index = class id.
+    let mut registry: Vec<Signature> = Vec::new();
+
+    let heights_a = node_heights(&ca);
+    let heights_b = node_heights(&cb);
+    let max_height = heights_a
+        .values()
+        .chain(heights_b.values())
+        .copied()
+        .max()
+        .unwrap_or(0);
+
+    for height in 0..=max_height {
+        // Collect nodes of this height from both trees.
+        let level_a: Vec<NodeId> = heights_a
+            .iter()
+            .filter(|(_, &h)| h == height)
+            .map(|(&n, _)| n)
+            .collect();
+        let level_b: Vec<NodeId> = heights_b
+            .iter()
+            .filter(|(_, &h)| h == height)
+            .map(|(&n, _)| n)
+            .collect();
+        for &node in &level_a {
+            let sig = signature(&ca, node, &classes_a);
+            let class = classify(sig, &mut registry, &config.zippel, rng);
+            classes_a.insert(node, class);
+        }
+        for &node in &level_b {
+            let sig = signature(&cb, node, &classes_b);
+            let class = classify(sig, &mut registry, &config.zippel, rng);
+            classes_b.insert(node, class);
+        }
+    }
+
+    classes_a[&ca.tree().root()] == classes_b[&cb.tree().root()]
+}
+
+/// Height of every node: leaves have height 0, internal nodes one more than
+/// their highest child.
+fn node_heights(tree: &ProbTree) -> BTreeMap<NodeId, usize> {
+    let mut heights = BTreeMap::new();
+    let order: Vec<NodeId> = tree.tree().iter().collect();
+    for &node in order.iter().rev() {
+        let h = tree
+            .tree()
+            .children(node)
+            .iter()
+            .map(|c| heights[c] + 1)
+            .max()
+            .unwrap_or(0);
+        heights.insert(node, h);
+    }
+    heights
+}
+
+fn signature(tree: &ProbTree, node: NodeId, classes: &BTreeMap<NodeId, u32>) -> Signature {
+    let mut per_class: BTreeMap<u32, Dnf> = BTreeMap::new();
+    for &child in tree.tree().children(node) {
+        let class = classes[&child];
+        per_class
+            .entry(class)
+            .or_insert_with(Dnf::none)
+            .push(tree.condition(child));
+    }
+    Signature {
+        label: tree.tree().label(node).to_string(),
+        per_class,
+    }
+}
+
+/// Finds an existing class count-equivalent to `sig`, or registers a new
+/// one.
+fn classify<R: Rng + ?Sized>(
+    sig: Signature,
+    registry: &mut Vec<Signature>,
+    zippel: &ZippelConfig,
+    rng: &mut R,
+) -> u32 {
+    'candidates: for (idx, existing) in registry.iter().enumerate() {
+        if existing.label != sig.label {
+            continue;
+        }
+        // Step (c)(i): the sets of child classes must coincide.
+        if existing.per_class.len() != sig.per_class.len()
+            || !existing
+                .per_class
+                .keys()
+                .eq(sig.per_class.keys())
+        {
+            continue;
+        }
+        // Step (c)(ii): for each class, the disjunctions of conditions must
+        // be count-equivalent (checked probabilistically).
+        for (class, dnf) in &sig.per_class {
+            let other = &existing.per_class[class];
+            if !count_equivalent_randomized(dnf, other, zippel, rng) {
+                continue 'candidates;
+            }
+        }
+        return idx as u32;
+    }
+    registry.push(sig);
+    (registry.len() - 1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::structural_equivalent_exhaustive;
+    use crate::probtree::figure1_example;
+    use pxml_events::{Condition, Literal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xE0)
+    }
+
+    #[test]
+    fn identical_trees_are_equivalent() {
+        let t = figure1_example();
+        assert!(structural_equivalent_randomized(
+            &t,
+            &t,
+            &EquivalenceConfig::default(),
+            &mut rng()
+        ));
+    }
+
+    #[test]
+    fn reordered_and_split_conditions_are_equivalent() {
+        // Same semantics expressed with different but count-equivalent
+        // children condition sets: two B children under conditions w and ¬w
+        // in both trees, but declared in opposite orders.
+        let mut a = ProbTree::new("A");
+        let wa = a.events_mut().insert("w", 0.5);
+        let ra = a.tree().root();
+        a.add_child(ra, "B", Condition::of(Literal::pos(wa)));
+        a.add_child(ra, "B", Condition::of(Literal::neg(wa)));
+
+        let mut b = ProbTree::new("A");
+        let wb = b.events_mut().insert("w", 0.5);
+        let rb = b.tree().root();
+        b.add_child(rb, "B", Condition::of(Literal::neg(wb)));
+        b.add_child(rb, "B", Condition::of(Literal::pos(wb)));
+
+        assert!(structural_equivalent_randomized(
+            &a,
+            &b,
+            &EquivalenceConfig::default(),
+            &mut rng()
+        ));
+        assert!(structural_equivalent_exhaustive(&a, &b, 20).unwrap());
+    }
+
+    #[test]
+    fn cleaning_differences_do_not_matter() {
+        // b carries a redundant ancestor literal and an impossible node;
+        // after cleaning both trees coincide.
+        let a = figure1_example();
+        let mut b = figure1_example();
+        let w1 = b.events().by_name("w1").unwrap();
+        let d = b
+            .tree()
+            .iter()
+            .find(|&n| b.tree().label(n) == "D")
+            .unwrap();
+        let w2 = b.events().by_name("w2").unwrap();
+        b.set_condition(
+            d,
+            Condition::from_literals([Literal::pos(w2)]),
+        );
+        let root = b.tree().root();
+        b.add_child(
+            root,
+            "Ghost",
+            Condition::from_literals([Literal::pos(w1), Literal::neg(w1)]),
+        );
+        assert!(structural_equivalent_randomized(
+            &a,
+            &b,
+            &EquivalenceConfig::default(),
+            &mut rng()
+        ));
+        assert!(structural_equivalent_exhaustive(&a, &b, 20).unwrap());
+    }
+
+    #[test]
+    fn different_conditions_are_detected() {
+        let a = figure1_example();
+        let mut b = figure1_example();
+        let w1 = b.events().by_name("w1").unwrap();
+        let bn = b
+            .tree()
+            .iter()
+            .find(|&n| b.tree().label(n) == "B")
+            .unwrap();
+        b.set_condition(bn, Condition::of(Literal::pos(w1)));
+        assert!(!structural_equivalent_randomized(
+            &a,
+            &b,
+            &EquivalenceConfig::default(),
+            &mut rng()
+        ));
+    }
+
+    #[test]
+    fn different_structure_is_detected() {
+        let a = figure1_example();
+        let mut b = figure1_example();
+        let root = b.tree().root();
+        b.add_child(root, "Extra", Condition::always());
+        assert!(!structural_equivalent_randomized(
+            &a,
+            &b,
+            &EquivalenceConfig::default(),
+            &mut rng()
+        ));
+    }
+
+    #[test]
+    fn different_event_tables_are_rejected_up_front() {
+        let a = figure1_example();
+        let mut b = figure1_example();
+        let w1 = b.events().by_name("w1").unwrap();
+        b.events_mut().set_prob(w1, 0.1);
+        assert!(!structural_equivalent_randomized(
+            &a,
+            &b,
+            &EquivalenceConfig::default(),
+            &mut rng()
+        ));
+    }
+
+    #[test]
+    fn agrees_with_exhaustive_on_random_pairs() {
+        use rand::Rng as _;
+        let mut r = rng();
+        let mut agreements = 0;
+        for round in 0..60 {
+            // Random prob-tree over 4 events, ~6 nodes.
+            let build = |r: &mut StdRng| {
+                let mut t = ProbTree::new("R");
+                let events: Vec<_> = (0..4).map(|_| t.events_mut().fresh(0.5)).collect();
+                let root = t.tree().root();
+                let mut nodes = vec![root];
+                for i in 0..5 {
+                    let parent = nodes[r.gen_range(0..nodes.len())];
+                    let label = ["X", "Y"][r.gen_range(0..2)];
+                    let lits = (0..r.gen_range(0..3usize)).map(|_| pxml_events::Literal {
+                        event: events[r.gen_range(0..events.len())],
+                        positive: r.gen_bool(0.5),
+                    });
+                    let node = t.add_child(parent, label, Condition::from_literals(lits));
+                    if i < 3 {
+                        nodes.push(node);
+                    }
+                }
+                t
+            };
+            let a = build(&mut r);
+            // Half the time compare against an identical clone (should be
+            // equivalent), half the time against an independent random tree.
+            let b = if round % 2 == 0 { a.clone() } else { build(&mut r) };
+            let exhaustive = structural_equivalent_exhaustive(&a, &b, 20).unwrap();
+            let randomized =
+                structural_equivalent_randomized(&a, &b, &EquivalenceConfig::default(), &mut r);
+            // One-sided error: randomized must be true whenever exhaustive
+            // is; with the default huge sample set the converse failures are
+            // negligible, so require exact agreement.
+            assert_eq!(exhaustive, randomized, "round {round}");
+            agreements += 1;
+        }
+        assert_eq!(agreements, 60);
+    }
+
+    #[test]
+    fn error_half_config_is_usable() {
+        let a = figure1_example();
+        let b = figure1_example();
+        let config = EquivalenceConfig::for_error_half(&a, &b);
+        assert!(config.zippel.sample_set_size >= 4);
+        assert!(structural_equivalent_randomized(&a, &b, &config, &mut rng()));
+    }
+}

@@ -1,0 +1,414 @@
+//! Probabilistic trees (Definition 2 of the paper).
+//!
+//! A prob-tree `T = (t, W, π, γ)` is a data tree `t` together with a finite
+//! set of event variables `W`, a probability distribution `π` over `W`, and
+//! a function `γ` assigning a condition (conjunction of literals over `W`)
+//! to every non-root node. The root carries no condition.
+
+use std::collections::HashMap;
+
+use pxml_events::{Condition, EventTable, Valuation};
+use pxml_tree::render::to_ascii_annotated;
+use pxml_tree::{DataTree, NodeId};
+
+/// A probabilistic tree (prob-tree).
+#[derive(Clone, Debug)]
+pub struct ProbTree {
+    tree: DataTree,
+    events: EventTable,
+    /// Condition of every non-root node; nodes absent from the map carry
+    /// the empty (always-true) condition.
+    conditions: HashMap<NodeId, Condition>,
+}
+
+impl ProbTree {
+    /// Creates a prob-tree consisting of a single root node with `label`
+    /// and no event variables.
+    pub fn new(label: impl Into<String>) -> Self {
+        ProbTree {
+            tree: DataTree::new(label),
+            events: EventTable::new(),
+            conditions: HashMap::new(),
+        }
+    }
+
+    /// Wraps an existing data tree as a prob-tree with no conditions (every
+    /// node certain) and the given event table.
+    pub fn from_data_tree(tree: DataTree, events: EventTable) -> Self {
+        ProbTree {
+            tree,
+            events,
+            conditions: HashMap::new(),
+        }
+    }
+
+    /// The underlying data tree `t`.
+    pub fn tree(&self) -> &DataTree {
+        &self.tree
+    }
+
+    /// The event table `(W, π)`.
+    pub fn events(&self) -> &EventTable {
+        &self.events
+    }
+
+    /// Mutable access to the event table (used to declare event variables).
+    pub fn events_mut(&mut self) -> &mut EventTable {
+        &mut self.events
+    }
+
+    /// The condition `γ(node)`; the root and unannotated nodes carry the
+    /// empty condition.
+    pub fn condition(&self, node: NodeId) -> Condition {
+        self.conditions.get(&node).cloned().unwrap_or_default()
+    }
+
+    /// Sets the condition of a non-root node.
+    ///
+    /// # Panics
+    /// Panics if `node` is the root (the root carries no condition,
+    /// Definition 2).
+    pub fn set_condition(&mut self, node: NodeId, condition: Condition) {
+        assert!(
+            node != self.tree.root(),
+            "the root of a prob-tree carries no condition"
+        );
+        if condition.is_empty() {
+            self.conditions.remove(&node);
+        } else {
+            self.conditions.insert(node, condition);
+        }
+    }
+
+    /// Adds a child node with the given label and condition; returns its id.
+    pub fn add_child(
+        &mut self,
+        parent: NodeId,
+        label: impl Into<String>,
+        condition: Condition,
+    ) -> NodeId {
+        let id = self.tree.add_child(parent, label);
+        if !condition.is_empty() {
+            self.conditions.insert(id, condition);
+        }
+        id
+    }
+
+    /// Grafts a copy of a plain data tree under `parent`, assigning
+    /// `root_condition` to the copied root (inner nodes get the empty
+    /// condition). Returns the id of the copied root.
+    pub fn graft_data_tree(
+        &mut self,
+        parent: NodeId,
+        subtree: &DataTree,
+        root_condition: Condition,
+    ) -> NodeId {
+        let (new_root, _) = self.tree.graft(parent, subtree);
+        if !root_condition.is_empty() {
+            self.conditions.insert(new_root, root_condition);
+        }
+        new_root
+    }
+
+    /// Grafts a copy of the subtree of `other` rooted at `other_node` under
+    /// `parent`, carrying over the conditions of the copied nodes, with the
+    /// copied root's condition replaced by `root_condition`. Returns the id
+    /// of the copied root.
+    pub fn graft_probtree_subtree(
+        &mut self,
+        parent: NodeId,
+        other: &ProbTree,
+        other_node: NodeId,
+        root_condition: Condition,
+    ) -> NodeId {
+        let sub = other.tree.subtree_to_tree(other_node);
+        // `subtree_to_tree` assigns fresh contiguous ids in pre-order; graft
+        // returns a mapping from those ids to ours, so we need the pre-order
+        // correspondence between `other`'s nodes and `sub`'s nodes.
+        let other_nodes: Vec<NodeId> = other.tree.descendants(other_node);
+        let sub_nodes: Vec<NodeId> = sub.iter().collect();
+        debug_assert_eq!(other_nodes.len(), sub_nodes.len());
+        let (new_root, mapping) = self.tree.graft(parent, &sub);
+        for (orig, copy) in other_nodes.iter().zip(sub_nodes.iter()) {
+            let new_id = mapping[copy];
+            if *orig == other_node {
+                continue; // root condition handled below
+            }
+            let cond = other.condition(*orig);
+            if !cond.is_empty() {
+                self.conditions.insert(new_id, cond);
+            }
+        }
+        if !root_condition.is_empty() {
+            self.conditions.insert(new_root, root_condition);
+        } else {
+            self.conditions.remove(&new_root);
+        }
+        new_root
+    }
+
+    /// Detaches the subtree rooted at `node` (cannot be the root).
+    pub fn detach(&mut self, node: NodeId) {
+        self.tree.detach(node);
+        // Conditions of detached nodes become garbage; they are dropped on
+        // the next `compact`.
+    }
+
+    /// Number of reachable nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Total number of literals over all reachable nodes. Together with
+    /// [`ProbTree::num_nodes`], this is the size measure `|T|` used by
+    /// Proposition 2 and Theorems 3–5.
+    pub fn num_literals(&self) -> usize {
+        self.tree
+            .iter()
+            .map(|n| self.conditions.get(&n).map_or(0, Condition::len))
+            .sum()
+    }
+
+    /// The size `|T|` of the prob-tree: nodes + literals.
+    pub fn size(&self) -> usize {
+        self.num_nodes() + self.num_literals()
+    }
+
+    /// Union of the conditions on the strict ancestors of `node`
+    /// (`cond_ancestors` in Appendix A).
+    pub fn ancestor_condition(&self, node: NodeId) -> Condition {
+        let mut acc = Condition::always();
+        for anc in self.tree.ancestors(node) {
+            acc = acc.and(&self.condition(anc));
+        }
+        acc
+    }
+
+    /// Union of the conditions on `node` and all its strict ancestors — the
+    /// condition under which `node` is present in a possible world.
+    pub fn path_condition(&self, node: NodeId) -> Condition {
+        self.condition(node).and(&self.ancestor_condition(node))
+    }
+
+    /// The value `V(T)` of the prob-tree in the world described by
+    /// `valuation` (Definition 4): the subtree of `t` where every node whose
+    /// condition is violated has been removed together with its
+    /// descendants.
+    pub fn value_in_world(&self, valuation: &Valuation) -> DataTree {
+        let mut keep: HashMap<NodeId, bool> = HashMap::new();
+        // Pre-order guarantees parents are decided before children.
+        for node in self.tree.iter() {
+            let parent_kept = self
+                .tree
+                .parent(node)
+                .map(|p| keep[&p])
+                .unwrap_or(true);
+            let own = self.condition(node).eval(valuation);
+            keep.insert(node, parent_kept && own);
+        }
+        let (out, _) = self.tree.extract(&|n| keep[&n]);
+        out
+    }
+
+    /// Rebuilds the prob-tree with a compact arena (dropping detached
+    /// nodes). Conditions are carried over. Returns the new prob-tree and
+    /// the old→new node mapping.
+    pub fn compact(&self) -> (ProbTree, HashMap<NodeId, NodeId>) {
+        let (tree, mapping) = self.tree.compact();
+        let mut conditions = HashMap::new();
+        for (old, new) in &mapping {
+            if let Some(c) = self.conditions.get(old) {
+                if !c.is_empty() {
+                    conditions.insert(*new, c.clone());
+                }
+            }
+        }
+        (
+            ProbTree {
+                tree,
+                events: self.events.clone(),
+                conditions,
+            },
+            mapping,
+        )
+    }
+
+    /// ASCII rendering with conditions shown next to node labels, e.g.
+    /// `B  [w1 ∧ ¬w2]`.
+    pub fn to_ascii(&self) -> String {
+        to_ascii_annotated(&self.tree, &|node| {
+            let cond = self.condition(node);
+            if cond.is_empty() {
+                String::new()
+            } else {
+                format!("  [{}]", cond.display(&self.events))
+            }
+        })
+    }
+}
+
+/// Builds the paper's Figure 1 example prob-tree (used pervasively by
+/// tests, examples and the E1 experiment).
+pub fn figure1_example() -> ProbTree {
+    let mut t = ProbTree::new("A");
+    let w1 = t.events_mut().insert("w1", 0.8);
+    let w2 = t.events_mut().insert("w2", 0.7);
+    let root = t.tree().root();
+    t.add_child(
+        root,
+        "B",
+        Condition::from_literals([pxml_events::Literal::pos(w1), pxml_events::Literal::neg(w2)]),
+    );
+    let c = t.add_child(root, "C", Condition::always());
+    t.add_child(c, "D", Condition::of(pxml_events::Literal::pos(w2)));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_events::Literal;
+    use pxml_tree::canon::{canonical_string, Semantics};
+
+    #[test]
+    fn figure1_structure() {
+        let t = figure1_example();
+        assert_eq!(t.num_nodes(), 4);
+        assert_eq!(t.num_literals(), 3);
+        assert_eq!(t.size(), 7);
+        assert_eq!(t.events().len(), 2);
+    }
+
+    #[test]
+    fn root_condition_is_rejected() {
+        let mut t = ProbTree::new("A");
+        let w = t.events_mut().insert("w", 0.5);
+        let root = t.tree().root();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.set_condition(root, Condition::of(Literal::pos(w)));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn value_in_world_matches_figure2() {
+        let t = figure1_example();
+        let w1 = t.events().by_name("w1").unwrap();
+        let w2 = t.events().by_name("w2").unwrap();
+
+        // V = {w1}: B kept (w1 ∧ ¬w2 holds), C kept, D removed.
+        let v = Valuation::from_true_events(2, [w1]);
+        let world = t.value_in_world(&v);
+        assert_eq!(
+            canonical_string(&world, Semantics::MultiSet),
+            canonical_string(
+                &pxml_tree::builder::TreeSpec::node(
+                    "A",
+                    vec![
+                        pxml_tree::builder::TreeSpec::leaf("B"),
+                        pxml_tree::builder::TreeSpec::leaf("C")
+                    ]
+                )
+                .build(),
+                Semantics::MultiSet
+            )
+        );
+
+        // V = {w2}: B removed, C and D kept.
+        let v = Valuation::from_true_events(2, [w2]);
+        let world = t.value_in_world(&v);
+        assert_eq!(world.len(), 3);
+
+        // V = {}: only A and C remain.
+        let v = Valuation::empty(2);
+        let world = t.value_in_world(&v);
+        assert_eq!(world.len(), 2);
+    }
+
+    #[test]
+    fn descendants_of_removed_nodes_are_removed() {
+        let mut t = ProbTree::new("A");
+        let w = t.events_mut().insert("w", 0.5);
+        let root = t.tree().root();
+        let b = t.add_child(root, "B", Condition::of(Literal::pos(w)));
+        // C has no condition of its own but hangs below B.
+        t.add_child(b, "C", Condition::always());
+        let world = t.value_in_world(&Valuation::empty(1));
+        assert_eq!(world.len(), 1, "B false removes C as well");
+    }
+
+    #[test]
+    fn path_and_ancestor_conditions() {
+        let t = figure1_example();
+        let d = t
+            .tree()
+            .iter()
+            .find(|&n| t.tree().label(n) == "D")
+            .unwrap();
+        let w2 = t.events().by_name("w2").unwrap();
+        assert_eq!(t.ancestor_condition(d), Condition::always());
+        assert_eq!(t.path_condition(d), Condition::of(Literal::pos(w2)));
+    }
+
+    #[test]
+    fn graft_probtree_subtree_carries_conditions() {
+        let source = figure1_example();
+        let c_node = source
+            .tree()
+            .iter()
+            .find(|&n| source.tree().label(n) == "C")
+            .unwrap();
+
+        let mut target = ProbTree::new("R");
+        let w1 = target.events_mut().insert("w1", 0.8);
+        let w2 = target.events_mut().insert("w2", 0.7);
+        let _ = (w1, w2);
+        let root = target.tree().root();
+        let new_c =
+            target.graft_probtree_subtree(root, &source, c_node, Condition::of(Literal::pos(w1)));
+        assert_eq!(target.num_nodes(), 3);
+        assert_eq!(target.condition(new_c), Condition::of(Literal::pos(w1)));
+        // The copied D child keeps its w2 condition.
+        let d = target
+            .tree()
+            .iter()
+            .find(|&n| target.tree().label(n) == "D")
+            .unwrap();
+        assert_eq!(target.condition(d).len(), 1);
+    }
+
+    #[test]
+    fn compact_drops_detached_conditions() {
+        let mut t = figure1_example();
+        let b = t
+            .tree()
+            .iter()
+            .find(|&n| t.tree().label(n) == "B")
+            .unwrap();
+        t.detach(b);
+        let (compacted, _) = t.compact();
+        assert_eq!(compacted.num_nodes(), 3);
+        assert_eq!(compacted.num_literals(), 1); // only D's w2 remains
+    }
+
+    #[test]
+    fn ascii_rendering_shows_conditions() {
+        let t = figure1_example();
+        let text = t.to_ascii();
+        assert!(text.contains("B  [w1 ∧ ¬w2]"));
+        assert!(text.contains("D  [w2]"));
+        assert!(text.lines().next().unwrap().trim() == "A");
+    }
+
+    #[test]
+    fn setting_empty_condition_clears_annotation() {
+        let mut t = figure1_example();
+        let b = t
+            .tree()
+            .iter()
+            .find(|&n| t.tree().label(n) == "B")
+            .unwrap();
+        t.set_condition(b, Condition::always());
+        assert_eq!(t.num_literals(), 1);
+    }
+}

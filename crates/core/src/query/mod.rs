@@ -1,0 +1,59 @@
+//! Queries over data trees, possible-world sets and prob-trees
+//! (Definitions 5–8, Theorem 1 and Proposition 2 of the paper).
+//!
+//! A query maps a data tree `t` to a set of *sub-datatrees* of `t`
+//! (Definition 6). The class the paper's algorithms support is the
+//! **locally monotone** queries: membership of a sub-datatree `u` in the
+//! answer only depends on `u` and not on the rest of the tree
+//! (`u ∈ Q(t) ⇔ u ∈ Q(t')` whenever `u ≤ t' ≤ t`). Tree-pattern queries
+//! with joins ([`pattern::PatternQuery`]) are locally monotone; queries
+//! with negation are not.
+
+pub mod monotone;
+pub mod pattern;
+pub mod prob;
+pub mod ranked;
+
+use pxml_tree::subtree::SubDataTree;
+use pxml_tree::DataTree;
+
+/// A query over data trees (Definition 6): for every data tree `t`,
+/// `evaluate(t)` returns a set of sub-datatrees of `t`.
+///
+/// Implementations must return each sub-datatree at most once (set
+/// semantics on node-sets).
+pub trait Query {
+    /// Evaluates the query, returning the answer sub-datatrees.
+    fn evaluate(&self, tree: &DataTree) -> Vec<SubDataTree>;
+
+    /// A short human-readable description (used in benchmark tables).
+    fn describe(&self) -> String {
+        "query".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_tree::builder::TreeSpec;
+
+    /// A trivial query returning the root-only sub-datatree of every tree —
+    /// used to exercise the trait object path.
+    struct RootQuery;
+
+    impl Query for RootQuery {
+        fn evaluate(&self, tree: &DataTree) -> Vec<SubDataTree> {
+            vec![SubDataTree::root_only(tree)]
+        }
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let q: Box<dyn Query> = Box::new(RootQuery);
+        let t = TreeSpec::node("A", vec![TreeSpec::leaf("B")]).build();
+        let results = q.evaluate(&t);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].len(), 1);
+        assert_eq!(q.describe(), "query");
+    }
+}

@@ -1,0 +1,157 @@
+//! Verification helpers for *local monotonicity* (Definition 6).
+//!
+//! A query `Q` is locally monotone iff for any data trees `u ≤ t' ≤ t`,
+//! `u ∈ Q(t) ⇔ u ∈ Q(t')` — equivalently `Q(t') = Q(t) ∩ Sub(t')`.
+//! Local monotonicity is a *semantic* property; this module provides an
+//! exhaustive checker over all sub-datatrees of a given (small) tree, used
+//! by tests to confirm that [`crate::query::pattern::PatternQuery`] is
+//! locally monotone and that a negation query is not.
+
+use std::collections::BTreeSet;
+
+use pxml_tree::subtree::{enumerate_subdatatrees, SubDataTree};
+use pxml_tree::{DataTree, NodeId};
+
+use super::Query;
+
+/// Exhaustively checks condition (ii) of Definition 6 on one tree `t`:
+/// for every sub-datatree `t'` of `t`, `Q(t') = Q(t) ∩ Sub(t')`.
+///
+/// Exponential in the size of `t` — intended for tests on small trees.
+pub fn is_locally_monotone_on(query: &dyn Query, tree: &DataTree) -> bool {
+    let answers_on_t: Vec<SubDataTree> = query.evaluate(tree);
+    for sub in enumerate_subdatatrees(tree) {
+        // Materialize t' and remember the correspondence from t'-nodes back
+        // to t-nodes so that answers can be compared as node sets of t.
+        let keep: BTreeSet<NodeId> = sub.nodes().collect();
+        let (t_prime, mapping) = tree.extract(&|n| keep.contains(&n));
+        // mapping: old (t) node -> new (t') node. Invert it.
+        let mut back: std::collections::HashMap<NodeId, NodeId> = std::collections::HashMap::new();
+        for (old, new) in &mapping {
+            back.insert(*new, *old);
+        }
+
+        // Q(t'), expressed as node sets of t.
+        let answers_on_t_prime: BTreeSet<SubDataTree> = query
+            .evaluate(&t_prime)
+            .into_iter()
+            .map(|a| SubDataTree::from_nodes(tree, a.nodes().map(|n| back[&n])))
+            .collect();
+
+        // Q(t) ∩ Sub(t'): the answers of Q(t) fully contained in t'.
+        let restricted: BTreeSet<SubDataTree> = answers_on_t
+            .iter()
+            .filter(|a| a.nodes().all(|n| keep.contains(&n)))
+            .cloned()
+            .collect();
+
+        if answers_on_t_prime != restricted {
+            return false;
+        }
+    }
+    true
+}
+
+/// A deliberately **non**-locally-monotone query used in tests and in the
+/// documentation of the model's limits: it returns the root-only
+/// sub-datatree iff the tree contains *no* node labeled `forbidden`
+/// (negation).
+#[derive(Clone, Debug)]
+pub struct NegationQuery {
+    /// Label whose absence is required.
+    pub forbidden: String,
+}
+
+impl Query for NegationQuery {
+    fn evaluate(&self, tree: &DataTree) -> Vec<SubDataTree> {
+        if tree.iter().any(|n| tree.label(n) == self.forbidden) {
+            Vec::new()
+        } else {
+            vec![SubDataTree::root_only(tree)]
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("negation query (no {} anywhere)", self.forbidden)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::pattern::PatternQuery;
+    use pxml_tree::builder::TreeSpec;
+
+    fn fixture() -> DataTree {
+        TreeSpec::node(
+            "A",
+            vec![
+                TreeSpec::node("B", vec![TreeSpec::leaf("D")]),
+                TreeSpec::node("C", vec![TreeSpec::leaf("D")]),
+            ],
+        )
+        .build()
+    }
+
+    #[test]
+    fn pattern_queries_are_locally_monotone() {
+        let tree = fixture();
+        let queries = vec![
+            {
+                let mut q = PatternQuery::new(Some("C"));
+                q.add_child(q.root(), "D");
+                q
+            },
+            PatternQuery::new(Some("D")),
+            {
+                let mut q = PatternQuery::anchored(Some("A"));
+                q.add_descendant(q.root(), "D");
+                q
+            },
+        ];
+        for q in &queries {
+            assert!(
+                is_locally_monotone_on(q, &tree),
+                "{} should be locally monotone",
+                q.describe()
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_query_with_joins_is_locally_monotone() {
+        let tree = TreeSpec::node(
+            "A",
+            vec![TreeSpec::leaf("X"), TreeSpec::leaf("X"), TreeSpec::leaf("Y")],
+        )
+        .build();
+        let mut q = PatternQuery::anchored(Some("A"));
+        let c1 = q.add_node(q.root(), crate::query::pattern::Axis::Child, None);
+        let c2 = q.add_node(q.root(), crate::query::pattern::Axis::Child, None);
+        q.add_join(vec![c1, c2]);
+        assert!(is_locally_monotone_on(&q, &tree));
+    }
+
+    #[test]
+    fn negation_query_is_not_locally_monotone() {
+        // On the fixture, removing the B branch changes whether the
+        // root-only answer is returned, violating local monotonicity.
+        let tree = TreeSpec::node("A", vec![TreeSpec::leaf("B"), TreeSpec::leaf("C")]).build();
+        let q = NegationQuery {
+            forbidden: "B".to_string(),
+        };
+        assert!(!is_locally_monotone_on(&q, &tree));
+    }
+
+    #[test]
+    fn negation_query_on_clean_tree_is_vacuously_fine() {
+        // If the forbidden label never appears, the query behaves like a
+        // constant query and the exhaustive check passes on that tree —
+        // local monotonicity is a per-tree check here.
+        let tree = TreeSpec::node("A", vec![TreeSpec::leaf("C")]).build();
+        let q = NegationQuery {
+            forbidden: "B".to_string(),
+        };
+        assert!(is_locally_monotone_on(&q, &tree));
+    }
+}

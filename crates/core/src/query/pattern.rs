@@ -1,0 +1,403 @@
+//! Tree-pattern queries with joins (the query language of the paper's
+//! reference [3], used throughout Section 2).
+//!
+//! A pattern is itself a small tree. Every pattern node has an optional
+//! label constraint (a `None` constraint is a wildcard) and is connected to
+//! its parent by either a *child* or a *descendant* axis. In addition, a
+//! query may contain **join constraints**: sets of pattern nodes that must
+//! be matched to data nodes carrying the same label (this is what "with
+//! joins" means for a data model whose only values are labels).
+//!
+//! A *match* is a mapping `µ` from pattern nodes to data nodes respecting
+//! labels, axes and joins. Following Definition 6, the answer for a match
+//! is the sub-datatree induced by the image of `µ` (closed under ancestors
+//! so that the path to the root is kept); the query answer `Q(t)` is the
+//! set of distinct such sub-datatrees. The mappings themselves are kept
+//! (Appendix A's `µ_Q`) because updates anchor insertions and deletions on
+//! a designated pattern node.
+
+use std::collections::BTreeSet;
+
+use pxml_tree::subtree::SubDataTree;
+use pxml_tree::{DataTree, NodeId};
+
+use super::Query;
+
+/// Identifier of a node of the *pattern* tree (the set `N_Q` of
+/// Appendix A).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PatternNodeId(pub usize);
+
+/// The axis connecting a pattern node to its pattern parent.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Axis {
+    /// The data node must be a child of the parent's match.
+    #[default]
+    Child,
+    /// The data node must be a strict descendant of the parent's match.
+    Descendant,
+}
+
+#[derive(Clone, Debug)]
+struct PatternNode {
+    /// Required label; `None` is a wildcard.
+    label: Option<String>,
+    /// Parent pattern node and the axis to it (`None` for the pattern
+    /// root).
+    parent: Option<(PatternNodeId, Axis)>,
+}
+
+/// A tree-pattern query with joins.
+#[derive(Clone, Debug, Default)]
+pub struct PatternQuery {
+    nodes: Vec<PatternNode>,
+    /// Each join constraint is a set of pattern nodes whose matched data
+    /// nodes must all carry the same label.
+    joins: Vec<Vec<PatternNodeId>>,
+    /// Whether the pattern root must match the data root (anchored) or may
+    /// match any node.
+    anchored: bool,
+}
+
+/// One match of a pattern in a data tree: the mapping `µ_Q` from pattern
+/// nodes to data nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatternMatch {
+    /// `mapping[i]` is the data node matched by pattern node `i`.
+    pub mapping: Vec<NodeId>,
+}
+
+impl PatternMatch {
+    /// The data node matched by `node`.
+    pub fn node(&self, node: PatternNodeId) -> NodeId {
+        self.mapping[node.0]
+    }
+
+    /// The sub-datatree induced by this match (image of the mapping, closed
+    /// under ancestors).
+    pub fn induced_subtree(&self, tree: &DataTree) -> SubDataTree {
+        SubDataTree::from_nodes(tree, self.mapping.iter().copied())
+    }
+}
+
+impl PatternQuery {
+    /// Creates a pattern whose root node has the given label constraint
+    /// (`None` = wildcard). The pattern root may match **any** data node.
+    pub fn new(root_label: Option<&str>) -> Self {
+        PatternQuery {
+            nodes: vec![PatternNode {
+                label: root_label.map(str::to_string),
+                parent: None,
+            }],
+            joins: Vec::new(),
+            anchored: false,
+        }
+    }
+
+    /// Creates a pattern whose root must match the data-tree root.
+    pub fn anchored(root_label: Option<&str>) -> Self {
+        let mut q = PatternQuery::new(root_label);
+        q.anchored = true;
+        q
+    }
+
+    /// The pattern root.
+    pub fn root(&self) -> PatternNodeId {
+        PatternNodeId(0)
+    }
+
+    /// Adds a pattern node below `parent` with the given axis and label
+    /// constraint, returning its id.
+    pub fn add_node(
+        &mut self,
+        parent: PatternNodeId,
+        axis: Axis,
+        label: Option<&str>,
+    ) -> PatternNodeId {
+        assert!(parent.0 < self.nodes.len(), "unknown pattern parent");
+        let id = PatternNodeId(self.nodes.len());
+        self.nodes.push(PatternNode {
+            label: label.map(str::to_string),
+            parent: Some((parent, axis)),
+        });
+        id
+    }
+
+    /// Convenience: adds a child-axis node with a label constraint.
+    pub fn add_child(&mut self, parent: PatternNodeId, label: &str) -> PatternNodeId {
+        self.add_node(parent, Axis::Child, Some(label))
+    }
+
+    /// Convenience: adds a descendant-axis node with a label constraint.
+    pub fn add_descendant(&mut self, parent: PatternNodeId, label: &str) -> PatternNodeId {
+        self.add_node(parent, Axis::Descendant, Some(label))
+    }
+
+    /// Adds a join constraint: all the given pattern nodes must match data
+    /// nodes with equal labels.
+    pub fn add_join(&mut self, nodes: Vec<PatternNodeId>) {
+        assert!(nodes.len() >= 2, "a join constraint needs at least two nodes");
+        self.joins.push(nodes);
+    }
+
+    /// Number of pattern nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A pattern always has at least its root node.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Computes all matches `µ_Q` of the pattern in `tree`.
+    pub fn matches(&self, tree: &DataTree) -> Vec<PatternMatch> {
+        let mut results = Vec::new();
+        let root_candidates: Vec<NodeId> = if self.anchored {
+            vec![tree.root()]
+        } else {
+            tree.iter().collect()
+        };
+        let mut mapping: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
+        for candidate in root_candidates {
+            if self.label_ok(PatternNodeId(0), tree, candidate) {
+                mapping[0] = Some(candidate);
+                self.extend_match(tree, 1, &mut mapping, &mut results);
+                mapping[0] = None;
+            }
+        }
+        results
+    }
+
+    fn label_ok(&self, node: PatternNodeId, tree: &DataTree, data: NodeId) -> bool {
+        match &self.nodes[node.0].label {
+            Some(required) => tree.label(data) == required,
+            None => true,
+        }
+    }
+
+    fn joins_ok(&self, tree: &DataTree, mapping: &[Option<NodeId>]) -> bool {
+        self.joins.iter().all(|group| {
+            let labels: Vec<&str> = group
+                .iter()
+                .filter_map(|p| mapping[p.0].map(|d| tree.label(d)))
+                .collect();
+            labels.windows(2).all(|w| w[0] == w[1])
+        })
+    }
+
+    fn extend_match(
+        &self,
+        tree: &DataTree,
+        next: usize,
+        mapping: &mut Vec<Option<NodeId>>,
+        results: &mut Vec<PatternMatch>,
+    ) {
+        if next == self.nodes.len() {
+            if self.joins_ok(tree, mapping) {
+                results.push(PatternMatch {
+                    mapping: mapping.iter().map(|m| m.expect("complete mapping")).collect(),
+                });
+            }
+            return;
+        }
+        let (parent_pattern, axis) = self.nodes[next]
+            .parent
+            .expect("non-root pattern nodes have a parent");
+        let parent_data = mapping[parent_pattern.0].expect("parents are matched first");
+        let candidates: Vec<NodeId> = match axis {
+            Axis::Child => tree.children(parent_data).to_vec(),
+            Axis::Descendant => {
+                let mut d = tree.descendants(parent_data);
+                d.retain(|&n| n != parent_data);
+                d
+            }
+        };
+        for candidate in candidates {
+            if self.label_ok(PatternNodeId(next), tree, candidate) {
+                mapping[next] = Some(candidate);
+                // Early join pruning: partial mappings must not already
+                // violate a join.
+                if self.joins_ok(tree, mapping) {
+                    self.extend_match(tree, next + 1, mapping, results);
+                }
+                mapping[next] = None;
+            }
+        }
+    }
+}
+
+impl Query for PatternQuery {
+    fn evaluate(&self, tree: &DataTree) -> Vec<SubDataTree> {
+        let mut seen: BTreeSet<SubDataTree> = BTreeSet::new();
+        for m in self.matches(tree) {
+            seen.insert(m.induced_subtree(tree));
+        }
+        seen.into_iter().collect()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "tree-pattern query ({} nodes, {} joins{})",
+            self.nodes.len(),
+            self.joins.len(),
+            if self.anchored { ", anchored" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_tree::builder::TreeSpec;
+
+    /// A small "warehouse" fixture:
+    /// A
+    /// ├── B
+    /// │   └── D
+    /// ├── C
+    /// │   └── D
+    /// └── C
+    fn fixture() -> DataTree {
+        TreeSpec::node(
+            "A",
+            vec![
+                TreeSpec::node("B", vec![TreeSpec::leaf("D")]),
+                TreeSpec::node("C", vec![TreeSpec::leaf("D")]),
+                TreeSpec::leaf("C"),
+            ],
+        )
+        .build()
+    }
+
+    #[test]
+    fn child_axis_matching() {
+        let tree = fixture();
+        // //C with a D child.
+        let mut q = PatternQuery::new(Some("C"));
+        q.add_child(q.root(), "D");
+        let matches = q.matches(&tree);
+        assert_eq!(matches.len(), 1);
+        let results = q.evaluate(&tree);
+        assert_eq!(results.len(), 1);
+        // The answer keeps the path to the root: A, C, D.
+        assert_eq!(results[0].len(), 3);
+    }
+
+    #[test]
+    fn descendant_axis_matching() {
+        let tree = fixture();
+        // A anchored at the root with any D descendant.
+        let mut q = PatternQuery::anchored(Some("A"));
+        q.add_descendant(q.root(), "D");
+        let matches = q.matches(&tree);
+        assert_eq!(matches.len(), 2, "two D nodes below the root");
+        // Two distinct sub-datatrees (through B and through C).
+        assert_eq!(q.evaluate(&tree).len(), 2);
+    }
+
+    #[test]
+    fn wildcard_labels() {
+        let tree = fixture();
+        // Any node with a D child.
+        let mut q = PatternQuery::new(None);
+        q.add_child(q.root(), "D");
+        assert_eq!(q.matches(&tree).len(), 2);
+    }
+
+    #[test]
+    fn unanchored_root_matches_everywhere() {
+        let tree = fixture();
+        let q = PatternQuery::new(Some("C"));
+        assert_eq!(q.matches(&tree).len(), 2);
+        let anchored = PatternQuery::anchored(Some("C"));
+        assert_eq!(anchored.matches(&tree).len(), 0);
+    }
+
+    #[test]
+    fn join_constraint_requires_equal_labels() {
+        // A with two children that must carry the same label.
+        let tree = TreeSpec::node(
+            "A",
+            vec![TreeSpec::leaf("X"), TreeSpec::leaf("X"), TreeSpec::leaf("Y")],
+        )
+        .build();
+        let mut q = PatternQuery::anchored(Some("A"));
+        let c1 = q.add_node(q.root(), Axis::Child, None);
+        let c2 = q.add_node(q.root(), Axis::Child, None);
+        q.add_join(vec![c1, c2]);
+        let matches = q.matches(&tree);
+        // Pairs with equal labels: (X1,X1), (X1,X2), (X2,X1), (X2,X2),
+        // (Y,Y) = 5 ordered pairs.
+        assert_eq!(matches.len(), 5);
+        for m in &matches {
+            let l1 = tree.label(m.node(c1));
+            let l2 = tree.label(m.node(c2));
+            assert_eq!(l1, l2);
+        }
+    }
+
+    #[test]
+    fn evaluate_deduplicates_subtrees() {
+        // Two matches mapping different pattern nodes to the same data
+        // nodes induce the same sub-datatree.
+        let tree = TreeSpec::node("A", vec![TreeSpec::leaf("X"), TreeSpec::leaf("X")]).build();
+        let mut q = PatternQuery::anchored(Some("A"));
+        q.add_node(q.root(), Axis::Child, Some("X"));
+        q.add_node(q.root(), Axis::Child, Some("X"));
+        // 4 matches (each pattern child can go to either X), but only 3
+        // distinct node sets: {X1}, {X2}, {X1, X2}... plus the root, and
+        // actually {X1,X1} collapses to {A,X1}.
+        let matches = q.matches(&tree);
+        assert_eq!(matches.len(), 4);
+        let results = q.evaluate(&tree);
+        assert_eq!(results.len(), 3);
+    }
+
+    #[test]
+    fn no_match_returns_empty_answer() {
+        let tree = fixture();
+        let mut q = PatternQuery::new(Some("Z"));
+        q.add_child(q.root(), "D");
+        assert!(q.matches(&tree).is_empty());
+        assert!(q.evaluate(&tree).is_empty());
+    }
+
+    #[test]
+    fn describe_mentions_shape() {
+        let mut q = PatternQuery::anchored(Some("A"));
+        let c = q.add_child(q.root(), "B");
+        let d = q.add_child(q.root(), "C");
+        q.add_join(vec![c, d]);
+        let text = q.describe();
+        assert!(text.contains("3 nodes"));
+        assert!(text.contains("1 joins"));
+        assert!(text.contains("anchored"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn join_with_single_node_is_rejected() {
+        let mut q = PatternQuery::new(None);
+        let root = q.root();
+        q.add_join(vec![root]);
+    }
+
+    #[test]
+    fn results_are_subdatatrees() {
+        // Every answer must contain the data root and be closed under
+        // parents (Definition 5 / 6).
+        let tree = fixture();
+        let q = PatternQuery::new(Some("D"));
+        let _ = q;
+        let q = PatternQuery::new(Some("D"));
+        for sub in q.evaluate(&tree) {
+            assert!(sub.contains(tree.root()));
+            for n in sub.nodes() {
+                if let Some(p) = tree.parent(n) {
+                    assert!(sub.contains(p));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Query evaluation on possible-world sets and prob-trees
+//! (Definitions 7–8 and Theorem 1 of the paper).
+//!
+//! * On a PW set, a query is applied world by world; each answer keeps the
+//!   probability of its world (Definition 7). The resulting collection does
+//!   not sum to 1 — it is a weighted answer multiset compared with the same
+//!   `∼` notion as PW sets.
+//! * On a prob-tree, a **locally monotone** query is evaluated directly on
+//!   the underlying data tree; each answer sub-datatree `u` is weighted by
+//!   `eval(⋃_{n ∈ u} γ(n))` — the probability of the conjunction of the
+//!   conditions of its nodes (Definition 8). Theorem 1 states the two
+//!   agree: `Q(T) ∼ Q(JT K)`.
+
+use pxml_events::valuation::TooManyValuations;
+use pxml_tree::subtree::SubDataTree;
+use pxml_tree::DataTree;
+
+use crate::probtree::ProbTree;
+use crate::pwset::PossibleWorldSet;
+use crate::semantics::possible_worlds;
+
+use super::Query;
+
+/// One answer of a query over a prob-tree: the answer tree (materialized),
+/// the node-set it came from, and its probability.
+#[derive(Clone, Debug)]
+pub struct ProbAnswer {
+    /// The answer, materialized as an independent data tree.
+    pub tree: DataTree,
+    /// The answer as a node subset of the queried prob-tree.
+    pub subtree: SubDataTree,
+    /// `eval` of the union of the node conditions (Definition 8).
+    pub probability: f64,
+}
+
+/// Evaluates a query on a possible-world set (Definition 7). The result is
+/// a weighted set of answer trees; probabilities do not sum to 1.
+pub fn query_pw_set(query: &dyn Query, pw: &PossibleWorldSet) -> PossibleWorldSet {
+    let mut out = PossibleWorldSet::new();
+    for (world, p) in pw.iter() {
+        for answer in query.evaluate(world) {
+            out.push(answer.to_tree(world), *p);
+        }
+    }
+    out
+}
+
+/// Evaluates a locally monotone query on a prob-tree (Definition 8): run
+/// the query on the underlying data tree, then weight every answer by the
+/// probability of the conjunction of the conditions of its nodes.
+///
+/// The cost is `time(Q(t)) + O(|Q(t)| · |T|)` (Proposition 2).
+pub fn query_probtree(query: &dyn Query, tree: &ProbTree) -> Vec<ProbAnswer> {
+    let data = tree.tree();
+    query
+        .evaluate(data)
+        .into_iter()
+        .map(|subtree| {
+            // Union of the conditions of the answer's nodes.
+            let mut cond = pxml_events::Condition::always();
+            for node in subtree.nodes() {
+                cond = cond.and(&tree.condition(node));
+            }
+            ProbAnswer {
+                tree: subtree.to_tree(data),
+                probability: cond.probability(tree.events()),
+                subtree,
+            }
+        })
+        .collect()
+}
+
+/// The answers of [`query_probtree`] repackaged as a weighted world set, so
+/// they can be compared (`∼`) against [`query_pw_set`] answers — this is
+/// exactly the statement of Theorem 1.
+pub fn query_probtree_as_pw(query: &dyn Query, tree: &ProbTree) -> PossibleWorldSet {
+    PossibleWorldSet::from_worlds(
+        query_probtree(query, tree)
+            .into_iter()
+            .filter(|a| a.probability > 0.0)
+            .map(|a| (a.tree, a.probability)),
+    )
+}
+
+/// Checks Theorem 1 on a concrete prob-tree and query by exhaustive
+/// expansion of the possible worlds: returns `true` iff
+/// `Q(T) ∼ Q(JT K)`. Exponential in `|W|` (guarded by `max_events`).
+pub fn check_theorem1(
+    query: &dyn Query,
+    tree: &ProbTree,
+    max_events: usize,
+) -> Result<bool, TooManyValuations> {
+    let direct = query_probtree_as_pw(query, tree);
+    let via_worlds = query_pw_set(query, &possible_worlds(tree, max_events)?);
+    Ok(direct.normalized().isomorphic(&via_worlds.normalized()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probtree::figure1_example;
+    use crate::query::pattern::PatternQuery;
+    use pxml_events::prob_eq;
+
+    #[test]
+    fn query_on_figure1_probtree() {
+        let t = figure1_example();
+        // //C/D : C nodes with a D child, keeping the path to the root.
+        let mut q = PatternQuery::new(Some("C"));
+        q.add_child(q.root(), "D");
+        let answers = query_probtree(&q, &t);
+        assert_eq!(answers.len(), 1);
+        // The answer is A→C→D with probability π(w2) = 0.7.
+        assert_eq!(answers[0].tree.len(), 3);
+        assert!(prob_eq(answers[0].probability, 0.7));
+    }
+
+    #[test]
+    fn query_answers_keep_path_to_root() {
+        let t = figure1_example();
+        let q = PatternQuery::new(Some("D"));
+        let answers = query_probtree(&q, &t);
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].tree.label(answers[0].tree.root()), "A");
+    }
+
+    #[test]
+    fn theorem1_holds_on_figure1_for_several_queries() {
+        let t = figure1_example();
+        let queries: Vec<PatternQuery> = vec![
+            {
+                let mut q = PatternQuery::new(Some("C"));
+                q.add_child(q.root(), "D");
+                q
+            },
+            PatternQuery::new(Some("B")),
+            PatternQuery::new(Some("D")),
+            {
+                let mut q = PatternQuery::anchored(Some("A"));
+                q.add_descendant(q.root(), "D");
+                q
+            },
+            PatternQuery::new(Some("Z")), // no match
+        ];
+        for q in &queries {
+            assert!(
+                check_theorem1(q, &t, 20).unwrap(),
+                "Theorem 1 violated for {}",
+                q.describe()
+            );
+        }
+    }
+
+    #[test]
+    fn query_pw_set_weights_by_world_probability() {
+        let t = figure1_example();
+        let pw = possible_worlds(&t, 20).unwrap().normalized();
+        let q = PatternQuery::new(Some("B"));
+        let answers = query_pw_set(&q, &pw);
+        // B is present only in the 0.24 world.
+        assert_eq!(answers.len(), 1);
+        assert!(prob_eq(answers.total_probability(), 0.24));
+    }
+
+    #[test]
+    fn inconsistent_answers_are_dropped_from_pw_view() {
+        // Build a prob-tree where a B node and a C node carry contradictory
+        // conditions; a query matching both yields probability 0.
+        let mut t = ProbTree::new("A");
+        let w = t.events_mut().insert("w", 0.5);
+        let root = t.tree().root();
+        t.add_child(root, "B", pxml_events::Condition::of(pxml_events::Literal::pos(w)));
+        t.add_child(root, "C", pxml_events::Condition::of(pxml_events::Literal::neg(w)));
+        let mut q = PatternQuery::anchored(Some("A"));
+        q.add_child(q.root(), "B");
+        q.add_child(q.root(), "C");
+        let answers = query_probtree(&q, &t);
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].probability, 0.0);
+        assert!(query_probtree_as_pw(&q, &t).is_empty());
+        assert!(check_theorem1(&q, &t, 20).unwrap());
+    }
+
+    #[test]
+    fn theorem1_holds_with_joins() {
+        let t = figure1_example();
+        let mut q = PatternQuery::anchored(Some("A"));
+        let c1 = q.add_node(q.root(), crate::query::pattern::Axis::Child, None);
+        let c2 = q.add_node(q.root(), crate::query::pattern::Axis::Child, None);
+        q.add_join(vec![c1, c2]);
+        assert!(check_theorem1(&q, &t, 20).unwrap());
+    }
+}

@@ -1,0 +1,181 @@
+//! Ranked (top-k) query answers.
+//!
+//! The paper's conclusion lists "algorithms obtaining the most probable
+//! results first" as a natural follow-up to the prob-tree model: since
+//! every answer of a locally monotone query carries a probability
+//! (Definition 8), answers can be ranked by that probability and
+//! applications usually only need the best few. This module provides the
+//! ranking layer on top of [`super::prob::query_probtree`]:
+//!
+//! * [`top_k`] — the `k` most probable answers, ties broken
+//!   deterministically by the answer's canonical form;
+//! * [`above`] — all answers with probability at least a threshold;
+//! * [`expected_matches`] — the expected number of answers over the
+//!   possible worlds (a simple aggregate; the multiset semantics makes this
+//!   the plain sum of answer probabilities).
+
+use pxml_tree::canon::{canonical_string, Semantics};
+
+use crate::probtree::ProbTree;
+use crate::query::prob::{query_probtree, ProbAnswer};
+use crate::query::Query;
+
+/// The `k` most probable answers of `query` on `tree`, sorted by
+/// decreasing probability. Zero-probability answers (inconsistent
+/// condition sets) are dropped. Ties are broken by the canonical form of
+/// the answer tree so the result is deterministic.
+pub fn top_k(query: &dyn Query, tree: &ProbTree, k: usize) -> Vec<ProbAnswer> {
+    let mut answers: Vec<ProbAnswer> = query_probtree(query, tree)
+        .into_iter()
+        .filter(|a| a.probability > 0.0)
+        .collect();
+    answers.sort_by(|a, b| {
+        b.probability
+            .partial_cmp(&a.probability)
+            .expect("probabilities are finite")
+            .then_with(|| {
+                canonical_string(&a.tree, Semantics::MultiSet)
+                    .cmp(&canonical_string(&b.tree, Semantics::MultiSet))
+            })
+    });
+    answers.truncate(k);
+    answers
+}
+
+/// All answers with probability at least `threshold`, sorted by decreasing
+/// probability.
+pub fn above(query: &dyn Query, tree: &ProbTree, threshold: f64) -> Vec<ProbAnswer> {
+    let mut answers = top_k(query, tree, usize::MAX);
+    answers.retain(|a| a.probability >= threshold);
+    answers
+}
+
+/// The expected number of query answers over the possible worlds of the
+/// prob-tree. Because the model uses multiset semantics and answers are
+/// sub-datatrees of the underlying tree, linearity of expectation makes
+/// this the sum of the per-answer probabilities — a cheap aggregate that
+/// needs no world expansion.
+pub fn expected_matches(query: &dyn Query, tree: &ProbTree) -> f64 {
+    query_probtree(query, tree)
+        .iter()
+        .map(|a| a.probability)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probtree::figure1_example;
+    use crate::query::pattern::PatternQuery;
+    use crate::semantics::possible_worlds;
+    use pxml_events::{prob_eq, Condition, Literal};
+
+    /// A root with three children of the same label but different
+    /// probabilities, so ranking is non-trivial.
+    fn catalog() -> ProbTree {
+        let mut t = ProbTree::new("catalog");
+        let high = t.events_mut().insert("high", 0.9);
+        let mid = t.events_mut().insert("mid", 0.5);
+        let low = t.events_mut().insert("low", 0.2);
+        let root = t.tree().root();
+        let a = t.add_child(root, "item", Condition::of(Literal::pos(high)));
+        t.add_child(a, "sku_a", Condition::always());
+        let b = t.add_child(root, "item", Condition::of(Literal::pos(mid)));
+        t.add_child(b, "sku_b", Condition::always());
+        let c = t.add_child(root, "item", Condition::of(Literal::pos(low)));
+        t.add_child(c, "sku_c", Condition::always());
+        t
+    }
+
+    #[test]
+    fn top_k_orders_by_probability() {
+        let t = catalog();
+        let q = PatternQuery::new(Some("item"));
+        let top = top_k(&q, &t, 2);
+        assert_eq!(top.len(), 2);
+        assert!(prob_eq(top[0].probability, 0.9));
+        assert!(prob_eq(top[1].probability, 0.5));
+        let all = top_k(&q, &t, 10);
+        assert_eq!(all.len(), 3);
+        assert!(prob_eq(all[2].probability, 0.2));
+    }
+
+    #[test]
+    fn top_k_is_deterministic_under_ties() {
+        let t = catalog();
+        // Query the sku leaves: all three answers have distinct
+        // probabilities inherited from their parents; query items instead
+        // with equal probabilities to force ties.
+        let mut tie_tree = ProbTree::new("r");
+        let w1 = tie_tree.events_mut().insert("w1", 0.5);
+        let w2 = tie_tree.events_mut().insert("w2", 0.5);
+        let root = tie_tree.tree().root();
+        let x = tie_tree.add_child(root, "x", Condition::of(Literal::pos(w1)));
+        tie_tree.add_child(x, "a", Condition::always());
+        let y = tie_tree.add_child(root, "x", Condition::of(Literal::pos(w2)));
+        tie_tree.add_child(y, "b", Condition::always());
+        let q = PatternQuery::new(Some("x"));
+        let first = top_k(&q, &tie_tree, 2);
+        let second = top_k(&q, &tie_tree, 2);
+        let keys: Vec<String> = first
+            .iter()
+            .map(|a| canonical_string(&a.tree, Semantics::MultiSet))
+            .collect();
+        let keys2: Vec<String> = second
+            .iter()
+            .map(|a| canonical_string(&a.tree, Semantics::MultiSet))
+            .collect();
+        assert_eq!(keys, keys2);
+        let _ = t;
+    }
+
+    #[test]
+    fn zero_probability_answers_are_dropped() {
+        let mut t = ProbTree::new("A");
+        let w = t.events_mut().insert("w", 0.5);
+        let root = t.tree().root();
+        t.add_child(root, "B", Condition::of(Literal::pos(w)));
+        t.add_child(root, "C", Condition::of(Literal::neg(w)));
+        // A query needing both B and C has an answer whose condition set is
+        // inconsistent.
+        let mut q = PatternQuery::anchored(Some("A"));
+        q.add_child(q.root(), "B");
+        q.add_child(q.root(), "C");
+        assert!(top_k(&q, &t, 10).is_empty());
+        assert!(above(&q, &t, 0.0).is_empty());
+    }
+
+    #[test]
+    fn above_threshold_filters() {
+        let t = catalog();
+        let q = PatternQuery::new(Some("item"));
+        assert_eq!(above(&q, &t, 0.4).len(), 2);
+        assert_eq!(above(&q, &t, 0.95).len(), 0);
+        assert_eq!(above(&q, &t, 0.0).len(), 3);
+    }
+
+    #[test]
+    fn expected_matches_agrees_with_world_expansion() {
+        // Expected number of //C/D matches on Figure 1: only the 0.70 world
+        // has one, so the expectation is 0.70.
+        let t = figure1_example();
+        let mut q = PatternQuery::new(Some("C"));
+        q.add_child(q.root(), "D");
+        let direct = expected_matches(&q, &t);
+        // World-by-world expectation.
+        use crate::query::Query as _;
+        let mut via_worlds = 0.0;
+        for (world, p) in possible_worlds(&t, 20).unwrap().normalized().iter() {
+            via_worlds += p * q.evaluate(world).len() as f64;
+        }
+        assert!(prob_eq(direct, via_worlds));
+        assert!(prob_eq(direct, 0.70));
+    }
+
+    #[test]
+    fn expected_matches_counts_multiplicities() {
+        let t = catalog();
+        let q = PatternQuery::new(Some("item"));
+        assert!(prob_eq(expected_matches(&q, &t), 0.9 + 0.5 + 0.2));
+    }
+}

@@ -1,0 +1,282 @@
+//! Possible-world semantics of prob-trees and the expressiveness
+//! translation back from PW sets (Section 2 of the paper).
+//!
+//! * [`possible_worlds`] computes `JT K` (Definition 4) by enumerating all
+//!   `2^{|W|}` valuations — exponential, guarded by a caller-supplied bound
+//!   on `|W|`.
+//! * [`pw_set_to_probtree`] is the converse construction showing that the
+//!   prob-tree model is at least as expressive as the PW model: any PW set
+//!   `S` has a prob-tree `T` with `S ∼ JT K` (the construction uses one
+//!   event variable per world minus one, so its size is essentially the
+//!   size of `S` — which Proposition 1 shows cannot be improved in
+//!   general).
+
+use pxml_events::valuation::{all_valuations, TooManyValuations};
+use pxml_events::{Condition, Literal};
+use pxml_tree::DataTree;
+
+use crate::probtree::ProbTree;
+use crate::pwset::PossibleWorldSet;
+
+/// Computes the possible-world semantics `JT K` of a prob-tree
+/// (Definition 4). The result is **not** normalized: it contains one entry
+/// per valuation of the event variables.
+///
+/// Fails if the prob-tree has more than `max_events` event variables
+/// (exponential-work guard).
+pub fn possible_worlds(
+    tree: &ProbTree,
+    max_events: usize,
+) -> Result<PossibleWorldSet, TooManyValuations> {
+    let mut out = PossibleWorldSet::new();
+    for valuation in all_valuations(tree.events().len(), max_events)? {
+        let world = tree.value_in_world(&valuation);
+        let p = valuation.probability(tree.events());
+        out.push(world, p);
+    }
+    Ok(out)
+}
+
+/// Error raised by [`pw_set_to_probtree`] when the input is not a valid PW
+/// set.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PwSetError {
+    /// The set contains no world.
+    Empty,
+    /// Worlds do not share a common root label.
+    MixedRootLabels,
+    /// A world has a non-positive probability.
+    NonPositiveProbability(f64),
+    /// Probabilities do not sum to 1.
+    DoesNotSumToOne(f64),
+}
+
+impl std::fmt::Display for PwSetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PwSetError::Empty => write!(f, "possible-world set is empty"),
+            PwSetError::MixedRootLabels => {
+                write!(f, "worlds do not share a common root label")
+            }
+            PwSetError::NonPositiveProbability(p) => {
+                write!(f, "world probability {p} is not positive")
+            }
+            PwSetError::DoesNotSumToOne(total) => {
+                write!(f, "world probabilities sum to {total}, expected 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PwSetError {}
+
+/// Builds a prob-tree whose semantics is (isomorphic to) the given PW set.
+///
+/// The construction follows the paper's expressiveness argument: worlds
+/// `t_1 … t_n` with probabilities `p_1 … p_n` are encoded with `n − 1`
+/// event variables `w_1 … w_{n−1}` where
+/// `π(w_i) = p_i / (1 − p_1 − … − p_{i−1})`, and world `i` is selected by
+/// the mutually exclusive condition `¬w_1 ∧ … ∧ ¬w_{i−1} ∧ w_i`
+/// (`¬w_1 ∧ … ∧ ¬w_{n−1}` for the last world). The children of each
+/// world's root are grafted under the shared root with that condition.
+pub fn pw_set_to_probtree(pw: &PossibleWorldSet) -> Result<ProbTree, PwSetError> {
+    let worlds: Vec<(DataTree, f64)> = pw.iter().cloned().collect();
+    if worlds.is_empty() {
+        return Err(PwSetError::Empty);
+    }
+    let root_label = pw.root_label().ok_or(PwSetError::MixedRootLabels)?.to_string();
+    for (_, p) in &worlds {
+        if *p <= 0.0 {
+            return Err(PwSetError::NonPositiveProbability(*p));
+        }
+    }
+    let total = pw.total_probability();
+    if (total - 1.0).abs() > 1e-6 {
+        return Err(PwSetError::DoesNotSumToOne(total));
+    }
+
+    let mut out = ProbTree::new(root_label);
+    let n = worlds.len();
+
+    // Event variables w_1 .. w_{n-1}.
+    let mut events = Vec::with_capacity(n.saturating_sub(1));
+    let mut remaining = 1.0f64;
+    for (i, (_, p)) in worlds.iter().enumerate().take(n.saturating_sub(1)) {
+        let prob = (p / remaining).clamp(f64::MIN_POSITIVE, 1.0);
+        events.push(out.events_mut().insert(format!("sel{}", i + 1), prob));
+        remaining -= p;
+    }
+
+    let root = out.tree().root();
+    for (i, (world, _)) in worlds.iter().enumerate() {
+        // Condition selecting world i.
+        let mut literals: Vec<Literal> = events[..i.min(events.len())]
+            .iter()
+            .map(|&e| Literal::neg(e))
+            .collect();
+        if i < events.len() {
+            literals.push(Literal::pos(events[i]));
+        }
+        let condition = Condition::from_literals(literals);
+        // Graft every child subtree of the world's root under the shared
+        // root, with the selecting condition on its top node.
+        for &child in world.children(world.root()) {
+            let subtree = world.subtree_to_tree(child);
+            out.graft_data_tree(root, &subtree, condition.clone());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probtree::figure1_example;
+    use pxml_events::prob_eq;
+    use pxml_tree::builder::TreeSpec;
+
+    #[test]
+    fn figure1_semantics_is_figure2() {
+        let t = figure1_example();
+        let pw = possible_worlds(&t, 20).unwrap();
+        // 2 events -> 4 valuations before normalization.
+        assert_eq!(pw.len(), 4);
+        let normalized = pw.normalized();
+        assert_eq!(normalized.len(), 3);
+
+        let expected = PossibleWorldSet::from_worlds([
+            (TreeSpec::node("A", vec![TreeSpec::leaf("C")]).build(), 0.06),
+            (
+                TreeSpec::node("A", vec![TreeSpec::node("C", vec![TreeSpec::leaf("D")])]).build(),
+                0.70,
+            ),
+            (
+                TreeSpec::node("A", vec![TreeSpec::leaf("B"), TreeSpec::leaf("C")]).build(),
+                0.24,
+            ),
+        ]);
+        assert!(normalized.isomorphic(&expected));
+    }
+
+    #[test]
+    fn semantics_total_probability_is_one() {
+        let t = figure1_example();
+        let pw = possible_worlds(&t, 20).unwrap();
+        assert!(prob_eq(pw.total_probability(), 1.0));
+    }
+
+    #[test]
+    fn guard_rejects_large_event_sets() {
+        let mut t = ProbTree::new("A");
+        for _ in 0..30 {
+            t.events_mut().fresh(0.5);
+        }
+        assert!(possible_worlds(&t, 24).is_err());
+    }
+
+    #[test]
+    fn pw_to_probtree_roundtrip_on_figure2() {
+        let expected = PossibleWorldSet::from_worlds([
+            (TreeSpec::node("A", vec![TreeSpec::leaf("C")]).build(), 0.06),
+            (
+                TreeSpec::node("A", vec![TreeSpec::node("C", vec![TreeSpec::leaf("D")])]).build(),
+                0.70,
+            ),
+            (
+                TreeSpec::node("A", vec![TreeSpec::leaf("B"), TreeSpec::leaf("C")]).build(),
+                0.24,
+            ),
+        ]);
+        let probtree = pw_set_to_probtree(&expected).unwrap();
+        let back = possible_worlds(&probtree, 20).unwrap().normalized();
+        assert!(back.isomorphic(&expected), "\n{}", probtree.to_ascii());
+    }
+
+    #[test]
+    fn pw_to_probtree_single_world() {
+        let world = TreeSpec::node("A", vec![TreeSpec::leaf("B")]).build();
+        let pw = PossibleWorldSet::from_worlds([(world.clone(), 1.0)]);
+        let probtree = pw_set_to_probtree(&pw).unwrap();
+        assert_eq!(probtree.events().len(), 0, "single world needs no events");
+        let back = possible_worlds(&probtree, 20).unwrap().normalized();
+        assert!(back.isomorphic(&pw));
+    }
+
+    #[test]
+    fn pw_to_probtree_roundtrip_random_sets() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..6usize);
+            // Random small worlds with root label R.
+            let mut worlds = Vec::new();
+            let mut remaining = 1.0;
+            for i in 0..n {
+                let mut tree = DataTree::new("R");
+                let root = tree.root();
+                let children = rng.gen_range(0..4usize);
+                for c in 0..children {
+                    let child = tree.add_child(root, format!("L{}", (c + i) % 3));
+                    if rng.gen_bool(0.3) {
+                        tree.add_child(child, "X");
+                    }
+                }
+                let p = if i + 1 == n {
+                    remaining
+                } else {
+                    let p = remaining * rng.gen_range(0.1..0.8);
+                    remaining -= p;
+                    p
+                };
+                worlds.push((tree, p));
+            }
+            let pw = PossibleWorldSet::from_worlds(worlds).normalized();
+            let probtree = pw_set_to_probtree(&pw).unwrap();
+            let back = possible_worlds(&probtree, 20).unwrap().normalized();
+            assert!(back.isomorphic(&pw));
+        }
+    }
+
+    #[test]
+    fn pw_to_probtree_rejects_invalid_inputs() {
+        assert_eq!(
+            pw_set_to_probtree(&PossibleWorldSet::new()).unwrap_err(),
+            PwSetError::Empty
+        );
+        let mixed = PossibleWorldSet::from_worlds([
+            (DataTree::new("A"), 0.5),
+            (DataTree::new("B"), 0.5),
+        ]);
+        assert_eq!(
+            pw_set_to_probtree(&mixed).unwrap_err(),
+            PwSetError::MixedRootLabels
+        );
+        let not_one = PossibleWorldSet::from_worlds([(DataTree::new("A"), 0.4)]);
+        assert!(matches!(
+            pw_set_to_probtree(&not_one).unwrap_err(),
+            PwSetError::DoesNotSumToOne(_)
+        ));
+    }
+
+    #[test]
+    fn construction_size_grows_with_number_of_worlds() {
+        // Proposition 1 context: the construction uses ~1 event per world
+        // and copies every world's children, so its size is linear in the
+        // size of the PW set, not in the size of a single world.
+        let mut worlds = Vec::new();
+        let n = 8usize;
+        for i in 0..n {
+            let mut tree = DataTree::new("A");
+            let root = tree.root();
+            for j in 0..=i {
+                tree.add_child(root, format!("C{j}"));
+            }
+            worlds.push((tree, 1.0 / n as f64));
+        }
+        let pw = PossibleWorldSet::from_worlds(worlds);
+        let probtree = pw_set_to_probtree(&pw).unwrap();
+        assert_eq!(probtree.events().len(), n - 1);
+        assert!(probtree.num_nodes() > n);
+    }
+}

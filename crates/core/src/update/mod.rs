@@ -1,0 +1,519 @@
+//! Probabilistic updates (Section 2, Appendix A, Theorem 3).
+//!
+//! An *update operation* `τ = (Q, v)` couples a locally monotone query `Q`
+//! with either an insertion `i(n, t')` (insert the tree `t'` as a child of
+//! the node matched by pattern node `n`) or a deletion `d(n)` (delete the
+//! node matched by `n` together with its subtree). A *probabilistic update*
+//! `(τ, c)` additionally carries a confidence `c ∈ (0, 1]` — the belief the
+//! system has in the operation. Each probabilistic update with `c < 1`
+//! introduces one fresh event variable with probability `c`.
+//!
+//! Updates are defined on plain data trees (Definition 15), on
+//! possible-world sets (Definition 16) and on prob-trees (the Appendix A
+//! algorithms, generalized here to queries with several matches). The key
+//! asymmetry studied by the paper (Proposition 2, Theorem 3): insertions
+//! grow the prob-tree by `O(|Q(t)| · |T|)`, while deletions may blow it up
+//! to `Ω(2^n)` because the negation of a disjunction of conjunctions must
+//! be re-expressed as conjunctive node conditions.
+
+use std::collections::HashMap;
+
+use pxml_events::{Condition, EventId, Literal};
+use pxml_tree::{DataTree, NodeId};
+
+use crate::probtree::ProbTree;
+use crate::pwset::PossibleWorldSet;
+use crate::query::pattern::{PatternMatch, PatternNodeId, PatternQuery};
+
+/// The action part of an update operation (Definition 14).
+#[derive(Clone, Debug)]
+pub enum UpdateAction {
+    /// `i(n, t')`: insert a copy of `subtree` as a new child of the data
+    /// node matched by pattern node `at`.
+    Insert {
+        /// Pattern node selecting the insertion parent.
+        at: PatternNodeId,
+        /// The tree to insert.
+        subtree: DataTree,
+    },
+    /// `d(n)`: delete the data node matched by pattern node `at`, together
+    /// with its descendants.
+    Delete {
+        /// Pattern node selecting the node to delete.
+        at: PatternNodeId,
+    },
+}
+
+/// An (elementary) update operation `τ = (Q, v)` (Definition 14).
+#[derive(Clone, Debug)]
+pub struct UpdateOperation {
+    /// The defining query.
+    pub query: PatternQuery,
+    /// The insertion or deletion to perform at the matched positions.
+    pub action: UpdateAction,
+}
+
+/// A probabilistic update operation `(τ, c)` (Appendix A).
+#[derive(Clone, Debug)]
+pub struct ProbabilisticUpdate {
+    /// The underlying update operation.
+    pub operation: UpdateOperation,
+    /// Confidence in the operation, in `(0, 1]`. A confidence of exactly 1
+    /// does not introduce a new event variable.
+    pub confidence: f64,
+}
+
+impl UpdateOperation {
+    /// Builds an insertion operation.
+    pub fn insert(query: PatternQuery, at: PatternNodeId, subtree: DataTree) -> Self {
+        UpdateOperation {
+            query,
+            action: UpdateAction::Insert { at, subtree },
+        }
+    }
+
+    /// Builds a deletion operation.
+    pub fn delete(query: PatternQuery, at: PatternNodeId) -> Self {
+        UpdateOperation {
+            query,
+            action: UpdateAction::Delete { at },
+        }
+    }
+
+    /// Applies the operation to a plain data tree (Definition 15). Worlds
+    /// not matched by the query are returned unchanged.
+    pub fn apply_to_data_tree(&self, tree: &DataTree) -> DataTree {
+        let matches = self.query.matches(tree);
+        if matches.is_empty() {
+            return tree.clone();
+        }
+        let mut out = tree.clone();
+        match &self.action {
+            UpdateAction::Insert { at, subtree } => {
+                // Possibly inserting multiple times at the same place, as
+                // Definition 15 specifies.
+                for m in &matches {
+                    out.graft(m.node(*at), subtree);
+                }
+            }
+            UpdateAction::Delete { at } => {
+                let mut targets: Vec<NodeId> = matches.iter().map(|m| m.node(*at)).collect();
+                targets.sort();
+                targets.dedup();
+                for target in targets {
+                    assert!(
+                        target != out.root(),
+                        "deleting the root of a data tree is not supported"
+                    );
+                    out.detach(target);
+                }
+            }
+        }
+        out.compact().0
+    }
+
+    /// Whether the query selects `tree` (has at least one match).
+    pub fn selects(&self, tree: &DataTree) -> bool {
+        !self.query.matches(tree).is_empty()
+    }
+}
+
+impl ProbabilisticUpdate {
+    /// Builds a probabilistic update.
+    ///
+    /// # Panics
+    /// Panics if `confidence` is not in `(0, 1]` (the paper's convention:
+    /// zero-confidence updates are simply not performed).
+    pub fn new(operation: UpdateOperation, confidence: f64) -> Self {
+        assert!(
+            confidence > 0.0 && confidence <= 1.0,
+            "update confidence must lie in (0, 1], got {confidence}"
+        );
+        ProbabilisticUpdate {
+            operation,
+            confidence,
+        }
+    }
+
+    /// Applies the probabilistic update to a possible-world set
+    /// (Definition 16).
+    pub fn apply_to_pw_set(&self, pw: &PossibleWorldSet) -> PossibleWorldSet {
+        let mut out = PossibleWorldSet::new();
+        for (tree, p) in pw.iter() {
+            if !self.operation.selects(tree) {
+                out.push(tree.clone(), *p);
+                continue;
+            }
+            out.push(self.operation.apply_to_data_tree(tree), p * self.confidence);
+            if self.confidence < 1.0 {
+                out.push(tree.clone(), p * (1.0 - self.confidence));
+            }
+        }
+        out
+    }
+
+    /// Applies the probabilistic update to a prob-tree (the Appendix A
+    /// algorithm, generalized to queries with several matches). Returns the
+    /// updated prob-tree and the fresh event variable introduced (if the
+    /// confidence is below 1).
+    pub fn apply_to_probtree(&self, tree: &ProbTree) -> (ProbTree, Option<EventId>) {
+        let matches = self.operation.query.matches(tree.tree());
+        if matches.is_empty() {
+            return (tree.clone(), None);
+        }
+        let mut out = tree.clone();
+        let new_event = if self.confidence < 1.0 {
+            Some(out.events_mut().fresh(self.confidence))
+        } else {
+            None
+        };
+        match &self.operation.action {
+            UpdateAction::Insert { at, subtree } => {
+                apply_insertion(&mut out, tree, &matches, *at, subtree, new_event);
+            }
+            UpdateAction::Delete { at } => {
+                apply_deletion(&mut out, tree, &matches, *at, new_event);
+            }
+        }
+        (out.compact().0, new_event)
+    }
+}
+
+/// The condition `cond` of Appendix A for one match: the union of the
+/// conditions of the nodes of the induced answer sub-datatree.
+fn match_condition(tree: &ProbTree, m: &PatternMatch) -> Condition {
+    let sub = m.induced_subtree(tree.tree());
+    let mut cond = Condition::always();
+    for node in sub.nodes() {
+        cond = cond.and(&tree.condition(node));
+    }
+    cond
+}
+
+fn apply_insertion(
+    out: &mut ProbTree,
+    original: &ProbTree,
+    matches: &[PatternMatch],
+    at: PatternNodeId,
+    subtree: &DataTree,
+    new_event: Option<EventId>,
+) {
+    for m in matches {
+        let target = m.node(at);
+        let cond = match_condition(original, m);
+        let gamma_target = original.condition(target);
+        let cond_ancestors = original.ancestor_condition(target);
+        // {w} ∪ (cond − (γ(µ(n)) ∪ cond_ancestors))
+        let mut root_cond = cond.minus(&gamma_target.and(&cond_ancestors));
+        if let Some(w) = new_event {
+            root_cond = root_cond.and_literal(Literal::pos(w));
+        }
+        out.graft_data_tree(target, subtree, root_cond);
+    }
+}
+
+fn apply_deletion(
+    out: &mut ProbTree,
+    original: &ProbTree,
+    matches: &[PatternMatch],
+    at: PatternNodeId,
+    new_event: Option<EventId>,
+) {
+    // Group the per-match deletion conditions by target node.
+    let mut by_target: HashMap<NodeId, Vec<Condition>> = HashMap::new();
+    for m in matches {
+        let target = m.node(at);
+        assert!(
+            target != original.tree().root(),
+            "deleting the root of a prob-tree is not supported"
+        );
+        let cond = match_condition(original, m);
+        let gamma_target = original.condition(target);
+        let cond_ancestors = original.ancestor_condition(target);
+        let mut del_cond = cond.minus(&gamma_target.and(&cond_ancestors));
+        if let Some(w) = new_event {
+            del_cond = del_cond.and_literal(Literal::pos(w));
+        }
+        by_target.entry(target).or_default().push(del_cond);
+    }
+
+    for (target, del_conds) in by_target {
+        let gamma_target = original.condition(target);
+        // The node survives exactly when *none* of the deletion conditions
+        // hold: ⋀_j ¬d_j. Expand this into a disjunction of conjunctions by
+        // taking, for each d_j = a_1 ∧ … ∧ a_p, the mutually exclusive
+        // chain ¬a_1 | a_1¬a_2 | … | a_1…a_{p−1}¬a_p, and distributing the
+        // conjunction over the chains. A d_j with no literals means the
+        // deletion applies unconditionally: the node never survives.
+        let mut survivor_disjuncts: Vec<Condition> = vec![Condition::always()];
+        for d in &del_conds {
+            if d.is_empty() {
+                survivor_disjuncts.clear();
+                break;
+            }
+            let chain = negation_chain(d);
+            let mut next = Vec::with_capacity(survivor_disjuncts.len() * chain.len());
+            for base in &survivor_disjuncts {
+                for link in &chain {
+                    let combined = base.and(link);
+                    if combined.is_consistent() {
+                        next.push(combined);
+                    }
+                }
+            }
+            survivor_disjuncts = next;
+        }
+
+        // Replace the target with one copy per surviving disjunct.
+        let parent = original
+            .tree()
+            .parent(target)
+            .expect("non-root node has a parent");
+        for disjunct in &survivor_disjuncts {
+            out.graft_probtree_subtree(parent, original, target, gamma_target.and(disjunct));
+        }
+        out.detach(target);
+    }
+}
+
+/// The mutually exclusive expansion of `¬(a_1 ∧ … ∧ a_p)` used by
+/// Appendix A: `{¬a_1}, {a_1, ¬a_2}, …, {a_1, …, a_{p−1}, ¬a_p}`.
+fn negation_chain(condition: &Condition) -> Vec<Condition> {
+    let literals = condition.literals();
+    let mut chain = Vec::with_capacity(literals.len());
+    for (i, &lit) in literals.iter().enumerate() {
+        let mut parts: Vec<Literal> = literals[..i].to_vec();
+        parts.push(lit.negated());
+        chain.push(Condition::from_literals(parts));
+    }
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probtree::figure1_example;
+    use crate::semantics::possible_worlds;
+    use pxml_events::prob_eq;
+    use pxml_tree::builder::TreeSpec;
+
+    /// Insertion: add an E child under every C node, with confidence 0.9.
+    fn insert_e_under_c(confidence: f64) -> ProbabilisticUpdate {
+        let q = PatternQuery::new(Some("C"));
+        let at = q.root();
+        ProbabilisticUpdate::new(
+            UpdateOperation::insert(q, at, DataTree::new("E")),
+            confidence,
+        )
+    }
+
+    /// Deletion d0 of Theorem 3: "if the root has a C-child, delete all
+    /// B-children of the root".
+    fn d0(confidence: f64) -> ProbabilisticUpdate {
+        let mut q = PatternQuery::anchored(Some("A"));
+        let b = q.add_child(q.root(), "B");
+        let _c = q.add_child(q.root(), "C");
+        ProbabilisticUpdate::new(UpdateOperation::delete(q, b), confidence)
+    }
+
+    #[test]
+    fn data_tree_insertion_inserts_at_every_match() {
+        let tree = TreeSpec::node(
+            "A",
+            vec![TreeSpec::leaf("C"), TreeSpec::leaf("C"), TreeSpec::leaf("B")],
+        )
+        .build();
+        let update = insert_e_under_c(1.0);
+        let updated = update.operation.apply_to_data_tree(&tree);
+        assert_eq!(updated.len(), 6);
+        assert_eq!(
+            updated.iter().filter(|&n| updated.label(n) == "E").count(),
+            2
+        );
+    }
+
+    #[test]
+    fn data_tree_deletion_removes_all_matched_subtrees() {
+        let tree = TreeSpec::node(
+            "A",
+            vec![
+                TreeSpec::node("B", vec![TreeSpec::leaf("X")]),
+                TreeSpec::leaf("B"),
+                TreeSpec::leaf("C"),
+            ],
+        )
+        .build();
+        let update = d0(1.0);
+        let updated = update.operation.apply_to_data_tree(&tree);
+        assert_eq!(updated.len(), 2, "both B subtrees are gone: {updated:?}");
+    }
+
+    #[test]
+    fn unmatched_trees_are_left_alone() {
+        let tree = TreeSpec::node("A", vec![TreeSpec::leaf("B")]).build();
+        // d0 requires a C child; there is none, so nothing happens.
+        let update = d0(1.0);
+        let updated = update.operation.apply_to_data_tree(&tree);
+        assert_eq!(updated.len(), 2);
+        assert!(!update.operation.selects(&tree));
+    }
+
+    #[test]
+    fn pw_set_update_splits_selected_worlds() {
+        let t = figure1_example();
+        let pw = possible_worlds(&t, 20).unwrap().normalized();
+        let update = insert_e_under_c(0.9);
+        let updated = update.apply_to_pw_set(&pw);
+        assert!(prob_eq(updated.total_probability(), 1.0));
+        // Every world contains a C node, so every world splits in two.
+        assert_eq!(updated.len(), 2 * pw.len());
+    }
+
+    #[test]
+    fn probtree_insertion_matches_pw_semantics() {
+        let t = figure1_example();
+        let update = insert_e_under_c(0.9);
+        let (updated, new_event) = update.apply_to_probtree(&t);
+        assert!(new_event.is_some());
+        assert_eq!(updated.events().len(), 3);
+        let direct = possible_worlds(&updated, 20).unwrap().normalized();
+        let via_pw = update
+            .apply_to_pw_set(&possible_worlds(&t, 20).unwrap())
+            .normalized();
+        assert!(
+            direct.isomorphic(&via_pw),
+            "J(τ,c)(T)K ≁ (τ,c)(JT K)\nupdated:\n{}",
+            updated.to_ascii()
+        );
+    }
+
+    #[test]
+    fn probtree_insertion_with_full_confidence_adds_no_event() {
+        let t = figure1_example();
+        let update = insert_e_under_c(1.0);
+        let (updated, new_event) = update.apply_to_probtree(&t);
+        assert!(new_event.is_none());
+        assert_eq!(updated.events().len(), 2);
+        let direct = possible_worlds(&updated, 20).unwrap().normalized();
+        let via_pw = update
+            .apply_to_pw_set(&possible_worlds(&t, 20).unwrap())
+            .normalized();
+        assert!(direct.isomorphic(&via_pw));
+    }
+
+    #[test]
+    fn probtree_deletion_matches_pw_semantics_on_figure1() {
+        // Delete D under C whenever present, with confidence 0.6.
+        let t = figure1_example();
+        let mut q = PatternQuery::new(Some("C"));
+        let d = q.add_child(q.root(), "D");
+        let update = ProbabilisticUpdate::new(UpdateOperation::delete(q, d), 0.6);
+        let (updated, _) = update.apply_to_probtree(&t);
+        let direct = possible_worlds(&updated, 20).unwrap().normalized();
+        let via_pw = update
+            .apply_to_pw_set(&possible_worlds(&t, 20).unwrap())
+            .normalized();
+        assert!(
+            direct.isomorphic(&via_pw),
+            "deletion semantics mismatch\n{}",
+            updated.to_ascii()
+        );
+    }
+
+    #[test]
+    fn theorem3_deletion_blowup_shape() {
+        // Build the Theorem 3 prob-tree for n = 1..6 and check that the
+        // deletion output size doubles with n.
+        let mut previous_literals = 0usize;
+        for n in 1..=6usize {
+            let mut t = ProbTree::new("A");
+            let root = t.tree().root();
+            t.add_child(root, "B", Condition::always());
+            for _ in 0..n {
+                let w0 = t.events_mut().fresh(0.5);
+                let w1 = t.events_mut().fresh(0.5);
+                t.add_child(
+                    root,
+                    "C",
+                    Condition::from_literals([Literal::pos(w0), Literal::pos(w1)]),
+                );
+            }
+            let update = d0(1.0);
+            let (updated, _) = update.apply_to_probtree(&t);
+            // The B node is replaced by 2^n copies.
+            let b_copies = updated
+                .tree()
+                .iter()
+                .filter(|&nd| updated.tree().label(nd) == "B")
+                .count();
+            assert_eq!(b_copies, 1 << n, "n = {n}");
+            assert!(updated.num_literals() > previous_literals);
+            previous_literals = updated.num_literals();
+        }
+    }
+
+    #[test]
+    fn theorem3_deletion_is_semantically_correct_for_small_n() {
+        for n in 1..=3usize {
+            let mut t = ProbTree::new("A");
+            let root = t.tree().root();
+            t.add_child(root, "B", Condition::always());
+            for _ in 0..n {
+                let w0 = t.events_mut().fresh(0.5);
+                let w1 = t.events_mut().fresh(0.5);
+                t.add_child(
+                    root,
+                    "C",
+                    Condition::from_literals([Literal::pos(w0), Literal::pos(w1)]),
+                );
+            }
+            let update = d0(1.0);
+            let (updated, _) = update.apply_to_probtree(&t);
+            let direct = possible_worlds(&updated, 20).unwrap().normalized();
+            let via_pw = update
+                .apply_to_pw_set(&possible_worlds(&t, 20).unwrap())
+                .normalized();
+            assert!(direct.isomorphic(&via_pw), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn deletion_with_confidence_below_one_keeps_survival_branch() {
+        let t = figure1_example();
+        let q = PatternQuery::new(Some("B"));
+        let b = q.root();
+        let update = ProbabilisticUpdate::new(UpdateOperation::delete(q, b), 0.5);
+        let (updated, new_event) = update.apply_to_probtree(&t);
+        assert!(new_event.is_some());
+        let direct = possible_worlds(&updated, 20).unwrap().normalized();
+        let via_pw = update
+            .apply_to_pw_set(&possible_worlds(&t, 20).unwrap())
+            .normalized();
+        assert!(direct.isomorphic(&via_pw));
+    }
+
+    #[test]
+    fn insertion_size_bound_of_proposition2() {
+        // |iQ(T)| ≤ |T| + O(|Q(t)|·|T|): inserting under every C of a
+        // star with k C children grows the tree by exactly k nodes (+1
+        // literal each when confidence < 1).
+        let mut t = ProbTree::new("A");
+        let root = t.tree().root();
+        for _ in 0..10 {
+            t.add_child(root, "C", Condition::always());
+        }
+        let before = t.size();
+        let update = insert_e_under_c(0.9);
+        let (updated, _) = update.apply_to_probtree(&t);
+        assert_eq!(updated.num_nodes(), t.num_nodes() + 10);
+        assert!(updated.size() <= before + 2 * 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence must lie in (0, 1]")]
+    fn zero_confidence_updates_are_rejected() {
+        let q = PatternQuery::new(Some("C"));
+        let at = q.root();
+        ProbabilisticUpdate::new(UpdateOperation::insert(q, at, DataTree::new("E")), 0.0);
+    }
+}

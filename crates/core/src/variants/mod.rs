@@ -1,0 +1,19 @@
+//! Variants of the prob-tree model (Section 5 of the paper).
+//!
+//! * [`simple`] — the *simple probabilistic model* of the authors' earlier
+//!   work (reference [3]): independent per-node probabilities. It admits a
+//!   polynomial bound on representation size but is strictly less
+//!   expressive than the possible-world model.
+//! * [`formula_tree`] — prob-trees whose conditions are arbitrary
+//!   propositional formulas instead of conjunctions. Updates (including
+//!   deletions) become polynomial, but evaluating boolean queries becomes
+//!   NP-complete; the model "privileges updates against queries".
+//! * Set semantics is not a separate type: the relevant entry points in
+//!   [`crate::pwset`], [`crate::equivalence`] and `pxml-tree` take a
+//!   [`pxml_tree::canon::Semantics`] parameter.
+
+pub mod formula_tree;
+pub mod simple;
+
+pub use formula_tree::FormulaProbTree;
+pub use simple::SimpleProbTree;

@@ -1,0 +1,33 @@
+//! # pxml-dtd — unordered DTDs and DTD problems on prob-trees
+//!
+//! Section 4 of Senellart & Abiteboul (PODS 2007) studies validating
+//! probabilistic trees against Document Type Definitions. Because the data
+//! model is unordered, a DTD here simply bounds, for every constrained
+//! parent label, the number of children carrying each label
+//! (Definition 12). Three problems are studied (Theorem 5):
+//!
+//! 1. **DTD satisfiability** — is some possible world valid? NP-complete in
+//!    the number of event variables.
+//! 2. **DTD validity** — are all possible worlds valid? co-NP-complete.
+//! 3. **DTD restriction** — represent the valid worlds as a prob-tree;
+//!    the output may be exponentially larger than the input.
+//!
+//! This crate provides the DTD model and data-tree validation
+//! ([`dtd`], [`validate`]), exact (exponential) and pruned-backtracking
+//! deciders for satisfiability and validity ([`satisfiability`]), the
+//! restriction operation ([`restriction`]), and the Theorem 5 reduction
+//! from SAT ([`reduction`]) used both for the hardness experiments and as a
+//! cross-check against the `pxml-sat` DPLL solver.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dtd;
+pub mod reduction;
+pub mod restriction;
+pub mod satisfiability;
+pub mod validate;
+
+pub use dtd::{ChildConstraint, Dtd};
+pub use satisfiability::{satisfiable_backtracking, satisfiable_bruteforce, valid_bruteforce};
+pub use validate::validates;

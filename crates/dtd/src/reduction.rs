@@ -1,0 +1,178 @@
+//! The Theorem 5 reduction from SAT to DTD satisfiability / validity.
+//!
+//! Given a CNF formula `θ` over variables `x_1 … x_k`, the paper builds the
+//! prob-tree
+//!
+//! ```text
+//! A ── B [ψ_1] … B [ψ_n]
+//! ```
+//!
+//! where `ψ_1 ∨ … ∨ ψ_n` is the DNF of `¬θ` (one disjunct per clause: the
+//! conjunction of the negated literals of that clause), each propositional
+//! variable becoming an event variable. Then:
+//!
+//! * with the DTD `D(A) = {(B, 0, 0)}` ("no B children allowed"), the
+//!   prob-tree has a valid world iff some valuation satisfies no `ψ_i`,
+//!   i.e. iff `θ` is **satisfiable** — so DTD satisfiability is NP-hard;
+//! * with the DTD `D(A) = {(B, 1, +∞)}` ("at least one B child"), every
+//!   world is valid iff `ψ_1 ∨ … ∨ ψ_n` is a tautology, i.e. iff `θ` is
+//!   **unsatisfiable** — so DTD validity is co-NP-hard.
+//!
+//! Both DTDs have constant size and the construction is linear in `|θ|`.
+
+use pxml_core::probtree::ProbTree;
+use pxml_events::{Condition, EventId, Literal, Valuation};
+use pxml_sat::{Cnf, Lit};
+
+use crate::dtd::{ChildConstraint, Dtd};
+
+/// The output of the Theorem 5 reduction.
+#[derive(Clone, Debug)]
+pub struct Theorem5Instance {
+    /// The prob-tree `A ── B[ψ_1] … B[ψ_n]`.
+    pub tree: ProbTree,
+    /// The satisfiability DTD `D(A) = {(B, 0, 0)}`.
+    pub satisfiability_dtd: Dtd,
+    /// The validity DTD `D(A) = {(B, 1, +∞)}`.
+    pub validity_dtd: Dtd,
+    /// The event variable corresponding to each SAT variable.
+    pub variable_events: Vec<EventId>,
+}
+
+/// Builds the Theorem 5 instance for a CNF formula. Every SAT variable is
+/// mapped to an event with probability ½ (the probabilities are irrelevant
+/// to the decision problems).
+pub fn reduce_sat(cnf: &Cnf) -> Theorem5Instance {
+    let mut tree = ProbTree::new("A");
+    let variable_events: Vec<EventId> = (0..cnf.num_vars)
+        .map(|i| tree.events_mut().insert(format!("x{i}"), 0.5))
+        .collect();
+    let root = tree.tree().root();
+    // One B child per clause, annotated with the conjunction of the negated
+    // literals of the clause (a disjunct of the DNF of ¬θ).
+    for clause in &cnf.clauses {
+        let condition = Condition::from_literals(clause.iter().map(|lit: &Lit| Literal {
+            event: variable_events[lit.var.index()],
+            positive: !lit.positive,
+        }));
+        tree.add_child(root, "B", condition);
+    }
+
+    let mut satisfiability_dtd = Dtd::new();
+    satisfiability_dtd.constrain("A", "B", ChildConstraint::forbidden());
+    let mut validity_dtd = Dtd::new();
+    validity_dtd.constrain("A", "B", ChildConstraint::at_least(1));
+
+    Theorem5Instance {
+        tree,
+        satisfiability_dtd,
+        validity_dtd,
+        variable_events,
+    }
+}
+
+impl Theorem5Instance {
+    /// Translates a DTD-satisfiability witness valuation back into a SAT
+    /// assignment of the original variables.
+    pub fn to_sat_assignment(&self, valuation: &Valuation) -> Vec<bool> {
+        self.variable_events
+            .iter()
+            .map(|&e| valuation.get(e))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::satisfiability::{satisfiable_backtracking, satisfiable_bruteforce, valid_bruteforce};
+    use pxml_sat::brute::solve_brute;
+    use pxml_sat::cnf::Var;
+    use pxml_sat::gen3sat::{random_3sat, ThreeSatConfig};
+    use pxml_sat::solve_dpll;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn p(v: u32) -> Lit {
+        Lit::pos(Var(v))
+    }
+    fn n(v: u32) -> Lit {
+        Lit::neg(Var(v))
+    }
+
+    #[test]
+    fn reduction_shape_is_linear() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(vec![p(0), n(1)]);
+        cnf.add_clause(vec![p(1), p(2), n(0)]);
+        let instance = reduce_sat(&cnf);
+        assert_eq!(instance.tree.num_nodes(), 3); // A + one B per clause
+        assert_eq!(instance.tree.num_literals(), 5);
+        assert_eq!(instance.tree.events().len(), 3);
+    }
+
+    #[test]
+    fn satisfiable_formula_gives_dtd_satisfiable_instance() {
+        // (x0 ∨ x1) ∧ (¬x0 ∨ x1): satisfiable (x1 = true).
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(vec![p(0), p(1)]);
+        cnf.add_clause(vec![n(0), p(1)]);
+        assert!(solve_dpll(&cnf).is_some());
+        let instance = reduce_sat(&cnf);
+        let witness = satisfiable_bruteforce(&instance.tree, &instance.satisfiability_dtd, 20)
+            .unwrap()
+            .expect("DTD-satisfiable");
+        // The witness valuation is a satisfying SAT assignment.
+        let assignment = instance.to_sat_assignment(&witness);
+        assert!(cnf.eval(&assignment));
+        // And the formula being satisfiable, validity w.r.t. the validity
+        // DTD fails (there is a world with no B child).
+        assert!(valid_bruteforce(&instance.tree, &instance.validity_dtd, 20)
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn unsatisfiable_formula_gives_dtd_unsatisfiable_instance() {
+        // (x0) ∧ (¬x0)
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause(vec![p(0)]);
+        cnf.add_clause(vec![n(0)]);
+        assert!(solve_dpll(&cnf).is_none());
+        let instance = reduce_sat(&cnf);
+        assert!(
+            satisfiable_bruteforce(&instance.tree, &instance.satisfiability_dtd, 20)
+                .unwrap()
+                .is_none()
+        );
+        // θ unsatisfiable ⇒ every world has a B child ⇒ the validity DTD is
+        // satisfied by every world.
+        assert!(valid_bruteforce(&instance.tree, &instance.validity_dtd, 20)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn reduction_agrees_with_dpll_on_random_3sat() {
+        let mut rng = StdRng::seed_from_u64(0x3547);
+        for num_vars in [4usize, 6, 8] {
+            for _ in 0..5 {
+                let cnf = random_3sat(ThreeSatConfig::at_ratio(num_vars, 4.3), &mut rng);
+                let sat_dpll = solve_dpll(&cnf).is_some();
+                let sat_brute = solve_brute(&cnf).is_some();
+                assert_eq!(sat_dpll, sat_brute);
+                let instance = reduce_sat(&cnf);
+                let (witness, _) =
+                    satisfiable_backtracking(&instance.tree, &instance.satisfiability_dtd);
+                assert_eq!(
+                    witness.is_some(),
+                    sat_dpll,
+                    "reduction must preserve satisfiability ({num_vars} vars)"
+                );
+                if let Some(w) = witness {
+                    assert!(cnf.eval(&instance.to_sat_assignment(&w)));
+                }
+            }
+        }
+    }
+}

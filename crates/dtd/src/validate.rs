@@ -1,0 +1,130 @@
+//! Validation of data trees against unordered DTDs (Definition 13).
+
+use pxml_tree::DataTree;
+
+use crate::dtd::Dtd;
+
+/// `true` iff `tree ⊨ dtd` (Definition 13): for every node whose label is
+/// in the DTD's domain, and for every label, the number of children with
+/// that label lies within the DTD's bounds. Nodes with unconstrained labels
+/// impose no restriction. Linear in the size of the tree.
+pub fn validates(tree: &DataTree, dtd: &Dtd) -> bool {
+    for node in tree.iter() {
+        let label = tree.label(node);
+        if !dtd.constrains(label) {
+            continue;
+        }
+        let counts = tree.child_label_counts(node);
+        // Upper bounds (and forbidden labels): check every child label that
+        // actually occurs.
+        for (child_label, count) in &counts {
+            let constraint = dtd
+                .constraint(label, child_label)
+                .expect("parent label is constrained");
+            if !constraint.allows(*count) {
+                return false;
+            }
+        }
+        // Lower bounds: check every declared rule, including labels with no
+        // occurrence at all.
+        for (child_label, constraint) in dtd.child_rules(label) {
+            let count = counts.get(child_label).copied().unwrap_or(0);
+            if count < constraint.min {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtd::ChildConstraint;
+    use pxml_tree::builder::TreeSpec;
+
+    fn catalog_dtd() -> Dtd {
+        // catalog → item{1..3};  item → name{1..1}, price{0..1}
+        let mut dtd = Dtd::new();
+        dtd.constrain("catalog", "item", ChildConstraint::between(1, 3))
+            .constrain("item", "name", ChildConstraint::between(1, 1))
+            .constrain("item", "price", ChildConstraint::between(0, 1));
+        dtd
+    }
+
+    #[test]
+    fn valid_document() {
+        let tree = TreeSpec::node(
+            "catalog",
+            vec![
+                TreeSpec::node("item", vec![TreeSpec::leaf("name"), TreeSpec::leaf("price")]),
+                TreeSpec::node("item", vec![TreeSpec::leaf("name")]),
+            ],
+        )
+        .build();
+        assert!(validates(&tree, &catalog_dtd()));
+    }
+
+    #[test]
+    fn missing_required_child_is_invalid() {
+        let tree = TreeSpec::node("catalog", vec![TreeSpec::node("item", vec![])]).build();
+        assert!(!validates(&tree, &catalog_dtd()), "item lacks its name");
+    }
+
+    #[test]
+    fn exceeding_max_is_invalid() {
+        let tree = TreeSpec::node(
+            "catalog",
+            vec![
+                TreeSpec::node("item", vec![TreeSpec::leaf("name")]),
+                TreeSpec::node("item", vec![TreeSpec::leaf("name")]),
+                TreeSpec::node("item", vec![TreeSpec::leaf("name")]),
+                TreeSpec::node("item", vec![TreeSpec::leaf("name")]),
+            ],
+        )
+        .build();
+        assert!(!validates(&tree, &catalog_dtd()), "too many items");
+    }
+
+    #[test]
+    fn unlisted_child_labels_are_forbidden_under_constrained_parents() {
+        let tree = TreeSpec::node(
+            "catalog",
+            vec![
+                TreeSpec::node("item", vec![TreeSpec::leaf("name")]),
+                TreeSpec::leaf("advert"),
+            ],
+        )
+        .build();
+        assert!(!validates(&tree, &catalog_dtd()));
+    }
+
+    #[test]
+    fn unconstrained_labels_impose_nothing() {
+        // "misc" is not in the DTD domain, so its children are free.
+        let tree = TreeSpec::node(
+            "misc",
+            vec![TreeSpec::leaf("anything"), TreeSpec::leaf("goes")],
+        )
+        .build();
+        assert!(validates(&tree, &catalog_dtd()));
+    }
+
+    #[test]
+    fn empty_dtd_accepts_everything() {
+        let tree = TreeSpec::node("x", vec![TreeSpec::leaf("y")]).build();
+        assert!(validates(&tree, &Dtd::new()));
+    }
+
+    #[test]
+    fn root_only_tree_with_lower_bound_is_invalid() {
+        // The Theorem 5 validity DTD: D(A) = {(B, 1, +∞)} rejects the
+        // root-only tree.
+        let mut dtd = Dtd::new();
+        dtd.constrain("A", "B", ChildConstraint::at_least(1));
+        let root_only = TreeSpec::leaf("A").build();
+        assert!(!validates(&root_only, &dtd));
+        let with_b = TreeSpec::node("A", vec![TreeSpec::leaf("B")]).build();
+        assert!(validates(&with_b, &dtd));
+    }
+}

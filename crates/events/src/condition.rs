@@ -1,0 +1,310 @@
+//! Literals and conjunctive conditions.
+//!
+//! A *condition* over a set of event variables `W` is a (possibly empty)
+//! set of atomic conditions of the form `w` or `¬w` (Section 2 of the
+//! paper), interpreted as their conjunction. The empty condition is `true`.
+
+use std::fmt;
+
+use crate::event::{EventId, EventTable};
+use crate::valuation::Valuation;
+
+/// An atomic condition: an event variable or its negation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Literal {
+    /// The event variable.
+    pub event: EventId,
+    /// `true` for the atom `w`, `false` for `¬w`.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// The positive literal `w`.
+    pub fn pos(event: EventId) -> Self {
+        Literal {
+            event,
+            positive: true,
+        }
+    }
+
+    /// The negative literal `¬w`.
+    pub fn neg(event: EventId) -> Self {
+        Literal {
+            event,
+            positive: false,
+        }
+    }
+
+    /// The literal with the opposite polarity.
+    pub fn negated(self) -> Self {
+        Literal {
+            event: self.event,
+            positive: !self.positive,
+        }
+    }
+
+    /// Truth value of the literal under a valuation.
+    pub fn eval(self, valuation: &Valuation) -> bool {
+        valuation.get(self.event) == self.positive
+    }
+
+    /// Probability of the literal under the independent distribution `π`.
+    pub fn prob(self, events: &EventTable) -> f64 {
+        if self.positive {
+            events.prob(self.event)
+        } else {
+            1.0 - events.prob(self.event)
+        }
+    }
+
+    /// Renders the literal using the table's event names.
+    pub fn display<'a>(&'a self, events: &'a EventTable) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Literal, &'a EventTable);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if !self.0.positive {
+                    write!(f, "¬")?;
+                }
+                write!(f, "{}", self.1.name(self.0.event))
+            }
+        }
+        D(self, events)
+    }
+}
+
+/// A conjunction of literals (a *condition*). Kept sorted and deduplicated,
+/// so equality of `Condition` values is syntactic equality of the
+/// literal sets.
+///
+/// A condition may be *inconsistent* (contain both `w` and `¬w`); the
+/// paper keeps such conditions representable (they evaluate to probability
+/// zero and are pruned by cleaning).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Condition {
+    literals: Vec<Literal>,
+}
+
+impl Condition {
+    /// The empty (always true) condition.
+    pub fn always() -> Self {
+        Condition::default()
+    }
+
+    /// A condition consisting of a single literal.
+    pub fn of(literal: Literal) -> Self {
+        Condition {
+            literals: vec![literal],
+        }
+    }
+
+    /// Builds a condition from an iterator of literals (sorted,
+    /// deduplicated).
+    pub fn from_literals<I: IntoIterator<Item = Literal>>(literals: I) -> Self {
+        let mut literals: Vec<Literal> = literals.into_iter().collect();
+        literals.sort_unstable();
+        literals.dedup();
+        Condition { literals }
+    }
+
+    /// The literals of the condition, sorted.
+    pub fn literals(&self) -> &[Literal] {
+        &self.literals
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// `true` for the empty (always true) condition.
+    pub fn is_empty(&self) -> bool {
+        self.literals.is_empty()
+    }
+
+    /// Whether the condition mentions `event` (positively or negatively).
+    pub fn mentions(&self, event: EventId) -> bool {
+        self.literals.iter().any(|l| l.event == event)
+    }
+
+    /// All event variables mentioned.
+    pub fn events(&self) -> impl Iterator<Item = EventId> + '_ {
+        self.literals.iter().map(|l| l.event)
+    }
+
+    /// `true` if the condition is intrinsically consistent, i.e. does not
+    /// contain both `w` and `¬w` for some event `w`.
+    pub fn is_consistent(&self) -> bool {
+        self.literals
+            .windows(2)
+            .all(|w| !(w[0].event == w[1].event && w[0].positive != w[1].positive))
+    }
+
+    /// Conjunction of two conditions.
+    pub fn and(&self, other: &Condition) -> Condition {
+        Condition::from_literals(self.literals.iter().chain(other.literals.iter()).copied())
+    }
+
+    /// Adds a single literal.
+    pub fn and_literal(&self, literal: Literal) -> Condition {
+        Condition::from_literals(self.literals.iter().copied().chain(std::iter::once(literal)))
+    }
+
+    /// Set-difference of conditions: the literals of `self` that are not in
+    /// `other`. Used by the update algorithms of Appendix A
+    /// (`cond − (γ(µ(n)) ∪ cond_ancestors)`).
+    pub fn minus(&self, other: &Condition) -> Condition {
+        Condition {
+            literals: self
+                .literals
+                .iter()
+                .filter(|l| !other.literals.contains(l))
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// `true` if every literal of `self` appears in `other` (so `other`
+    /// logically implies `self`, both being conjunctions).
+    pub fn subset_of(&self, other: &Condition) -> bool {
+        self.literals.iter().all(|l| other.literals.contains(l))
+    }
+
+    /// Truth value under a valuation. The empty condition is true.
+    pub fn eval(&self, valuation: &Valuation) -> bool {
+        self.literals.iter().all(|l| l.eval(valuation))
+    }
+
+    /// The `eval` function of Definition 8: `0` if the condition is
+    /// inconsistent, otherwise the product of `π(w)` for positive literals
+    /// and `1 − π(w)` for negative literals.
+    pub fn probability(&self, events: &EventTable) -> f64 {
+        if !self.is_consistent() {
+            return 0.0;
+        }
+        self.literals.iter().map(|l| l.prob(events)).product()
+    }
+
+    /// Renders the condition using the table's event names; the empty
+    /// condition renders as `⊤`.
+    pub fn display<'a>(&'a self, events: &'a EventTable) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Condition, &'a EventTable);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if self.0.literals.is_empty() {
+                    return write!(f, "⊤");
+                }
+                for (i, lit) in self.0.literals.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{}", lit.display(self.1))?;
+                }
+                Ok(())
+            }
+        }
+        D(self, events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> (EventTable, EventId, EventId, EventId) {
+        let mut t = EventTable::new();
+        let w1 = t.insert("w1", 0.8);
+        let w2 = t.insert("w2", 0.7);
+        let w3 = t.insert("w3", 0.5);
+        (t, w1, w2, w3)
+    }
+
+    #[test]
+    fn literal_eval_and_prob() {
+        let (t, w1, _, _) = table();
+        let mut v = Valuation::empty(t.len());
+        assert!(!Literal::pos(w1).eval(&v));
+        assert!(Literal::neg(w1).eval(&v));
+        v.set(w1, true);
+        assert!(Literal::pos(w1).eval(&v));
+        assert!((Literal::pos(w1).prob(&t) - 0.8).abs() < 1e-12);
+        assert!((Literal::neg(w1).prob(&t) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn condition_dedups_and_sorts() {
+        let (_, w1, w2, _) = table();
+        let c = Condition::from_literals([Literal::pos(w2), Literal::pos(w1), Literal::pos(w2)]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.literals()[0].event, w1);
+    }
+
+    #[test]
+    fn figure1_condition_probability() {
+        // Node B of Figure 1 carries w1 ∧ ¬w2 with π(w1)=0.8, π(w2)=0.7:
+        // probability 0.8 · 0.3 = 0.24.
+        let (t, w1, w2, _) = table();
+        let c = Condition::from_literals([Literal::pos(w1), Literal::neg(w2)]);
+        assert!((c.probability(&t) - 0.24).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inconsistent_condition_has_probability_zero() {
+        let (t, w1, _, _) = table();
+        let c = Condition::from_literals([Literal::pos(w1), Literal::neg(w1)]);
+        assert!(!c.is_consistent());
+        assert_eq!(c.probability(&t), 0.0);
+    }
+
+    #[test]
+    fn empty_condition_is_true_and_certain() {
+        let (t, _, _, _) = table();
+        let c = Condition::always();
+        assert!(c.is_consistent());
+        assert_eq!(c.probability(&t), 1.0);
+        let v = Valuation::empty(t.len());
+        assert!(c.eval(&v));
+    }
+
+    #[test]
+    fn and_minus_subset() {
+        let (_, w1, w2, w3) = table();
+        let a = Condition::from_literals([Literal::pos(w1), Literal::neg(w2)]);
+        let b = Condition::from_literals([Literal::neg(w2), Literal::pos(w3)]);
+        let ab = a.and(&b);
+        assert_eq!(ab.len(), 3);
+        assert!(a.subset_of(&ab));
+        assert!(b.subset_of(&ab));
+        let diff = ab.minus(&a);
+        assert_eq!(diff, Condition::of(Literal::pos(w3)));
+    }
+
+    #[test]
+    fn eval_under_valuations() {
+        let (t, w1, w2, _) = table();
+        let c = Condition::from_literals([Literal::pos(w1), Literal::neg(w2)]);
+        let mut v = Valuation::empty(t.len());
+        assert!(!c.eval(&v)); // w1 false
+        v.set(w1, true);
+        assert!(c.eval(&v)); // w1 true, w2 false
+        v.set(w2, true);
+        assert!(!c.eval(&v)); // ¬w2 violated
+    }
+
+    #[test]
+    fn display_uses_event_names() {
+        let (t, w1, w2, _) = table();
+        let c = Condition::from_literals([Literal::pos(w1), Literal::neg(w2)]);
+        assert_eq!(format!("{}", c.display(&t)), "w1 ∧ ¬w2");
+        assert_eq!(format!("{}", Condition::always().display(&t)), "⊤");
+    }
+
+    #[test]
+    fn mentions_and_events() {
+        let (_, w1, w2, w3) = table();
+        let c = Condition::from_literals([Literal::pos(w1), Literal::neg(w2)]);
+        assert!(c.mentions(w1));
+        assert!(c.mentions(w2));
+        assert!(!c.mentions(w3));
+        assert_eq!(c.events().count(), 2);
+    }
+}

@@ -1,0 +1,297 @@
+//! Propositional formulas in disjunctive normal form and count-equivalence.
+//!
+//! Definition 10 of the paper: two DNF formulas `ψ`, `ψ'` are
+//! *count-equivalent* (`ψ ≡⁺ ψ'`) if every valuation satisfies the same
+//! number of disjuncts in both. Count-equivalence is strictly stronger than
+//! logical equivalence — `A ∨ (A ∧ B)` is equivalent to `A` but not
+//! count-equivalent — and is exactly the notion needed to compare the
+//! multiset of children conditions of two prob-trees (Lemma 2).
+//!
+//! This module provides the DNF data type plus the **naive exponential**
+//! decision procedures used as ground-truth baselines; the polynomial
+//! identity-testing route (Lemma 1, Theorem 2) lives in `pxml-poly`.
+
+use std::fmt;
+
+use crate::condition::Condition;
+use crate::event::{EventId, EventTable};
+use crate::valuation::{all_valuations, TooManyValuations, Valuation};
+
+/// A propositional formula in disjunctive normal form: a disjunction of
+/// conjunctive [`Condition`]s. The empty DNF is `false`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Dnf {
+    disjuncts: Vec<Condition>,
+}
+
+impl Dnf {
+    /// The empty disjunction (`false`).
+    pub fn none() -> Self {
+        Dnf::default()
+    }
+
+    /// A DNF with a single disjunct.
+    pub fn of(condition: Condition) -> Self {
+        Dnf {
+            disjuncts: vec![condition],
+        }
+    }
+
+    /// Builds a DNF from its disjuncts.
+    pub fn from_disjuncts<I: IntoIterator<Item = Condition>>(disjuncts: I) -> Self {
+        Dnf {
+            disjuncts: disjuncts.into_iter().collect(),
+        }
+    }
+
+    /// The disjuncts.
+    pub fn disjuncts(&self) -> &[Condition] {
+        &self.disjuncts
+    }
+
+    /// Number of disjuncts.
+    pub fn len(&self) -> usize {
+        self.disjuncts.len()
+    }
+
+    /// `true` for the empty disjunction.
+    pub fn is_empty(&self) -> bool {
+        self.disjuncts.is_empty()
+    }
+
+    /// Adds a disjunct.
+    pub fn push(&mut self, condition: Condition) {
+        self.disjuncts.push(condition);
+    }
+
+    /// Total number of literals across all disjuncts (the `Nl` size measure
+    /// used in Theorem 2's error analysis).
+    pub fn literal_count(&self) -> usize {
+        self.disjuncts.iter().map(Condition::len).sum()
+    }
+
+    /// The event variables mentioned anywhere in the formula, deduplicated
+    /// and sorted.
+    pub fn events(&self) -> Vec<EventId> {
+        let mut events: Vec<EventId> = self
+            .disjuncts
+            .iter()
+            .flat_map(|c| c.events())
+            .collect();
+        events.sort_unstable();
+        events.dedup();
+        events
+    }
+
+    /// The *normalization* used by Definition 11: removes disjuncts with
+    /// incompatible atomic conditions (their characteristic-polynomial
+    /// contribution is 0); duplicate literals inside a disjunct are already
+    /// removed by [`Condition`]'s representation.
+    pub fn normalized(&self) -> Dnf {
+        Dnf {
+            disjuncts: self
+                .disjuncts
+                .iter()
+                .filter(|c| c.is_consistent())
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Number of disjuncts satisfied by `valuation`.
+    pub fn count_satisfied(&self, valuation: &Valuation) -> usize {
+        self.disjuncts.iter().filter(|c| c.eval(valuation)).count()
+    }
+
+    /// Truth value under `valuation` (at least one disjunct satisfied).
+    pub fn eval(&self, valuation: &Valuation) -> bool {
+        self.disjuncts.iter().any(|c| c.eval(valuation))
+    }
+
+    /// Naive (exponential-time) decision of count-equivalence
+    /// (Definition 10), by enumerating all valuations over the events of
+    /// either formula. Ground truth for the Schwartz–Zippel test.
+    pub fn count_equivalent_naive(
+        &self,
+        other: &Dnf,
+        num_events: usize,
+        max_events: usize,
+    ) -> Result<bool, TooManyValuations> {
+        for v in all_valuations(num_events, max_events)? {
+            if self.count_satisfied(&v) != other.count_satisfied(&v) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Naive (exponential-time) decision of plain logical equivalence.
+    /// Under the Section 5 *set semantics* this —not count-equivalence— is
+    /// the relevant notion (and makes structural equivalence
+    /// co-NP-complete).
+    pub fn equivalent_naive(
+        &self,
+        other: &Dnf,
+        num_events: usize,
+        max_events: usize,
+    ) -> Result<bool, TooManyValuations> {
+        for v in all_valuations(num_events, max_events)? {
+            if self.eval(&v) != other.eval(&v) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Probability that the formula is true under the independent
+    /// distribution of `events`, computed by exhaustive enumeration.
+    /// Exponential; used in tests and in the arbitrary-formula variant
+    /// baselines.
+    pub fn probability_naive(
+        &self,
+        events: &EventTable,
+        max_events: usize,
+    ) -> Result<f64, TooManyValuations> {
+        let mut total = 0.0;
+        for v in all_valuations(events.len(), max_events)? {
+            if self.eval(&v) {
+                total += v.probability(events);
+            }
+        }
+        Ok(total)
+    }
+
+    /// Renders the DNF using the table's event names; the empty DNF renders
+    /// as `⊥`.
+    pub fn display<'a>(&'a self, events: &'a EventTable) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Dnf, &'a EventTable);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if self.0.disjuncts.is_empty() {
+                    return write!(f, "⊥");
+                }
+                for (i, d) in self.0.disjuncts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "({})", d.display(self.1))?;
+                }
+                Ok(())
+            }
+        }
+        D(self, events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Literal;
+
+    fn setup() -> (EventTable, EventId, EventId, EventId) {
+        let mut t = EventTable::new();
+        let a = t.insert("A", 0.5);
+        let b = t.insert("B", 0.5);
+        let c = t.insert("C", 0.5);
+        (t, a, b, c)
+    }
+
+    #[test]
+    fn papers_count_equivalence_counterexample() {
+        // A ∨ (A ∧ B) is equivalent to A but NOT count-equivalent.
+        let (t, a, b, _) = setup();
+        let lhs = Dnf::from_disjuncts([
+            Condition::of(Literal::pos(a)),
+            Condition::from_literals([Literal::pos(a), Literal::pos(b)]),
+        ]);
+        let rhs = Dnf::of(Condition::of(Literal::pos(a)));
+        assert!(lhs.equivalent_naive(&rhs, t.len(), 10).unwrap());
+        assert!(!lhs.count_equivalent_naive(&rhs, t.len(), 10).unwrap());
+    }
+
+    #[test]
+    fn count_equivalence_is_preserved_by_disjunct_reordering() {
+        let (t, a, b, _) = setup();
+        let d1 = Condition::of(Literal::pos(a));
+        let d2 = Condition::of(Literal::neg(b));
+        let x = Dnf::from_disjuncts([d1.clone(), d2.clone()]);
+        let y = Dnf::from_disjuncts([d2, d1]);
+        assert!(x.count_equivalent_naive(&y, t.len(), 10).unwrap());
+    }
+
+    #[test]
+    fn normalization_drops_inconsistent_disjuncts() {
+        let (_, a, _, _) = setup();
+        let inconsistent = Condition::from_literals([Literal::pos(a), Literal::neg(a)]);
+        let dnf = Dnf::from_disjuncts([inconsistent, Condition::of(Literal::pos(a))]);
+        assert_eq!(dnf.len(), 2);
+        assert_eq!(dnf.normalized().len(), 1);
+    }
+
+    #[test]
+    fn count_satisfied_counts_multiplicities() {
+        let (t, a, b, _) = setup();
+        let dnf = Dnf::from_disjuncts([
+            Condition::of(Literal::pos(a)),
+            Condition::of(Literal::pos(a)),
+            Condition::of(Literal::pos(b)),
+        ]);
+        let v = Valuation::from_true_events(t.len(), [a]);
+        assert_eq!(dnf.count_satisfied(&v), 2);
+        assert!(dnf.eval(&v));
+        let v0 = Valuation::empty(t.len());
+        assert_eq!(dnf.count_satisfied(&v0), 0);
+        assert!(!dnf.eval(&v0));
+    }
+
+    #[test]
+    fn empty_dnf_is_false_everywhere() {
+        let (t, _, _, _) = setup();
+        let dnf = Dnf::none();
+        for v in all_valuations(t.len(), 10).unwrap() {
+            assert!(!dnf.eval(&v));
+        }
+        assert_eq!(dnf.probability_naive(&t, 10).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn probability_naive_matches_hand_computation() {
+        // P(A ∨ B) with independent P(A)=P(B)=0.5 is 0.75.
+        let (t, a, b, _) = setup();
+        let dnf = Dnf::from_disjuncts([
+            Condition::of(Literal::pos(a)),
+            Condition::of(Literal::pos(b)),
+        ]);
+        let p = dnf.probability_naive(&t, 10).unwrap();
+        assert!((p - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn events_are_collected_and_deduplicated() {
+        let (_, a, b, c) = setup();
+        let dnf = Dnf::from_disjuncts([
+            Condition::from_literals([Literal::pos(a), Literal::neg(b)]),
+            Condition::from_literals([Literal::pos(b), Literal::pos(c)]),
+        ]);
+        assert_eq!(dnf.events(), vec![a, b, c]);
+        assert_eq!(dnf.literal_count(), 4);
+    }
+
+    #[test]
+    fn display_renders_disjunction() {
+        let (t, a, b, _) = setup();
+        let dnf = Dnf::from_disjuncts([
+            Condition::of(Literal::pos(a)),
+            Condition::of(Literal::neg(b)),
+        ]);
+        assert_eq!(format!("{}", dnf.display(&t)), "(A) ∨ (¬B)");
+        assert_eq!(format!("{}", Dnf::none().display(&t)), "⊥");
+    }
+
+    #[test]
+    fn guard_propagates_from_valuation_enumeration() {
+        let (_, a, _, _) = setup();
+        let dnf = Dnf::of(Condition::of(Literal::pos(a)));
+        assert!(dnf.count_equivalent_naive(&dnf, 40, 24).is_err());
+    }
+}

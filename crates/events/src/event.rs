@@ -1,0 +1,216 @@
+//! Event variables and their probability distribution.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an event variable inside one [`EventTable`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(pub(crate) u32);
+
+impl EventId {
+    /// Raw index of the event variable in its table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an `EventId` from a raw index (for deserialization code that
+    /// has validated the index).
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        EventId(index as u32)
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0 + 1)
+    }
+}
+
+/// The finite set of event variables `W` of a prob-tree together with its
+/// probability distribution `π : W → (0, 1]`.
+///
+/// The paper disallows zero probabilities (a convention: a zero-probability
+/// update would simply not be performed); [`EventTable::insert`] enforces
+/// `0 < p ≤ 1`.
+#[derive(Clone, Debug, Default)]
+pub struct EventTable {
+    names: Vec<String>,
+    probs: Vec<f64>,
+    by_name: HashMap<String, EventId>,
+}
+
+impl EventTable {
+    /// Creates an empty event table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new event variable with the given `name` and probability
+    /// `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `(0, 1]`, or if `name` is already used.
+    pub fn insert(&mut self, name: impl Into<String>, p: f64) -> EventId {
+        let name = name.into();
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "event probability must lie in (0, 1], got {p}"
+        );
+        assert!(
+            !self.by_name.contains_key(&name),
+            "event variable named {name:?} already exists"
+        );
+        let id = EventId(self.names.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.names.push(name);
+        self.probs.push(p);
+        id
+    }
+
+    /// Registers a fresh event variable with an auto-generated name
+    /// (`w1`, `w2`, ...). Each probabilistic update introduces one such
+    /// fresh event (Section 2 / Appendix A).
+    pub fn fresh(&mut self, p: f64) -> EventId {
+        let mut i = self.names.len() + 1;
+        loop {
+            let candidate = format!("w{i}");
+            if !self.by_name.contains_key(&candidate) {
+                return self.insert(candidate, p);
+            }
+            i += 1;
+        }
+    }
+
+    /// Number of event variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table has no event variables.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The probability `π(w)` of an event.
+    #[inline]
+    pub fn prob(&self, event: EventId) -> f64 {
+        self.probs[event.index()]
+    }
+
+    /// Overrides the probability of an existing event (used by the proof of
+    /// Proposition 4 style constructions and by tests).
+    pub fn set_prob(&mut self, event: EventId, p: f64) {
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "event probability must lie in (0, 1], got {p}"
+        );
+        self.probs[event.index()] = p;
+    }
+
+    /// The name of an event.
+    #[inline]
+    pub fn name(&self, event: EventId) -> &str {
+        &self.names[event.index()]
+    }
+
+    /// Looks an event up by name.
+    pub fn by_name(&self, name: &str) -> Option<EventId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterates over all events in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = EventId> + '_ {
+        (0..self.names.len() as u32).map(EventId)
+    }
+
+    /// `true` if the two tables declare the same events with the same
+    /// probabilities (structural equivalence in the paper requires
+    /// "the same event variables and distribution").
+    pub fn same_distribution(&self, other: &EventTable) -> bool {
+        self.len() == other.len()
+            && self.iter().all(|e| {
+                self.name(e) == other.name(e)
+                    && crate::prob_eq(self.prob(e), other.prob(e))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut table = EventTable::new();
+        let w1 = table.insert("w1", 0.8);
+        let w2 = table.insert("w2", 0.7);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.prob(w1), 0.8);
+        assert_eq!(table.name(w2), "w2");
+        assert_eq!(table.by_name("w1"), Some(w1));
+        assert_eq!(table.by_name("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in (0, 1]")]
+    fn zero_probability_is_rejected() {
+        let mut table = EventTable::new();
+        table.insert("w", 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in (0, 1]")]
+    fn probability_above_one_is_rejected() {
+        let mut table = EventTable::new();
+        table.insert("w", 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_names_are_rejected() {
+        let mut table = EventTable::new();
+        table.insert("w", 0.5);
+        table.insert("w", 0.6);
+    }
+
+    #[test]
+    fn fresh_generates_unused_names() {
+        let mut table = EventTable::new();
+        table.insert("w1", 0.5);
+        let fresh = table.fresh(0.3);
+        assert_ne!(table.name(fresh), "w1");
+        assert_eq!(table.prob(fresh), 0.3);
+        let fresh2 = table.fresh(0.2);
+        assert_ne!(table.name(fresh2), table.name(fresh));
+    }
+
+    #[test]
+    fn probability_one_is_allowed() {
+        let mut table = EventTable::new();
+        let w = table.insert("certain", 1.0);
+        assert_eq!(table.prob(w), 1.0);
+    }
+
+    #[test]
+    fn same_distribution_checks_names_and_probs() {
+        let mut a = EventTable::new();
+        a.insert("w1", 0.8);
+        a.insert("w2", 0.7);
+        let mut b = EventTable::new();
+        b.insert("w1", 0.8);
+        b.insert("w2", 0.7);
+        assert!(a.same_distribution(&b));
+        b.set_prob(EventId(1), 0.6);
+        assert!(!a.same_distribution(&b));
+    }
+
+    #[test]
+    fn iter_visits_in_insertion_order() {
+        let mut table = EventTable::new();
+        let ids: Vec<_> = (0..5).map(|i| table.insert(format!("e{i}"), 0.5)).collect();
+        let iterated: Vec<_> = table.iter().collect();
+        assert_eq!(ids, iterated);
+    }
+}

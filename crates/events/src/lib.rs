@@ -1,0 +1,44 @@
+//! # pxml-events — probabilistic event variables and conditions
+//!
+//! The prob-tree model (Senellart & Abiteboul, PODS 2007, Section 2)
+//! annotates tree nodes with *conditions*: conjunctions of possibly negated
+//! **event variables**, in the style of the conditions of Imieliński &
+//! Lipski's conditional tables. Each event variable `w` carries an
+//! independent probability `π(w) ∈ (0, 1]`.
+//!
+//! This crate provides the building blocks shared by the rest of the
+//! workspace:
+//!
+//! * [`EventId`], [`EventTable`] — the finite set `W` of event variables
+//!   together with its probability distribution `π`.
+//! * [`Literal`], [`Condition`] — atomic conditions `w` / `¬w` and their
+//!   conjunctions, with consistency, implication, conjunction and
+//!   probability evaluation (the `eval` of Definition 8).
+//! * [`Valuation`] — a truth assignment `V ⊆ W`, with an iterator over all
+//!   `2^{|W|}` assignments (used by the possible-world semantics and the
+//!   exhaustive baselines; always bounded by the caller).
+//! * [`Dnf`] — disjunctions of conditions and the *count-equivalence*
+//!   relation of Definition 10, with the naive exponential decision
+//!   procedure used as a baseline against the Schwartz–Zippel test of
+//!   `pxml-poly`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod condition;
+pub mod dnf;
+pub mod event;
+pub mod valuation;
+
+pub use condition::{Condition, Literal};
+pub use dnf::Dnf;
+pub use event::{EventId, EventTable};
+pub use valuation::Valuation;
+
+/// Tolerance used throughout the workspace when comparing probabilities.
+pub const PROB_EPS: f64 = 1e-9;
+
+/// Compares two probabilities up to [`PROB_EPS`].
+pub fn prob_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= PROB_EPS
+}

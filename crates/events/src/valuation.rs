@@ -1,0 +1,262 @@
+//! Valuations of event variables.
+//!
+//! A valuation corresponds to a choice `V ⊆ W` of the events that are true;
+//! the possible-world semantics of a prob-tree enumerates all of them
+//! (Definition 4). Valuations are stored as compact bitsets.
+
+use crate::event::{EventId, EventTable};
+
+/// A truth assignment for the event variables of one [`EventTable`].
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Valuation {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl Valuation {
+    /// The all-false valuation over `len` events.
+    pub fn empty(len: usize) -> Self {
+        Valuation {
+            bits: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// The all-true valuation over `len` events.
+    pub fn full(len: usize) -> Self {
+        let mut v = Valuation::empty(len);
+        for i in 0..len {
+            v.set(EventId::from_index(i), true);
+        }
+        v
+    }
+
+    /// Builds a valuation from the set of true events.
+    pub fn from_true_events<I: IntoIterator<Item = EventId>>(len: usize, events: I) -> Self {
+        let mut v = Valuation::empty(len);
+        for e in events {
+            v.set(e, true);
+        }
+        v
+    }
+
+    /// Number of event variables covered by this valuation.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the valuation covers no event variables.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The truth value of `event`.
+    #[inline]
+    pub fn get(&self, event: EventId) -> bool {
+        let i = event.index();
+        debug_assert!(i < self.len, "event {i} out of range {}", self.len);
+        (self.bits[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets the truth value of `event`.
+    #[inline]
+    pub fn set(&mut self, event: EventId, value: bool) {
+        let i = event.index();
+        debug_assert!(i < self.len, "event {i} out of range {}", self.len);
+        if value {
+            self.bits[i / 64] |= 1 << (i % 64);
+        } else {
+            self.bits[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// The number of true events.
+    pub fn count_true(&self) -> usize {
+        self.bits.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the events that are true.
+    pub fn true_events(&self) -> impl Iterator<Item = EventId> + '_ {
+        (0..self.len)
+            .map(EventId::from_index)
+            .filter(move |&e| self.get(e))
+    }
+
+    /// Probability of this valuation under the independent distribution of
+    /// `events`: `Π_{w ∈ V} π(w) · Π_{w ∉ V} (1 − π(w))` (Definition 4).
+    pub fn probability(&self, events: &EventTable) -> f64 {
+        assert_eq!(events.len(), self.len, "valuation/table size mismatch");
+        events
+            .iter()
+            .map(|e| {
+                if self.get(e) {
+                    events.prob(e)
+                } else {
+                    1.0 - events.prob(e)
+                }
+            })
+            .product()
+    }
+}
+
+/// Error returned when an exhaustive enumeration over `2^{|W|}` valuations
+/// would exceed the caller-provided bound.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TooManyValuations {
+    /// Number of event variables requested.
+    pub num_events: usize,
+    /// The caller's bound on the number of event variables.
+    pub max_events: usize,
+}
+
+impl std::fmt::Display for TooManyValuations {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "enumerating 2^{} valuations exceeds the configured bound of 2^{}",
+            self.num_events, self.max_events
+        )
+    }
+}
+
+impl std::error::Error for TooManyValuations {}
+
+/// Iterator over all `2^n` valuations of `n` events, in lexicographic
+/// (binary counter) order.
+#[derive(Debug)]
+pub struct AllValuations {
+    next: Option<Valuation>,
+}
+
+impl Iterator for AllValuations {
+    type Item = Valuation;
+
+    fn next(&mut self) -> Option<Valuation> {
+        let current = self.next.clone()?;
+        // Binary increment; stop after the all-true valuation.
+        let mut succ = current.clone();
+        let mut carried = true;
+        for i in 0..succ.len() {
+            let e = EventId::from_index(i);
+            if succ.get(e) {
+                succ.set(e, false);
+            } else {
+                succ.set(e, true);
+                carried = false;
+                break;
+            }
+        }
+        self.next = if carried { None } else { Some(succ) };
+        Some(current)
+    }
+}
+
+/// Enumerates all valuations over `num_events` events, refusing to start if
+/// `num_events > max_events` (exponential-work guard).
+pub fn all_valuations(
+    num_events: usize,
+    max_events: usize,
+) -> Result<AllValuations, TooManyValuations> {
+    if num_events > max_events {
+        return Err(TooManyValuations {
+            num_events,
+            max_events,
+        });
+    }
+    Ok(AllValuations {
+        next: Some(Valuation::empty(num_events)),
+    })
+}
+
+/// Default bound on the number of event variables for exhaustive
+/// enumerations (2^24 ≈ 16M valuations).
+pub const DEFAULT_MAX_EXHAUSTIVE_EVENTS: usize = 24;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundary() {
+        let mut v = Valuation::empty(130);
+        for i in [0usize, 1, 63, 64, 65, 127, 128, 129] {
+            let e = EventId::from_index(i);
+            assert!(!v.get(e));
+            v.set(e, true);
+            assert!(v.get(e));
+        }
+        assert_eq!(v.count_true(), 8);
+        v.set(EventId::from_index(64), false);
+        assert_eq!(v.count_true(), 7);
+    }
+
+    #[test]
+    fn full_and_empty() {
+        let v = Valuation::full(10);
+        assert_eq!(v.count_true(), 10);
+        let e = Valuation::empty(10);
+        assert_eq!(e.count_true(), 0);
+    }
+
+    #[test]
+    fn probability_of_valuation_matches_figure2() {
+        // Figure 1: π(w1)=0.8, π(w2)=0.7.
+        // V={w2}: (1−0.8)·0.7 = 0.14;  V={w1,w2}: 0.8·0.7 = 0.56.
+        // (These two valuations both yield the Figure 2 world A→C→D with
+        // total probability 0.70.)
+        let mut t = EventTable::new();
+        let w1 = t.insert("w1", 0.8);
+        let w2 = t.insert("w2", 0.7);
+        let v1 = Valuation::from_true_events(2, [w2]);
+        let v2 = Valuation::from_true_events(2, [w1, w2]);
+        assert!((v1.probability(&t) - 0.14).abs() < 1e-12);
+        assert!((v2.probability(&t) - 0.56).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_valuations_enumerates_exactly_2_pow_n() {
+        let vals: Vec<_> = all_valuations(4, 10).unwrap().collect();
+        assert_eq!(vals.len(), 16);
+        // All distinct.
+        let mut sorted = vals.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 16);
+    }
+
+    #[test]
+    fn all_valuations_zero_events_is_single_empty_world() {
+        let vals: Vec<_> = all_valuations(0, 10).unwrap().collect();
+        assert_eq!(vals.len(), 1);
+        assert_eq!(vals[0].len(), 0);
+    }
+
+    #[test]
+    fn valuation_probabilities_sum_to_one() {
+        let mut t = EventTable::new();
+        t.insert("a", 0.3);
+        t.insert("b", 0.9);
+        t.insert("c", 0.5);
+        let total: f64 = all_valuations(3, 10)
+            .unwrap()
+            .map(|v| v.probability(&t))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enumeration_guard_refuses_large_event_sets() {
+        let err = all_valuations(30, 24).unwrap_err();
+        assert_eq!(err.num_events, 30);
+        assert!(err.to_string().contains("2^30"));
+    }
+
+    #[test]
+    fn true_events_iterator() {
+        let mut v = Valuation::empty(5);
+        v.set(EventId::from_index(1), true);
+        v.set(EventId::from_index(3), true);
+        let trues: Vec<usize> = v.true_events().map(|e| e.index()).collect();
+        assert_eq!(trues, vec![1, 3]);
+    }
+}

@@ -1,0 +1,33 @@
+//! # pxml-poly — polynomial identity testing for count-equivalence
+//!
+//! Theorem 2 of Senellart & Abiteboul (PODS 2007) gives a co-RP decision
+//! procedure for structural equivalence of prob-trees. Its workhorse is
+//! Lemma 1: two DNF formulas are *count-equivalent* iff their
+//! *characteristic polynomials* (Definition 11) are equal as multivariate
+//! polynomials, which can be tested probabilistically by evaluating the
+//! difference at random points (the Schwartz–Zippel lemma).
+//!
+//! This crate provides:
+//!
+//! * [`field::Fp`] — arithmetic in the prime field 𝔽_p with
+//!   p = 2⁶¹ − 1 (a Mersenne prime, so reduction is cheap and the field is
+//!   comfortably larger than any sample-set size the algorithm needs).
+//! * [`mpoly::MPoly`] — an explicit sparse multivariate polynomial type
+//!   (degree ≤ 1 in each variable), used for the *exact* — exponential in
+//!   the worst case — baseline and for testing Lemma 1 itself.
+//! * [`charpoly`] — construction and direct evaluation of characteristic
+//!   polynomials of DNF formulas.
+//! * [`zippel`] — the randomized count-equivalence test with the error
+//!   bound tracking of Theorem 2.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod charpoly;
+pub mod field;
+pub mod mpoly;
+pub mod zippel;
+
+pub use charpoly::{characteristic_polynomial, eval_characteristic};
+pub use field::Fp;
+pub use zippel::{count_equivalent_randomized, ZippelConfig};

@@ -1,0 +1,90 @@
+//! Exhaustive satisfiability checking.
+//!
+//! This is the literal "guess a valuation of the event variables and check"
+//! NP algorithm that the paper describes for DTD satisfiability
+//! (Theorem 5), turned into a deterministic exponential sweep. It doubles
+//! as ground truth for the DPLL solver and as the slow baseline in the E8
+//! benchmark.
+
+use crate::cnf::Cnf;
+
+/// Returns a satisfying assignment found by enumerating all `2^n`
+/// assignments, or `None` if the CNF is unsatisfiable.
+///
+/// # Panics
+/// Panics if the CNF has more than 30 variables (the caller should use
+/// [`crate::dpll::solve_dpll`] instead).
+pub fn solve_brute(cnf: &Cnf) -> Option<Vec<bool>> {
+    assert!(
+        cnf.num_vars <= 30,
+        "brute-force SAT limited to 30 variables, got {}",
+        cnf.num_vars
+    );
+    let n = cnf.num_vars;
+    for bits in 0u64..(1u64 << n) {
+        let assignment: Vec<bool> = (0..n).map(|i| bits & (1 << i) != 0).collect();
+        if cnf.eval(&assignment) {
+            return Some(assignment);
+        }
+    }
+    None
+}
+
+/// Counts the satisfying assignments by exhaustive enumeration (used by
+/// tests that need exact model counts).
+pub fn count_models_brute(cnf: &Cnf) -> u64 {
+    assert!(
+        cnf.num_vars <= 30,
+        "brute-force model counting limited to 30 variables, got {}",
+        cnf.num_vars
+    );
+    let n = cnf.num_vars;
+    (0u64..(1u64 << n))
+        .filter(|bits| {
+            let assignment: Vec<bool> = (0..n).map(|i| bits & (1 << i) != 0).collect();
+            cnf.eval(&assignment)
+        })
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Cnf, Lit, Var};
+
+    #[test]
+    fn finds_model_for_satisfiable_cnf() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(vec![Lit::pos(Var(0)), Lit::pos(Var(1))]);
+        cnf.add_clause(vec![Lit::neg(Var(0))]);
+        let model = solve_brute(&cnf).expect("satisfiable");
+        assert!(cnf.eval(&model));
+        assert!(!model[0]);
+        assert!(model[1]);
+    }
+
+    #[test]
+    fn detects_unsat() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause(vec![Lit::pos(Var(0))]);
+        cnf.add_clause(vec![Lit::neg(Var(0))]);
+        assert!(solve_brute(&cnf).is_none());
+    }
+
+    #[test]
+    fn model_counting() {
+        // x0 ∨ x1 over 2 variables has 3 models.
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(vec![Lit::pos(Var(0)), Lit::pos(Var(1))]);
+        assert_eq!(count_models_brute(&cnf), 3);
+        // Empty CNF over 3 vars: all 8 assignments.
+        assert_eq!(count_models_brute(&Cnf::new(3)), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 30 variables")]
+    fn refuses_huge_instances() {
+        let cnf = Cnf::new(31);
+        solve_brute(&cnf);
+    }
+}

@@ -1,0 +1,201 @@
+//! Conjunctive normal form clause databases.
+
+use std::fmt;
+
+/// A propositional variable, identified by a dense index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Raw index of the variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable with a polarity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Lit {
+    /// The variable.
+    pub var: Var,
+    /// `true` for the positive literal.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Positive literal of `var`.
+    pub fn pos(var: Var) -> Self {
+        Lit {
+            var,
+            positive: true,
+        }
+    }
+
+    /// Negative literal of `var`.
+    pub fn neg(var: Var) -> Self {
+        Lit {
+            var,
+            positive: false,
+        }
+    }
+
+    /// The opposite literal.
+    pub fn negated(self) -> Self {
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+
+    /// Truth value under a (total) assignment.
+    pub fn eval(self, assignment: &[bool]) -> bool {
+        assignment[self.var.index()] == self.positive
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "{}", self.var)
+        } else {
+            write!(f, "¬{}", self.var)
+        }
+    }
+}
+
+/// A clause: a disjunction of literals. The empty clause is unsatisfiable.
+pub type Clause = Vec<Lit>;
+
+/// A CNF formula: a conjunction of clauses over variables `0..num_vars`.
+#[derive(Clone, Debug, Default)]
+pub struct Cnf {
+    /// Number of variables (variables are `Var(0)..Var(num_vars)`).
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// An empty CNF (trivially satisfiable) over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Adds a clause, growing `num_vars` if the clause mentions new
+    /// variables.
+    pub fn add_clause(&mut self, clause: Clause) {
+        for lit in &clause {
+            self.num_vars = self.num_vars.max(lit.var.index() + 1);
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// `true` if there are no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Evaluates the CNF under a total assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses
+            .iter()
+            .all(|clause| clause.iter().any(|lit| lit.eval(assignment)))
+    }
+
+    /// Total number of literal occurrences.
+    pub fn literal_count(&self) -> usize {
+        self.clauses.iter().map(Vec::len).sum()
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, clause) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "(")?;
+            for (j, lit) in clause.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " ∨ ")?;
+                }
+                write!(f, "{lit}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_eval_and_negation() {
+        let x = Var(0);
+        let assignment = vec![true, false];
+        assert!(Lit::pos(x).eval(&assignment));
+        assert!(!Lit::neg(x).eval(&assignment));
+        assert_eq!(Lit::pos(x).negated(), Lit::neg(x));
+    }
+
+    #[test]
+    fn cnf_eval() {
+        // (x0 ∨ ¬x1) ∧ (x1)
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(vec![Lit::pos(Var(0)), Lit::neg(Var(1))]);
+        cnf.add_clause(vec![Lit::pos(Var(1))]);
+        assert!(cnf.eval(&[true, true]));
+        assert!(!cnf.eval(&[false, true]));
+        assert!(!cnf.eval(&[true, false]), "second clause unsatisfied");
+    }
+
+    #[test]
+    fn add_clause_grows_num_vars() {
+        let mut cnf = Cnf::new(0);
+        cnf.add_clause(vec![Lit::pos(Var(5))]);
+        assert_eq!(cnf.num_vars, 6);
+        assert_eq!(cnf.literal_count(), 1);
+    }
+
+    #[test]
+    fn empty_cnf_is_true() {
+        let cnf = Cnf::new(3);
+        assert!(cnf.eval(&[false, false, false]));
+        assert!(cnf.is_empty());
+    }
+
+    #[test]
+    fn empty_clause_is_false() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause(vec![]);
+        assert!(!cnf.eval(&[true]));
+    }
+
+    #[test]
+    fn display_renders_clauses() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(vec![Lit::pos(Var(0)), Lit::neg(Var(1))]);
+        assert_eq!(format!("{cnf}"), "(x0 ∨ ¬x1)");
+        assert_eq!(format!("{}", Cnf::new(0)), "⊤");
+    }
+}

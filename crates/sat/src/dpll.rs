@@ -1,0 +1,263 @@
+//! A DPLL satisfiability solver.
+//!
+//! Deliberately simple (no clause learning): unit propagation, pure-literal
+//! elimination and most-occurrences branching are enough for the workloads
+//! of the E8 experiment (random 3-CNF up to ~22 variables and the Theorem 5
+//! reduction instances), while still showing the expected exponential
+//! worst-case growth and the large practical gap to the brute-force
+//! baseline.
+
+use crate::cnf::{Cnf, Lit, Var};
+
+/// Statistics collected during solving (used by the benchmark tables).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DpllStats {
+    /// Number of branching decisions.
+    pub decisions: u64,
+    /// Number of literals assigned by unit propagation.
+    pub propagations: u64,
+}
+
+/// Solves `cnf`, returning a satisfying assignment (`assignment[v]` is the
+/// value of variable `v`) or `None` if unsatisfiable.
+pub fn solve_dpll(cnf: &Cnf) -> Option<Vec<bool>> {
+    solve_dpll_with_stats(cnf).0
+}
+
+/// Solves `cnf` and also reports search statistics.
+pub fn solve_dpll_with_stats(cnf: &Cnf) -> (Option<Vec<bool>>, DpllStats) {
+    let mut stats = DpllStats::default();
+    let mut assignment: Vec<Option<bool>> = vec![None; cnf.num_vars];
+    let sat = dpll(cnf, &mut assignment, &mut stats);
+    if sat {
+        // Unconstrained variables default to false.
+        (
+            Some(assignment.iter().map(|v| v.unwrap_or(false)).collect()),
+            stats,
+        )
+    } else {
+        (None, stats)
+    }
+}
+
+/// Clause status under a partial assignment.
+enum ClauseState {
+    Satisfied,
+    /// All literals false.
+    Conflict,
+    /// Exactly one unassigned literal left (that literal).
+    Unit(Lit),
+    /// Two or more unassigned literals.
+    Unresolved,
+}
+
+fn clause_state(clause: &[Lit], assignment: &[Option<bool>]) -> ClauseState {
+    let mut unassigned: Option<Lit> = None;
+    let mut unassigned_count = 0;
+    for &lit in clause {
+        match assignment[lit.var.index()] {
+            Some(value) if value == lit.positive => return ClauseState::Satisfied,
+            Some(_) => {}
+            None => {
+                unassigned = Some(lit);
+                unassigned_count += 1;
+            }
+        }
+    }
+    match unassigned_count {
+        0 => ClauseState::Conflict,
+        1 => ClauseState::Unit(unassigned.expect("counted one unassigned literal")),
+        _ => ClauseState::Unresolved,
+    }
+}
+
+fn dpll(cnf: &Cnf, assignment: &mut Vec<Option<bool>>, stats: &mut DpllStats) -> bool {
+    // Unit propagation to fixpoint.
+    let mut trail: Vec<Var> = Vec::new();
+    loop {
+        let mut changed = false;
+        for clause in &cnf.clauses {
+            match clause_state(clause, assignment) {
+                ClauseState::Conflict => {
+                    for var in trail {
+                        assignment[var.index()] = None;
+                    }
+                    return false;
+                }
+                ClauseState::Unit(lit) => {
+                    assignment[lit.var.index()] = Some(lit.positive);
+                    trail.push(lit.var);
+                    stats.propagations += 1;
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Pure literal elimination + pick the most frequent unassigned variable.
+    let mut pos_count = vec![0u32; cnf.num_vars];
+    let mut neg_count = vec![0u32; cnf.num_vars];
+    let mut any_unresolved = false;
+    for clause in &cnf.clauses {
+        if matches!(clause_state(clause, assignment), ClauseState::Satisfied) {
+            continue;
+        }
+        any_unresolved = true;
+        for &lit in clause {
+            if assignment[lit.var.index()].is_none() {
+                if lit.positive {
+                    pos_count[lit.var.index()] += 1;
+                } else {
+                    neg_count[lit.var.index()] += 1;
+                }
+            }
+        }
+    }
+    if !any_unresolved {
+        return true; // every clause satisfied
+    }
+
+    // Pure literals can be assigned without branching.
+    let mut assigned_pure = false;
+    for v in 0..cnf.num_vars {
+        if assignment[v].is_none() && (pos_count[v] > 0) != (neg_count[v] > 0) {
+            assignment[v] = Some(pos_count[v] > 0);
+            trail.push(Var(v as u32));
+            stats.propagations += 1;
+            assigned_pure = true;
+        }
+    }
+    if assigned_pure {
+        if dpll(cnf, assignment, stats) {
+            return true;
+        }
+        for var in trail {
+            assignment[var.index()] = None;
+        }
+        return false;
+    }
+
+    // Branch on the variable with the most occurrences.
+    let branch_var = (0..cnf.num_vars)
+        .filter(|&v| assignment[v].is_none())
+        .max_by_key(|&v| pos_count[v] + neg_count[v]);
+    let Some(v) = branch_var else {
+        // No unassigned variable but some clause unresolved: impossible,
+        // because an unresolved clause has unassigned literals.
+        unreachable!("unresolved clause without unassigned variables");
+    };
+    stats.decisions += 1;
+    let first = pos_count[v] >= neg_count[v];
+    for value in [first, !first] {
+        assignment[v] = Some(value);
+        if dpll(cnf, assignment, stats) {
+            return true;
+        }
+        assignment[v] = None;
+    }
+    for var in trail {
+        assignment[var.index()] = None;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::solve_brute;
+    use crate::cnf::{Cnf, Lit, Var};
+
+    fn p(v: u32) -> Lit {
+        Lit::pos(Var(v))
+    }
+    fn n(v: u32) -> Lit {
+        Lit::neg(Var(v))
+    }
+
+    #[test]
+    fn empty_cnf_is_sat() {
+        let cnf = Cnf::new(3);
+        let model = solve_dpll(&cnf).expect("empty CNF is satisfiable");
+        assert_eq!(model.len(), 3);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause(vec![]);
+        assert!(solve_dpll(&cnf).is_none());
+    }
+
+    #[test]
+    fn simple_sat_instance() {
+        // (x0 ∨ x1) ∧ (¬x0 ∨ x1) ∧ (¬x1 ∨ x2)
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(vec![p(0), p(1)]);
+        cnf.add_clause(vec![n(0), p(1)]);
+        cnf.add_clause(vec![n(1), p(2)]);
+        let model = solve_dpll(&cnf).expect("satisfiable");
+        assert!(cnf.eval(&model));
+    }
+
+    #[test]
+    fn simple_unsat_instance() {
+        // (x0) ∧ (¬x0)
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause(vec![p(0)]);
+        cnf.add_clause(vec![n(0)]);
+        assert!(solve_dpll(&cnf).is_none());
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_is_unsat() {
+        // Two pigeons, one hole: p0 ∨ nothing... encode classically:
+        // pigeon i in hole -> variable xi; both must be placed, cannot share.
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(vec![p(0)]);
+        cnf.add_clause(vec![p(1)]);
+        cnf.add_clause(vec![n(0), n(1)]);
+        assert!(solve_dpll(&cnf).is_none());
+    }
+
+    #[test]
+    fn model_satisfies_formula_and_stats_are_recorded() {
+        let mut cnf = Cnf::new(4);
+        cnf.add_clause(vec![p(0), p(1), p(2)]);
+        cnf.add_clause(vec![n(0), p(3)]);
+        cnf.add_clause(vec![n(1), n(3)]);
+        cnf.add_clause(vec![p(2), n(3)]);
+        let (model, stats) = solve_dpll_with_stats(&cnf);
+        let model = model.expect("satisfiable");
+        assert!(cnf.eval(&model));
+        assert!(stats.decisions + stats.propagations > 0);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let num_vars = rng.gen_range(1..8usize);
+            let num_clauses = rng.gen_range(0..20usize);
+            let mut cnf = Cnf::new(num_vars);
+            for _ in 0..num_clauses {
+                let len = rng.gen_range(1..4usize);
+                let clause: Vec<Lit> = (0..len)
+                    .map(|_| Lit {
+                        var: Var(rng.gen_range(0..num_vars) as u32),
+                        positive: rng.gen_bool(0.5),
+                    })
+                    .collect();
+                cnf.add_clause(clause);
+            }
+            let dpll_sat = solve_dpll(&cnf).is_some();
+            let brute_sat = solve_brute(&cnf).is_some();
+            assert_eq!(dpll_sat, brute_sat, "cnf: {cnf}");
+        }
+    }
+}

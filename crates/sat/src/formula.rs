@@ -1,0 +1,366 @@
+//! Arbitrary propositional formulas.
+//!
+//! The paper's Section 5 variant annotates prob-tree nodes with arbitrary
+//! propositional formulas rather than conjunctions. This module provides
+//! the formula AST with evaluation, negation-normal-form, a naive
+//! distributive CNF/DNF conversion (exponential; used on small formulas and
+//! in tests) and the linear-size Tseitin encoding used for solver calls.
+
+use crate::cnf::{Cnf, Lit, Var};
+
+/// An arbitrary propositional formula over variables [`Var`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Formula {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// A propositional variable.
+    Var(Var),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction (empty conjunction is true).
+    And(Vec<Formula>),
+    /// Disjunction (empty disjunction is false).
+    Or(Vec<Formula>),
+}
+
+impl Formula {
+    /// The variable `v` as a formula.
+    pub fn var(v: u32) -> Formula {
+        Formula::Var(Var(v))
+    }
+
+    /// Negation of `self`.
+    #[allow(clippy::should_implement_trait)] // builder-style helper, `Not` impl is not needed
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// Conjunction of two formulas.
+    pub fn and(self, other: Formula) -> Formula {
+        Formula::And(vec![self, other])
+    }
+
+    /// Disjunction of two formulas.
+    pub fn or(self, other: Formula) -> Formula {
+        Formula::Or(vec![self, other])
+    }
+
+    /// Evaluation under a total assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        match self {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Var(v) => assignment[v.index()],
+            Formula::Not(f) => !f.eval(assignment),
+            Formula::And(fs) => fs.iter().all(|f| f.eval(assignment)),
+            Formula::Or(fs) => fs.iter().any(|f| f.eval(assignment)),
+        }
+    }
+
+    /// Largest variable index mentioned, plus one (0 if no variable).
+    pub fn num_vars(&self) -> usize {
+        match self {
+            Formula::True | Formula::False => 0,
+            Formula::Var(v) => v.index() + 1,
+            Formula::Not(f) => f.num_vars(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().map(Formula::num_vars).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Number of AST nodes (a size measure for complexity experiments).
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Var(_) => 1,
+            Formula::Not(f) => 1 + f.size(),
+            Formula::And(fs) | Formula::Or(fs) => 1 + fs.iter().map(Formula::size).sum::<usize>(),
+        }
+    }
+
+    /// Negation normal form: negations pushed to the leaves, constants
+    /// simplified away where trivially possible.
+    pub fn to_nnf(&self) -> Formula {
+        self.nnf_inner(false)
+    }
+
+    fn nnf_inner(&self, negate: bool) -> Formula {
+        match self {
+            Formula::True => {
+                if negate {
+                    Formula::False
+                } else {
+                    Formula::True
+                }
+            }
+            Formula::False => {
+                if negate {
+                    Formula::True
+                } else {
+                    Formula::False
+                }
+            }
+            Formula::Var(v) => {
+                if negate {
+                    Formula::Not(Box::new(Formula::Var(*v)))
+                } else {
+                    Formula::Var(*v)
+                }
+            }
+            Formula::Not(f) => f.nnf_inner(!negate),
+            Formula::And(fs) => {
+                let children: Vec<Formula> = fs.iter().map(|f| f.nnf_inner(negate)).collect();
+                if negate {
+                    Formula::Or(children)
+                } else {
+                    Formula::And(children)
+                }
+            }
+            Formula::Or(fs) => {
+                let children: Vec<Formula> = fs.iter().map(|f| f.nnf_inner(negate)).collect();
+                if negate {
+                    Formula::And(children)
+                } else {
+                    Formula::Or(children)
+                }
+            }
+        }
+    }
+
+    /// Naive CNF via distribution on the NNF. Exponential in the worst
+    /// case; intended for small formulas and tests.
+    pub fn to_cnf_naive(&self) -> Cnf {
+        // Represent intermediate results as a set of clauses.
+        fn go(f: &Formula) -> Option<Vec<Vec<Lit>>> {
+            // None = formula is False (unsatisfiable on its own, represented
+            // as a single empty clause by the caller).
+            match f {
+                Formula::True => Some(vec![]),
+                Formula::False => Some(vec![vec![]]),
+                Formula::Var(v) => Some(vec![vec![Lit::pos(*v)]]),
+                Formula::Not(inner) => match inner.as_ref() {
+                    Formula::Var(v) => Some(vec![vec![Lit::neg(*v)]]),
+                    _ => unreachable!("to_cnf_naive runs on NNF"),
+                },
+                Formula::And(fs) => {
+                    let mut clauses = Vec::new();
+                    for f in fs {
+                        clauses.extend(go(f)?);
+                    }
+                    Some(clauses)
+                }
+                Formula::Or(fs) => {
+                    // Distribute: start with one empty clause and take the
+                    // cross product with each disjunct's clause set.
+                    let mut acc: Vec<Vec<Lit>> = vec![vec![]];
+                    for f in fs {
+                        let sub = go(f)?;
+                        let mut next = Vec::new();
+                        for a in &acc {
+                            for s in &sub {
+                                let mut clause = a.clone();
+                                clause.extend(s.iter().copied());
+                                next.push(clause);
+                            }
+                        }
+                        acc = next;
+                    }
+                    Some(acc)
+                }
+            }
+        }
+        let nnf = self.to_nnf();
+        let mut cnf = Cnf::new(self.num_vars());
+        for clause in go(&nnf).unwrap_or_else(|| vec![vec![]]) {
+            cnf.add_clause(clause);
+        }
+        cnf
+    }
+
+    /// Tseitin transformation: an equisatisfiable CNF of size linear in the
+    /// formula, using fresh auxiliary variables starting at
+    /// `self.num_vars()` (or `first_aux_var` if larger).
+    pub fn to_cnf_tseitin(&self, first_aux_var: usize) -> Cnf {
+        let nnf = self.to_nnf();
+        let mut cnf = Cnf::new(self.num_vars().max(first_aux_var));
+        let mut next_aux = self.num_vars().max(first_aux_var);
+        let top = tseitin(&nnf, &mut cnf, &mut next_aux);
+        match top {
+            TseitinResult::Const(true) => {}
+            TseitinResult::Const(false) => cnf.add_clause(vec![]),
+            TseitinResult::Lit(lit) => cnf.add_clause(vec![lit]),
+        }
+        cnf
+    }
+}
+
+enum TseitinResult {
+    Const(bool),
+    Lit(Lit),
+}
+
+fn tseitin(f: &Formula, cnf: &mut Cnf, next_aux: &mut usize) -> TseitinResult {
+    match f {
+        Formula::True => TseitinResult::Const(true),
+        Formula::False => TseitinResult::Const(false),
+        Formula::Var(v) => TseitinResult::Lit(Lit::pos(*v)),
+        Formula::Not(inner) => match inner.as_ref() {
+            Formula::Var(v) => TseitinResult::Lit(Lit::neg(*v)),
+            _ => unreachable!("tseitin runs on NNF"),
+        },
+        Formula::And(fs) | Formula::Or(fs) => {
+            let is_and = matches!(f, Formula::And(_));
+            let mut lits = Vec::new();
+            for child in fs {
+                match tseitin(child, cnf, next_aux) {
+                    TseitinResult::Const(c) => {
+                        if is_and && !c {
+                            return TseitinResult::Const(false);
+                        }
+                        if !is_and && c {
+                            return TseitinResult::Const(true);
+                        }
+                        // Neutral element: skip.
+                    }
+                    TseitinResult::Lit(l) => lits.push(l),
+                }
+            }
+            if lits.is_empty() {
+                return TseitinResult::Const(is_and);
+            }
+            let aux = Var(*next_aux as u32);
+            *next_aux += 1;
+            cnf.num_vars = cnf.num_vars.max(*next_aux);
+            if is_and {
+                // aux -> each lit ; (all lits) -> aux
+                for &l in &lits {
+                    cnf.add_clause(vec![Lit::neg(aux), l]);
+                }
+                let mut back: Vec<Lit> = lits.iter().map(|l| l.negated()).collect();
+                back.push(Lit::pos(aux));
+                cnf.add_clause(back);
+            } else {
+                // aux -> (some lit) ; each lit -> aux
+                let mut fwd: Vec<Lit> = lits.clone();
+                fwd.insert(0, Lit::neg(aux));
+                cnf.add_clause(fwd);
+                for &l in &lits {
+                    cnf.add_clause(vec![l.negated(), Lit::pos(aux)]);
+                }
+            }
+            TseitinResult::Lit(Lit::pos(aux))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::solve_brute;
+    use crate::dpll::solve_dpll;
+
+    fn x(i: u32) -> Formula {
+        Formula::var(i)
+    }
+
+    #[test]
+    fn eval_basic() {
+        let f = x(0).and(x(1).not()).or(Formula::False);
+        assert!(f.eval(&[true, false]));
+        assert!(!f.eval(&[true, true]));
+        assert!(!f.eval(&[false, false]));
+    }
+
+    #[test]
+    fn nnf_pushes_negations_to_leaves() {
+        // ¬(x0 ∧ ¬x1)  ==  ¬x0 ∨ x1
+        let f = x(0).and(x(1).not()).not();
+        let nnf = f.to_nnf();
+        // Check semantics preserved on all assignments.
+        for a in [[false, false], [false, true], [true, false], [true, true]] {
+            assert_eq!(f.eval(&a), nnf.eval(&a));
+        }
+        // And no Not applied to a non-variable remains.
+        fn check(f: &Formula) {
+            match f {
+                Formula::Not(inner) => assert!(matches!(inner.as_ref(), Formula::Var(_))),
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(check),
+                _ => {}
+            }
+        }
+        check(&nnf);
+    }
+
+    #[test]
+    fn naive_cnf_preserves_semantics() {
+        let f = x(0).and(x(1).not()).or(x(2).and(x(0).not()));
+        let cnf = f.to_cnf_naive();
+        for bits in 0..8u32 {
+            let a = [bits & 1 == 1, bits & 2 == 2, bits & 4 == 4];
+            assert_eq!(f.eval(&a), cnf.eval(&a), "assignment {a:?}");
+        }
+    }
+
+    #[test]
+    fn tseitin_is_equisatisfiable() {
+        // Check on a batch of formulas that tseitin SAT == brute SAT of the
+        // original formula.
+        let formulas = vec![
+            x(0).and(x(0).not()),                                  // UNSAT
+            x(0).or(x(1)),                                         // SAT
+            x(0).and(x(1).not()).or(x(2).and(x(0).not())),         // SAT
+            Formula::And(vec![x(0).or(x(1)), x(0).not(), x(1).not()]), // UNSAT
+            Formula::True,
+            Formula::False,
+        ];
+        for f in formulas {
+            let n = f.num_vars();
+            // Brute-force satisfiability of the original formula.
+            let mut sat = false;
+            for bits in 0..(1u32 << n.max(1)) {
+                let a: Vec<bool> = (0..n.max(1)).map(|i| bits & (1 << i) != 0).collect();
+                if f.eval(&a[..n.min(a.len())]) {
+                    sat = true;
+                    break;
+                }
+            }
+            let tseitin = f.to_cnf_tseitin(0);
+            assert_eq!(solve_dpll(&tseitin).is_some(), sat, "formula {f:?}");
+            assert_eq!(solve_brute(&tseitin).is_some(), sat, "formula {f:?}");
+        }
+    }
+
+    #[test]
+    fn tseitin_size_is_linear() {
+        // A balanced OR of ANDs over 32 variables: naive CNF would blow up
+        // (2^16 clauses); Tseitin stays linear.
+        let mut disjuncts = Vec::new();
+        for i in 0..16u32 {
+            disjuncts.push(x(2 * i).and(x(2 * i + 1)));
+        }
+        let f = Formula::Or(disjuncts);
+        let cnf = f.to_cnf_tseitin(0);
+        assert!(cnf.len() < 200, "clauses: {}", cnf.len());
+        assert!(solve_dpll(&cnf).is_some());
+    }
+
+    #[test]
+    fn size_and_num_vars() {
+        let f = x(0).and(x(5).not());
+        assert_eq!(f.num_vars(), 6);
+        assert_eq!(f.size(), 4); // And, Var, Not, Var
+    }
+
+    #[test]
+    fn constants_in_connectives() {
+        let t = Formula::And(vec![]);
+        assert!(t.eval(&[]));
+        let f = Formula::Or(vec![]);
+        assert!(!f.eval(&[]));
+        let g = Formula::And(vec![Formula::True, x(0)]);
+        let cnf = g.to_cnf_tseitin(0);
+        assert!(solve_dpll(&cnf).is_some());
+    }
+}

@@ -1,0 +1,103 @@
+//! Random 3-CNF generation.
+//!
+//! The E8 experiment (Theorem 5: DTD satisfiability is NP-complete in the
+//! number of event variables) uses random 3-SAT instances near the
+//! satisfiability phase transition (clause/variable ratio ≈ 4.26), turned
+//! into prob-trees and DTDs by the reduction of the paper's proof.
+
+use rand::Rng;
+
+use crate::cnf::{Cnf, Lit, Var};
+
+/// Parameters for random 3-CNF generation.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreeSatConfig {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// Number of clauses.
+    pub num_clauses: usize,
+}
+
+impl ThreeSatConfig {
+    /// The classic hard regime: `ratio` clauses per variable (4.26 is the
+    /// phase-transition value).
+    pub fn at_ratio(num_vars: usize, ratio: f64) -> Self {
+        ThreeSatConfig {
+            num_vars,
+            num_clauses: ((num_vars as f64) * ratio).round() as usize,
+        }
+    }
+}
+
+/// Generates a random 3-CNF with distinct variables per clause.
+pub fn random_3sat<R: Rng + ?Sized>(config: ThreeSatConfig, rng: &mut R) -> Cnf {
+    assert!(config.num_vars >= 3, "3-SAT needs at least 3 variables");
+    let mut cnf = Cnf::new(config.num_vars);
+    for _ in 0..config.num_clauses {
+        // Pick three distinct variables.
+        let mut vars = Vec::with_capacity(3);
+        while vars.len() < 3 {
+            let v = rng.gen_range(0..config.num_vars);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        let clause: Vec<Lit> = vars
+            .into_iter()
+            .map(|v| Lit {
+                var: Var(v as u32),
+                positive: rng.gen_bool(0.5),
+            })
+            .collect();
+        cnf.add_clause(clause);
+    }
+    cnf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_shape() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cnf = random_3sat(ThreeSatConfig::at_ratio(10, 4.26), &mut rng);
+        assert_eq!(cnf.num_vars, 10);
+        assert_eq!(cnf.len(), 43);
+        for clause in &cnf.clauses {
+            assert_eq!(clause.len(), 3);
+            let mut vars: Vec<_> = clause.iter().map(|l| l.var).collect();
+            vars.sort();
+            vars.dedup();
+            assert_eq!(vars.len(), 3, "variables within a clause are distinct");
+        }
+    }
+
+    #[test]
+    fn low_ratio_instances_are_usually_sat() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut sat_count = 0;
+        for _ in 0..10 {
+            let cnf = random_3sat(ThreeSatConfig::at_ratio(12, 2.0), &mut rng);
+            if crate::dpll::solve_dpll(&cnf).is_some() {
+                sat_count += 1;
+            }
+        }
+        assert!(sat_count >= 8, "only {sat_count}/10 low-ratio instances were SAT");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 variables")]
+    fn rejects_tiny_variable_counts() {
+        let mut rng = StdRng::seed_from_u64(0);
+        random_3sat(
+            ThreeSatConfig {
+                num_vars: 2,
+                num_clauses: 1,
+            },
+            &mut rng,
+        );
+    }
+}

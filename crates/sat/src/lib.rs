@@ -1,0 +1,32 @@
+//! # pxml-sat — propositional formulas and a DPLL SAT solver
+//!
+//! Theorem 5 of Senellart & Abiteboul (PODS 2007) proves DTD satisfiability
+//! of prob-trees NP-complete and DTD validity co-NP-complete via a
+//! reduction from SAT, and Section 5 observes that allowing arbitrary
+//! propositional formulas as node conditions makes boolean query
+//! evaluation NP-complete. Both the DTD checkers (`pxml-dtd`) and the
+//! arbitrary-formula variant (`pxml-core::variants`) therefore need a
+//! propositional-logic substrate:
+//!
+//! * [`formula::Formula`] — arbitrary propositional formulas over `u32`
+//!   variables, with evaluation, NNF, naive CNF, and Tseitin encoding.
+//! * [`cnf`] — CNF clause databases.
+//! * [`dpll`] — a DPLL solver (unit propagation, pure-literal elimination,
+//!   most-occurrences branching).
+//! * [`brute`] — an exhaustive baseline solver used for cross-checking and
+//!   as the "guess a valuation" NP algorithm the paper describes.
+//! * [`gen3sat`] — random 3-CNF generation at a configurable clause/var
+//!   ratio (the E8 workload).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod brute;
+pub mod cnf;
+pub mod dpll;
+pub mod formula;
+pub mod gen3sat;
+
+pub use cnf::{Clause, Cnf, Lit, Var};
+pub use dpll::{solve_dpll, DpllStats};
+pub use formula::Formula;

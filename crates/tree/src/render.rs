@@ -1,0 +1,189 @@
+//! Human-readable rendering of data trees.
+//!
+//! Two output formats are provided: an indented ASCII outline (used by the
+//! examples and by `Display`-style debugging) and Graphviz DOT (useful to
+//! visualize the paper's constructions).
+
+use std::fmt::Write as _;
+
+use crate::arena::{DataTree, NodeId};
+
+/// Renders `tree` as an indented ASCII outline, e.g.:
+///
+/// ```text
+/// A
+/// ├── B
+/// └── C
+///     └── D
+/// ```
+pub fn to_ascii(tree: &DataTree) -> String {
+    /// `annotate` lets callers (e.g. the prob-tree renderer) append
+    /// per-node decorations; the plain version passes an empty annotation.
+    fn rec(
+        tree: &DataTree,
+        node: NodeId,
+        prefix: &str,
+        is_last: bool,
+        is_root: bool,
+        out: &mut String,
+        annotate: &dyn Fn(NodeId) -> String,
+    ) {
+        if is_root {
+            let _ = writeln!(out, "{}{}", tree.label(node), annotate(node));
+        } else {
+            let branch = if is_last { "└── " } else { "├── " };
+            let _ = writeln!(out, "{prefix}{branch}{}{}", tree.label(node), annotate(node));
+        }
+        let children = tree.children(node);
+        for (i, &child) in children.iter().enumerate() {
+            let last = i + 1 == children.len();
+            let child_prefix = if is_root {
+                String::new()
+            } else if is_last {
+                format!("{prefix}    ")
+            } else {
+                format!("{prefix}│   ")
+            };
+            rec(tree, child, &child_prefix, last, false, out, annotate);
+        }
+    }
+    let mut out = String::new();
+    rec(tree, tree.root(), "", true, true, &mut out, &|_| String::new());
+    out
+}
+
+/// Renders `tree` as an indented ASCII outline with a caller-supplied
+/// per-node annotation (the prob-tree renderer uses this to show
+/// conditions).
+pub fn to_ascii_annotated(tree: &DataTree, annotate: &dyn Fn(NodeId) -> String) -> String {
+    fn rec(
+        tree: &DataTree,
+        node: NodeId,
+        prefix: &str,
+        is_last: bool,
+        is_root: bool,
+        out: &mut String,
+        annotate: &dyn Fn(NodeId) -> String,
+    ) {
+        if is_root {
+            let _ = writeln!(out, "{}{}", tree.label(node), annotate(node));
+        } else {
+            let branch = if is_last { "└── " } else { "├── " };
+            let _ = writeln!(out, "{prefix}{branch}{}{}", tree.label(node), annotate(node));
+        }
+        let children = tree.children(node);
+        for (i, &child) in children.iter().enumerate() {
+            let last = i + 1 == children.len();
+            let child_prefix = if is_root {
+                String::new()
+            } else if is_last {
+                format!("{prefix}    ")
+            } else {
+                format!("{prefix}│   ")
+            };
+            rec(tree, child, &child_prefix, last, false, out, annotate);
+        }
+    }
+    let mut out = String::new();
+    rec(tree, tree.root(), "", true, true, &mut out, annotate);
+    out
+}
+
+/// Renders `tree` in Graphviz DOT syntax.
+pub fn to_dot(tree: &DataTree, graph_name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize_ident(graph_name));
+    let _ = writeln!(out, "  node [shape=ellipse];");
+    for node in tree.iter() {
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\"];",
+            node.index(),
+            escape_dot(tree.label(node))
+        );
+    }
+    for node in tree.iter() {
+        for &child in tree.children(node) {
+            let _ = writeln!(out, "  {} -> {};", node.index(), child.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize_ident(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() || cleaned.chars().next().unwrap().is_numeric() {
+        format!("g_{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+fn escape_dot(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeSpec;
+
+    fn sample() -> DataTree {
+        TreeSpec::node(
+            "A",
+            vec![
+                TreeSpec::leaf("B"),
+                TreeSpec::node("C", vec![TreeSpec::leaf("D")]),
+            ],
+        )
+        .build()
+    }
+
+    #[test]
+    fn ascii_contains_every_label_once() {
+        let text = to_ascii(&sample());
+        for label in ["A", "B", "C", "D"] {
+            assert_eq!(text.matches(label).count(), 1, "label {label} in output:\n{text}");
+        }
+        assert!(text.contains("└── C"));
+    }
+
+    #[test]
+    fn annotated_ascii_appends_annotations() {
+        let tree = sample();
+        let text = to_ascii_annotated(&tree, &|n| {
+            if tree.label(n) == "B" {
+                "  [w1]".to_string()
+            } else {
+                String::new()
+            }
+        });
+        assert!(text.contains("B  [w1]"));
+        assert!(!text.contains("A  [w1]"));
+    }
+
+    #[test]
+    fn dot_output_has_all_edges() {
+        let tree = sample();
+        let dot = to_dot(&tree, "sample");
+        assert!(dot.starts_with("digraph sample {"));
+        // 3 edges for 4 nodes.
+        assert_eq!(dot.matches("->").count(), 3);
+        assert!(dot.contains("label=\"D\""));
+    }
+
+    #[test]
+    fn dot_escapes_quotes_and_sanitizes_name() {
+        let mut tree = DataTree::new("say \"hi\"");
+        let r = tree.root();
+        tree.add_child(r, "x\\y");
+        let dot = to_dot(&tree, "1 bad name");
+        assert!(dot.contains("digraph g_1_bad_name"));
+        assert!(dot.contains("say \\\"hi\\\""));
+        assert!(dot.contains("x\\\\y"));
+    }
+}

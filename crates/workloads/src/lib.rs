@@ -1,0 +1,21 @@
+//! # pxml-workloads — workload and scenario generators
+//!
+//! Everything the examples, integration tests and benchmarks need to
+//! exercise the prob-tree engine on realistic and on adversarial inputs:
+//!
+//! * [`random`] — random data trees, prob-trees and tree-pattern queries
+//!   with controllable size, fan-out and annotation density;
+//! * [`paper`] — the exact constructions used in the paper's proofs
+//!   (Figure 1, the Theorem 3 deletion family, the Theorem 4 threshold
+//!   family, the Theorem 5 SAT reduction and restriction family);
+//! * [`warehouse`] — a synthetic "hidden-web warehouse" scenario following
+//!   the paper's motivating application: imprecise extractors feed
+//!   probabilistic insertions and occasional deletions into an XML
+//!   warehouse, which is then queried.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod paper;
+pub mod random;
+pub mod warehouse;

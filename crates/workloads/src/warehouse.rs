@@ -1,0 +1,202 @@
+//! A synthetic "hidden-web warehouse" scenario.
+//!
+//! The paper's motivating application (Section 1) is a warehouse of
+//! imprecise knowledge about web resources: crawlers and analysis tools
+//! (classifiers, extractors, semantic taggers) repeatedly *update* an XML
+//! warehouse with findings they are only partially confident about, and
+//! applications *query* the accumulated probabilistic document.
+//!
+//! This module simulates that pipeline: starting from a skeleton warehouse
+//! (`warehouse / service*`), a configurable number of extractor runs insert
+//! `keyword`, `endpoint` and `contact` facts under the services they
+//! analysed — each with a confidence reflecting the extractor's precision —
+//! and occasionally issue low-confidence deletions (retractions of earlier
+//! claims). The result is a realistic prob-tree whose event variables are
+//! exactly the update confidences.
+
+use rand::Rng;
+
+use pxml_core::probtree::ProbTree;
+use pxml_core::query::pattern::PatternQuery;
+use pxml_core::update::{ProbabilisticUpdate, UpdateOperation};
+use pxml_events::Condition;
+use pxml_tree::DataTree;
+
+/// Parameters of the warehouse scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct WarehouseConfig {
+    /// Number of discovered services in the warehouse skeleton.
+    pub services: usize,
+    /// Number of extractor runs (each produces one probabilistic update).
+    pub extraction_rounds: usize,
+    /// Probability that an extraction round is a retraction (deletion)
+    /// rather than an insertion.
+    pub deletion_ratio: f64,
+}
+
+impl Default for WarehouseConfig {
+    fn default() -> Self {
+        WarehouseConfig {
+            services: 5,
+            extraction_rounds: 12,
+            deletion_ratio: 0.1,
+        }
+    }
+}
+
+/// A record of one applied update, for reporting purposes.
+#[derive(Clone, Debug)]
+pub struct AppliedUpdate {
+    /// Human-readable description of the update.
+    pub description: String,
+    /// Confidence of the update.
+    pub confidence: f64,
+    /// Whether it was a deletion.
+    pub is_deletion: bool,
+}
+
+/// The outcome of the scenario: the final warehouse and the update log.
+#[derive(Clone, Debug)]
+pub struct Warehouse {
+    /// The probabilistic warehouse after all extraction rounds.
+    pub tree: ProbTree,
+    /// The updates that were applied, in order.
+    pub log: Vec<AppliedUpdate>,
+}
+
+/// The fixed label alphabet of the scenario.
+pub const FACT_LABELS: [&str; 3] = ["keyword", "endpoint", "contact"];
+
+/// Builds the deterministic warehouse skeleton: a `warehouse` root with
+/// `services` children labeled `service`, each holding a `name` child.
+pub fn skeleton(services: usize) -> ProbTree {
+    let mut tree = ProbTree::new("warehouse");
+    let root = tree.tree().root();
+    for _ in 0..services {
+        let service = tree.add_child(root, "service", Condition::always());
+        tree.add_child(service, "name", Condition::always());
+    }
+    tree
+}
+
+/// Runs the extraction pipeline and returns the resulting warehouse.
+pub fn run_scenario<R: Rng + ?Sized>(config: &WarehouseConfig, rng: &mut R) -> Warehouse {
+    let mut tree = skeleton(config.services);
+    let mut log = Vec::new();
+    for round in 0..config.extraction_rounds {
+        let confidence = rng.gen_range(0.5..0.99);
+        let is_deletion = rng.gen_bool(config.deletion_ratio) && round > 0;
+        if is_deletion {
+            // Retract facts with a given label wherever they were claimed.
+            let label = FACT_LABELS[rng.gen_range(0..FACT_LABELS.len())];
+            let mut query = PatternQuery::new(Some("service"));
+            let fact = query.add_child(query.root(), label);
+            let update =
+                ProbabilisticUpdate::new(UpdateOperation::delete(query, fact), confidence);
+            let (updated, _) = update.apply_to_probtree(&tree);
+            tree = updated;
+            log.push(AppliedUpdate {
+                description: format!("retract every {label} fact"),
+                confidence,
+                is_deletion: true,
+            });
+        } else {
+            // Claim a new fact under every service (an extractor typically
+            // analyses the whole corpus in one run).
+            let label = FACT_LABELS[rng.gen_range(0..FACT_LABELS.len())];
+            let mut fact = DataTree::new(label);
+            let fact_root = fact.root();
+            fact.add_child(fact_root, format!("value{round}"));
+            let query = PatternQuery::new(Some("service"));
+            let at = query.root();
+            let update =
+                ProbabilisticUpdate::new(UpdateOperation::insert(query, at, fact), confidence);
+            let (updated, _) = update.apply_to_probtree(&tree);
+            tree = updated;
+            log.push(AppliedUpdate {
+                description: format!("assert a {label} fact under every service"),
+                confidence,
+                is_deletion: false,
+            });
+        }
+    }
+    Warehouse { tree, log }
+}
+
+/// The scenario's canonical analysis query: services for which both an
+/// `endpoint` fact and a `contact` fact have been claimed.
+pub fn services_with_endpoint_and_contact() -> PatternQuery {
+    let mut query = PatternQuery::new(Some("service"));
+    query.add_child(query.root(), "endpoint");
+    query.add_child(query.root(), "contact");
+    query
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_core::query::prob::query_probtree;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn skeleton_shape() {
+        let tree = skeleton(3);
+        assert_eq!(tree.num_nodes(), 1 + 3 * 2);
+        assert_eq!(tree.events().len(), 0);
+    }
+
+    #[test]
+    fn scenario_accumulates_events_and_facts() {
+        let mut rng = StdRng::seed_from_u64(0x11AB);
+        let config = WarehouseConfig {
+            services: 3,
+            extraction_rounds: 8,
+            deletion_ratio: 0.2,
+        };
+        let warehouse = run_scenario(&config, &mut rng);
+        assert_eq!(warehouse.log.len(), 8);
+        // Every update has confidence < 1, so each introduced an event.
+        assert_eq!(warehouse.tree.events().len(), 8);
+        // Insertions added nodes under the services.
+        assert!(warehouse.tree.num_nodes() > skeleton(3).num_nodes());
+    }
+
+    #[test]
+    fn scenario_is_deterministic_per_seed() {
+        let config = WarehouseConfig::default();
+        let a = run_scenario(&config, &mut StdRng::seed_from_u64(1));
+        let b = run_scenario(&config, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a.tree.num_nodes(), b.tree.num_nodes());
+        assert_eq!(a.tree.num_literals(), b.tree.num_literals());
+    }
+
+    #[test]
+    fn analysis_query_returns_weighted_answers() {
+        let mut rng = StdRng::seed_from_u64(0x77);
+        let config = WarehouseConfig {
+            services: 2,
+            extraction_rounds: 10,
+            deletion_ratio: 0.0,
+        };
+        let warehouse = run_scenario(&config, &mut rng);
+        let query = services_with_endpoint_and_contact();
+        let answers = query_probtree(&query, &warehouse.tree);
+        for answer in &answers {
+            assert!(answer.probability >= 0.0 && answer.probability <= 1.0);
+        }
+    }
+
+    #[test]
+    fn deletions_do_not_grow_the_event_table_beyond_rounds() {
+        let mut rng = StdRng::seed_from_u64(0x99);
+        let config = WarehouseConfig {
+            services: 2,
+            extraction_rounds: 15,
+            deletion_ratio: 0.5,
+        };
+        let warehouse = run_scenario(&config, &mut rng);
+        assert!(warehouse.tree.events().len() <= 15);
+        assert!(warehouse.log.iter().any(|u| u.is_deletion));
+    }
+}

@@ -1,0 +1,80 @@
+//! Conversion between XML elements and unordered data trees.
+//!
+//! Definition 1 of the paper deliberately drops XML ordering, attributes
+//! and text. The conversion therefore maps element names to labels and
+//! recurses on child elements only. The reverse direction produces plain
+//! element trees whose document order is the arena order (semantically
+//! irrelevant).
+
+use pxml_tree::{DataTree, NodeId};
+
+use crate::dom::Element;
+
+/// Converts an XML element tree into a [`DataTree`] (labels = element
+/// names; attributes and text are dropped).
+pub fn element_to_datatree(element: &Element) -> DataTree {
+    fn rec(element: &Element, tree: &mut DataTree, parent: NodeId) {
+        for child in element.child_elements() {
+            let id = tree.add_child(parent, &child.name);
+            rec(child, tree, id);
+        }
+    }
+    let mut tree = DataTree::new(&element.name);
+    let root = tree.root();
+    rec(element, &mut tree, root);
+    tree
+}
+
+/// Converts a [`DataTree`] into an XML element tree.
+pub fn datatree_to_element(tree: &DataTree) -> Element {
+    fn rec(tree: &DataTree, node: NodeId) -> Element {
+        let mut el = Element::new(tree.label(node));
+        for &child in tree.children(node) {
+            el.children
+                .push(crate::dom::XmlNode::Element(rec(tree, child)));
+        }
+        el
+    }
+    rec(tree, tree.root())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::writer::write_element;
+    use pxml_tree::canon::{isomorphic, Semantics};
+
+    #[test]
+    fn xml_to_datatree_drops_attributes_and_text() {
+        let root = parse(r#"<A id="1">text<B/><C><D/></C></A>"#).unwrap();
+        let tree = element_to_datatree(&root);
+        assert_eq!(tree.len(), 4);
+        assert_eq!(tree.label(tree.root()), "A");
+    }
+
+    #[test]
+    fn datatree_to_xml_roundtrip_up_to_isomorphism() {
+        let root = parse("<A><B/><C><D/><D/></C></A>").unwrap();
+        let tree = element_to_datatree(&root);
+        let back = datatree_to_element(&tree);
+        let tree2 = element_to_datatree(&back);
+        assert!(isomorphic(&tree, &tree2, Semantics::MultiSet));
+        // And the serialized form parses again.
+        let reparsed = parse(&write_element(&back)).unwrap();
+        assert!(isomorphic(
+            &element_to_datatree(&reparsed),
+            &tree,
+            Semantics::MultiSet
+        ));
+    }
+
+    #[test]
+    fn single_element_document() {
+        let tree = element_to_datatree(&parse("<root/>").unwrap());
+        assert_eq!(tree.len(), 1);
+        let el = datatree_to_element(&tree);
+        assert_eq!(el.name, "root");
+        assert!(el.children.is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! Escaping and unescaping of XML character data.
+
+/// Escapes text content (`&`, `<`, `>`).
+pub fn escape_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Escapes an attribute value (also quotes `"` and `'`).
+pub fn escape_attr(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Resolves the five predefined entities and decimal/hexadecimal character
+/// references. Unknown entities are left untouched (lenient mode).
+pub fn unescape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.char_indices().peekable();
+    while let Some((start, ch)) = chars.next() {
+        if ch != '&' {
+            out.push(ch);
+            continue;
+        }
+        // Find the terminating ';' within a reasonable window.
+        let rest = &text[start + 1..];
+        if let Some(end) = rest.find(';').filter(|&e| e <= 10) {
+            let entity = &rest[..end];
+            let replacement = match entity {
+                "amp" => Some('&'),
+                "lt" => Some('<'),
+                "gt" => Some('>'),
+                "quot" => Some('"'),
+                "apos" => Some('\''),
+                _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                    u32::from_str_radix(&entity[2..], 16)
+                        .ok()
+                        .and_then(char::from_u32)
+                }
+                _ if entity.starts_with('#') => {
+                    entity[1..].parse::<u32>().ok().and_then(char::from_u32)
+                }
+                _ => None,
+            };
+            if let Some(r) = replacement {
+                out.push(r);
+                // Skip the entity body and the ';'.
+                for _ in 0..=end {
+                    chars.next();
+                }
+                continue;
+            }
+        }
+        out.push('&');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_and_unescape_text_roundtrip() {
+        let original = "a < b && c > d";
+        let escaped = escape_text(original);
+        assert_eq!(escaped, "a &lt; b &amp;&amp; c &gt; d");
+        assert_eq!(unescape(&escaped), original);
+    }
+
+    #[test]
+    fn escape_attr_quotes() {
+        assert_eq!(escape_attr(r#"say "hi" & 'bye'"#), "say &quot;hi&quot; &amp; &apos;bye&apos;");
+    }
+
+    #[test]
+    fn unescape_character_references() {
+        assert_eq!(unescape("&#65;&#x42;"), "AB");
+        assert_eq!(unescape("caf&#233;"), "café");
+    }
+
+    #[test]
+    fn unknown_entities_are_left_alone() {
+        assert_eq!(unescape("&unknown; &amp;"), "&unknown; &");
+        assert_eq!(unescape("lonely & ampersand"), "lonely & ampersand");
+    }
+}

@@ -1,0 +1,307 @@
+//! A recursive-descent parser for the XML subset used by ProXML documents.
+//!
+//! Supported: one root element, nested elements, attributes with single or
+//! double quotes, text content, comments, processing instructions and the
+//! XML declaration (both skipped), predefined entities and character
+//! references. Not supported (rejected or ignored): DOCTYPE internal
+//! subsets, CDATA sections, namespaces-aware processing (prefixes are kept
+//! verbatim in names).
+
+use std::fmt;
+
+use crate::dom::{Element, XmlNode};
+use crate::escape::unescape;
+
+/// Error produced while parsing an XML document.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+/// Parses an XML document and returns its root element.
+pub fn parse(input: &str) -> Result<Element, ParseError> {
+    let mut parser = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_prolog()?;
+    let root = parser.parse_element()?;
+    parser.skip_misc();
+    if parser.pos < parser.input.len() {
+        return Err(parser.error("trailing content after the root element"));
+    }
+    Ok(root)
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, prefix: &str) -> bool {
+        self.input[self.pos..].starts_with(prefix.as_bytes())
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_until(&mut self, pattern: &str) -> Result<(), ParseError> {
+        match self.input[self.pos..]
+            .windows(pattern.len())
+            .position(|w| w == pattern.as_bytes())
+        {
+            Some(idx) => {
+                self.pos += idx + pattern.len();
+                Ok(())
+            }
+            None => Err(self.error(format!("unterminated construct, expected {pattern:?}"))),
+        }
+    }
+
+    /// Skips the XML declaration, comments, PIs and whitespace before the
+    /// root element.
+    fn skip_prolog(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                // Skip a simple (subset-free) DOCTYPE declaration.
+                self.skip_until(">")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Skips comments, PIs and whitespace after the root element.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<!--") {
+                if self.skip_until("-->").is_err() {
+                    return;
+                }
+            } else if self.starts_with("<?") {
+                if self.skip_until("?>").is_err() {
+                    return;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            let ch = c as char;
+            if ch.is_ascii_alphanumeric() || matches!(ch, '_' | '-' | '.' | ':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, ParseError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.error("expected a quoted attribute value")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                self.pos += 1;
+                return Ok(unescape(&raw));
+            }
+            self.pos += 1;
+        }
+        Err(self.error("unterminated attribute value"))
+    }
+
+    fn parse_element(&mut self) -> Result<Element, ParseError> {
+        self.expect(b'<')?;
+        let name = self.parse_name()?;
+        let mut element = Element::new(name);
+
+        // Attributes.
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    return Ok(element);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let attr_name = self.parse_name()?;
+                    self.skip_whitespace();
+                    self.expect(b'=')?;
+                    self.skip_whitespace();
+                    let value = self.parse_attr_value()?;
+                    element.attributes.push((attr_name, value));
+                }
+                None => return Err(self.error("unexpected end of input in start tag")),
+            }
+        }
+
+        // Content.
+        loop {
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close_name = self.parse_name()?;
+                if close_name != element.name {
+                    return Err(self.error(format!(
+                        "mismatched end tag: expected </{}>, found </{close_name}>",
+                        element.name
+                    )));
+                }
+                self.skip_whitespace();
+                self.expect(b'>')?;
+                return Ok(element);
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.peek() == Some(b'<') {
+                let child = self.parse_element()?;
+                element.children.push(XmlNode::Element(child));
+            } else if self.peek().is_some() {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == b'<' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                let text = unescape(&raw);
+                if !text.trim().is_empty() {
+                    element.children.push(XmlNode::Text(text));
+                }
+            } else {
+                return Err(self.error(format!("unterminated element <{}>", element.name)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_simple_document() {
+        let doc = r#"<?xml version="1.0"?>
+            <!-- warehouse snapshot -->
+            <catalog size="2">
+              <item id="1">First &amp; best</item>
+              <item id='2'/>
+            </catalog>"#;
+        let root = parse(doc).expect("parse");
+        assert_eq!(root.name, "catalog");
+        assert_eq!(root.attr("size"), Some("2"));
+        let items: Vec<_> = root.child_elements().collect();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].text(), "First & best");
+        assert_eq!(items[1].attr("id"), Some("2"));
+    }
+
+    #[test]
+    fn self_closing_and_nested_elements() {
+        let root = parse("<a><b><c/></b><b/></a>").unwrap();
+        assert_eq!(root.element_count(), 4);
+        assert_eq!(root.child_elements().count(), 2);
+    }
+
+    #[test]
+    fn mismatched_tags_are_rejected() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched end tag"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let err = parse("<a/><b/>").unwrap_err();
+        assert!(err.message.contains("trailing content"), "{err}");
+    }
+
+    #[test]
+    fn unterminated_element_is_rejected() {
+        assert!(parse("<a><b>").is_err());
+        assert!(parse("<a attr=>").is_err());
+        assert!(parse("<a attr='x>").is_err());
+    }
+
+    #[test]
+    fn comments_inside_content_are_skipped() {
+        let root = parse("<a><!-- note --><b/></a>").unwrap();
+        assert_eq!(root.child_elements().count(), 1);
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let root = parse("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(root.children.len(), 1);
+    }
+
+    #[test]
+    fn doctype_is_skipped() {
+        let root = parse("<!DOCTYPE catalog><catalog/>").unwrap();
+        assert_eq!(root.name, "catalog");
+    }
+
+    #[test]
+    fn attribute_entities_are_resolved() {
+        let root = parse(r#"<a label="x &lt; y"/>"#).unwrap();
+        assert_eq!(root.attr("label"), Some("x < y"));
+    }
+}

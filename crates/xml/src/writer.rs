@@ -1,0 +1,108 @@
+//! Serialization of the DOM back to XML text.
+
+use std::fmt::Write as _;
+
+use crate::dom::{Element, XmlNode};
+use crate::escape::{escape_attr, escape_text};
+
+/// Serializes `element` as a standalone XML document (with declaration),
+/// indented by two spaces per nesting level.
+pub fn write_document(element: &Element) -> String {
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    write_into(element, 0, &mut out);
+    out
+}
+
+/// Serializes `element` (and its subtree) without the XML declaration.
+pub fn write_element(element: &Element) -> String {
+    let mut out = String::new();
+    write_into(element, 0, &mut out);
+    out
+}
+
+fn write_into(element: &Element, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let _ = write!(out, "{pad}<{}", element.name);
+    for (name, value) in &element.attributes {
+        let _ = write!(out, " {}=\"{}\"", name, escape_attr(value));
+    }
+    if element.children.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    // Text-only elements are written inline; mixed/element content is
+    // written with one child per line.
+    let only_text = element
+        .children
+        .iter()
+        .all(|c| matches!(c, XmlNode::Text(_)));
+    if only_text {
+        out.push('>');
+        for child in &element.children {
+            if let XmlNode::Text(t) = child {
+                out.push_str(&escape_text(t));
+            }
+        }
+        let _ = writeln!(out, "</{}>", element.name);
+        return;
+    }
+    out.push_str(">\n");
+    for child in &element.children {
+        match child {
+            XmlNode::Element(e) => write_into(e, indent + 1, out),
+            XmlNode::Text(t) => {
+                let trimmed = t.trim();
+                if !trimmed.is_empty() {
+                    let _ = writeln!(out, "{}  {}", pad, escape_text(trimmed));
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "{pad}</{}>", element.name);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn writes_nested_elements_with_indentation() {
+        let el = Element::new("catalog")
+            .with_attr("size", "1")
+            .with_child(Element::new("item").with_attr("id", "1").with_text("First & best"));
+        let text = write_element(&el);
+        assert!(text.contains("<catalog size=\"1\">"));
+        assert!(text.contains("  <item id=\"1\">First &amp; best</item>"));
+        assert!(text.trim_end().ends_with("</catalog>"));
+    }
+
+    #[test]
+    fn self_closing_for_empty_elements() {
+        assert_eq!(write_element(&Element::new("empty")), "<empty/>\n");
+    }
+
+    #[test]
+    fn document_has_declaration() {
+        let doc = write_document(&Element::new("root"));
+        assert!(doc.starts_with("<?xml version=\"1.0\""));
+    }
+
+    #[test]
+    fn parse_write_parse_roundtrip_preserves_structure() {
+        let source = r#"<catalog size="2"><item id="1">First &amp; best</item><item id="2"><sub/></item></catalog>"#;
+        let parsed = parse(source).unwrap();
+        let written = write_document(&parsed);
+        let reparsed = parse(&written).unwrap();
+        assert_eq!(parsed, reparsed);
+    }
+
+    #[test]
+    fn attribute_values_are_escaped() {
+        let el = Element::new("a").with_attr("q", "x<\"y\">&z");
+        let text = write_element(&el);
+        assert!(text.contains("q=\"x&lt;&quot;y&quot;&gt;&amp;z\""));
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(reparsed.attr("q"), Some("x<\"y\">&z"));
+    }
+}

@@ -1,0 +1,102 @@
+//! DTD problems on probabilistic documents (Section 4 of the paper).
+//!
+//! Builds a small probabilistic product catalog, checks DTD satisfiability
+//! and validity, shows the Theorem 5 reduction from SAT in action, and
+//! computes a DTD restriction.
+//!
+//! Run with: `cargo run -p pxml-examples --bin dtd_validation`
+
+use pxml_core::probtree::ProbTree;
+use pxml_dtd::reduction::reduce_sat;
+use pxml_dtd::restriction::restrict_to_dtd;
+use pxml_dtd::satisfiability::{satisfiable_backtracking, valid_bruteforce};
+use pxml_dtd::{ChildConstraint, Dtd};
+use pxml_events::{Condition, Literal};
+use pxml_sat::{solve_dpll, Cnf, Lit, Var};
+
+fn main() {
+    // ----- A probabilistic product catalog --------------------------------
+    // Extractors disagree about whether items have prices.
+    let mut catalog = ProbTree::new("catalog");
+    let price_seen = catalog.events_mut().insert("price_extractor", 0.85);
+    let second_item = catalog.events_mut().insert("second_item_seen", 0.6);
+    let root = catalog.tree().root();
+    let item1 = catalog.add_child(root, "item", Condition::always());
+    catalog.add_child(item1, "name", Condition::always());
+    catalog.add_child(item1, "price", Condition::of(Literal::pos(price_seen)));
+    let item2 = catalog.add_child(root, "item", Condition::of(Literal::pos(second_item)));
+    catalog.add_child(item2, "name", Condition::always());
+
+    println!("Probabilistic catalog:\n{}", catalog.to_ascii());
+
+    // The schema: a catalog holds 1..3 items; an item has exactly one name
+    // and at most one price.
+    let mut dtd = Dtd::new();
+    dtd.constrain("catalog", "item", ChildConstraint::between(1, 3))
+        .constrain("item", "name", ChildConstraint::between(1, 1))
+        .constrain("item", "price", ChildConstraint::between(0, 1));
+
+    let (witness, stats) = satisfiable_backtracking(&catalog, &dtd);
+    println!(
+        "DTD satisfiability: {} (decisions: {}, pruned branches: {})",
+        if witness.is_some() { "some world is valid" } else { "no valid world" },
+        stats.decisions,
+        stats.pruned
+    );
+    match valid_bruteforce(&catalog, &dtd, 20).expect("guarded") {
+        None => println!("DTD validity: every world is valid"),
+        Some(counterexample) => {
+            let world = catalog.value_in_world(&counterexample);
+            println!(
+                "DTD validity: fails — a counterexample world has {} nodes",
+                world.len()
+            );
+        }
+    }
+
+    // A stricter schema requiring a price on every item is satisfiable but
+    // not valid (the price extractor may have been wrong).
+    let mut strict = Dtd::new();
+    strict
+        .constrain("catalog", "item", ChildConstraint::between(1, 3))
+        .constrain("item", "name", ChildConstraint::between(1, 1))
+        .constrain("item", "price", ChildConstraint::between(1, 1));
+    let (strict_witness, _) = satisfiable_backtracking(&catalog, &strict);
+    let strict_valid = valid_bruteforce(&catalog, &strict, 20).expect("guarded").is_none();
+    println!(
+        "Strict schema (price required): satisfiable = {}, valid = {}",
+        strict_witness.is_some(),
+        strict_valid
+    );
+
+    // ----- DTD restriction -------------------------------------------------
+    let restriction = restrict_to_dtd(&catalog, &strict, 20).expect("guarded");
+    println!(
+        "Restriction to the strict schema keeps {}/{} worlds ({:.1}% of the mass)\n",
+        restriction.worlds.len(),
+        restriction.total_worlds,
+        100.0 * restriction.retained_mass
+    );
+
+    // ----- Theorem 5: SAT reduces to DTD satisfiability --------------------
+    // θ = (x0 ∨ x1) ∧ (¬x0 ∨ x1) ∧ (¬x1 ∨ x2)
+    let mut cnf = Cnf::new(3);
+    cnf.add_clause(vec![Lit::pos(Var(0)), Lit::pos(Var(1))]);
+    cnf.add_clause(vec![Lit::neg(Var(0)), Lit::pos(Var(1))]);
+    cnf.add_clause(vec![Lit::neg(Var(1)), Lit::pos(Var(2))]);
+    println!("Theorem 5 reduction for θ = {cnf}");
+    let instance = reduce_sat(&cnf);
+    println!("Reduced prob-tree:\n{}", instance.tree.to_ascii());
+    let dpll_sat = solve_dpll(&cnf).is_some();
+    let (dtd_witness, _) = satisfiable_backtracking(&instance.tree, &instance.satisfiability_dtd);
+    println!(
+        "DPLL says θ is {}; the DTD-satisfiability checker agrees: {}",
+        if dpll_sat { "satisfiable" } else { "unsatisfiable" },
+        dtd_witness.is_some() == dpll_sat
+    );
+    if let Some(w) = dtd_witness {
+        let assignment = instance.to_sat_assignment(&w);
+        println!("Satisfying assignment recovered from the DTD witness: {assignment:?}");
+        assert!(cnf.eval(&assignment));
+    }
+}

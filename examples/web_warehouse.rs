@@ -1,0 +1,93 @@
+//! The paper's motivating application: a hidden-web warehouse fed by
+//! imprecise extraction tools.
+//!
+//! Simulates a pipeline of probabilistic insertions and retractions over a
+//! warehouse of discovered web services, then answers analysis queries,
+//! ranks answers by probability, and prunes improbable worlds with a
+//! threshold.
+//!
+//! Run with: `cargo run -p pxml-examples --bin web_warehouse`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pxml_core::query::prob::query_probtree;
+use pxml_core::threshold::restrict_to_threshold;
+use pxml_core::PatternQuery;
+use pxml_workloads::warehouse::{run_scenario, services_with_endpoint_and_contact, WarehouseConfig};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2007);
+    let config = WarehouseConfig {
+        services: 4,
+        extraction_rounds: 10,
+        deletion_ratio: 0.15,
+    };
+    println!(
+        "Simulating {} extraction rounds over {} services...\n",
+        config.extraction_rounds, config.services
+    );
+    let warehouse = run_scenario(&config, &mut rng);
+
+    println!("Update log:");
+    for (i, update) in warehouse.log.iter().enumerate() {
+        println!(
+            "  {:>2}. {} (confidence {:.2}){}",
+            i + 1,
+            update.description,
+            update.confidence,
+            if update.is_deletion { "  [retraction]" } else { "" }
+        );
+    }
+
+    println!(
+        "\nWarehouse after ingestion: {} nodes, {} literals, {} event variables",
+        warehouse.tree.num_nodes(),
+        warehouse.tree.num_literals(),
+        warehouse.tree.events().len()
+    );
+
+    // ----- Analysis query 1: fully described services --------------------
+    let query = services_with_endpoint_and_contact();
+    let mut answers = query_probtree(&query, &warehouse.tree);
+    answers.sort_by(|a, b| b.probability.partial_cmp(&a.probability).unwrap());
+    println!(
+        "\nServices with both an endpoint and a contact ({} answers, top 3 by probability):",
+        answers.len()
+    );
+    for answer in answers.iter().take(3) {
+        println!("  probability {:.3}  ({} nodes in the answer)", answer.probability, answer.tree.len());
+    }
+
+    // ----- Analysis query 2: any extracted keyword ------------------------
+    let mut keyword_query = PatternQuery::new(Some("service"));
+    keyword_query.add_child(keyword_query.root(), "keyword");
+    let keyword_answers = query_probtree(&keyword_query, &warehouse.tree);
+    let best = keyword_answers
+        .iter()
+        .map(|a| a.probability)
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nServices with at least one keyword claim: {} answers, best probability {:.3}",
+        keyword_answers.len(),
+        best
+    );
+
+    // ----- Threshold pruning ----------------------------------------------
+    // With many low-confidence updates the number of possible worlds
+    // explodes; keep only the reasonably probable ones (Theorem 4 warns
+    // that this cannot always be represented compactly).
+    if warehouse.tree.events().len() <= 16 {
+        let threshold = 0.01;
+        let restriction = restrict_to_threshold(&warehouse.tree, threshold, 20)
+            .expect("guarded enumeration");
+        println!(
+            "\nThreshold pruning at p ≥ {threshold}: kept {} of {} worlds ({:.1}% of the probability mass)",
+            restriction.worlds.len(),
+            restriction.total_worlds,
+            100.0 * restriction.retained_mass
+        );
+    } else {
+        println!("\n(Skipping threshold pruning: too many event variables for exhaustive expansion.)");
+    }
+}

@@ -1,0 +1,44 @@
+//! Shared helpers for the cross-crate integration and property tests.
+//!
+//! The actual tests live in `tests/tests/*.rs`; this small library only
+//! hosts fixtures reused across several test files.
+
+use pxml_core::probtree::ProbTree;
+use pxml_events::{Condition, Literal};
+
+/// A small probabilistic bibliography used by several integration tests:
+///
+/// ```text
+/// bib
+/// ├── book            [confirmed]
+/// │   ├── title
+/// │   └── year        [year_known]
+/// └── article         [¬retracted]
+///     └── title
+/// ```
+pub fn bibliography() -> ProbTree {
+    let mut t = ProbTree::new("bib");
+    let confirmed = t.events_mut().insert("confirmed", 0.9);
+    let year_known = t.events_mut().insert("year_known", 0.6);
+    let retracted = t.events_mut().insert("retracted", 0.1);
+    let root = t.tree().root();
+    let book = t.add_child(root, "book", Condition::of(Literal::pos(confirmed)));
+    t.add_child(book, "title", Condition::always());
+    t.add_child(book, "year", Condition::of(Literal::pos(year_known)));
+    let article = t.add_child(root, "article", Condition::of(Literal::neg(retracted)));
+    t.add_child(article, "title", Condition::always());
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bibliography_fixture_shape() {
+        let t = bibliography();
+        assert_eq!(t.num_nodes(), 6);
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.num_literals(), 3);
+    }
+}

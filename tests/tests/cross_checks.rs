@@ -1,0 +1,179 @@
+//! Adversarial cross-checks between independent implementations of the
+//! same notion: the randomized algorithms against their exhaustive
+//! baselines, the DTD solvers against each other and against DPLL, and the
+//! polynomial identity tests against naive count-equivalence.
+
+use proptest::prelude::*;
+
+use pxml_core::equivalence::{
+    structural_equivalent_exhaustive, structural_equivalent_randomized, EquivalenceConfig,
+};
+use pxml_core::probtree::ProbTree;
+use pxml_dtd::satisfiability::{satisfiable_backtracking, satisfiable_bruteforce, valid_bruteforce};
+use pxml_dtd::validate::validates;
+use pxml_dtd::{ChildConstraint, Dtd};
+use pxml_events::{Condition, Dnf, EventId, Literal};
+use pxml_poly::charpoly::characteristic_polynomial;
+use pxml_poly::zippel::{count_equivalent_randomized, ZippelConfig};
+use pxml_sat::brute::solve_brute;
+use pxml_sat::solve_dpll;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+const NUM_EVENTS: usize = 4;
+
+fn literal_strategy() -> impl Strategy<Value = (usize, bool)> {
+    (0..NUM_EVENTS, any::<bool>())
+}
+
+fn condition_strategy() -> impl Strategy<Value = Vec<(usize, bool)>> {
+    prop::collection::vec(literal_strategy(), 0..3)
+}
+
+fn dnf_strategy() -> impl Strategy<Value = Vec<Vec<(usize, bool)>>> {
+    prop::collection::vec(condition_strategy(), 0..4)
+}
+
+fn build_dnf(spec: &[Vec<(usize, bool)>]) -> Dnf {
+    Dnf::from_disjuncts(spec.iter().map(|c| {
+        Condition::from_literals(c.iter().map(|&(e, positive)| Literal {
+            event: EventId::from_index(e),
+            positive,
+        }))
+    }))
+}
+
+/// A flat prob-tree description: root `R` with children among two labels,
+/// each carrying a one- or two-literal condition.
+fn flat_probtree_strategy() -> impl Strategy<Value = Vec<(usize, Vec<(usize, bool)>)>> {
+    prop::collection::vec((0..2usize, prop::collection::vec(literal_strategy(), 1..3)), 1..6)
+}
+
+fn build_flat_probtree(spec: &[(usize, Vec<(usize, bool)>)]) -> ProbTree {
+    let mut tree = ProbTree::new("R");
+    let events: Vec<EventId> = (0..NUM_EVENTS)
+        .map(|i| tree.events_mut().insert(format!("e{i}"), 0.5))
+        .collect();
+    let root = tree.tree().root();
+    for (label_idx, literals) in spec {
+        let condition = Condition::from_literals(literals.iter().map(|&(e, positive)| Literal {
+            event: events[e],
+            positive,
+        }));
+        tree.add_child(root, format!("L{label_idx}"), condition);
+    }
+    tree
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 1 + Theorem 2 machinery
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Lemma 1: count-equivalence of DNF formulas coincides with equality
+    /// of their characteristic polynomials, and the randomized
+    /// Schwartz–Zippel test agrees with both (one-sided error is
+    /// negligible at the default sample-set size).
+    #[test]
+    fn lemma1_three_way_agreement(a in dnf_strategy(), b in dnf_strategy()) {
+        let lhs = build_dnf(&a);
+        let rhs = build_dnf(&b);
+        let naive = lhs.count_equivalent_naive(&rhs, NUM_EVENTS, 16).unwrap();
+        let polynomial = characteristic_polynomial(&lhs) == characteristic_polynomial(&rhs);
+        prop_assert_eq!(naive, polynomial, "Lemma 1 violated");
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        let randomized =
+            count_equivalent_randomized(&lhs, &rhs, &ZippelConfig::default(), &mut rng);
+        prop_assert_eq!(naive, randomized, "Schwartz–Zippel test disagrees");
+    }
+
+    /// The Figure 3 algorithm agrees with the exhaustive definition of
+    /// structural equivalence on random flat prob-tree pairs (both
+    /// directions: equivalent pairs are accepted, inequivalent pairs are
+    /// rejected — the latter up to the co-RP error, negligible here).
+    #[test]
+    fn figure3_matches_exhaustive(a in flat_probtree_strategy(), b in flat_probtree_strategy()) {
+        let ta = build_flat_probtree(&a);
+        let tb = build_flat_probtree(&b);
+        let exhaustive = structural_equivalent_exhaustive(&ta, &tb, 16).unwrap();
+        let mut rng = StdRng::seed_from_u64(0xFEED);
+        let randomized =
+            structural_equivalent_randomized(&ta, &tb, &EquivalenceConfig::default(), &mut rng);
+        prop_assert_eq!(exhaustive, randomized);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 5 machinery
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The pruned backtracking DTD-satisfiability solver agrees with the
+    /// brute-force sweep, and a witness world always validates.
+    #[test]
+    fn dtd_solvers_agree(
+        spec in flat_probtree_strategy(),
+        max_l0 in 0usize..3,
+        max_l1 in 0usize..3,
+        min_l0 in 0usize..2,
+    ) {
+        let tree = build_flat_probtree(&spec);
+        let mut dtd = Dtd::new();
+        dtd.constrain("R", "L0", ChildConstraint { min: min_l0, max: Some(max_l0) })
+            .constrain("R", "L1", ChildConstraint::between(0, max_l1));
+        let brute = satisfiable_bruteforce(&tree, &dtd, 16).unwrap();
+        let (witness, _) = satisfiable_backtracking(&tree, &dtd);
+        prop_assert_eq!(brute.is_some(), witness.is_some());
+        if let Some(v) = witness {
+            prop_assert!(validates(&tree.value_in_world(&v), &dtd));
+        }
+        // Validity is the complement notion: if some world is invalid, a
+        // counterexample must be found, and vice versa.
+        let counterexample = valid_bruteforce(&tree, &dtd, 16).unwrap();
+        if let Some(v) = &counterexample {
+            prop_assert!(!validates(&tree.value_in_world(v), &dtd));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SAT machinery (the substrate of the Theorem 5 reduction)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// DPLL agrees with brute force on random small CNFs, and its model
+    /// really satisfies the formula.
+    #[test]
+    fn dpll_matches_bruteforce(
+        clauses in prop::collection::vec(
+            prop::collection::vec((0u32..6, any::<bool>()), 1..4),
+            0..12,
+        )
+    ) {
+        let mut cnf = pxml_sat::Cnf::new(6);
+        for clause in &clauses {
+            cnf.add_clause(
+                clause
+                    .iter()
+                    .map(|&(v, positive)| pxml_sat::Lit { var: pxml_sat::Var(v), positive })
+                    .collect(),
+            );
+        }
+        let dpll = solve_dpll(&cnf);
+        let brute = solve_brute(&cnf);
+        prop_assert_eq!(dpll.is_some(), brute.is_some());
+        if let Some(model) = dpll {
+            prop_assert!(cnf.eval(&model));
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Property-based tests (proptest) on the core invariants of the model.
+
+use proptest::prelude::*;
+
+use pxml_core::clean::{clean, is_clean};
+use pxml_core::equivalence::structural_equivalent_exhaustive;
+use pxml_core::probtree::ProbTree;
+use pxml_core::query::prob::check_theorem1;
+use pxml_core::semantics::{possible_worlds, pw_set_to_probtree};
+use pxml_core::update::{ProbabilisticUpdate, UpdateOperation};
+use pxml_core::PatternQuery;
+use pxml_events::{Condition, EventId, Literal};
+use pxml_tree::canon::{canonical_string, isomorphic, Semantics};
+use pxml_tree::builder::TreeSpec;
+use pxml_tree::DataTree;
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// A random small data-tree specification.
+fn tree_spec_strategy() -> impl Strategy<Value = TreeSpec> {
+    let leaf = prop::sample::select(vec!["A", "B", "C", "D"]).prop_map(TreeSpec::leaf);
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        (
+            prop::sample::select(vec!["A", "B", "C", "D"]),
+            prop::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(label, children)| TreeSpec::node(label, children))
+    })
+}
+
+/// A description of a small prob-tree: a tree shape plus, for every
+/// non-root node index, an optional list of (event index, polarity)
+/// literals over `num_events` events.
+#[derive(Clone, Debug)]
+struct ProbTreeSpec {
+    shape: TreeSpec,
+    num_events: usize,
+    conditions: Vec<Vec<(usize, bool)>>,
+}
+
+fn probtree_strategy() -> impl Strategy<Value = ProbTreeSpec> {
+    (tree_spec_strategy(), 1usize..=4).prop_flat_map(|(shape, num_events)| {
+        let nodes = shape.size();
+        prop::collection::vec(
+            prop::collection::vec((0..num_events, any::<bool>()), 0..=2),
+            nodes,
+        )
+        .prop_map(move |conditions| ProbTreeSpec {
+            shape: shape.clone(),
+            num_events,
+            conditions,
+        })
+    })
+}
+
+fn build_probtree(spec: &ProbTreeSpec) -> ProbTree {
+    let data = spec.shape.build();
+    let mut tree = ProbTree::from_data_tree(data, pxml_events::EventTable::new());
+    let events: Vec<EventId> = (0..spec.num_events)
+        .map(|i| tree.events_mut().insert(format!("e{i}"), 0.5))
+        .collect();
+    let nodes: Vec<_> = tree.tree().iter().collect();
+    for (idx, node) in nodes.into_iter().enumerate() {
+        if node == tree.tree().root() {
+            continue;
+        }
+        let literals = spec.conditions[idx % spec.conditions.len()]
+            .iter()
+            .map(|&(e, positive)| Literal {
+                event: events[e % events.len()],
+                positive,
+            });
+        tree.set_condition(node, Condition::from_literals(literals));
+    }
+    tree
+}
+
+// ---------------------------------------------------------------------------
+// Data-tree / canonical-form properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Isomorphism is invariant under rebuilding from the (unordered) spec
+    /// with reversed child lists.
+    #[test]
+    fn isomorphism_ignores_child_order(spec in tree_spec_strategy()) {
+        fn reverse(spec: &TreeSpec) -> TreeSpec {
+            TreeSpec {
+                label: spec.label.clone(),
+                children: spec.children.iter().rev().map(reverse).collect(),
+            }
+        }
+        let a = spec.build();
+        let b = reverse(&spec).build();
+        prop_assert!(isomorphic(&a, &b, Semantics::MultiSet));
+        prop_assert_eq!(
+            canonical_string(&a, Semantics::MultiSet),
+            canonical_string(&b, Semantics::MultiSet)
+        );
+    }
+
+    /// The canonical string characterizes isomorphism on random pairs.
+    #[test]
+    fn canonical_string_agreement(a in tree_spec_strategy(), b in tree_spec_strategy()) {
+        let ta = a.build();
+        let tb = b.build();
+        let iso = isomorphic(&ta, &tb, Semantics::MultiSet);
+        let same_string = canonical_string(&ta, Semantics::MultiSet)
+            == canonical_string(&tb, Semantics::MultiSet);
+        prop_assert_eq!(iso, same_string);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prob-tree semantics properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The possible-world semantics is a probability distribution.
+    #[test]
+    fn world_probabilities_sum_to_one(spec in probtree_strategy()) {
+        let tree = build_probtree(&spec);
+        let pw = possible_worlds(&tree, 16).unwrap();
+        prop_assert!((pw.total_probability() - 1.0).abs() < 1e-9);
+    }
+
+    /// Cleaning preserves structural equivalence (and therefore the
+    /// semantics) and is idempotent.
+    #[test]
+    fn cleaning_preserves_equivalence(spec in probtree_strategy()) {
+        let tree = build_probtree(&spec);
+        let cleaned = clean(&tree);
+        prop_assert!(is_clean(&cleaned));
+        prop_assert!(structural_equivalent_exhaustive(&tree, &cleaned, 16).unwrap());
+        let twice = clean(&cleaned);
+        prop_assert_eq!(twice.num_nodes(), cleaned.num_nodes());
+        prop_assert_eq!(twice.num_literals(), cleaned.num_literals());
+    }
+
+    /// Theorem 1: prob-tree query evaluation agrees with the possible-world
+    /// semantics for a fixed battery of pattern queries.
+    #[test]
+    fn theorem1_on_random_probtrees(spec in probtree_strategy()) {
+        let tree = build_probtree(&spec);
+        let queries = vec![
+            PatternQuery::new(Some("B")),
+            {
+                let mut q = PatternQuery::new(Some("A"));
+                q.add_child(q.root(), "C");
+                q
+            },
+            {
+                let mut q = PatternQuery::anchored(None);
+                q.add_descendant(q.root(), "D");
+                q
+            },
+        ];
+        for q in &queries {
+            prop_assert!(check_theorem1(q, &tree, 16).unwrap());
+        }
+    }
+
+    /// The PW-set → prob-tree construction is a right inverse of the
+    /// semantics (expressiveness completeness).
+    #[test]
+    fn pw_roundtrip(spec in probtree_strategy()) {
+        let tree = build_probtree(&spec);
+        let pw = possible_worlds(&tree, 16).unwrap().normalized();
+        let reencoded = pw_set_to_probtree(&pw).unwrap();
+        let back = possible_worlds(&reencoded, 16).unwrap().normalized();
+        prop_assert!(back.isomorphic(&pw));
+    }
+
+    /// Update consistency (the Appendix A theorem): applying a
+    /// probabilistic insertion or deletion commutes with taking the
+    /// possible-world semantics.
+    #[test]
+    fn updates_commute_with_semantics(
+        spec in probtree_strategy(),
+        confidence in prop::sample::select(vec![0.5f64, 1.0]),
+        delete in any::<bool>(),
+    ) {
+        let tree = build_probtree(&spec);
+        let update = if delete {
+            let mut q = PatternQuery::new(Some("A"));
+            let target = q.add_child(q.root(), "B");
+            ProbabilisticUpdate::new(UpdateOperation::delete(q, target), confidence)
+        } else {
+            let q = PatternQuery::new(Some("C"));
+            let at = q.root();
+            ProbabilisticUpdate::new(
+                UpdateOperation::insert(q, at, DataTree::new("new")),
+                confidence,
+            )
+        };
+        let (updated, _) = update.apply_to_probtree(&tree);
+        let direct = possible_worlds(&updated, 20).unwrap().normalized();
+        let via_pw = update
+            .apply_to_pw_set(&possible_worlds(&tree, 16).unwrap())
+            .normalized();
+        prop_assert!(direct.isomorphic(&via_pw));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ProXML round-trips preserve structural equivalence.
+    #[test]
+    fn proxml_roundtrip(spec in probtree_strategy()) {
+        let tree = build_probtree(&spec);
+        let xml = pxml_core::proxml::to_xml(&tree);
+        let back = pxml_core::proxml::from_xml(&xml).unwrap();
+        prop_assert!(structural_equivalent_exhaustive(&tree, &back, 16).unwrap());
+    }
+
+    /// The generic XML writer/parser round-trips arbitrary data trees.
+    #[test]
+    fn xml_datatree_roundtrip(spec in tree_spec_strategy()) {
+        let tree = spec.build();
+        let element = pxml_xml::datatree::datatree_to_element(&tree);
+        let text = pxml_xml::writer::write_document(&element);
+        let reparsed = pxml_xml::parser::parse(&text).unwrap();
+        let back = pxml_xml::datatree::element_to_datatree(&reparsed);
+        prop_assert!(isomorphic(&tree, &back, Semantics::MultiSet));
+    }
+}
