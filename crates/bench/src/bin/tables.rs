@@ -7,8 +7,8 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run -p pxml-bench --release --bin tables            # all experiments
-//! cargo run -p pxml-bench --release --bin tables -- --exp e5
+//! cargo run --release -p pxml_bench --bin tables            # all experiments
+//! cargo run --release -p pxml_bench --bin tables -- --exp e5
 //! ```
 
 use std::time::Instant;

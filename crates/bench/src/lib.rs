@@ -5,7 +5,7 @@
 //! formal result of the paper. See `DESIGN.md` §3 for the experiment ↔
 //! result mapping.
 //!
-//! The `tables` binary (`cargo run -p pxml-bench --release --bin tables`)
+//! The `tables` binary (`cargo run --release -p pxml_bench --bin tables`)
 //! prints the size/count tables (exponential blow-ups are statements about
 //! *representation size*, which criterion does not capture); the criterion
 //! benches (`cargo bench`) measure running times.

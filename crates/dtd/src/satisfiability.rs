@@ -281,7 +281,7 @@ mod tests {
             let events: Vec<_> = (0..5).map(|_| t.events_mut().fresh(0.5)).collect();
             let root = t.tree().root();
             for _ in 0..rng.gen_range(2..6usize) {
-                let label = ["L0", "L1"][rng.gen_range(0..2)];
+                let label = ["L0", "L1"][rng.gen_range(0..2usize)];
                 let lit = Literal {
                     event: events[rng.gen_range(0..events.len())],
                     positive: rng.gen_bool(0.5),

@@ -21,6 +21,27 @@
 //!   relation of Definition 10, with the naive exponential decision
 //!   procedure used as a baseline against the Schwartz–Zippel test of
 //!   `pxml-poly`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pxml_events::{Condition, EventTable, Literal};
+//!
+//! // Two independent events: π(w1) = 0.8, π(w2) = 0.7.
+//! let mut events = EventTable::new();
+//! let w1 = events.insert("w1", 0.8);
+//! let w2 = events.insert("w2", 0.7);
+//!
+//! // The Figure 1 condition on node B: w1 ∧ ¬w2.
+//! let cond = Condition::from_literals([Literal::pos(w1), Literal::neg(w2)]);
+//! assert!(cond.is_consistent());
+//! assert!((cond.probability(&events) - 0.8 * 0.3).abs() < pxml_events::PROB_EPS);
+//!
+//! // An inconsistent conjunction (w1 ∧ ¬w1) never holds.
+//! let never = Condition::from_literals([Literal::pos(w1), Literal::neg(w1)]);
+//! assert!(!never.is_consistent());
+//! assert_eq!(never.probability(&events), 0.0);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -87,7 +87,7 @@ mod tests {
     // valuations over n events with the default guard, so define one here.
     mod helpers {
         use pxml_events::valuation::{all_valuations, Valuation};
-        pub fn vals(n: usize) -> Vec<Valuation> {
+        pub(super) fn vals(n: usize) -> Vec<Valuation> {
             all_valuations(n, 20).unwrap().collect()
         }
     }

@@ -4,7 +4,7 @@
 //! and validity, shows the Theorem 5 reduction from SAT in action, and
 //! computes a DTD restriction.
 //!
-//! Run with: `cargo run -p pxml-examples --bin dtd_validation`
+//! Run with: `cargo run --release --example dtd_validation`
 
 use pxml_core::probtree::ProbTree;
 use pxml_dtd::reduction::reduce_sat;

@@ -7,7 +7,7 @@
 //! exhaustive check needs 2^|W| world comparisons. A third, subtly
 //! different document is rejected.
 //!
-//! Run with: `cargo run -p pxml-examples --bin equivalence_demo`
+//! Run with: `cargo run --release --example equivalence_demo`
 
 use std::time::Instant;
 

@@ -4,7 +4,7 @@
 //! (Figure 2), runs a tree-pattern query, applies a probabilistic update,
 //! and round-trips the result through the ProXML format.
 //!
-//! Run with: `cargo run -p pxml-examples --bin quickstart`
+//! Run with: `cargo run --release --example quickstart`
 
 use pxml_core::probtree::ProbTree;
 use pxml_core::proxml;

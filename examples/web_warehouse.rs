@@ -6,7 +6,7 @@
 //! ranks answers by probability, and prunes improbable worlds with a
 //! threshold.
 //!
-//! Run with: `cargo run -p pxml-examples --bin web_warehouse`
+//! Run with: `cargo run --release --example web_warehouse`
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

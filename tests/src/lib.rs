@@ -41,4 +41,28 @@ mod tests {
         assert_eq!(t.events().len(), 3);
         assert_eq!(t.num_literals(), 3);
     }
+
+    /// Guards the fixture's *semantics* against drift: several integration
+    /// tests assume this exact possible-world distribution.
+    #[test]
+    fn bibliography_fixture_semantics() {
+        use pxml_core::semantics::possible_worlds;
+
+        let t = bibliography();
+        let pw = possible_worlds(&t, 8).unwrap().normalized();
+
+        // Three independent presence choices — book (π(confirmed) = 0.9),
+        // year under book (π(year_known) = 0.6), article (π(¬retracted)
+        // = 0.9) — give 3 book states × 2 article states = 6 distinct
+        // worlds.
+        assert_eq!(pw.len(), 6);
+
+        // The semantics is a probability distribution: unit total mass.
+        assert!((pw.total_probability() - 1.0).abs() < 1e-9);
+
+        // The most likely world is the full document:
+        // 0.9 · 0.6 · 0.9 = 0.486.
+        let best = pw.iter().map(|(_, p)| *p).fold(0.0f64, f64::max);
+        assert!((best - 0.486).abs() < 1e-9, "best world probability {best}");
+    }
 }

@@ -1,0 +1,232 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of the criterion 0.5 API its seven bench
+//! targets use: [`Criterion`] configuration, [`BenchmarkGroup`] with
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement is intentionally simple — warm-up for the configured
+//! warm-up time, then run batches until the measurement time elapses and
+//! report the mean wall-clock time per iteration — with none of
+//! criterion's statistics, HTML reports or regression detection. The
+//! numbers are honest but coarse; the point is that `cargo bench`
+//! compiles, runs, and prints per-benchmark timings deterministically
+//! offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark configuration, mirroring `criterion::Criterion`.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long each benchmark warms up before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark over a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            warm_up_time: self.criterion.warm_up_time,
+            measurement_time: self.criterion.measurement_time,
+            sample_size: self.criterion.sample_size,
+            measured: None,
+        };
+        f(&mut bencher, input);
+        match bencher.measured {
+            Some(mean) => println!("{}/{}  mean {}", self.name, id.id, format_ns(mean)),
+            None => println!("{}/{}  (no measurement: Bencher::iter never called)", self.name, id.id),
+        }
+        self
+    }
+
+    /// Runs one benchmark with no input parameter.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = BenchmarkId::from_parameter(id.into());
+        self.bench_with_input(id, &(), |b, ()| f(b))
+    }
+
+    /// Ends the group. (The real criterion emits a summary here.)
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; times the routine given to [`iter`].
+///
+/// [`iter`]: Bencher::iter
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    measured: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean wall-clock nanoseconds per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget is spent, counting calls so
+        // we can size measurement batches (at least one call always runs).
+        let warm_start = Instant::now();
+        let mut warm_calls = 0u64;
+        loop {
+            black_box(routine());
+            warm_calls += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / warm_calls as f64;
+
+        // Size each sample so that `sample_size` samples roughly fill the
+        // measurement budget.
+        let budget = self.measurement_time.as_secs_f64();
+        let calls_per_sample =
+            ((budget / self.sample_size as f64 / per_call.max(1e-9)).ceil() as u64).max(1);
+
+        let mut total = Duration::ZERO;
+        let mut calls = 0u64;
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..calls_per_sample {
+                black_box(routine());
+            }
+            total += t.elapsed();
+            calls += calls_per_sample;
+            if measure_start.elapsed().as_secs_f64() > 2.0 * budget {
+                break; // slow routine: don't overrun the budget unboundedly
+            }
+        }
+        self.measured = Some(total.as_nanos() as f64 / calls as f64);
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+///
+/// Both forms are supported:
+/// `criterion_group!(name, target_a, target_b)` and the configured
+/// `criterion_group! { name = n; config = expr; targets = a, b }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,67 @@
+//! The [`Arbitrary`] trait and the [`any`] entry point.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns for this type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy generating arbitrary values of `Self`.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Returns the canonical strategy for `A` (e.g. `any::<bool>()`).
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Strategy for arbitrary `bool`s (fair coin).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty => $name:ident),* $(,)?) => {$(
+        /// Strategy for arbitrary values of the corresponding integer type.
+        #[derive(Clone, Copy, Debug, Default)]
+        pub struct $name;
+
+        impl Strategy for $name {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = $name;
+            fn arbitrary() -> $name {
+                $name
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(
+    u8 => AnyU8, u16 => AnyU16, u32 => AnyU32, u64 => AnyU64, usize => AnyUsize,
+    i8 => AnyI8, i16 => AnyI16, i32 => AnyI32, i64 => AnyI64, isize => AnyIsize,
+);

@@ -1,0 +1,122 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of the proptest 1.x API its test suites
+//! use:
+//!
+//! * the [`Strategy`] trait with [`prop_map`](Strategy::prop_map),
+//!   [`prop_flat_map`](Strategy::prop_flat_map) and
+//!   [`prop_recursive`](Strategy::prop_recursive), plus [`BoxedStrategy`];
+//! * strategies for integer ranges (`0..n`, `1..=n`), tuples of
+//!   strategies, [`collection::vec`], [`sample::select`], [`Just`], and
+//!   [`arbitrary::any`] (`any::<bool>()`);
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`, and
+//!   [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case panics with the assertion message;
+//!   the offending input is not minimized. (All inputs here are small by
+//!   construction, so failures are still readable.)
+//! * **Deterministic.** Each `proptest!`-generated test derives its RNG
+//!   seed from the test's module path and name, so failures reproduce
+//!   exactly across runs — there is no persistence file because none is
+//!   needed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirroring `proptest::prop` (`prop::collection::vec`,
+/// `prop::sample::select`, ...).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    //! Runtime support for the exported macros; not public API.
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// FNV-1a hash of a test's full path — the deterministic RNG seed.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// expands to a `#[test]` that runs `body` over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let __seed =
+                $crate::__rt::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut __rng =
+                <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(__seed);
+            for __case in 0..__config.cases {
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )+
+                let __run = || -> () { $body };
+                __run();
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}

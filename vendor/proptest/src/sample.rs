@@ -1,0 +1,26 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// A strategy that picks one of `items` uniformly and clones it.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select requires at least one item");
+    Select { items }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Clone, Debug)]
+pub struct Select<T: Clone> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.items[rng.gen_range(0..self.items.len())].clone()
+    }
+}

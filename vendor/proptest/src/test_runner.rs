@@ -1,0 +1,25 @@
+//! Test-runner configuration ([`ProptestConfig`]).
+
+/// Configuration for a `proptest!` block.
+///
+/// Only `cases` is honored; the struct is non-exhaustive in spirit but
+/// kept open so struct-literal updates (`ProptestConfig { cases: n,
+/// ..Default::default() }`) also work.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}

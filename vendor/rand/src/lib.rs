@@ -1,0 +1,194 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the small subset of the `rand` 0.8 API it actually
+//! uses:
+//!
+//! * [`RngCore`] — the raw generator interface (`next_u32` / `next_u64`);
+//! * [`SeedableRng`] — deterministic construction via `seed_from_u64`;
+//! * [`Rng`] — the user-facing extension trait with `gen_range` (over
+//!   half-open and inclusive integer and float ranges) and `gen_bool`;
+//! * [`rngs::StdRng`] — a seedable generator backed by xoshiro256**
+//!   (Blackman & Vigna, public domain), plenty for randomized algorithms
+//!   and property tests. It is **not** cryptographically secure, which
+//!   matches `rand`'s own documentation caveat for `StdRng` reproducibility
+//!   across versions: only determinism within this workspace is promised.
+//!
+//! Uniform integer sampling uses rejection sampling (no modulo bias), so
+//! the Schwartz–Zippel identity tests in `pxml-poly` get honestly uniform
+//! field points.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs;
+
+/// The raw generator interface: a source of uniformly random bits.
+pub trait RngCore {
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Deterministic construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose entire stream is determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing random-value methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// Supports `a..b` and `a..=b` over the common integer types and
+    /// `f32`/`f64`. Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)` (53-bit precision).
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that a uniform value of type `T` can be sampled from.
+pub trait SampleRange<T> {
+    /// Samples one uniform value; panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[0, span)` by rejection sampling (no modulo bias).
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    // Largest multiple of `span` that fits in u64: values at or above it
+    // would wrap unevenly, so redraw (expected < 2 draws).
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                self.start.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(uniform_u64_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+macro_rules! impl_float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                // `start + span * u` with u in [0, 1) can still round up to
+                // exactly `end` (likely for f32, ~2^-53 for f64); resample
+                // to uphold the exclusive upper bound. `start` itself is
+                // always in range, so this terminates.
+                loop {
+                    let v = self.start + (self.end - self.start) * unit_f64(rng.next_u64()) as $t;
+                    if v < self.end {
+                        return v;
+                    }
+                }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                start + (end - start) * unit_f64(rng.next_u64()) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_sample_range!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn determinism() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5..=5i32);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let freq = hits as f64 / 100_000.0;
+        assert!((freq - 0.3).abs() < 0.01, "freq = {freq}");
+    }
+
+    #[test]
+    fn integer_sampling_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[rng.gen_range(0..5usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts = {counts:?}");
+        }
+    }
+}
