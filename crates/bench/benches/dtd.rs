@@ -47,7 +47,11 @@ fn bench_dtd_backtracking(c: &mut Criterion) {
             b.iter(|| {
                 trees
                     .iter()
-                    .filter(|i| satisfiable_backtracking(&i.tree, &i.satisfiability_dtd).0.is_some())
+                    .filter(|i| {
+                        satisfiable_backtracking(&i.tree, &i.satisfiability_dtd)
+                            .0
+                            .is_some()
+                    })
                     .count()
             });
         });

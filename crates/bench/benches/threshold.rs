@@ -13,7 +13,7 @@ fn bench_threshold_restriction(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_threshold_restriction");
     for n in [1usize, 2, 3, 4, 5] {
         let tree = theorem4_tree(n);
-        let threshold = theorem4_world_probability(n) - 1e-12;
+        let threshold = theorem4_world_probability(n);
         group.bench_with_input(
             BenchmarkId::from_parameter(2 * n),
             &(tree, threshold),
@@ -29,12 +29,16 @@ fn bench_threshold_reencoding(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_threshold_as_probtree");
     for n in [1usize, 2, 3, 4] {
         let tree = theorem4_tree(n);
-        let threshold = theorem4_world_probability(n) - 1e-12;
+        let threshold = theorem4_world_probability(n);
         group.bench_with_input(
             BenchmarkId::from_parameter(2 * n),
             &(tree, threshold),
             |b, (tree, threshold)| {
-                b.iter(|| restriction_as_probtree(tree, *threshold, 24).unwrap().unwrap());
+                b.iter(|| {
+                    restriction_as_probtree(tree, *threshold, 24)
+                        .unwrap()
+                        .unwrap()
+                });
             },
         );
     }

@@ -71,9 +71,13 @@ fn bench_formula_query(c: &mut Criterion) {
         d0(&mut tree);
         let mut q_b = PatternQuery::anchored(Some("A"));
         q_b.add_child(q_b.root(), "B");
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(tree, q_b), |b, (tree, q)| {
-            b.iter(|| tree.query_possible(q));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(tree, q_b),
+            |b, (tree, q)| {
+                b.iter(|| tree.query_possible(q));
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,117 @@
+//! Relevant-event world engine: dense vs sparse event usage.
+//!
+//! The legacy `possible_worlds` baseline enumerates all `2^{|W|}`
+//! valuations of the *declared* event table; the `WorldEngine` enumerates
+//! only the `2^{|relevant|}` partial valuations of the events the tree's
+//! conditions actually mention. On a 200-node tree with 40 declared but
+//! only 10 mentioned events the legacy path is infeasible (`2^40`
+//! valuations — it refuses at the default `2^24` guard) while the engine
+//! answers in milliseconds; on a dense tree (every declared event
+//! mentioned) the two do the same amount of enumeration and the engine's
+//! streamed canonical-form accumulator still avoids the second
+//! normalization pass.
+//!
+//! Set `PXML_BENCH_QUICK=1` (as CI does) for a fast smoke run with small
+//! iteration budgets.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pxml_core::semantics::possible_worlds;
+use pxml_core::worlds::WorldEngine;
+use pxml_core::ProbTree;
+use pxml_workloads::random::{random_probtree, ProbTreeConfig, TreeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quick() -> bool {
+    std::env::var_os("PXML_BENCH_QUICK").is_some()
+}
+
+/// A 200-node tree mentioning `mentioned` events in its conditions, with
+/// `declared - mentioned` additional events that no condition uses.
+fn sparse_tree(declared: usize, mentioned: usize) -> ProbTree {
+    let config = ProbTreeConfig {
+        tree: TreeConfig {
+            nodes: 200,
+            max_fanout: 5,
+            labels: 4,
+        },
+        events: mentioned,
+        annotation_density: 0.5,
+        max_literals: 2,
+    };
+    let mut rng = StdRng::seed_from_u64(0x50DA);
+    let mut tree = random_probtree(&config, &mut rng);
+    for _ in mentioned..declared {
+        tree.events_mut().fresh(0.5);
+    }
+    tree
+}
+
+/// Engine on sparse trees: 40 declared events, 6–10 mentioned. The legacy
+/// path refuses all of these at the default 2^24 guard (asserted once,
+/// outside the timed region).
+fn bench_engine_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worlds_engine_sparse_40_declared");
+    let mentioned_sizes: &[usize] = if quick() { &[6] } else { &[6, 8, 10] };
+    for &mentioned in mentioned_sizes {
+        let tree = sparse_tree(40, mentioned);
+        assert!(
+            possible_worlds(&tree, 24).is_err(),
+            "legacy full enumeration must refuse 2^40 valuations"
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(mentioned), &tree, |b, tree| {
+            let engine = WorldEngine::new(tree);
+            b.iter(|| engine.normalized_worlds(24).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Dense trees (every declared event mentioned): legacy enumeration +
+/// two-pass normalization vs the engine's streamed accumulator, at equal
+/// `2^k` enumeration work.
+fn bench_dense_legacy_vs_engine(c: &mut Criterion) {
+    let sizes: &[usize] = if quick() { &[6] } else { &[6, 8, 10] };
+    let mut group = c.benchmark_group("worlds_dense_legacy");
+    for &events in sizes {
+        let tree = sparse_tree(events, events);
+        group.bench_with_input(BenchmarkId::from_parameter(events), &tree, |b, tree| {
+            b.iter(|| possible_worlds(tree, 24).unwrap().normalized());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("worlds_dense_engine");
+    for &events in sizes {
+        let tree = sparse_tree(events, events);
+        group.bench_with_input(BenchmarkId::from_parameter(events), &tree, |b, tree| {
+            let engine = WorldEngine::new(tree);
+            b.iter(|| engine.normalized_worlds(24).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    if quick() {
+        Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(20))
+            .measurement_time(Duration::from_millis(80))
+    } else {
+        Criterion::default()
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(400))
+            .measurement_time(Duration::from_millis(1500))
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_engine_sparse, bench_dense_legacy_vs_engine
+}
+criterion_main!(benches);

@@ -23,13 +23,15 @@ use pxml_core::equivalence::{
 use pxml_core::probtree::figure1_example;
 use pxml_core::query::prob::{query_probtree, query_pw_set};
 use pxml_core::query::Query;
-use pxml_core::semantics::{possible_worlds, pw_set_to_probtree};
+use pxml_core::semantics::{possible_worlds_normalized, pw_set_to_probtree};
 use pxml_core::threshold::{restrict_to_threshold, restriction_as_probtree};
 use pxml_core::update::{ProbabilisticUpdate, UpdateOperation};
 use pxml_core::variants::FormulaProbTree;
 use pxml_core::PatternQuery;
 use pxml_dtd::reduction::reduce_sat;
-use pxml_dtd::restriction::{restriction_as_probtree as dtd_restriction_as_probtree, theorem5_restriction_family};
+use pxml_dtd::restriction::{
+    restriction_as_probtree as dtd_restriction_as_probtree, theorem5_restriction_family,
+};
 use pxml_dtd::satisfiability::{satisfiable_backtracking, satisfiable_bruteforce};
 use pxml_events::{Condition, Literal};
 use pxml_poly::zippel::ZippelConfig;
@@ -102,7 +104,7 @@ fn e1_figure1() {
     header("E1", "Figure 1 prob-tree and its Figure 2 possible worlds");
     let tree = figure1_example();
     println!("{}", tree.to_ascii());
-    let worlds = possible_worlds(&tree, 20).unwrap().normalized();
+    let worlds = possible_worlds_normalized(&tree, 20).unwrap();
     println!("{:>10}  {:<30}", "p", "world (node labels)");
     for (world, p) in worlds.iter() {
         let labels: Vec<&str> = world.iter().map(|n| world.label(n)).collect();
@@ -232,7 +234,10 @@ fn e4_insertion_scaling() {
 
 /// E5: Theorem 3 — the deletion blow-up.
 fn e5_deletion_blowup() {
-    header("E5", "Theorem 3 — deletion d0 blow-up vs insertion on the same family");
+    header(
+        "E5",
+        "Theorem 3 — deletion d0 blow-up vs insertion on the same family",
+    );
     println!(
         "{:>3} {:>10} | {:>12} {:>12} {:>12} | {:>12} {:>12}",
         "n", "input size", "del. size", "B copies", "del. (ms)", "ins. size", "ins. (ms)"
@@ -266,7 +271,10 @@ fn e5_deletion_blowup() {
 
 /// E6: Theorem 2 — randomized vs exhaustive structural equivalence.
 fn e6_equivalence() {
-    header("E6", "Theorem 2 — randomized (Fig. 3) vs exhaustive structural equivalence");
+    header(
+        "E6",
+        "Theorem 2 — randomized (Fig. 3) vs exhaustive structural equivalence",
+    );
 
     fn document(sections: usize, rewrite: bool) -> pxml_core::probtree::ProbTree {
         let mut t = pxml_core::probtree::ProbTree::new("doc");
@@ -286,7 +294,11 @@ fn e6_equivalence() {
             let (a, f) = events[i];
             let cond = Condition::from_literals([Literal::pos(a), Literal::neg(f)]);
             let s = t.add_child(root, "section", cond.clone());
-            t.add_child(s, format!("para{i}"), if rewrite { cond } else { Condition::always() });
+            t.add_child(
+                s,
+                format!("para{i}"),
+                if rewrite { cond } else { Condition::always() },
+            );
         }
         t
     }
@@ -390,17 +402,22 @@ fn e6_equivalence() {
 
 /// E7: Theorem 4 — threshold restriction blow-up.
 fn e7_threshold() {
-    header("E7", "Theorem 4 — threshold restriction on the 2n-children family");
+    header(
+        "E7",
+        "Theorem 4 — threshold restriction on the 2n-children family",
+    );
     println!(
         "{:>3} {:>6} {:>12} | {:>10} {:>14} {:>14} {:>12}",
         "n", "|W|", "input size", "worlds>=p", "restr. mass", "probtree size", "time (ms)"
     );
     for n in [1usize, 2, 3, 4, 5] {
         let tree = theorem4_tree(n);
-        let threshold = theorem4_world_probability(n) - 1e-12;
+        let threshold = theorem4_world_probability(n);
         let start = Instant::now();
         let restriction = restrict_to_threshold(&tree, threshold, 24).unwrap();
-        let rep = restriction_as_probtree(&tree, threshold, 24).unwrap().unwrap();
+        let rep = restriction_as_probtree(&tree, threshold, 24)
+            .unwrap()
+            .unwrap();
         let elapsed = start.elapsed();
         println!(
             "{n:>3} {:>6} {:>12} | {:>10} {:>14.4} {:>14} {:>12.3}",
@@ -417,10 +434,20 @@ fn e7_threshold() {
 
 /// E8: Theorem 5 (1)–(2) — DTD satisfiability via the SAT reduction.
 fn e8_dtd_satisfiability() {
-    header("E8", "Theorem 5 — DTD satisfiability on reduced random 3-SAT (ratio 4.26)");
+    header(
+        "E8",
+        "Theorem 5 — DTD satisfiability on reduced random 3-SAT (ratio 4.26)",
+    );
     println!(
         "{:>5} {:>8} {:>10} | {:>10} {:>12} {:>16} {:>16} {:>8}",
-        "vars", "clauses", "tree size", "dpll (ms)", "backtr (ms)", "backtr decisions", "brute (ms)", "agree"
+        "vars",
+        "clauses",
+        "tree size",
+        "dpll (ms)",
+        "backtr (ms)",
+        "backtr decisions",
+        "brute (ms)",
+        "agree"
     );
     let mut r = StdRng::seed_from_u64(SEED ^ 0xE8);
     for num_vars in [6usize, 8, 10, 12, 14, 16, 18] {
@@ -430,7 +457,8 @@ fn e8_dtd_satisfiability() {
         let dpll = solve_dpll(&cnf).is_some();
         let dpll_time = start.elapsed();
         let start = Instant::now();
-        let (witness, stats) = satisfiable_backtracking(&instance.tree, &instance.satisfiability_dtd);
+        let (witness, stats) =
+            satisfiable_backtracking(&instance.tree, &instance.satisfiability_dtd);
         let backtrack_time = start.elapsed();
         let (brute_text, brute_result) = if num_vars <= 16 {
             let start = Instant::now();
@@ -458,7 +486,10 @@ fn e8_dtd_satisfiability() {
 
 /// E9: Theorem 5 (3) — DTD restriction blow-up.
 fn e9_dtd_restriction() {
-    header("E9", "Theorem 5 (3) — DTD restriction on the ≤ n-of-2n family");
+    header(
+        "E9",
+        "Theorem 5 (3) — DTD restriction on the ≤ n-of-2n family",
+    );
     println!(
         "{:>3} {:>6} {:>12} | {:>12} {:>14} {:>12}",
         "n", "|W|", "input size", "valid worlds", "probtree size", "time (ms)"
@@ -467,7 +498,9 @@ fn e9_dtd_restriction() {
         let (tree, dtd) = theorem5_restriction_family(n);
         let start = Instant::now();
         let restriction = pxml_dtd::restriction::restrict_to_dtd(&tree, &dtd, 24).unwrap();
-        let rep = dtd_restriction_as_probtree(&tree, &dtd, 24).unwrap().unwrap();
+        let rep = dtd_restriction_as_probtree(&tree, &dtd, 24)
+            .unwrap()
+            .unwrap();
         let elapsed = start.elapsed();
         println!(
             "{n:>3} {:>6} {:>12} | {:>12} {:>14} {:>12.3}",
@@ -506,7 +539,12 @@ fn e10_formula_variant() {
 
     println!(
         "{:>4} | {:>14} {:>14} | {:>14} {:>14} | {:>18}",
-        "n", "conj. del size", "conj. del (ms)", "form. del size", "form. del (ms)", "bool query SAT (ms)"
+        "n",
+        "conj. del size",
+        "conj. del (ms)",
+        "form. del size",
+        "form. del (ms)",
+        "bool query SAT (ms)"
     );
     for n in [2usize, 4, 6, 8, 10, 12, 64, 256] {
         // Conjunctive (base model) deletion — exponential; skip when too big.
@@ -514,7 +552,10 @@ fn e10_formula_variant() {
             let tree = theorem3_tree(n);
             let start = Instant::now();
             let (deleted, _) = d0_deletion(1.0).apply_to_probtree(&tree);
-            (format!("{:>14}", deleted.size()), format!("{:>14.3}", ms(start.elapsed())))
+            (
+                format!("{:>14}", deleted.size()),
+                format!("{:>14.3}", ms(start.elapsed())),
+            )
         } else {
             (format!("{:>14}", "skipped"), format!("{:>14}", "-"))
         };
@@ -555,7 +596,11 @@ fn e11_set_semantics_and_semantic_equivalence() {
     let w1 = a.events_mut().insert("w1", 0.8);
     let w2 = a.events_mut().insert("w2", 0.5);
     let ra = a.tree().root();
-    a.add_child(ra, "B", Condition::from_literals([Literal::pos(w1), Literal::pos(w2)]));
+    a.add_child(
+        ra,
+        "B",
+        Condition::from_literals([Literal::pos(w1), Literal::pos(w2)]),
+    );
     let mut b = pxml_core::probtree::ProbTree::new("A");
     let w3 = b.events_mut().insert("w3", 0.4);
     let rb = b.tree().root();
@@ -601,7 +646,10 @@ fn e11_set_semantics_and_semantic_equivalence() {
         let u = t.clone();
         let start = Instant::now();
         let equal = pxml_core::equivalence::semantic_equivalent(&t, &u, 24).unwrap();
-        println!("{events:>5} {:>14.3}   (equivalent = {equal})", ms(start.elapsed()));
+        println!(
+            "{events:>5} {:>14.3}   (equivalent = {equal})",
+            ms(start.elapsed())
+        );
     }
     println!();
 }

@@ -74,6 +74,9 @@ mod tests {
     fn scaling_query_has_answers_on_the_fixture() {
         let tree = scaling_probtree(2_000, &mut rng());
         let answers = query_probtree(&scaling_query(), &tree);
-        assert!(!answers.is_empty(), "the scaling query should match something");
+        assert!(
+            !answers.is_empty(),
+            "the scaling query should match something"
+        );
     }
 }

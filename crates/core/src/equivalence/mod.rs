@@ -13,17 +13,22 @@
 
 pub mod randomized;
 
-use pxml_events::valuation::{all_valuations, TooManyValuations};
+use pxml_events::valuation::TooManyValuations;
 use pxml_tree::canon::{canonical_string, Semantics};
 
 use crate::probtree::ProbTree;
-use crate::semantics::possible_worlds;
+use crate::semantics::possible_worlds_normalized;
+use crate::worlds::WorldEngine;
 
 pub use randomized::{structural_equivalent_randomized, EquivalenceConfig};
 
 /// Exhaustive decision of structural equivalence (Definition 9):
-/// enumerates every valuation `V ⊆ W` and compares `V(T)` and `V(T')` up to
-/// isomorphism. Exponential in `|W|`; guarded by `max_events`.
+/// enumerates every valuation `V ⊆ W` — via the relevant-event
+/// [`WorldEngine`], which only materializes assignments to the events some
+/// condition of either tree mentions (flipping any other event changes
+/// neither value) — and compares `V(T)` and `V(T')` up to isomorphism.
+/// Exponential in the size of the joint relevant set; guarded by
+/// `max_events`.
 ///
 /// Returns `false` immediately if the two prob-trees do not declare the
 /// same event variables and distribution (structural equivalence is only
@@ -47,7 +52,10 @@ pub fn structural_equivalent_exhaustive_with(
     if !a.events().same_distribution(b.events()) {
         return Ok(false);
     }
-    for valuation in all_valuations(a.events().len(), max_events)? {
+    // Definition 9 quantifies over *all* valuations, so use the unpruned
+    // enumeration (zero-probability branches still count).
+    let engine = WorldEngine::for_pair(a, b);
+    for valuation in engine.all_valuations(max_events)? {
         let wa = a.value_in_world(&valuation);
         let wb = b.value_in_world(&valuation);
         if canonical_string(&wa, semantics) != canonical_string(&wb, semantics) {
@@ -58,7 +66,8 @@ pub fn structural_equivalent_exhaustive_with(
 }
 
 /// Semantic equivalence (`≡sem`): the possible-world semantics of the two
-/// prob-trees are isomorphic PW sets. Exponential in both event-set sizes.
+/// prob-trees are isomorphic PW sets. Exponential in both *relevant*
+/// event-set sizes.
 ///
 /// Unlike structural equivalence, the two prob-trees may use different
 /// event variables and probabilities (Proposition 4 discusses the
@@ -68,8 +77,8 @@ pub fn semantic_equivalent(
     b: &ProbTree,
     max_events: usize,
 ) -> Result<bool, TooManyValuations> {
-    let pa = possible_worlds(a, max_events)?.normalized();
-    let pb = possible_worlds(b, max_events)?.normalized();
+    let pa = possible_worlds_normalized(a, max_events)?;
+    let pb = possible_worlds_normalized(b, max_events)?;
     Ok(pa.isomorphic(&pb))
 }
 
@@ -77,13 +86,15 @@ pub fn semantic_equivalent(
 /// flipping the value of `event` never changes the produced world. The
 /// paper observes this is computationally equivalent to structural
 /// equivalence (it can be used to encode an equivalence check and vice
-/// versa). Exhaustive version.
+/// versa). Exhaustive over the relevant events (plus `event` itself, so
+/// both of its polarities are always probed).
 pub fn independent_of_event_exhaustive(
     tree: &ProbTree,
     event: pxml_events::EventId,
     max_events: usize,
 ) -> Result<bool, TooManyValuations> {
-    for valuation in all_valuations(tree.events().len(), max_events)? {
+    let engine = WorldEngine::with_extra_events(tree, [event]);
+    for valuation in engine.all_valuations(max_events)? {
         if valuation.get(event) {
             continue; // only consider each pair once, from the `false` side
         }
@@ -133,11 +144,7 @@ mod tests {
     fn changing_a_condition_breaks_structural_equivalence() {
         let t = figure1_example();
         let mut u = figure1_example();
-        let b = u
-            .tree()
-            .iter()
-            .find(|&n| u.tree().label(n) == "B")
-            .unwrap();
+        let b = u.tree().iter().find(|&n| u.tree().label(n) == "B").unwrap();
         let w1 = u.events().by_name("w1").unwrap();
         u.set_condition(b, Condition::of(Literal::pos(w1)));
         assert!(!structural_equivalent_exhaustive(&t, &u, 20).unwrap());

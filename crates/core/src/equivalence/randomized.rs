@@ -174,10 +174,7 @@ fn classify<R: Rng + ?Sized>(
         }
         // Step (c)(i): the sets of child classes must coincide.
         if existing.per_class.len() != sig.per_class.len()
-            || !existing
-                .per_class
-                .keys()
-                .eq(sig.per_class.keys())
+            || !existing.per_class.keys().eq(sig.per_class.keys())
         {
             continue;
         }
@@ -252,16 +249,9 @@ mod tests {
         let a = figure1_example();
         let mut b = figure1_example();
         let w1 = b.events().by_name("w1").unwrap();
-        let d = b
-            .tree()
-            .iter()
-            .find(|&n| b.tree().label(n) == "D")
-            .unwrap();
+        let d = b.tree().iter().find(|&n| b.tree().label(n) == "D").unwrap();
         let w2 = b.events().by_name("w2").unwrap();
-        b.set_condition(
-            d,
-            Condition::from_literals([Literal::pos(w2)]),
-        );
+        b.set_condition(d, Condition::from_literals([Literal::pos(w2)]));
         let root = b.tree().root();
         b.add_child(
             root,
@@ -282,11 +272,7 @@ mod tests {
         let a = figure1_example();
         let mut b = figure1_example();
         let w1 = b.events().by_name("w1").unwrap();
-        let bn = b
-            .tree()
-            .iter()
-            .find(|&n| b.tree().label(n) == "B")
-            .unwrap();
+        let bn = b.tree().iter().find(|&n| b.tree().label(n) == "B").unwrap();
         b.set_condition(bn, Condition::of(Literal::pos(w1)));
         assert!(!structural_equivalent_randomized(
             &a,
@@ -353,7 +339,11 @@ mod tests {
             let a = build(&mut r);
             // Half the time compare against an identical clone (should be
             // equivalent), half the time against an independent random tree.
-            let b = if round % 2 == 0 { a.clone() } else { build(&mut r) };
+            let b = if round % 2 == 0 {
+                a.clone()
+            } else {
+                build(&mut r)
+            };
             let exhaustive = structural_equivalent_exhaustive(&a, &b, 20).unwrap();
             let randomized =
                 structural_equivalent_randomized(&a, &b, &EquivalenceConfig::default(), &mut r);
@@ -375,11 +365,7 @@ mod tests {
         let a = figure1_example();
         let mut b = figure1_example();
         let w1 = b.events().by_name("w1").unwrap();
-        let bn = b
-            .tree()
-            .iter()
-            .find(|&n| b.tree().label(n) == "B")
-            .unwrap();
+        let bn = b.tree().iter().find(|&n| b.tree().label(n) == "B").unwrap();
         b.set_condition(bn, Condition::of(Literal::pos(w1)));
         for seed in 0..32u64 {
             let verdict = |s| {
@@ -420,6 +406,11 @@ mod tests {
         let b = figure1_example();
         let config = EquivalenceConfig::for_error_half(&a, &b);
         assert!(config.zippel.sample_set_size >= 4);
-        assert!(structural_equivalent_randomized(&a, &b, &config, &mut rng()));
+        assert!(structural_equivalent_randomized(
+            &a,
+            &b,
+            &config,
+            &mut rng()
+        ));
     }
 }

@@ -9,7 +9,7 @@
 //! | Paper section | Module |
 //! |---|---|
 //! | §2 syntax of prob-trees (Def. 2) | [`probtree`] |
-//! | §2 possible-world semantics (Def. 3–4), expressiveness | [`pwset`], [`semantics`] |
+//! | §2 possible-world semantics (Def. 3–4), expressiveness | [`pwset`], [`semantics`], [`worlds`] |
 //! | §2 locally monotone queries, tree-pattern queries with joins (Def. 5–8, Thm. 1, Prop. 2) | [`query`] |
 //! | §2 / Appendix A probabilistic updates (Def. 14–16, Thm. 3) | [`update`] |
 //! | §3 cleaning, structural equivalence, the co-RP algorithm (Fig. 3, Thm. 2) | [`clean`], [`equivalence`] |
@@ -54,11 +54,13 @@ pub mod semantics;
 pub mod threshold;
 pub mod update;
 pub mod variants;
+pub mod worlds;
 
 pub use probtree::ProbTree;
 pub use pwset::PossibleWorldSet;
 pub use query::pattern::PatternQuery;
 pub use update::{ProbabilisticUpdate, UpdateAction, UpdateOperation};
+pub use worlds::WorldEngine;
 
 /// Default bound on the number of event variables accepted by APIs that
 /// enumerate all `2^{|W|}` possible worlds. Re-exported from `pxml-events`.

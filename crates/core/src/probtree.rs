@@ -198,11 +198,7 @@ impl ProbTree {
         let mut keep: HashMap<NodeId, bool> = HashMap::new();
         // Pre-order guarantees parents are decided before children.
         for node in self.tree.iter() {
-            let parent_kept = self
-                .tree
-                .parent(node)
-                .map(|p| keep[&p])
-                .unwrap_or(true);
+            let parent_kept = self.tree.parent(node).map(|p| keep[&p]).unwrap_or(true);
             let own = self.condition(node).eval(valuation);
             keep.insert(node, parent_kept && own);
         }
@@ -340,11 +336,7 @@ mod tests {
     #[test]
     fn path_and_ancestor_conditions() {
         let t = figure1_example();
-        let d = t
-            .tree()
-            .iter()
-            .find(|&n| t.tree().label(n) == "D")
-            .unwrap();
+        let d = t.tree().iter().find(|&n| t.tree().label(n) == "D").unwrap();
         let w2 = t.events().by_name("w2").unwrap();
         assert_eq!(t.ancestor_condition(d), Condition::always());
         assert_eq!(t.path_condition(d), Condition::of(Literal::pos(w2)));
@@ -380,11 +372,7 @@ mod tests {
     #[test]
     fn compact_drops_detached_conditions() {
         let mut t = figure1_example();
-        let b = t
-            .tree()
-            .iter()
-            .find(|&n| t.tree().label(n) == "B")
-            .unwrap();
+        let b = t.tree().iter().find(|&n| t.tree().label(n) == "B").unwrap();
         t.detach(b);
         let (compacted, _) = t.compact();
         assert_eq!(compacted.num_nodes(), 3);
@@ -403,11 +391,7 @@ mod tests {
     #[test]
     fn setting_empty_condition_clears_annotation() {
         let mut t = figure1_example();
-        let b = t
-            .tree()
-            .iter()
-            .find(|&n| t.tree().label(n) == "B")
-            .unwrap();
+        let b = t.tree().iter().find(|&n| t.tree().label(n) == "B").unwrap();
         t.set_condition(b, Condition::always());
         assert_eq!(t.num_literals(), 1);
     }

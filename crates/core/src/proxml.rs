@@ -216,7 +216,7 @@ mod tests {
     }
 
     #[test]
-    fn unknown_event_in_condition_is_rejected()  {
+    fn unknown_event_in_condition_is_rejected() {
         let doc = r#"<prob-tree><events/><node label="A"><node label="B" cond="mystery"/></node></prob-tree>"#;
         let err = from_xml(doc).unwrap_err();
         assert!(err.to_string().contains("unknown event"));
@@ -263,6 +263,9 @@ mod tests {
         let xml = to_xml(&t);
         let back = from_xml(&xml).expect("roundtrip");
         assert_eq!(back.tree().label(back.tree().root()), "A & B <tricky>");
-        assert_eq!(back.events().name(pxml_events::EventId::from_index(0)), "w\"quoted\"");
+        assert_eq!(
+            back.events().name(pxml_events::EventId::from_index(0)),
+            "w\"quoted\""
+        );
     }
 }

@@ -135,7 +135,9 @@ impl PossibleWorldSet {
     fn class_masses(&self, semantics: Semantics) -> HashMap<String, f64> {
         let mut masses: HashMap<String, f64> = HashMap::new();
         for (tree, p) in &self.worlds {
-            *masses.entry(canonical_string(tree, semantics)).or_insert(0.0) += p;
+            *masses
+                .entry(canonical_string(tree, semantics))
+                .or_insert(0.0) += p;
         }
         // Drop classes with negligible mass so that comparing a set
         // containing explicit zero-probability entries works.
@@ -146,12 +148,22 @@ impl PossibleWorldSet {
     /// Restricts to the worlds whose probability is at least `threshold`
     /// (the `JT K≥p` operation studied in Theorem 4). Call on a normalized
     /// set, otherwise per-entry probabilities are not world probabilities.
+    ///
+    /// The comparison is an **exact** `p ≥ threshold` — deliberately no
+    /// [`PROB_EPS`] slack. An epsilon here would let worlds strictly below
+    /// the threshold survive (the old `p ≥ threshold − PROB_EPS` did
+    /// exactly that, and the Theorem-4 witness tests had to compensate with
+    /// hand-tuned offsets). `PROB_EPS` remains the right tool where two
+    /// *independently computed* probabilities are compared for equality
+    /// (`∼`, [`prob_eq`]); a threshold is a caller-chosen constant, so any
+    /// float slack belongs in the caller's choice of `threshold`, not
+    /// here.
     pub fn restrict_to_threshold(&self, threshold: f64) -> PossibleWorldSet {
         PossibleWorldSet {
             worlds: self
                 .worlds
                 .iter()
-                .filter(|(_, p)| *p >= threshold - PROB_EPS)
+                .filter(|(_, p)| *p >= threshold)
                 .cloned()
                 .collect(),
         }
@@ -173,11 +185,7 @@ impl PossibleWorldSet {
     /// The label shared by the roots of all worlds, if consistent.
     pub fn root_label(&self) -> Option<&str> {
         let first = self.worlds.first().map(|(t, _)| t.label(t.root()))?;
-        if self
-            .worlds
-            .iter()
-            .all(|(t, _)| t.label(t.root()) == first)
-        {
+        if self.worlds.iter().all(|(t, _)| t.label(t.root()) == first) {
             Some(first)
         } else {
             None
@@ -230,12 +238,8 @@ mod tests {
         let t1 = TreeSpec::node("A", vec![TreeSpec::leaf("C")]).build();
         let t2 = TreeSpec::node("A", vec![TreeSpec::node("C", vec![TreeSpec::leaf("D")])]).build();
         let t3 = TreeSpec::node("A", vec![TreeSpec::leaf("C"), TreeSpec::leaf("B")]).build();
-        let b = PossibleWorldSet::from_worlds([
-            (t3, 0.24),
-            (t2.clone(), 0.35),
-            (t1, 0.06),
-            (t2, 0.35),
-        ]);
+        let b =
+            PossibleWorldSet::from_worlds([(t3, 0.24), (t2.clone(), 0.35), (t1, 0.06), (t2, 0.35)]);
         assert!(a.isomorphic(&b));
         assert!(b.isomorphic(&a));
     }
@@ -272,8 +276,7 @@ mod tests {
                 .collect::<Vec<_>>(),
         );
         let t3 = TreeSpec::node("A", vec![TreeSpec::leaf("B"), TreeSpec::leaf("C")]).build();
-        let expected =
-            PossibleWorldSet::from_worlds([(t3, 0.24), (DataTree::new("A"), 0.76)]);
+        let expected = PossibleWorldSet::from_worlds([(t3, 0.24), (DataTree::new("A"), 0.76)]);
         assert!(restricted.isomorphic_sub(&expected, "A"));
         // But not to the unrestricted original.
         assert!(!restricted.isomorphic_sub(&pw, "A"));
@@ -290,20 +293,28 @@ mod tests {
     }
 
     #[test]
+    fn threshold_comparison_is_exact_at_the_boundary() {
+        let pw = figure2();
+        // Exactly at a world's probability: the world survives.
+        assert_eq!(pw.restrict_to_threshold(0.24).len(), 2);
+        // A hair below (threshold − PROB_EPS/2): still survives.
+        assert_eq!(pw.restrict_to_threshold(0.24 - PROB_EPS / 2.0).len(), 2);
+        // A hair above (threshold + PROB_EPS/2): dropped — the old
+        // `≥ threshold − PROB_EPS` slack wrongly kept it.
+        assert_eq!(pw.restrict_to_threshold(0.24 + PROB_EPS / 2.0).len(), 1);
+    }
+
+    #[test]
     fn predicate_restriction() {
         let pw = figure2();
-        let no_b = pw.restrict(&|t: &DataTree| {
-            !t.iter().any(|n| t.label(n) == "B")
-        });
+        let no_b = pw.restrict(&|t: &DataTree| !t.iter().any(|n| t.label(n) == "B"));
         assert_eq!(no_b.len(), 2);
     }
 
     #[test]
     fn root_label_none_when_inconsistent() {
-        let pw = PossibleWorldSet::from_worlds([
-            (DataTree::new("A"), 0.5),
-            (DataTree::new("B"), 0.5),
-        ]);
+        let pw =
+            PossibleWorldSet::from_worlds([(DataTree::new("A"), 0.5), (DataTree::new("B"), 0.5)]);
         assert_eq!(pw.root_label(), None);
     }
 }

@@ -122,7 +122,11 @@ mod tests {
     fn pattern_query_with_joins_is_locally_monotone() {
         let tree = TreeSpec::node(
             "A",
-            vec![TreeSpec::leaf("X"), TreeSpec::leaf("X"), TreeSpec::leaf("Y")],
+            vec![
+                TreeSpec::leaf("X"),
+                TreeSpec::leaf("X"),
+                TreeSpec::leaf("Y"),
+            ],
         )
         .build();
         let mut q = PatternQuery::anchored(Some("A"));

@@ -136,7 +136,10 @@ impl PatternQuery {
     /// Adds a join constraint: all the given pattern nodes must match data
     /// nodes with equal labels.
     pub fn add_join(&mut self, nodes: Vec<PatternNodeId>) {
-        assert!(nodes.len() >= 2, "a join constraint needs at least two nodes");
+        assert!(
+            nodes.len() >= 2,
+            "a join constraint needs at least two nodes"
+        );
         self.joins.push(nodes);
     }
 
@@ -196,7 +199,10 @@ impl PatternQuery {
         if next == self.nodes.len() {
             if self.joins_ok(tree, mapping) {
                 results.push(PatternMatch {
-                    mapping: mapping.iter().map(|m| m.expect("complete mapping")).collect(),
+                    mapping: mapping
+                        .iter()
+                        .map(|m| m.expect("complete mapping"))
+                        .collect(),
                 });
             }
             return;
@@ -319,7 +325,11 @@ mod tests {
         // A with two children that must carry the same label.
         let tree = TreeSpec::node(
             "A",
-            vec![TreeSpec::leaf("X"), TreeSpec::leaf("X"), TreeSpec::leaf("Y")],
+            vec![
+                TreeSpec::leaf("X"),
+                TreeSpec::leaf("X"),
+                TreeSpec::leaf("Y"),
+            ],
         )
         .build();
         let mut q = PatternQuery::anchored(Some("A"));

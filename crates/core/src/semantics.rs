@@ -3,7 +3,10 @@
 //!
 //! * [`possible_worlds`] computes `JT K` (Definition 4) by enumerating all
 //!   `2^{|W|}` valuations — exponential, guarded by a caller-supplied bound
-//!   on `|W|`.
+//!   on `|W|`. It is the *baseline*: production call sites go through
+//!   [`possible_worlds_normalized`], which drives the relevant-event
+//!   [`WorldEngine`](crate::worlds::WorldEngine) and only pays for the
+//!   events the tree's conditions actually mention.
 //! * [`pw_set_to_probtree`] is the converse construction showing that the
 //!   prob-tree model is at least as expressive as the PW model: any PW set
 //!   `S` has a prob-tree `T` with `S ∼ JT K` (the construction uses one
@@ -17,13 +20,17 @@ use pxml_tree::DataTree;
 
 use crate::probtree::ProbTree;
 use crate::pwset::PossibleWorldSet;
+use crate::worlds::WorldEngine;
 
 /// Computes the possible-world semantics `JT K` of a prob-tree
-/// (Definition 4). The result is **not** normalized: it contains one entry
-/// per valuation of the event variables.
+/// (Definition 4) by full enumeration of the **declared** event table. The
+/// result is **not** normalized: it contains one entry per valuation of
+/// the event variables.
 ///
 /// Fails if the prob-tree has more than `max_events` event variables
-/// (exponential-work guard).
+/// (exponential-work guard). This is the Definition 4 baseline kept for
+/// cross-checks; prefer [`possible_worlds_normalized`], which enumerates
+/// only the events the tree actually mentions.
 pub fn possible_worlds(
     tree: &ProbTree,
     max_events: usize,
@@ -35,6 +42,22 @@ pub fn possible_worlds(
         out.push(world, p);
     }
     Ok(out)
+}
+
+/// The **normalized** possible-world semantics `JT K` of a prob-tree,
+/// computed by the relevant-event [`WorldEngine`]: only the
+/// `2^{|relevant|}` partial valuations of the events mentioned by some
+/// condition are enumerated (unmentioned events are marginalized
+/// analytically), and worlds are streamed into a canonical-form
+/// accumulator so the normalized set is produced directly.
+///
+/// `max_events` bounds the number of **relevant** events, so trees with
+/// large but sparsely-used event tables stay tractable.
+pub fn possible_worlds_normalized(
+    tree: &ProbTree,
+    max_events: usize,
+) -> Result<PossibleWorldSet, TooManyValuations> {
+    WorldEngine::new(tree).normalized_worlds(max_events)
 }
 
 /// Error raised by [`pw_set_to_probtree`] when the input is not a valid PW
@@ -49,6 +72,12 @@ pub enum PwSetError {
     NonPositiveProbability(f64),
     /// Probabilities do not sum to 1.
     DoesNotSumToOne(f64),
+    /// A selector event's probability `p_i / Σ_{j ≥ i} p_j` degenerated to
+    /// 0 or 1 in floating point (e.g. a world so light that the suffix mass
+    /// absorbs it), so the construction cannot represent every world with
+    /// positive probability. The payload is `(world index, degenerate
+    /// probability)`.
+    DegenerateSelectorMass(usize, f64),
 }
 
 impl std::fmt::Display for PwSetError {
@@ -63,6 +92,13 @@ impl std::fmt::Display for PwSetError {
             }
             PwSetError::DoesNotSumToOne(total) => {
                 write!(f, "world probabilities sum to {total}, expected 1")
+            }
+            PwSetError::DegenerateSelectorMass(index, p) => {
+                write!(
+                    f,
+                    "selector probability for world {index} degenerates to {p} \
+                     (must lie strictly between 0 and 1)"
+                )
             }
         }
     }
@@ -84,7 +120,10 @@ pub fn pw_set_to_probtree(pw: &PossibleWorldSet) -> Result<ProbTree, PwSetError>
     if worlds.is_empty() {
         return Err(PwSetError::Empty);
     }
-    let root_label = pw.root_label().ok_or(PwSetError::MixedRootLabels)?.to_string();
+    let root_label = pw
+        .root_label()
+        .ok_or(PwSetError::MixedRootLabels)?
+        .to_string();
     for (_, p) in &worlds {
         if *p <= 0.0 {
             return Err(PwSetError::NonPositiveProbability(*p));
@@ -98,13 +137,27 @@ pub fn pw_set_to_probtree(pw: &PossibleWorldSet) -> Result<ProbTree, PwSetError>
     let mut out = ProbTree::new(root_label);
     let n = worlds.len();
 
-    // Event variables w_1 .. w_{n-1}.
+    // Event variables w_1 .. w_{n-1} with π(w_i) = p_i / Σ_{j ≥ i} p_j.
+    //
+    // The denominator is an exact suffix sum rather than a running
+    // `remaining -= p_i` difference: the sequential subtraction accumulates
+    // cancellation error, and near the tail (where `remaining` approaches
+    // 0) a drifted or mid-list `p == remaining` silently fabricated
+    // selector probabilities — zero-probability tails, or `inf` clamped to
+    // 1. With suffix sums each quotient lies strictly in (0, 1) whenever
+    // the input masses are representable; a degenerate quotient is a real
+    // input pathology and is reported instead of clamped.
+    let mut suffix = vec![0.0f64; n + 1];
+    for (i, (_, p)) in worlds.iter().enumerate().rev() {
+        suffix[i] = suffix[i + 1] + p;
+    }
     let mut events = Vec::with_capacity(n.saturating_sub(1));
-    let mut remaining = 1.0f64;
     for (i, (_, p)) in worlds.iter().enumerate().take(n.saturating_sub(1)) {
-        let prob = (p / remaining).clamp(f64::MIN_POSITIVE, 1.0);
+        let prob = p / suffix[i];
+        if !(prob > 0.0 && prob < 1.0) {
+            return Err(PwSetError::DegenerateSelectorMass(i, prob));
+        }
         events.push(out.events_mut().insert(format!("sel{}", i + 1), prob));
-        remaining -= p;
     }
 
     let root = out.tree().root();
@@ -244,10 +297,8 @@ mod tests {
             pw_set_to_probtree(&PossibleWorldSet::new()).unwrap_err(),
             PwSetError::Empty
         );
-        let mixed = PossibleWorldSet::from_worlds([
-            (DataTree::new("A"), 0.5),
-            (DataTree::new("B"), 0.5),
-        ]);
+        let mixed =
+            PossibleWorldSet::from_worlds([(DataTree::new("A"), 0.5), (DataTree::new("B"), 0.5)]);
         assert_eq!(
             pw_set_to_probtree(&mixed).unwrap_err(),
             PwSetError::MixedRootLabels
@@ -256,6 +307,106 @@ mod tests {
         assert!(matches!(
             pw_set_to_probtree(&not_one).unwrap_err(),
             PwSetError::DoesNotSumToOne(_)
+        ));
+    }
+
+    #[test]
+    fn figure1_normalized_semantics_via_engine() {
+        let t = figure1_example();
+        let fast = possible_worlds_normalized(&t, 20).unwrap();
+        let legacy = possible_worlds(&t, 20).unwrap().normalized();
+        assert_eq!(fast.len(), 3);
+        assert!(fast.isomorphic(&legacy));
+    }
+
+    /// Regression test for the selector-probability fabrication bug: 50
+    /// near-equal-probability worlds round-trip exactly. The reconstructed
+    /// selector conditions `¬sel_1 ∧ … ∧ ¬sel_{i−1} ∧ sel_i` are mutually
+    /// exclusive and exhaustive, so their `eval` probabilities *are* the
+    /// per-world masses `possible_worlds` would aggregate — checking them
+    /// analytically sidesteps the 2^49 valuation blow-up of a literal
+    /// enumeration at this size (a full-enumeration round-trip at a
+    /// feasible size follows below).
+    #[test]
+    fn fifty_near_equal_worlds_roundtrip_exactly() {
+        let n = 50usize;
+        // Near-equal masses with a deterministic jitter, normalized to 1.
+        let raw: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 1e-10).collect();
+        let total: f64 = raw.iter().sum();
+        let mut worlds = Vec::new();
+        for (i, r) in raw.iter().enumerate() {
+            let mut tree = DataTree::new("A");
+            let root = tree.root();
+            for _ in 0..i {
+                tree.add_child(root, "C");
+            }
+            worlds.push((tree, r / total));
+        }
+        let expected: Vec<f64> = worlds.iter().map(|(_, p)| *p).collect();
+        let pw = PossibleWorldSet::from_worlds(worlds);
+        let probtree = pw_set_to_probtree(&pw).unwrap();
+        assert_eq!(probtree.events().len(), n - 1);
+
+        // Reconstruct each world's selection probability analytically.
+        let events = probtree.events();
+        let ids: Vec<_> = (0..n - 1)
+            .map(|i| events.by_name(&format!("sel{}", i + 1)).unwrap())
+            .collect();
+        let mut mass_total = 0.0;
+        for (i, &p_expected) in expected.iter().enumerate() {
+            let mut literals: Vec<Literal> = ids[..i.min(ids.len())]
+                .iter()
+                .map(|&e| Literal::neg(e))
+                .collect();
+            if i < ids.len() {
+                literals.push(Literal::pos(ids[i]));
+            }
+            let p = Condition::from_literals(literals).probability(events);
+            assert!(
+                (p - p_expected).abs() < 1e-12,
+                "world {i}: reconstructed {p}, expected {p_expected}"
+            );
+            mass_total += p;
+        }
+        assert!((mass_total - 1.0).abs() < 1e-9);
+    }
+
+    /// Full-enumeration variant of the round-trip at a feasible size: 14
+    /// near-equal worlds → 13 selector events → 8192 valuations.
+    #[test]
+    fn near_equal_worlds_roundtrip_through_possible_worlds() {
+        let n = 14usize;
+        let raw: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 1e-10).collect();
+        let total: f64 = raw.iter().sum();
+        let mut worlds = Vec::new();
+        for (i, r) in raw.iter().enumerate() {
+            let mut tree = DataTree::new("A");
+            let root = tree.root();
+            for _ in 0..i {
+                tree.add_child(root, "C");
+            }
+            worlds.push((tree, r / total));
+        }
+        let pw = PossibleWorldSet::from_worlds(worlds);
+        let probtree = pw_set_to_probtree(&pw).unwrap();
+        let back = possible_worlds(&probtree, 14).unwrap().normalized();
+        assert!(back.isomorphic(&pw));
+    }
+
+    /// A world so light that the head world swallows the whole suffix mass
+    /// used to be silently encoded with selector probability 1 (erasing the
+    /// tail world); it must now fail loudly.
+    #[test]
+    fn degenerate_selector_mass_is_reported_not_fabricated() {
+        let heavy = TreeSpec::node("A", vec![TreeSpec::leaf("B")]).build();
+        let light = TreeSpec::node("A", vec![TreeSpec::leaf("C")]).build();
+        // 1.0 + 5e-324 rounds to 1.0, so the total-probability check
+        // passes, but sel1 = 1.0 / 1.0 = 1 would make the second world
+        // unreachable.
+        let pw = PossibleWorldSet::from_worlds([(heavy, 1.0), (light, 5e-324)]);
+        assert!(matches!(
+            pw_set_to_probtree(&pw).unwrap_err(),
+            PwSetError::DegenerateSelectorMass(0, p) if p >= 1.0
         ));
     }
 

@@ -12,7 +12,7 @@ use pxml_events::valuation::TooManyValuations;
 
 use crate::probtree::ProbTree;
 use crate::pwset::PossibleWorldSet;
-use crate::semantics::{possible_worlds, pw_set_to_probtree, PwSetError};
+use crate::semantics::{possible_worlds_normalized, pw_set_to_probtree, PwSetError};
 
 /// Outcome of a threshold restriction.
 #[derive(Clone, Debug)]
@@ -27,16 +27,18 @@ pub struct ThresholdRestriction {
 }
 
 /// Computes `JT K≥p`: normalizes the possible-world semantics of `tree` and
-/// keeps the worlds with probability at least `threshold`.
+/// keeps the worlds with probability at least `threshold` (an exact `≥` —
+/// see [`PossibleWorldSet::restrict_to_threshold`]).
 ///
-/// Exponential in `|W|` (this is inherent — see Theorem 4); guarded by
-/// `max_events`.
+/// Exponential in the number of *relevant* events (this is inherent — see
+/// Theorem 4); guarded by `max_events`, which the relevant-event engine
+/// applies to the mentioned events only.
 pub fn restrict_to_threshold(
     tree: &ProbTree,
     threshold: f64,
     max_events: usize,
 ) -> Result<ThresholdRestriction, TooManyValuations> {
-    let normalized = possible_worlds(tree, max_events)?.normalized();
+    let normalized = possible_worlds_normalized(tree, max_events)?;
     let total_worlds = normalized.len();
     let worlds = normalized.restrict_to_threshold(threshold);
     let retained_mass = worlds.total_probability();
@@ -97,7 +99,7 @@ mod tests {
         let t = figure1_example();
         let restricted = restrict_to_threshold(&t, 0.2, 20).unwrap();
         let rep = restriction_as_probtree(&t, 0.2, 20).unwrap().unwrap();
-        let rep_worlds = possible_worlds(&rep, 20).unwrap().normalized();
+        let rep_worlds = possible_worlds_normalized(&rep, 20).unwrap();
         // JT K≥p ∼sub JT'K  (Definition 3).
         assert!(restricted.worlds.isomorphic_sub(&rep_worlds, "A"));
     }
@@ -108,7 +110,11 @@ mod tests {
         // own event of probability 1/2. All worlds are equiprobable
         // (2^{-2n}); a threshold at that value keeps every world, and the
         // prob-tree produced for the restriction has one selector event per
-        // world — exponential in n.
+        // world — exponential in n. Every world's probability is an exact
+        // power of two (a product of 0.5 factors, no summation), so the
+        // threshold can be the exact common probability — the old
+        // `− 1e-12` offset only existed to compensate for the epsilon
+        // slack `restrict_to_threshold` used to apply.
         let mut sizes = Vec::new();
         for n in 1..=3usize {
             let mut t = ProbTree::new("A");
@@ -117,7 +123,7 @@ mod tests {
                 let w = t.events_mut().fresh(0.5);
                 t.add_child(root, format!("C{i}"), Condition::of(Literal::pos(w)));
             }
-            let threshold = 0.5f64.powi(2 * n as i32) - 1e-12;
+            let threshold = 0.5f64.powi(2 * n as i32);
             let rep = restriction_as_probtree(&t, threshold, 20).unwrap().unwrap();
             sizes.push(rep.size());
             let r = restrict_to_threshold(&t, threshold, 20).unwrap();
@@ -125,6 +131,33 @@ mod tests {
         }
         assert!(sizes[1] > 2 * sizes[0]);
         assert!(sizes[2] > 2 * sizes[1]);
+    }
+
+    #[test]
+    fn threshold_boundary_is_exact_not_eps_padded() {
+        use pxml_events::PROB_EPS;
+        let t = figure1_example();
+        // The middle world has probability ≈ 0.24; a threshold half an
+        // epsilon below keeps it, half an epsilon above drops it (the old
+        // `≥ threshold − PROB_EPS` slack kept it in both cases).
+        let keep = restrict_to_threshold(&t, 0.24 - PROB_EPS / 2.0, 20).unwrap();
+        assert_eq!(keep.worlds.len(), 2);
+        let drop = restrict_to_threshold(&t, 0.24 + PROB_EPS / 2.0, 20).unwrap();
+        assert_eq!(drop.worlds.len(), 1);
+    }
+
+    #[test]
+    fn threshold_restriction_ignores_unused_declared_events() {
+        // 30 declared, 2 mentioned: far beyond the legacy 2^24 guard, easy
+        // for the relevant-event engine.
+        let mut t = figure1_example();
+        for _ in 0..28 {
+            t.events_mut().fresh(0.5);
+        }
+        let r = restrict_to_threshold(&t, 0.2, 24).unwrap();
+        assert_eq!(r.total_worlds, 3);
+        assert_eq!(r.worlds.len(), 2);
+        assert!(prob_eq(r.retained_mass, 0.94));
     }
 
     #[test]

@@ -320,7 +320,11 @@ mod tests {
     fn data_tree_insertion_inserts_at_every_match() {
         let tree = TreeSpec::node(
             "A",
-            vec![TreeSpec::leaf("C"), TreeSpec::leaf("C"), TreeSpec::leaf("B")],
+            vec![
+                TreeSpec::leaf("C"),
+                TreeSpec::leaf("C"),
+                TreeSpec::leaf("B"),
+            ],
         )
         .build();
         let update = insert_e_under_c(1.0);

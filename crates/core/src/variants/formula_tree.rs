@@ -217,7 +217,10 @@ impl FormulaProbTree {
             let target = m.node(at);
             let sub = m.induced_subtree(&self.tree);
             let parts: Vec<Formula> = sub.nodes().map(|n| self.formula(n)).collect();
-            by_target.entry(target).or_default().push(Formula::And(parts));
+            by_target
+                .entry(target)
+                .or_default()
+                .push(Formula::And(parts));
         }
         for (target, selections) in by_target {
             let mut selection = Formula::Or(selections);
@@ -316,12 +319,13 @@ mod tests {
         ft.add_child(
             root,
             "B",
-            Formula::Var(Var(w1.index() as u32))
-                .and(Formula::Var(Var(w2.index() as u32)).not()),
+            Formula::Var(Var(w1.index() as u32)).and(Formula::Var(Var(w2.index() as u32)).not()),
         );
         let c = ft.add_child(root, "C", Formula::True);
         ft.add_child(c, "D", Formula::Var(Var(w2.index() as u32)));
-        let a = crate::semantics::possible_worlds(&plain, 20).unwrap().normalized();
+        let a = crate::semantics::possible_worlds(&plain, 20)
+            .unwrap()
+            .normalized();
         let b = ft.possible_worlds(20).unwrap().normalized();
         assert!(a.isomorphic(&b));
     }
@@ -405,7 +409,10 @@ mod tests {
         q_both.add_child(q_both.root(), "B");
         q_both.add_child(q_both.root(), "C");
         assert!(!t.query_possible(&q_both));
-        assert!(prob_eq(t.query_probability_naive(&q_both, 20).unwrap(), 0.0));
+        assert!(prob_eq(
+            t.query_probability_naive(&q_both, 20).unwrap(),
+            0.0
+        ));
 
         let mut q_b = PatternQuery::anchored(Some("A"));
         q_b.add_child(q_b.root(), "B");

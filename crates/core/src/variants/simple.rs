@@ -41,7 +41,10 @@ impl SimpleProbTree {
 
     /// Adds a child existing with probability `p ∈ (0, 1]`.
     pub fn add_child(&mut self, parent: NodeId, label: impl Into<String>, p: f64) -> NodeId {
-        assert!(p > 0.0 && p <= 1.0, "probability must lie in (0, 1], got {p}");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "probability must lie in (0, 1], got {p}"
+        );
         let id = self.tree.add_child(parent, label);
         if p < 1.0 {
             self.probabilities.insert(id, p);
@@ -194,15 +197,23 @@ mod tests {
         let c = 0.6f64;
         let worlds = PossibleWorldSet::from_worlds([
             (TreeSpec::node("A", vec![]).build(), (1.0 - b) * (1.0 - c)),
-            (TreeSpec::node("A", vec![TreeSpec::leaf("B")]).build(), b * (1.0 - c)),
-            (TreeSpec::node("A", vec![TreeSpec::leaf("C")]).build(), (1.0 - b) * c),
+            (
+                TreeSpec::node("A", vec![TreeSpec::leaf("B")]).build(),
+                b * (1.0 - c),
+            ),
+            (
+                TreeSpec::node("A", vec![TreeSpec::leaf("C")]).build(),
+                (1.0 - b) * c,
+            ),
             (
                 TreeSpec::node("A", vec![TreeSpec::leaf("B"), TreeSpec::leaf("C")]).build(),
                 b * c,
             ),
         ]);
         let simple = expressible_in_simple_model(&worlds).expect("expressible");
-        let back = possible_worlds(&simple.to_probtree(), 20).unwrap().normalized();
+        let back = possible_worlds(&simple.to_probtree(), 20)
+            .unwrap()
+            .normalized();
         assert!(back.isomorphic(&worlds.normalized()));
     }
 

@@ -1,0 +1,562 @@
+//! The relevant-event world engine.
+//!
+//! Every exhaustive operation on a prob-tree — computing `JT K`
+//! (Definition 4), threshold and DTD restriction, structural and semantic
+//! equivalence, the Theorem 1 cross-check — ultimately enumerates
+//! valuations of the event variables. The naive baseline
+//! ([`crate::semantics::possible_worlds`]) walks all `2^{|W|}` valuations
+//! of the *declared* event table, so its cost is exponential in how many
+//! events were declared rather than in how many the tree actually *uses*.
+//!
+//! [`WorldEngine`] fixes that asymmetry:
+//!
+//! 1. **Relevant events.** It computes the union of the condition supports
+//!    over the tree. Flipping an event no condition mentions never changes
+//!    `V(T)`, so such events can be marginalized analytically (their true
+//!    and false branches sum to 1) and only `2^{|relevant|}` partial
+//!    valuations need to be materialized.
+//! 2. **Streaming normalization.** Instead of collecting one cloned world
+//!    per valuation and canonicalizing in a second pass, worlds are
+//!    streamed into an interned canonical-form accumulator
+//!    (`HashMap<canonical string, slot>`), so the *normalized* PW set is
+//!    produced directly with one retained tree per isomorphism class.
+//! 3. **Connected components & zero-probability pruning.** Relevant events
+//!    are partitioned into connected components induced by co-occurrence
+//!    in conditions, and enumeration proceeds component-major. Events with
+//!    `π(w) = 1` have a zero-probability false branch; in probability-
+//!    weighted enumeration they are pinned true, pruning the whole
+//!    component subtree of assignments below the dead branch. The
+//!    component partition is also the substrate future sharding/batching
+//!    work needs: each component's assignments can be enumerated (and
+//!    eventually distributed) independently, for a per-component bound of
+//!    `Σ_c 2^{|c|}` enumeration states instead of `2^{|relevant|}`.
+//!
+//! The engine is exact: its output is isomorphic (`∼`) to the normalized
+//! output of the full enumeration — a property-tested invariant.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use pxml_events::valuation::TooManyValuations;
+use pxml_events::{EventId, EventTable, Valuation};
+use pxml_tree::canon::{canonical_string, Semantics};
+use pxml_tree::DataTree;
+
+use crate::probtree::ProbTree;
+use crate::pwset::PossibleWorldSet;
+
+/// Relevant-event world enumeration for one prob-tree (or a pair of
+/// prob-trees over the same event table — see [`WorldEngine::for_pair`]).
+#[derive(Clone, Debug)]
+pub struct WorldEngine<'a> {
+    tree: &'a ProbTree,
+    /// Length of the valuations handed out (covers every declared event so
+    /// conditions can be evaluated without re-indexing).
+    valuation_len: usize,
+    /// Union of the condition supports, sorted by event id.
+    relevant: Vec<EventId>,
+    /// Partition of `relevant` into connected components induced by
+    /// co-occurrence in a condition; each component is sorted, components
+    /// are ordered by their smallest event.
+    components: Vec<Vec<EventId>>,
+}
+
+impl<'a> WorldEngine<'a> {
+    /// Builds the engine for one prob-tree: relevant events are the events
+    /// mentioned by at least one node condition.
+    pub fn new(tree: &'a ProbTree) -> Self {
+        Self::build(tree, tree.events().len(), std::iter::empty())
+    }
+
+    /// Builds the engine with additional events forced into the relevant
+    /// set (e.g. the event whose influence an independence check probes).
+    pub fn with_extra_events<I: IntoIterator<Item = EventId>>(
+        tree: &'a ProbTree,
+        extra: I,
+    ) -> Self {
+        Self::build(tree, tree.events().len(), extra)
+    }
+
+    /// Builds the engine for a *pair* of prob-trees over the same declared
+    /// event distribution (the structural-equivalence setting of
+    /// Definition 9): relevant events are the union of both trees'
+    /// condition supports, so one shared enumeration decides both values.
+    /// Probabilities are read from `a`'s table.
+    ///
+    /// # Panics
+    /// Panics if the two trees do not declare the same event distribution
+    /// (structural equivalence is only defined in that case — callers that
+    /// cannot guarantee it should check
+    /// [`EventTable::same_distribution`] first and short-circuit).
+    pub fn for_pair(a: &'a ProbTree, b: &ProbTree) -> Self {
+        assert!(
+            a.events().same_distribution(b.events()),
+            "WorldEngine::for_pair requires both prob-trees to declare the \
+             same event variables and distribution"
+        );
+        let extra: Vec<EventId> = b
+            .tree()
+            .iter()
+            .flat_map(|n| b.condition(n).events().collect::<Vec<_>>())
+            .collect();
+        Self::build(a, a.events().len(), extra)
+    }
+
+    fn build<I: IntoIterator<Item = EventId>>(
+        tree: &'a ProbTree,
+        valuation_len: usize,
+        extra: I,
+    ) -> Self {
+        // Union-find over event indices, driven by co-occurrence inside a
+        // single condition. `find` is iterative (chase then compress) so
+        // that a long chain of pairwise co-occurring events cannot
+        // overflow the stack.
+        let mut parent: HashMap<EventId, EventId> = HashMap::new();
+        fn find(parent: &mut HashMap<EventId, EventId>, e: EventId) -> EventId {
+            let mut root = *parent.entry(e).or_insert(e);
+            while parent[&root] != root {
+                root = parent[&root];
+            }
+            let mut cur = e;
+            while cur != root {
+                let next = parent[&cur];
+                parent.insert(cur, root);
+                cur = next;
+            }
+            root
+        }
+        let union = |parent: &mut HashMap<EventId, EventId>, a: EventId, b: EventId| {
+            let (ra, rb) = (find(parent, a), find(parent, b));
+            if ra != rb {
+                parent.insert(ra.max(rb), ra.min(rb));
+            }
+        };
+        let conditions = tree.tree().iter().map(|n| tree.condition(n));
+        for condition in conditions {
+            let mut events = condition.events();
+            if let Some(first) = events.next() {
+                find(&mut parent, first);
+                for e in events {
+                    union(&mut parent, first, e);
+                }
+            }
+        }
+        for e in extra {
+            find(&mut parent, e);
+        }
+
+        let mut relevant: Vec<EventId> = parent.keys().copied().collect();
+        relevant.sort_unstable();
+        let mut groups: HashMap<EventId, Vec<EventId>> = HashMap::new();
+        for &e in &relevant {
+            groups.entry(find(&mut parent, e)).or_default().push(e);
+        }
+        let mut components: Vec<Vec<EventId>> = groups.into_values().collect();
+        for component in &mut components {
+            component.sort_unstable();
+        }
+        components.sort_unstable_by_key(|c| c[0]);
+
+        WorldEngine {
+            tree,
+            valuation_len,
+            relevant,
+            components,
+        }
+    }
+
+    /// The prob-tree the engine enumerates.
+    pub fn tree(&self) -> &ProbTree {
+        self.tree
+    }
+
+    /// The relevant event set — the union of the condition supports (plus
+    /// any extra events the engine was built with), sorted by id.
+    pub fn relevant_events(&self) -> &[EventId] {
+        &self.relevant
+    }
+
+    /// Number of relevant events (`k` in the `2^k` enumeration bound).
+    pub fn num_relevant(&self) -> usize {
+        self.relevant.len()
+    }
+
+    /// The connected components of the relevant events under co-occurrence
+    /// in a condition. Enumeration is component-major, and the partition is
+    /// the unit future per-component sharding operates on.
+    pub fn components(&self) -> &[Vec<EventId>] {
+        &self.components
+    }
+
+    /// Probability-weighted enumeration of the relevant partial valuations
+    /// (`JT K`-style semantics): yields `(valuation, p)` where `p` is the
+    /// marginal probability of the partial assignment. Zero-probability
+    /// branches are pruned — events with `π(w) = 1` are pinned true, so the
+    /// enumeration drops to `2^{|{w relevant : π(w) < 1}|}` states.
+    ///
+    /// Fails when the relevant set exceeds `max_events` (the same
+    /// exponential-work guard as the legacy full enumeration, now counting
+    /// only events that actually matter).
+    pub fn valuations(
+        &self,
+        max_events: usize,
+    ) -> Result<WeightedValuations<'_>, TooManyValuations> {
+        Ok(WeightedValuations {
+            inner: self.enumerate(max_events, true)?,
+        })
+    }
+
+    /// Enumeration of **all** `2^{|relevant|}` relevant partial valuations,
+    /// including zero-probability branches. Structural equivalence
+    /// (Definition 9) and event independence quantify over every valuation
+    /// `V ⊆ W` regardless of probability, so they must not prune — and
+    /// they never read probabilities, so none are computed on this path.
+    pub fn all_valuations(
+        &self,
+        max_events: usize,
+    ) -> Result<RelevantValuations<'_>, TooManyValuations> {
+        self.enumerate(max_events, false)
+    }
+
+    fn enumerate(
+        &self,
+        max_events: usize,
+        prune_zero_probability: bool,
+    ) -> Result<RelevantValuations<'_>, TooManyValuations> {
+        if self.relevant.len() > max_events {
+            return Err(TooManyValuations {
+                num_events: self.relevant.len(),
+                max_events,
+            });
+        }
+        let events = self.tree.events();
+        let mut start = Valuation::empty(self.valuation_len);
+        // Component-major enumeration order; in weighted mode, pin π = 1
+        // events true instead of enumerating their dead false branch.
+        let mut free = Vec::with_capacity(self.relevant.len());
+        for component in &self.components {
+            for &e in component {
+                if prune_zero_probability && events.prob(e) >= 1.0 {
+                    start.set(e, true);
+                } else {
+                    free.push(e);
+                }
+            }
+        }
+        Ok(RelevantValuations {
+            events,
+            free,
+            next: Some(start),
+        })
+    }
+
+    /// The normalized possible-world semantics `JT K` of the tree,
+    /// accumulated directly: worlds are streamed into an interned
+    /// canonical-form accumulator, so exactly one tree per isomorphism
+    /// class is retained and no second normalization pass (or
+    /// clone-per-valuation buffer) is needed.
+    pub fn normalized_worlds(
+        &self,
+        max_events: usize,
+    ) -> Result<PossibleWorldSet, TooManyValuations> {
+        self.normalized_worlds_with(max_events, Semantics::MultiSet)
+    }
+
+    /// [`WorldEngine::normalized_worlds`] under an explicit data-tree
+    /// semantics (the Section 5 set-semantics variant uses
+    /// [`Semantics::Set`]).
+    pub fn normalized_worlds_with(
+        &self,
+        max_events: usize,
+        semantics: Semantics,
+    ) -> Result<PossibleWorldSet, TooManyValuations> {
+        let mut slots: HashMap<String, usize> = HashMap::new();
+        let mut worlds: Vec<(DataTree, f64)> = Vec::new();
+        for (valuation, p) in self.valuations(max_events)? {
+            let world = self.tree.value_in_world(&valuation);
+            match slots.entry(canonical_string(&world, semantics)) {
+                Entry::Occupied(slot) => worlds[*slot.get()].1 += p,
+                Entry::Vacant(slot) => {
+                    slot.insert(worlds.len());
+                    worlds.push((world, p));
+                }
+            }
+        }
+        Ok(PossibleWorldSet::from_worlds(worlds))
+    }
+}
+
+/// Iterator over the relevant partial valuations of a [`WorldEngine`], in
+/// binary-counter order over the free events (component-major). Yields
+/// full-length valuations — every declared event has a defined bit, so
+/// [`ProbTree::value_in_world`] applies unchanged. No probabilities are
+/// computed; the ∀-quantified consumers (equivalence, independence,
+/// brute-force DTD checks) never need them.
+#[derive(Debug)]
+pub struct RelevantValuations<'e> {
+    events: &'e EventTable,
+    free: Vec<EventId>,
+    next: Option<Valuation>,
+}
+
+impl Iterator for RelevantValuations<'_> {
+    type Item = Valuation;
+
+    fn next(&mut self) -> Option<Valuation> {
+        let current = self.next.take()?;
+        // Binary increment restricted to the free positions; stop after the
+        // all-true assignment.
+        let mut succ = current.clone();
+        let mut carried = true;
+        for &e in &self.free {
+            if succ.get(e) {
+                succ.set(e, false);
+            } else {
+                succ.set(e, true);
+                carried = false;
+                break;
+            }
+        }
+        if !carried {
+            self.next = Some(succ);
+        }
+        Some(current)
+    }
+}
+
+/// [`RelevantValuations`] paired with the marginal probability of each
+/// relevant partial assignment — the probability-weighted, zero-branch-
+/// pruned enumeration behind [`WorldEngine::valuations`].
+#[derive(Debug)]
+pub struct WeightedValuations<'e> {
+    inner: RelevantValuations<'e>,
+}
+
+impl Iterator for WeightedValuations<'_> {
+    type Item = (Valuation, f64);
+
+    fn next(&mut self) -> Option<(Valuation, f64)> {
+        let valuation = self.inner.next()?;
+        let p = valuation.probability_over(self.inner.events, self.inner.free.iter().copied());
+        Some((valuation, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probtree::figure1_example;
+    use crate::semantics::possible_worlds;
+    use pxml_events::{prob_eq, Condition, Literal};
+
+    #[test]
+    fn figure1_engine_matches_legacy_normalization() {
+        let t = figure1_example();
+        let engine = WorldEngine::new(&t);
+        assert_eq!(engine.num_relevant(), 2);
+        let fast = engine.normalized_worlds(20).unwrap();
+        let legacy = possible_worlds(&t, 20).unwrap().normalized();
+        assert_eq!(fast.len(), 3);
+        assert!(fast.isomorphic(&legacy));
+        assert!(prob_eq(fast.total_probability(), 1.0));
+    }
+
+    #[test]
+    fn unused_events_are_marginalized_not_enumerated() {
+        // 40 declared events, 10 mentioned: the legacy path refuses at the
+        // default 2^24 guard, the engine answers instantly.
+        let mut t = ProbTree::new("A");
+        let root = t.tree().root();
+        let mut mentioned = Vec::new();
+        for i in 0..40 {
+            let w = t.events_mut().fresh(0.5);
+            if i < 10 {
+                mentioned.push(w);
+            }
+        }
+        for (i, &w) in mentioned.iter().enumerate() {
+            t.add_child(root, format!("C{i}"), Condition::of(Literal::pos(w)));
+        }
+        assert!(
+            possible_worlds(&t, 24).is_err(),
+            "legacy path must refuse 2^40"
+        );
+
+        let engine = WorldEngine::new(&t);
+        assert_eq!(engine.num_relevant(), 10);
+        assert_eq!(engine.components().len(), 10, "one singleton per child");
+        let pw = engine.normalized_worlds(24).unwrap();
+        assert_eq!(pw.len(), 1 << 10);
+        assert!(prob_eq(pw.total_probability(), 1.0));
+    }
+
+    #[test]
+    fn relevant_set_is_the_union_of_condition_supports() {
+        let mut t = ProbTree::new("A");
+        let w1 = t.events_mut().insert("w1", 0.5);
+        let w2 = t.events_mut().insert("w2", 0.5);
+        let w3 = t.events_mut().insert("w3", 0.5);
+        let _unused = t.events_mut().insert("unused", 0.5);
+        let root = t.tree().root();
+        let b = t.add_child(
+            root,
+            "B",
+            Condition::from_literals([Literal::pos(w1), Literal::neg(w2)]),
+        );
+        t.add_child(b, "C", Condition::of(Literal::pos(w3)));
+        let engine = WorldEngine::new(&t);
+        assert_eq!(engine.relevant_events(), &[w1, w2, w3]);
+        // {w1, w2} co-occur in B's condition; w3 is alone in C's.
+        assert_eq!(engine.components(), &[vec![w1, w2], vec![w3]]);
+    }
+
+    #[test]
+    fn components_merge_transitively_across_conditions() {
+        // w1–w2 co-occur, w2–w3 co-occur: one component {w1, w2, w3}.
+        let mut t = ProbTree::new("A");
+        let w1 = t.events_mut().insert("w1", 0.5);
+        let w2 = t.events_mut().insert("w2", 0.5);
+        let w3 = t.events_mut().insert("w3", 0.5);
+        let w4 = t.events_mut().insert("w4", 0.5);
+        let root = t.tree().root();
+        t.add_child(
+            root,
+            "B",
+            Condition::from_literals([Literal::pos(w1), Literal::pos(w2)]),
+        );
+        t.add_child(
+            root,
+            "C",
+            Condition::from_literals([Literal::neg(w2), Literal::pos(w3)]),
+        );
+        t.add_child(root, "D", Condition::of(Literal::pos(w4)));
+        let engine = WorldEngine::new(&t);
+        assert_eq!(engine.components(), &[vec![w1, w2, w3], vec![w4]]);
+    }
+
+    #[test]
+    fn weighted_enumeration_prunes_certain_events() {
+        // π(w) = 1: the false branch has probability 0 and is pruned, so a
+        // single valuation remains and the node is always present.
+        let mut t = ProbTree::new("A");
+        let certain = t.events_mut().insert("certain", 1.0);
+        let w = t.events_mut().insert("w", 0.5);
+        let root = t.tree().root();
+        t.add_child(root, "B", Condition::of(Literal::pos(certain)));
+        t.add_child(root, "C", Condition::of(Literal::pos(w)));
+        let engine = WorldEngine::new(&t);
+        let weighted: Vec<_> = engine.valuations(10).unwrap().collect();
+        assert_eq!(weighted.len(), 2, "certain event pinned true");
+        assert!(weighted.iter().all(|(v, _)| v.get(certain)));
+        let total: f64 = weighted.iter().map(|(_, p)| p).sum();
+        assert!(prob_eq(total, 1.0));
+        // ∀-enumeration must keep the zero-probability branch.
+        let all: Vec<_> = engine.all_valuations(10).unwrap().collect();
+        assert_eq!(all.len(), 4);
+        // Worlds: B always present, C half the time.
+        let pw = engine.normalized_worlds(10).unwrap();
+        assert_eq!(pw.len(), 2);
+        assert!(pw
+            .iter()
+            .all(|(world, _)| { world.iter().any(|n| world.label(n) == "B") }));
+    }
+
+    #[test]
+    fn condition_free_tree_yields_the_single_certain_world() {
+        let mut t = ProbTree::new("A");
+        for _ in 0..30 {
+            t.events_mut().fresh(0.5);
+        }
+        let root = t.tree().root();
+        t.add_child(root, "B", Condition::always());
+        let engine = WorldEngine::new(&t);
+        assert_eq!(engine.num_relevant(), 0);
+        // 30 declared events would be 2^30 valuations for the legacy path.
+        let pw = engine.normalized_worlds(0).unwrap();
+        assert_eq!(pw.len(), 1);
+        assert!(prob_eq(pw.total_probability(), 1.0));
+    }
+
+    #[test]
+    fn guard_counts_relevant_events_only() {
+        let mut t = ProbTree::new("A");
+        let root = t.tree().root();
+        for i in 0..12 {
+            let w = t.events_mut().fresh(0.5);
+            t.add_child(root, format!("C{i}"), Condition::of(Literal::pos(w)));
+        }
+        let engine = WorldEngine::new(&t);
+        let err = engine.normalized_worlds(10).unwrap_err();
+        assert_eq!(err.num_events, 12);
+        assert_eq!(err.max_events, 10);
+        assert!(engine.normalized_worlds(12).is_ok());
+    }
+
+    #[test]
+    fn pair_engine_covers_both_trees_supports() {
+        // Same declared distribution (the Definition 9 precondition), but
+        // only b's conditions mention the third event.
+        let mut a = figure1_example();
+        a.events_mut().insert("w3", 0.5);
+        let mut b = figure1_example();
+        let w3 = b.events_mut().insert("w3", 0.5);
+        let root = b.tree().root();
+        b.add_child(root, "E", Condition::of(Literal::pos(w3)));
+        assert!(a.events().same_distribution(b.events()));
+        let engine = WorldEngine::for_pair(&a, &b);
+        assert_eq!(engine.num_relevant(), 3);
+        // Valuations are long enough for both trees' tables.
+        let v = engine.all_valuations(10).unwrap().next().unwrap();
+        assert_eq!(v.len(), 3);
+        assert_eq!(engine.all_valuations(10).unwrap().count(), 8);
+    }
+
+    #[test]
+    fn long_cooccurrence_chains_do_not_overflow_the_stack() {
+        // Pairwise-chained conditions declared root-last build a union-find
+        // parent chain of depth ~n; the iterative find must absorb it (the
+        // recursive version overflowed the test-thread stack around this
+        // size).
+        let mut t = ProbTree::new("A");
+        let n = 50_000usize;
+        let events: Vec<_> = (0..n).map(|_| t.events_mut().fresh(0.5)).collect();
+        let root = t.tree().root();
+        for i in (1..n).rev() {
+            t.add_child(
+                root,
+                "B",
+                Condition::from_literals([Literal::pos(events[i - 1]), Literal::pos(events[i])]),
+            );
+        }
+        let engine = WorldEngine::new(&t);
+        assert_eq!(engine.num_relevant(), n);
+        assert_eq!(engine.components().len(), 1);
+        assert!(engine.normalized_worlds(24).is_err(), "still guarded");
+    }
+
+    #[test]
+    #[should_panic(expected = "same event variables and distribution")]
+    fn pair_engine_rejects_mismatched_distributions() {
+        let a = figure1_example();
+        let mut b = figure1_example();
+        b.events_mut().insert("w3", 0.5);
+        let _ = WorldEngine::for_pair(&a, &b);
+    }
+
+    #[test]
+    fn streamed_accumulator_keeps_one_tree_per_class() {
+        // Both valuations of w produce the same world (the condition is on
+        // a node that doesn't exist — no, simpler: two children with
+        // complementary conditions and the same label produce isomorphic
+        // worlds for both valuations).
+        let mut t = ProbTree::new("A");
+        let w = t.events_mut().insert("w", 0.3);
+        let root = t.tree().root();
+        t.add_child(root, "B", Condition::of(Literal::pos(w)));
+        t.add_child(root, "B", Condition::of(Literal::neg(w)));
+        let engine = WorldEngine::new(&t);
+        let pw = engine.normalized_worlds(10).unwrap();
+        assert_eq!(pw.len(), 1, "both valuations land in one class");
+        assert!(prob_eq(pw.total_probability(), 1.0));
+    }
+}

@@ -148,10 +148,7 @@ mod tests {
     fn constrained_parents_forbid_unlisted_children() {
         let mut dtd = Dtd::new();
         dtd.constrain("A", "B", ChildConstraint::between(0, 2));
-        assert_eq!(
-            dtd.constraint("A", "C"),
-            Some(ChildConstraint::forbidden())
-        );
+        assert_eq!(dtd.constraint("A", "C"), Some(ChildConstraint::forbidden()));
         assert_eq!(
             dtd.constraint("A", "B"),
             Some(ChildConstraint::between(0, 2))

@@ -85,7 +85,9 @@ impl Theorem5Instance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::satisfiability::{satisfiable_backtracking, satisfiable_bruteforce, valid_bruteforce};
+    use crate::satisfiability::{
+        satisfiable_backtracking, satisfiable_bruteforce, valid_bruteforce,
+    };
     use pxml_sat::brute::solve_brute;
     use pxml_sat::cnf::Var;
     use pxml_sat::gen3sat::{random_3sat, ThreeSatConfig};

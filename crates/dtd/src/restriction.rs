@@ -9,7 +9,7 @@
 
 use pxml_core::probtree::ProbTree;
 use pxml_core::pwset::PossibleWorldSet;
-use pxml_core::semantics::{possible_worlds, pw_set_to_probtree, PwSetError};
+use pxml_core::semantics::{possible_worlds_normalized, pw_set_to_probtree, PwSetError};
 use pxml_events::valuation::TooManyValuations;
 
 use crate::dtd::Dtd;
@@ -27,13 +27,14 @@ pub struct DtdRestriction {
 }
 
 /// Computes the set of valid worlds `{(t, p) ∈ JT K | t ⊨ D}`. Exponential
-/// in `|W|` (guarded by `max_events`).
+/// in the number of *relevant* events (guarded by `max_events`, applied to
+/// the mentioned events only by the relevant-event world engine).
 pub fn restrict_to_dtd(
     tree: &ProbTree,
     dtd: &Dtd,
     max_events: usize,
 ) -> Result<DtdRestriction, TooManyValuations> {
-    let normalized = possible_worlds(tree, max_events)?.normalized();
+    let normalized = possible_worlds_normalized(tree, max_events)?;
     let total_worlds = normalized.len();
     let worlds = normalized.restrict(&|t| validates(t, dtd));
     let retained_mass = worlds.total_probability();
@@ -117,7 +118,7 @@ mod tests {
             .constrain("A", "C", ChildConstraint::at_least(0));
         let restricted = restrict_to_dtd(&t, &dtd, 20).unwrap();
         let rep = restriction_as_probtree(&t, &dtd, 20).unwrap().unwrap();
-        let rep_worlds = possible_worlds(&rep, 20).unwrap().normalized();
+        let rep_worlds = possible_worlds_normalized(&rep, 20).unwrap();
         assert!(restricted.worlds.isomorphic_sub(&rep_worlds, "A"));
     }
 
@@ -145,9 +146,7 @@ mod tests {
             sizes.push(rep.size());
             // The number of valid worlds is Σ_{k≤n} C(2n, k) ≥ C(2n, n).
             let r = restrict_to_dtd(&tree, &dtd, 20).unwrap();
-            let expected: usize = (0..=n)
-                .map(|k| binomial(2 * n, k))
-                .sum();
+            let expected: usize = (0..=n).map(|k| binomial(2 * n, k)).sum();
             assert_eq!(r.worlds.len(), expected);
         }
         assert!(sizes[1] > 2 * sizes[0]);

@@ -13,7 +13,8 @@
 use std::collections::HashMap;
 
 use pxml_core::probtree::ProbTree;
-use pxml_events::valuation::{all_valuations, TooManyValuations};
+use pxml_core::worlds::WorldEngine;
+use pxml_events::valuation::TooManyValuations;
 use pxml_events::{EventId, Valuation};
 use pxml_tree::NodeId;
 
@@ -29,14 +30,16 @@ pub struct SearchStats {
     pub pruned: u64,
 }
 
-/// Deterministic exponential check: enumerate every valuation and test the
-/// resulting world. Returns the witness valuation if one exists.
+/// Deterministic exponential check: enumerate every *relevant* valuation
+/// (events mentioned by some condition — unmentioned events cannot change
+/// any world) and test the resulting world. Returns the witness valuation
+/// if one exists.
 pub fn satisfiable_bruteforce(
     tree: &ProbTree,
     dtd: &Dtd,
     max_events: usize,
 ) -> Result<Option<Valuation>, TooManyValuations> {
-    for valuation in all_valuations(tree.events().len(), max_events)? {
+    for valuation in WorldEngine::new(tree).all_valuations(max_events)? {
         if validates(&tree.value_in_world(&valuation), dtd) {
             return Ok(Some(valuation));
         }
@@ -45,14 +48,14 @@ pub fn satisfiable_bruteforce(
 }
 
 /// Deterministic exponential validity check: every world must satisfy the
-/// DTD. Returns a counterexample valuation if one exists (i.e. `Ok(None)`
-/// means *valid*).
+/// DTD. Enumerates the relevant valuations only; returns a counterexample
+/// valuation if one exists (i.e. `Ok(None)` means *valid*).
 pub fn valid_bruteforce(
     tree: &ProbTree,
     dtd: &Dtd,
     max_events: usize,
 ) -> Result<Option<Valuation>, TooManyValuations> {
-    for valuation in all_valuations(tree.events().len(), max_events)? {
+    for valuation in WorldEngine::new(tree).all_valuations(max_events)? {
         if !validates(&tree.value_in_world(&valuation), dtd) {
             return Ok(Some(valuation));
         }
@@ -290,8 +293,16 @@ mod tests {
             }
             // Random DTD bounding both labels.
             let mut dtd = Dtd::new();
-            dtd.constrain("R", "L0", ChildConstraint::between(rng.gen_range(0..2), rng.gen_range(1..3)))
-                .constrain("R", "L1", ChildConstraint::between(rng.gen_range(0..2), rng.gen_range(1..3)));
+            dtd.constrain(
+                "R",
+                "L0",
+                ChildConstraint::between(rng.gen_range(0..2), rng.gen_range(1..3)),
+            )
+            .constrain(
+                "R",
+                "L1",
+                ChildConstraint::between(rng.gen_range(0..2), rng.gen_range(1..3)),
+            );
             let brute = satisfiable_bruteforce(&t, &dtd, 20).unwrap().is_some();
             let (witness, _) = satisfiable_backtracking(&t, &dtd);
             assert_eq!(brute, witness.is_some(), "tree:\n{}", t.to_ascii());

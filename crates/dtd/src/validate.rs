@@ -57,7 +57,10 @@ mod tests {
         let tree = TreeSpec::node(
             "catalog",
             vec![
-                TreeSpec::node("item", vec![TreeSpec::leaf("name"), TreeSpec::leaf("price")]),
+                TreeSpec::node(
+                    "item",
+                    vec![TreeSpec::leaf("name"), TreeSpec::leaf("price")],
+                ),
                 TreeSpec::node("item", vec![TreeSpec::leaf("name")]),
             ],
         )

@@ -140,13 +140,56 @@ impl Condition {
     }
 
     /// Conjunction of two conditions.
+    ///
+    /// Both literal lists are already sorted and deduplicated (a class
+    /// invariant), so this is a linear merge — no re-sort, which would make
+    /// repeated unions (e.g. the per-answer condition union of
+    /// `query_probtree`) quadratic.
     pub fn and(&self, other: &Condition) -> Condition {
-        Condition::from_literals(self.literals.iter().chain(other.literals.iter()).copied())
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        let (a, b) = (&self.literals, &other.literals);
+        let mut literals = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    literals.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    literals.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    literals.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        literals.extend_from_slice(&a[i..]);
+        literals.extend_from_slice(&b[j..]);
+        Condition { literals }
     }
 
-    /// Adds a single literal.
+    /// Adds a single literal, inserting it at its sorted position (linear in
+    /// the condition size; no re-sort).
     pub fn and_literal(&self, literal: Literal) -> Condition {
-        Condition::from_literals(self.literals.iter().copied().chain(std::iter::once(literal)))
+        match self.literals.binary_search(&literal) {
+            Ok(_) => self.clone(),
+            Err(pos) => {
+                let mut literals = Vec::with_capacity(self.literals.len() + 1);
+                literals.extend_from_slice(&self.literals[..pos]);
+                literals.push(literal);
+                literals.extend_from_slice(&self.literals[pos..]);
+                Condition { literals }
+            }
+        }
     }
 
     /// Set-difference of conditions: the literals of `self` that are not in
@@ -276,6 +319,91 @@ mod tests {
         assert!(b.subset_of(&ab));
         let diff = ab.minus(&a);
         assert_eq!(diff, Condition::of(Literal::pos(w3)));
+    }
+
+    /// The class invariant `and`/`and_literal` rely on: literals stay
+    /// sorted and deduplicated after merging, including overlapping and
+    /// contradictory (both-polarity) inputs.
+    fn assert_sorted_dedup(c: &Condition) {
+        assert!(
+            c.literals().windows(2).all(|w| w[0] < w[1]),
+            "literals not strictly sorted: {:?}",
+            c.literals()
+        );
+    }
+
+    #[test]
+    fn and_merge_preserves_sortedness_and_dedup() {
+        let (_, w1, w2, w3) = table();
+        // Overlapping literals (¬w2 in both) and a contradictory pair
+        // (w1 in a, ¬w1 in b — both must survive, conditions may be
+        // inconsistent).
+        let a = Condition::from_literals([Literal::pos(w1), Literal::neg(w2)]);
+        let b = Condition::from_literals([Literal::neg(w1), Literal::neg(w2), Literal::pos(w3)]);
+        let ab = a.and(&b);
+        assert_sorted_dedup(&ab);
+        assert_eq!(ab.len(), 4, "shared ¬w2 deduplicated, ¬w1/w1 both kept");
+        assert!(!ab.is_consistent());
+        // The merge agrees with the re-sorting constructor.
+        let reference =
+            Condition::from_literals(a.literals().iter().chain(b.literals().iter()).copied());
+        assert_eq!(ab, reference);
+        // Commutative, and identity on the empty condition.
+        assert_eq!(ab, b.and(&a));
+        assert_eq!(a.and(&Condition::always()), a);
+        assert_eq!(Condition::always().and(&a), a);
+    }
+
+    #[test]
+    fn and_literal_inserts_in_sorted_position() {
+        let (_, w1, w2, w3) = table();
+        let base = Condition::from_literals([Literal::pos(w1), Literal::pos(w3)]);
+        // Insert in the middle, at the front (¬w1 < w1), and a duplicate.
+        let mid = base.and_literal(Literal::neg(w2));
+        assert_sorted_dedup(&mid);
+        assert_eq!(mid.len(), 3);
+        let front = base.and_literal(Literal::neg(w1));
+        assert_sorted_dedup(&front);
+        assert_eq!(front.literals()[0], Literal::neg(w1));
+        assert!(!front.is_consistent());
+        let dup = base.and_literal(Literal::pos(w3));
+        assert_eq!(dup, base);
+    }
+
+    #[test]
+    fn and_merge_matches_constructor_on_many_random_pairs() {
+        // Cross-check the linear merge against `from_literals` over every
+        // subset pair of a small literal universe.
+        let (_, w1, w2, w3) = table();
+        let universe = [
+            Literal::pos(w1),
+            Literal::neg(w1),
+            Literal::pos(w2),
+            Literal::neg(w2),
+            Literal::pos(w3),
+        ];
+        let subsets: Vec<Vec<Literal>> = (0..32usize)
+            .map(|mask| {
+                universe
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask >> i & 1 == 1)
+                    .map(|(_, &l)| l)
+                    .collect()
+            })
+            .collect();
+        for xs in &subsets {
+            for ys in &subsets {
+                let a = Condition::from_literals(xs.iter().copied());
+                let b = Condition::from_literals(ys.iter().copied());
+                let merged = a.and(&b);
+                assert_sorted_dedup(&merged);
+                assert_eq!(
+                    merged,
+                    Condition::from_literals(xs.iter().chain(ys.iter()).copied())
+                );
+            }
+        }
     }
 
     #[test]

@@ -73,11 +73,7 @@ impl Dnf {
     /// The event variables mentioned anywhere in the formula, deduplicated
     /// and sorted.
     pub fn events(&self) -> Vec<EventId> {
-        let mut events: Vec<EventId> = self
-            .disjuncts
-            .iter()
-            .flat_map(|c| c.events())
-            .collect();
+        let mut events: Vec<EventId> = self.disjuncts.iter().flat_map(|c| c.events()).collect();
         events.sort_unstable();
         events.dedup();
         events

@@ -131,8 +131,7 @@ impl EventTable {
     pub fn same_distribution(&self, other: &EventTable) -> bool {
         self.len() == other.len()
             && self.iter().all(|e| {
-                self.name(e) == other.name(e)
-                    && crate::prob_eq(self.prob(e), other.prob(e))
+                self.name(e) == other.name(e) && crate::prob_eq(self.prob(e), other.prob(e))
             })
     }
 }

@@ -84,10 +84,44 @@ impl Valuation {
 
     /// Probability of this valuation under the independent distribution of
     /// `events`: `Π_{w ∈ V} π(w) · Π_{w ∉ V} (1 − π(w))` (Definition 4).
+    ///
+    /// The valuation may cover a *prefix* of the table (a partial
+    /// valuation): events the valuation does not cover are marginalized
+    /// analytically — their true and false branches sum to 1, so they
+    /// contribute a factor of 1 and the result is the marginal probability
+    /// of the partial assignment.
     pub fn probability(&self, events: &EventTable) -> f64 {
-        assert_eq!(events.len(), self.len, "valuation/table size mismatch");
-        events
-            .iter()
+        assert!(
+            self.len <= events.len(),
+            "valuation covers {} events but the table declares only {}",
+            self.len,
+            events.len()
+        );
+        (0..self.len)
+            .map(EventId::from_index)
+            .map(|e| {
+                if self.get(e) {
+                    events.prob(e)
+                } else {
+                    1.0 - events.prob(e)
+                }
+            })
+            .product()
+    }
+
+    /// Marginal probability of the partial assignment this valuation makes
+    /// to `subset` only: `Π_{w ∈ subset ∩ V} π(w) · Π_{w ∈ subset ∖ V}
+    /// (1 − π(w))`. Events outside `subset` are marginalized analytically
+    /// (factor 1). This is the workhorse of the relevant-event world
+    /// engine, which assigns truth values only to the events actually
+    /// mentioned by a prob-tree's conditions.
+    pub fn probability_over<I: IntoIterator<Item = EventId>>(
+        &self,
+        events: &EventTable,
+        subset: I,
+    ) -> f64 {
+        subset
+            .into_iter()
             .map(|e| {
                 if self.get(e) {
                     events.prob(e)
@@ -211,6 +245,32 @@ mod tests {
         let v2 = Valuation::from_true_events(2, [w1, w2]);
         assert!((v1.probability(&t) - 0.14).abs() < 1e-12);
         assert!((v2.probability(&t) - 0.56).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_valuation_probability_marginalizes_uncovered_events() {
+        // Table with three events, valuation covering only the first two:
+        // the third event is marginalized (factor 1).
+        let mut t = EventTable::new();
+        let w1 = t.insert("w1", 0.8);
+        let w2 = t.insert("w2", 0.7);
+        let w3 = t.insert("w3", 0.5);
+        let partial = Valuation::from_true_events(2, [w1]);
+        assert!((partial.probability(&t) - 0.8 * 0.3).abs() < 1e-12);
+        // probability_over an explicit subset, from a full-length valuation.
+        let full = Valuation::from_true_events(3, [w1, w3]);
+        assert!((full.probability_over(&t, [w1, w2]) - 0.8 * 0.3).abs() < 1e-12);
+        assert!((full.probability_over(&t, [w3]) - 0.5).abs() < 1e-12);
+        assert_eq!(full.probability_over(&t, []), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "declares only")]
+    fn probability_rejects_valuations_longer_than_the_table() {
+        let mut t = EventTable::new();
+        t.insert("w1", 0.5);
+        let v = Valuation::empty(2);
+        let _ = v.probability(&t);
     }
 
     #[test]

@@ -70,11 +70,7 @@ pub fn eval_characteristic(dnf: &Dnf, point: &dyn Fn(EventId) -> Fp) -> Fp {
 }
 
 /// Evaluates `P_ψ − P_ψ'` at a field point, directly from the two DNFs.
-pub fn eval_characteristic_difference(
-    lhs: &Dnf,
-    rhs: &Dnf,
-    point: &dyn Fn(EventId) -> Fp,
-) -> Fp {
+pub fn eval_characteristic_difference(lhs: &Dnf, rhs: &Dnf, point: &dyn Fn(EventId) -> Fp) -> Fp {
     eval_characteristic(lhs, point).sub(eval_characteristic(rhs, point))
 }
 
@@ -137,7 +133,10 @@ mod tests {
             Condition::from_literals([Literal::pos(e(0)), Literal::pos(e(1))]),
         ]);
         let rhs = Dnf::of(Condition::of(Literal::pos(e(0))));
-        assert_ne!(characteristic_polynomial(&lhs), characteristic_polynomial(&rhs));
+        assert_ne!(
+            characteristic_polynomial(&lhs),
+            characteristic_polynomial(&rhs)
+        );
     }
 
     #[test]

@@ -216,7 +216,13 @@ mod tests {
 
     #[test]
     fn field_axioms_on_samples() {
-        let xs = [Fp::new(0), Fp::new(1), Fp::new(17), Fp::new(P - 1), Fp::new(1 << 40)];
+        let xs = [
+            Fp::new(0),
+            Fp::new(1),
+            Fp::new(17),
+            Fp::new(P - 1),
+            Fp::new(1 << 40),
+        ];
         for &a in &xs {
             for &b in &xs {
                 assert_eq!(a + b, b + a);

@@ -125,7 +125,12 @@ mod tests {
         ]);
         let mut r = rng();
         for _ in 0..50 {
-            assert!(count_equivalent_randomized(&dnf, &dnf, &ZippelConfig::default(), &mut r));
+            assert!(count_equivalent_randomized(
+                &dnf,
+                &dnf,
+                &ZippelConfig::default(),
+                &mut r
+            ));
         }
     }
 
@@ -136,7 +141,12 @@ mod tests {
         let a = Dnf::from_disjuncts([d1.clone(), d2.clone()]);
         let b = Dnf::from_disjuncts([d2, d1]);
         let mut r = rng();
-        assert!(count_equivalent_randomized(&a, &b, &ZippelConfig::default(), &mut r));
+        assert!(count_equivalent_randomized(
+            &a,
+            &b,
+            &ZippelConfig::default(),
+            &mut r
+        ));
     }
 
     #[test]
@@ -151,7 +161,12 @@ mod tests {
         // With |S| = 2^32 the per-trial failure probability is ~2/2^32, so
         // 20 repetitions should all answer false.
         for _ in 0..20 {
-            assert!(!count_equivalent_randomized(&lhs, &rhs, &ZippelConfig::default(), &mut r));
+            assert!(!count_equivalent_randomized(
+                &lhs,
+                &rhs,
+                &ZippelConfig::default(),
+                &mut r
+            ));
         }
     }
 
@@ -160,7 +175,12 @@ mod tests {
         let lhs = Dnf::of(Condition::of(Literal::pos(e(0))));
         let rhs = Dnf::of(Condition::of(Literal::pos(e(5))));
         let mut r = rng();
-        assert!(!count_equivalent_randomized(&lhs, &rhs, &ZippelConfig::default(), &mut r));
+        assert!(!count_equivalent_randomized(
+            &lhs,
+            &rhs,
+            &ZippelConfig::default(),
+            &mut r
+        ));
     }
 
     #[test]
@@ -182,8 +202,7 @@ mod tests {
             let a = random_dnf(&mut r);
             let b = random_dnf(&mut r);
             let naive = a.count_equivalent_naive(&b, num_events, 20).unwrap();
-            let randomized =
-                count_equivalent_randomized(&a, &b, &ZippelConfig::default(), &mut r);
+            let randomized = count_equivalent_randomized(&a, &b, &ZippelConfig::default(), &mut r);
             // One-sided error: randomized == true whenever naive == true;
             // with the default config the reverse direction failing is
             // astronomically unlikely, so assert exact agreement.

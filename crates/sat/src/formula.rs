@@ -308,9 +308,9 @@ mod tests {
         // Check on a batch of formulas that tseitin SAT == brute SAT of the
         // original formula.
         let formulas = vec![
-            x(0).and(x(0).not()),                                  // UNSAT
-            x(0).or(x(1)),                                         // SAT
-            x(0).and(x(1).not()).or(x(2).and(x(0).not())),         // SAT
+            x(0).and(x(0).not()),                                      // UNSAT
+            x(0).or(x(1)),                                             // SAT
+            x(0).and(x(1).not()).or(x(2).and(x(0).not())),             // SAT
             Formula::And(vec![x(0).or(x(1)), x(0).not(), x(1).not()]), // UNSAT
             Formula::True,
             Formula::False,

@@ -85,7 +85,10 @@ mod tests {
                 sat_count += 1;
             }
         }
-        assert!(sat_count >= 8, "only {sat_count}/10 low-ratio instances were SAT");
+        assert!(
+            sat_count >= 8,
+            "only {sat_count}/10 low-ratio instances were SAT"
+        );
     }
 
     #[test]

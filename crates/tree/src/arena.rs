@@ -363,7 +363,10 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert!(t.is_attached(b));
         assert!(!t.is_attached(c));
-        assert!(!t.is_attached(d), "descendants of a detached node are detached");
+        assert!(
+            !t.is_attached(d),
+            "descendants of a detached node are detached"
+        );
         let reachable: Vec<_> = t.iter().collect();
         assert!(!reachable.contains(&c));
         assert!(!reachable.contains(&d));

@@ -169,11 +169,17 @@ mod tests {
     fn child_order_is_irrelevant() {
         let x = t(TreeSpec::node(
             "A",
-            vec![TreeSpec::leaf("B"), TreeSpec::node("C", vec![TreeSpec::leaf("D")])],
+            vec![
+                TreeSpec::leaf("B"),
+                TreeSpec::node("C", vec![TreeSpec::leaf("D")]),
+            ],
         ));
         let y = t(TreeSpec::node(
             "A",
-            vec![TreeSpec::node("C", vec![TreeSpec::leaf("D")]), TreeSpec::leaf("B")],
+            vec![
+                TreeSpec::node("C", vec![TreeSpec::leaf("D")]),
+                TreeSpec::leaf("B"),
+            ],
         ));
         assert!(isomorphic(&x, &y, Semantics::MultiSet));
         assert_eq!(
@@ -215,7 +221,10 @@ mod tests {
             "A",
             vec![TreeSpec::node("B", vec![TreeSpec::leaf("C")])],
         ));
-        let flat = t(TreeSpec::node("A", vec![TreeSpec::leaf("B"), TreeSpec::leaf("C")]));
+        let flat = t(TreeSpec::node(
+            "A",
+            vec![TreeSpec::leaf("B"), TreeSpec::leaf("C")],
+        ));
         assert!(!isomorphic(&path, &flat, Semantics::MultiSet));
         assert!(!isomorphic(&path, &flat, Semantics::Set));
     }
@@ -235,11 +244,19 @@ mod tests {
     fn canonical_hash_agrees_with_isomorphism_on_samples() {
         let a = t(TreeSpec::node(
             "A",
-            vec![TreeSpec::leaf("B"), TreeSpec::leaf("C"), TreeSpec::leaf("B")],
+            vec![
+                TreeSpec::leaf("B"),
+                TreeSpec::leaf("C"),
+                TreeSpec::leaf("B"),
+            ],
         ));
         let b = t(TreeSpec::node(
             "A",
-            vec![TreeSpec::leaf("C"), TreeSpec::leaf("B"), TreeSpec::leaf("B")],
+            vec![
+                TreeSpec::leaf("C"),
+                TreeSpec::leaf("B"),
+                TreeSpec::leaf("B"),
+            ],
         ));
         assert_eq!(
             canonical_hash(&a, Semantics::MultiSet),

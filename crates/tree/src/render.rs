@@ -32,7 +32,12 @@ pub fn to_ascii(tree: &DataTree) -> String {
             let _ = writeln!(out, "{}{}", tree.label(node), annotate(node));
         } else {
             let branch = if is_last { "└── " } else { "├── " };
-            let _ = writeln!(out, "{prefix}{branch}{}{}", tree.label(node), annotate(node));
+            let _ = writeln!(
+                out,
+                "{prefix}{branch}{}{}",
+                tree.label(node),
+                annotate(node)
+            );
         }
         let children = tree.children(node);
         for (i, &child) in children.iter().enumerate() {
@@ -48,7 +53,9 @@ pub fn to_ascii(tree: &DataTree) -> String {
         }
     }
     let mut out = String::new();
-    rec(tree, tree.root(), "", true, true, &mut out, &|_| String::new());
+    rec(tree, tree.root(), "", true, true, &mut out, &|_| {
+        String::new()
+    });
     out
 }
 
@@ -69,7 +76,12 @@ pub fn to_ascii_annotated(tree: &DataTree, annotate: &dyn Fn(NodeId) -> String) 
             let _ = writeln!(out, "{}{}", tree.label(node), annotate(node));
         } else {
             let branch = if is_last { "└── " } else { "├── " };
-            let _ = writeln!(out, "{prefix}{branch}{}{}", tree.label(node), annotate(node));
+            let _ = writeln!(
+                out,
+                "{prefix}{branch}{}{}",
+                tree.label(node),
+                annotate(node)
+            );
         }
         let children = tree.children(node);
         for (i, &child) in children.iter().enumerate() {
@@ -114,7 +126,13 @@ pub fn to_dot(tree: &DataTree, graph_name: &str) -> String {
 fn sanitize_ident(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() || cleaned.chars().next().unwrap().is_numeric() {
         format!("g_{cleaned}")
@@ -147,7 +165,11 @@ mod tests {
     fn ascii_contains_every_label_once() {
         let text = to_ascii(&sample());
         for label in ["A", "B", "C", "D"] {
-            assert_eq!(text.matches(label).count(), 1, "label {label} in output:\n{text}");
+            assert_eq!(
+                text.matches(label).count(),
+                1,
+                "label {label} in output:\n{text}"
+            );
         }
         assert!(text.contains("└── C"));
     }

@@ -145,7 +145,11 @@ mod tests {
     fn label_histogram_counts_duplicates() {
         let t = TreeSpec::node(
             "A",
-            vec![TreeSpec::leaf("B"), TreeSpec::leaf("B"), TreeSpec::leaf("C")],
+            vec![
+                TreeSpec::leaf("B"),
+                TreeSpec::leaf("B"),
+                TreeSpec::leaf("C"),
+            ],
         )
         .build();
         let h = label_histogram(&t);

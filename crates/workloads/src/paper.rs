@@ -96,7 +96,7 @@ pub fn theorem5_restriction(n: usize) -> (ProbTree, Dtd) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pxml_core::semantics::possible_worlds;
+    use pxml_core::semantics::{possible_worlds, possible_worlds_normalized};
 
     #[test]
     fn figure1_matches_paper_parameters() {
@@ -137,8 +137,12 @@ mod tests {
         let t = theorem4_tree(n);
         assert_eq!(t.num_nodes(), 2 * n + 1);
         assert_eq!(t.events().len(), 2 * n);
-        let pw = possible_worlds(&t, 20).unwrap().normalized();
-        assert_eq!(pw.len(), 1 << (2 * n), "distinct labels keep worlds distinct");
+        let pw = possible_worlds_normalized(&t, 20).unwrap();
+        assert_eq!(
+            pw.len(),
+            1 << (2 * n),
+            "distinct labels keep worlds distinct"
+        );
         let expected = theorem4_world_probability(n);
         for (_, p) in pw.iter() {
             assert!((p - expected).abs() < 1e-12);

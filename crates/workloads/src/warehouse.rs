@@ -91,8 +91,7 @@ pub fn run_scenario<R: Rng + ?Sized>(config: &WarehouseConfig, rng: &mut R) -> W
             let label = FACT_LABELS[rng.gen_range(0..FACT_LABELS.len())];
             let mut query = PatternQuery::new(Some("service"));
             let fact = query.add_child(query.root(), label);
-            let update =
-                ProbabilisticUpdate::new(UpdateOperation::delete(query, fact), confidence);
+            let update = ProbabilisticUpdate::new(UpdateOperation::delete(query, fact), confidence);
             let (updated, _) = update.apply_to_probtree(&tree);
             tree = updated;
             log.push(AppliedUpdate {

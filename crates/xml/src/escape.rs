@@ -88,7 +88,10 @@ mod tests {
 
     #[test]
     fn escape_attr_quotes() {
-        assert_eq!(escape_attr(r#"say "hi" & 'bye'"#), "say &quot;hi&quot; &amp; &apos;bye&apos;");
+        assert_eq!(
+            escape_attr(r#"say "hi" & 'bye'"#),
+            "say &quot;hi&quot; &amp; &apos;bye&apos;"
+        );
     }
 
     #[test]

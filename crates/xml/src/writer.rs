@@ -68,9 +68,11 @@ mod tests {
 
     #[test]
     fn writes_nested_elements_with_indentation() {
-        let el = Element::new("catalog")
-            .with_attr("size", "1")
-            .with_child(Element::new("item").with_attr("id", "1").with_text("First & best"));
+        let el = Element::new("catalog").with_attr("size", "1").with_child(
+            Element::new("item")
+                .with_attr("id", "1")
+                .with_text("First & best"),
+        );
         let text = write_element(&el);
         assert!(text.contains("<catalog size=\"1\">"));
         assert!(text.contains("  <item id=\"1\">First &amp; best</item>"));

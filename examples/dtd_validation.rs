@@ -39,7 +39,11 @@ fn main() {
     let (witness, stats) = satisfiable_backtracking(&catalog, &dtd);
     println!(
         "DTD satisfiability: {} (decisions: {}, pruned branches: {})",
-        if witness.is_some() { "some world is valid" } else { "no valid world" },
+        if witness.is_some() {
+            "some world is valid"
+        } else {
+            "no valid world"
+        },
         stats.decisions,
         stats.pruned
     );
@@ -62,7 +66,9 @@ fn main() {
         .constrain("item", "name", ChildConstraint::between(1, 1))
         .constrain("item", "price", ChildConstraint::between(1, 1));
     let (strict_witness, _) = satisfiable_backtracking(&catalog, &strict);
-    let strict_valid = valid_bruteforce(&catalog, &strict, 20).expect("guarded").is_none();
+    let strict_valid = valid_bruteforce(&catalog, &strict, 20)
+        .expect("guarded")
+        .is_none();
     println!(
         "Strict schema (price required): satisfiable = {}, valid = {}",
         strict_witness.is_some(),
@@ -91,7 +97,11 @@ fn main() {
     let (dtd_witness, _) = satisfiable_backtracking(&instance.tree, &instance.satisfiability_dtd);
     println!(
         "DPLL says θ is {}; the DTD-satisfiability checker agrees: {}",
-        if dpll_sat { "satisfiable" } else { "unsatisfiable" },
+        if dpll_sat {
+            "satisfiable"
+        } else {
+            "unsatisfiable"
+        },
         dtd_witness.is_some() == dpll_sat
     );
     if let Some(w) = dtd_witness {

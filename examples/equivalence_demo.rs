@@ -86,19 +86,16 @@ fn main() {
     );
 
     let start = Instant::now();
-    let randomized = structural_equivalent_randomized(&a, &b, &EquivalenceConfig::default(), &mut rng);
+    let randomized =
+        structural_equivalent_randomized(&a, &b, &EquivalenceConfig::default(), &mut rng);
     let randomized_time = start.elapsed();
 
     let start = Instant::now();
     let exhaustive = structural_equivalent_exhaustive(&a, &b, 24).expect("guarded");
     let exhaustive_time = start.elapsed();
 
-    println!(
-        "Randomized Figure 3 algorithm: equivalent = {randomized}   ({randomized_time:?})"
-    );
-    println!(
-        "Exhaustive 2^|W| check:        equivalent = {exhaustive}   ({exhaustive_time:?})"
-    );
+    println!("Randomized Figure 3 algorithm: equivalent = {randomized}   ({randomized_time:?})");
+    println!("Exhaustive 2^|W| check:        equivalent = {exhaustive}   ({exhaustive_time:?})");
 
     // A third pipeline mixes up one condition: the flagged event is used
     // positively. This is *not* equivalent and the randomized algorithm

@@ -10,7 +10,7 @@ use pxml_core::probtree::ProbTree;
 use pxml_core::proxml;
 use pxml_core::query::prob::query_probtree;
 use pxml_core::query::Query as _;
-use pxml_core::semantics::possible_worlds;
+use pxml_core::semantics::possible_worlds_normalized;
 use pxml_core::update::{ProbabilisticUpdate, UpdateOperation};
 use pxml_core::PatternQuery;
 use pxml_events::{Condition, Literal};
@@ -30,12 +30,14 @@ fn main() {
     let c = warehouse.add_child(root, "C", Condition::always());
     warehouse.add_child(c, "D", Condition::of(Literal::pos(w2)));
 
-    println!("Figure 1 prob-tree (π(w1)=0.8, π(w2)=0.7):\n{}", warehouse.to_ascii());
+    println!(
+        "Figure 1 prob-tree (π(w1)=0.8, π(w2)=0.7):\n{}",
+        warehouse.to_ascii()
+    );
 
     // ----- 2. Possible-world semantics (Figure 2) ------------------------
-    let worlds = possible_worlds(&warehouse, 20)
-        .expect("two event variables are far below the enumeration guard")
-        .normalized();
+    let worlds = possible_worlds_normalized(&warehouse, 20)
+        .expect("two event variables are far below the enumeration guard");
     println!("Possible worlds (Figure 2):");
     for (world, p) in worlds.iter() {
         let labels: Vec<&str> = world.iter().map(|n| world.label(n)).collect();
@@ -76,7 +78,10 @@ fn main() {
     println!("ProXML serialization:\n{xml}");
     let reloaded = proxml::from_xml(&xml).expect("generated document parses back");
     assert_eq!(reloaded.num_nodes(), updated.num_nodes());
-    println!("Round-tripped {} nodes through ProXML successfully.", reloaded.num_nodes());
+    println!(
+        "Round-tripped {} nodes through ProXML successfully.",
+        reloaded.num_nodes()
+    );
 }
 
 fn indent(text: &str) -> String {

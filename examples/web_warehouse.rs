@@ -14,7 +14,9 @@ use rand::SeedableRng;
 use pxml_core::query::prob::query_probtree;
 use pxml_core::threshold::restrict_to_threshold;
 use pxml_core::PatternQuery;
-use pxml_workloads::warehouse::{run_scenario, services_with_endpoint_and_contact, WarehouseConfig};
+use pxml_workloads::warehouse::{
+    run_scenario, services_with_endpoint_and_contact, WarehouseConfig,
+};
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(2007);
@@ -36,7 +38,11 @@ fn main() {
             i + 1,
             update.description,
             update.confidence,
-            if update.is_deletion { "  [retraction]" } else { "" }
+            if update.is_deletion {
+                "  [retraction]"
+            } else {
+                ""
+            }
         );
     }
 
@@ -56,7 +62,11 @@ fn main() {
         answers.len()
     );
     for answer in answers.iter().take(3) {
-        println!("  probability {:.3}  ({} nodes in the answer)", answer.probability, answer.tree.len());
+        println!(
+            "  probability {:.3}  ({} nodes in the answer)",
+            answer.probability,
+            answer.tree.len()
+        );
     }
 
     // ----- Analysis query 2: any extracted keyword ------------------------
@@ -79,8 +89,8 @@ fn main() {
     // that this cannot always be represented compactly).
     if warehouse.tree.events().len() <= 16 {
         let threshold = 0.01;
-        let restriction = restrict_to_threshold(&warehouse.tree, threshold, 20)
-            .expect("guarded enumeration");
+        let restriction =
+            restrict_to_threshold(&warehouse.tree, threshold, 20).expect("guarded enumeration");
         println!(
             "\nThreshold pruning at p ≥ {threshold}: kept {} of {} worlds ({:.1}% of the probability mass)",
             restriction.worlds.len(),
@@ -88,6 +98,8 @@ fn main() {
             100.0 * restriction.retained_mass
         );
     } else {
-        println!("\n(Skipping threshold pruning: too many event variables for exhaustive expansion.)");
+        println!(
+            "\n(Skipping threshold pruning: too many event variables for exhaustive expansion.)"
+        );
     }
 }

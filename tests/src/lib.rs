@@ -46,10 +46,10 @@ mod tests {
     /// tests assume this exact possible-world distribution.
     #[test]
     fn bibliography_fixture_semantics() {
-        use pxml_core::semantics::possible_worlds;
+        use pxml_core::semantics::possible_worlds_normalized;
 
         let t = bibliography();
-        let pw = possible_worlds(&t, 8).unwrap().normalized();
+        let pw = possible_worlds_normalized(&t, 8).unwrap();
 
         // Three independent presence choices — book (π(confirmed) = 0.9),
         // year under book (π(year_known) = 0.6), article (π(¬retracted)

@@ -9,7 +9,9 @@ use pxml_core::equivalence::{
     structural_equivalent_exhaustive, structural_equivalent_randomized, EquivalenceConfig,
 };
 use pxml_core::probtree::ProbTree;
-use pxml_dtd::satisfiability::{satisfiable_backtracking, satisfiable_bruteforce, valid_bruteforce};
+use pxml_dtd::satisfiability::{
+    satisfiable_backtracking, satisfiable_bruteforce, valid_bruteforce,
+};
 use pxml_dtd::validate::validates;
 use pxml_dtd::{ChildConstraint, Dtd};
 use pxml_events::{Condition, Dnf, EventId, Literal};
@@ -50,7 +52,10 @@ fn build_dnf(spec: &[Vec<(usize, bool)>]) -> Dnf {
 /// A flat prob-tree description: root `R` with children among two labels,
 /// each carrying a one- or two-literal condition.
 fn flat_probtree_strategy() -> impl Strategy<Value = Vec<(usize, Vec<(usize, bool)>)>> {
-    prop::collection::vec((0..2usize, prop::collection::vec(literal_strategy(), 1..3)), 1..6)
+    prop::collection::vec(
+        (0..2usize, prop::collection::vec(literal_strategy(), 1..3)),
+        1..6,
+    )
 }
 
 fn build_flat_probtree(spec: &[(usize, Vec<(usize, bool)>)]) -> ProbTree {

@@ -8,10 +8,11 @@ use pxml_core::probtree::ProbTree;
 use pxml_core::query::prob::check_theorem1;
 use pxml_core::semantics::{possible_worlds, pw_set_to_probtree};
 use pxml_core::update::{ProbabilisticUpdate, UpdateOperation};
+use pxml_core::worlds::WorldEngine;
 use pxml_core::PatternQuery;
 use pxml_events::{Condition, EventId, Literal};
-use pxml_tree::canon::{canonical_string, isomorphic, Semantics};
 use pxml_tree::builder::TreeSpec;
+use pxml_tree::canon::{canonical_string, isomorphic, Semantics};
 use pxml_tree::DataTree;
 
 // ---------------------------------------------------------------------------
@@ -205,6 +206,64 @@ proptest! {
             .apply_to_pw_set(&possible_worlds(&tree, 16).unwrap())
             .normalized();
         prop_assert!(direct.isomorphic(&via_pw));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Relevant-event world engine properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The relevant-event engine's normalized world set is isomorphic to
+    /// the legacy full-enumeration semantics on random prob-trees built by
+    /// the hand-rolled strategy.
+    #[test]
+    fn world_engine_matches_legacy_enumeration(spec in probtree_strategy()) {
+        let tree = build_probtree(&spec);
+        let legacy = possible_worlds(&tree, 16).unwrap().normalized();
+        let engine = WorldEngine::new(&tree);
+        prop_assert!(engine.num_relevant() <= tree.events().len());
+        let fast = engine.normalized_worlds(16).unwrap();
+        prop_assert!(fast.isomorphic(&legacy));
+        prop_assert!((fast.total_probability() - 1.0).abs() < 1e-9);
+    }
+
+    /// Same property on `workloads::random_probtree` instances whose event
+    /// tables additionally declare events no condition ever mentions: the
+    /// engine must marginalize them without enumerating them, and still
+    /// agree with the full 2^{|W|} enumeration.
+    #[test]
+    fn world_engine_marginalizes_unused_events(seed in 0u64..1_000_000) {
+        use pxml_workloads::random::{random_probtree, ProbTreeConfig, TreeConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let config = ProbTreeConfig {
+            tree: TreeConfig { nodes: 25, max_fanout: 4, labels: 3 },
+            events: 6,
+            annotation_density: 0.4,
+            max_literals: 2,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tree = random_probtree(&config, &mut rng);
+        // Declare 6 events that are never mentioned by any condition.
+        for _ in 0..6 {
+            tree.events_mut().fresh(0.5);
+        }
+        prop_assert_eq!(tree.events().len(), 12);
+
+        let engine = WorldEngine::new(&tree);
+        prop_assert!(engine.num_relevant() <= 6);
+        // Component sizes partition the relevant set.
+        let component_total: usize =
+            engine.components().iter().map(Vec::len).sum();
+        prop_assert_eq!(component_total, engine.num_relevant());
+
+        let legacy = possible_worlds(&tree, 12).unwrap().normalized();
+        let fast = engine.normalized_worlds(6).unwrap();
+        prop_assert!(fast.isomorphic(&legacy));
     }
 }
 

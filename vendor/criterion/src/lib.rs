@@ -119,7 +119,10 @@ impl BenchmarkGroup<'_> {
         f(&mut bencher, input);
         match bencher.measured {
             Some(mean) => println!("{}/{}  mean {}", self.name, id.id, format_ns(mean)),
-            None => println!("{}/{}  (no measurement: Bencher::iter never called)", self.name, id.id),
+            None => println!(
+                "{}/{}  (no measurement: Bencher::iter never called)",
+                self.name, id.id
+            ),
         }
         self
     }
