@@ -6,6 +6,9 @@
 //! the same query on the prob-tree (adds the condition collection and
 //! probability evaluation). Both should scale polynomially (roughly
 //! linearly for this fixed two-step pattern) in the tree size.
+//!
+//! Set `PXML_BENCH_QUICK=1` (as CI's bench-smoke job does) for a fast
+//! smoke run over the two smallest tree sizes.
 
 use std::time::Duration;
 
@@ -15,10 +18,19 @@ use pxml_bench::{rng, scaling_probtree, scaling_query, SCALING_SIZES};
 use pxml_core::query::prob::query_probtree;
 use pxml_core::query::Query;
 
+fn quick() -> bool {
+    std::env::var_os("PXML_BENCH_QUICK").is_some()
+}
+
 fn bench_query_scaling(c: &mut Criterion) {
     let query = scaling_query();
     let mut r = rng();
-    let trees: Vec<_> = SCALING_SIZES
+    let sizes: &[usize] = if quick() {
+        &SCALING_SIZES[..2]
+    } else {
+        &SCALING_SIZES
+    };
+    let trees: Vec<_> = sizes
         .iter()
         .map(|&n| (n, scaling_probtree(n, &mut r)))
         .collect();
@@ -40,12 +52,23 @@ fn bench_query_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn config() -> Criterion {
+    if quick() {
+        Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(20))
+            .measurement_time(Duration::from_millis(80))
+    } else {
+        Criterion::default()
+            .sample_size(20)
+            .warm_up_time(Duration::from_millis(400))
+            .measurement_time(Duration::from_millis(1500))
+    }
+}
+
 criterion_group! {
     name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(Duration::from_millis(400))
-        .measurement_time(Duration::from_millis(1500));
+    config = config();
     targets = bench_query_scaling
 }
 criterion_main!(benches);

@@ -1,6 +1,9 @@
 //! E7 — Theorem 4: threshold restriction on the witness family. The time
 //! and (see `tables --exp e7`) output size grow exponentially with `n`
 //! because the restriction has `2^{2n}` surviving equiprobable worlds.
+//!
+//! Set `PXML_BENCH_QUICK=1` (as CI's bench-smoke job does) for a fast
+//! smoke run with the small family sizes and a tiny iteration budget.
 
 use std::time::Duration;
 
@@ -9,9 +12,14 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pxml_core::threshold::{restrict_to_threshold, restriction_as_probtree};
 use pxml_workloads::paper::{theorem4_tree, theorem4_world_probability};
 
+fn quick() -> bool {
+    std::env::var_os("PXML_BENCH_QUICK").is_some()
+}
+
 fn bench_threshold_restriction(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_threshold_restriction");
-    for n in [1usize, 2, 3, 4, 5] {
+    let sizes: &[usize] = if quick() { &[1, 2] } else { &[1, 2, 3, 4, 5] };
+    for &n in sizes {
         let tree = theorem4_tree(n);
         let threshold = theorem4_world_probability(n);
         group.bench_with_input(
@@ -27,7 +35,8 @@ fn bench_threshold_restriction(c: &mut Criterion) {
 
 fn bench_threshold_reencoding(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_threshold_as_probtree");
-    for n in [1usize, 2, 3, 4] {
+    let sizes: &[usize] = if quick() { &[1, 2] } else { &[1, 2, 3, 4] };
+    for &n in sizes {
         let tree = theorem4_tree(n);
         let threshold = theorem4_world_probability(n);
         group.bench_with_input(
@@ -45,12 +54,23 @@ fn bench_threshold_reencoding(c: &mut Criterion) {
     group.finish();
 }
 
+fn config() -> Criterion {
+    if quick() {
+        Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(20))
+            .measurement_time(Duration::from_millis(80))
+    } else {
+        Criterion::default()
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(400))
+            .measurement_time(Duration::from_millis(1500))
+    }
+}
+
 criterion_group! {
     name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(400))
-        .measurement_time(Duration::from_millis(1500));
+    config = config();
     targets = bench_threshold_restriction, bench_threshold_reencoding
 }
 criterion_main!(benches);

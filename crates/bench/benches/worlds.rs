@@ -11,6 +11,13 @@
 //! streamed canonical-form accumulator still avoids the second
 //! normalization pass.
 //!
+//! Two further scenarios exercise the *factorized* shard executor: a
+//! many-small-components tree (24 events in 8 co-occurrence components of
+//! 3) where `Σ_c 2^{|C_i|} = 64` shard states replace the infeasible
+//! `2^24` joint walk (asserted via the enumeration counter), and a joint
+//! drain at feasible sizes comparing the shard-combine against the
+//! streamed engine.
+//!
 //! Set `PXML_BENCH_QUICK=1` (as CI does) for a fast smoke run with small
 //! iteration budgets.
 
@@ -19,9 +26,12 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use pxml_core::semantics::possible_worlds;
-use pxml_core::worlds::WorldEngine;
+use pxml_core::worlds::{WorldEngine, WorldEngineConfig};
 use pxml_core::ProbTree;
-use pxml_workloads::random::{random_probtree, ProbTreeConfig, TreeConfig};
+use pxml_events::{Condition, Literal};
+use pxml_workloads::random::{
+    many_components_probtree, random_probtree, ProbTreeConfig, TreeConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -95,6 +105,99 @@ fn bench_dense_legacy_vs_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// Many small components: 24 events in 8 co-occurrence components of 3.
+/// The factorized shard executor enumerates `Σ_c 2^{|C_i|} = 64`
+/// assignments where any joint walk needs `2^24 ≈ 16.7M` — a ratio of
+/// 262144×, asserted below via the enumeration counter (not wall-clock).
+/// The shard-fold cross-check (`condition_probability`) is also asserted
+/// against the analytic product, untimed: the analytic `O(|literals|)`
+/// path is the production one, the fold exists to validate the
+/// decomposition.
+fn bench_factorized_many_components(c: &mut Criterion) {
+    let tree = many_components_probtree(8, 3);
+    let engine = WorldEngine::new(&tree);
+    let config = WorldEngineConfig::sequential();
+
+    // Counter assertions, outside the timed region.
+    let factorized = engine.sharded(&config, 20).unwrap();
+    assert_eq!(
+        factorized.states_enumerated(),
+        8 * (1 << 3),
+        "factorized path must enumerate Σ_c 2^{{|C_i|}} assignments"
+    );
+    assert_eq!(factorized.num_joint_assignments(), 1 << 24);
+    let ratio = factorized.num_joint_assignments() / factorized.states_enumerated() as u128;
+    assert!(
+        ratio >= 1000,
+        "factorized enumeration must be ≥1000× fewer assignments than joint (got {ratio}×)"
+    );
+    // The streamed (PR-2) engine refuses this tree outright at the same
+    // budget: 24 relevant events > 20.
+    assert!(engine.normalized_worlds(20).is_err());
+    // Shard-fold cross-check against the analytic product.
+    let first_component: Vec<_> = engine.components()[0].clone();
+    let condition = Condition::from_literals(first_component.iter().map(|&e| Literal::pos(e)));
+    let folded = factorized.condition_probability(&condition);
+    assert!((folded - condition.probability(tree.events())).abs() < 1e-12);
+
+    let mut group = c.benchmark_group("worlds_factorized_many_components");
+    group.bench_with_input(BenchmarkId::new("shard_build", "8x3"), &tree, |b, tree| {
+        let engine = WorldEngine::new(tree);
+        b.iter(|| engine.sharded(&config, 20).unwrap());
+    });
+    group.finish();
+}
+
+/// Joint drain at feasible sizes: the factorized combine (shards, then the
+/// cross product of the deduplicated classes) vs the streamed PR-2 engine
+/// vs the legacy full enumeration, producing the same normalized PW set.
+fn bench_factorized_vs_joint_drain(c: &mut Criterion) {
+    let sizes: &[usize] = if quick() { &[3] } else { &[3, 4] };
+    let config = WorldEngineConfig::sequential();
+    for &components in sizes {
+        let tree = many_components_probtree(components, 3);
+        let engine = WorldEngine::new(&tree);
+        // All three engines agree (asserted once, untimed).
+        let factorized = engine
+            .sharded(&config, 16)
+            .unwrap()
+            .normalized_worlds()
+            .unwrap();
+        let streamed = engine.normalized_worlds(16).unwrap();
+        let legacy = possible_worlds(&tree, 16).unwrap().normalized();
+        assert!(factorized.isomorphic(&streamed));
+        assert!(factorized.isomorphic(&legacy));
+
+        let mut group = c.benchmark_group("worlds_joint_factorized");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(components * 3),
+            &tree,
+            |b, tree| {
+                let engine = WorldEngine::new(tree);
+                b.iter(|| {
+                    engine
+                        .sharded(&config, 16)
+                        .unwrap()
+                        .normalized_worlds()
+                        .unwrap()
+                });
+            },
+        );
+        group.finish();
+
+        let mut group = c.benchmark_group("worlds_joint_streamed");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(components * 3),
+            &tree,
+            |b, tree| {
+                let engine = WorldEngine::new(tree);
+                b.iter(|| engine.normalized_worlds(16).unwrap());
+            },
+        );
+        group.finish();
+    }
+}
+
 fn config() -> Criterion {
     if quick() {
         Criterion::default()
@@ -112,6 +215,7 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_engine_sparse, bench_dense_legacy_vs_engine
+    targets = bench_engine_sparse, bench_dense_legacy_vs_engine,
+        bench_factorized_many_components, bench_factorized_vs_joint_drain
 }
 criterion_main!(benches);

@@ -66,12 +66,21 @@ pub fn structural_equivalent_exhaustive_with(
 }
 
 /// Semantic equivalence (`≡sem`): the possible-world semantics of the two
-/// prob-trees are isomorphic PW sets. Exponential in both *relevant*
-/// event-set sizes.
+/// prob-trees are isomorphic PW sets. Exponential in the worst case; both
+/// expansions run on the factorized shard executor
+/// ([`possible_worlds_normalized`]), so each side costs `Σ_c 2^{|C_i|}`
+/// shard states plus the joint combine of its condition-distinct classes.
 ///
 /// Unlike structural equivalence, the two prob-trees may use different
 /// event variables and probabilities (Proposition 4 discusses the
-/// relationship between the two notions).
+/// relationship between the two notions). And unlike the structural check
+/// below, the PW semantics only observes valuations through each tree's
+/// *own* conditions, which is exactly the granularity the factorized
+/// shard classes preserve — whereas [`structural_equivalent_exhaustive`]
+/// compares worlds valuation-by-valuation *across* two trees, so it must
+/// keep the exact, un-deduplicated [`WorldEngine::all_valuations`]
+/// enumeration (a shard class of one tree may split under the other
+/// tree's conditions).
 pub fn semantic_equivalent(
     a: &ProbTree,
     b: &ProbTree,
@@ -203,6 +212,46 @@ mod tests {
         );
         assert!(structural_equivalent_exhaustive(&t, &u, 20).unwrap());
         assert!(semantic_equivalent(&t, &u, 20).unwrap());
+    }
+
+    /// Semantic equivalence through the factorized expansion, on trees
+    /// whose 18 relevant events exceed the streamed guard at this budget
+    /// (6 components of 3 events): adding a node guarded by a
+    /// contradictory condition changes the syntax but not the semantics,
+    /// and a genuinely different tree is still distinguished.
+    #[test]
+    fn semantic_equivalence_beyond_the_streamed_guard() {
+        let build = || {
+            let mut t = ProbTree::new("A");
+            let root = t.tree().root();
+            let mut first = None;
+            for i in 0..6 {
+                let w: Vec<_> = (0..3).map(|_| t.events_mut().fresh(0.5)).collect();
+                first.get_or_insert(w[0]);
+                t.add_child(
+                    root,
+                    format!("B{i}"),
+                    Condition::from_literals(w.iter().map(|&e| Literal::pos(e))),
+                );
+            }
+            (t, first.unwrap())
+        };
+        let (a, _) = build();
+        let (mut b, e) = build();
+        let root = b.tree().root();
+        // Never-present ghost: syntax differs, semantics doesn't.
+        b.add_child(
+            root,
+            "Ghost",
+            Condition::from_literals([Literal::pos(e), Literal::neg(e)]),
+        );
+        assert_eq!(a.events().len(), 18);
+        assert!(WorldEngine::new(&a).normalized_worlds(16).is_err());
+        assert!(semantic_equivalent(&a, &b, 16).unwrap());
+        let (mut c, _) = build();
+        let root = c.tree().root();
+        c.add_child(root, "Extra", Condition::always());
+        assert!(!semantic_equivalent(&a, &c, 16).unwrap());
     }
 
     #[test]

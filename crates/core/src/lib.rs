@@ -14,7 +14,7 @@
 //! | §2 / Appendix A probabilistic updates (Def. 14–16, Thm. 3) | [`update`] |
 //! | §3 cleaning, structural equivalence, the co-RP algorithm (Fig. 3, Thm. 2) | [`clean`], [`equivalence`] |
 //! | §4 threshold restriction (Thm. 4) | [`threshold`] |
-//! | §5 variants: simple model, set semantics, arbitrary formulas, semantic equivalence | [`variants`], [`equivalence::semantic`] |
+//! | §5 variants: simple model, set semantics, arbitrary formulas, semantic equivalence | [`variants`], [`equivalence::semantic_equivalent`] |
 //! | ProXML on-disk format | [`proxml`] |
 //!
 //! ## Quick example (Figure 1 / Figure 2 of the paper)
@@ -60,7 +60,7 @@ pub use probtree::ProbTree;
 pub use pwset::PossibleWorldSet;
 pub use query::pattern::PatternQuery;
 pub use update::{ProbabilisticUpdate, UpdateAction, UpdateOperation};
-pub use worlds::WorldEngine;
+pub use worlds::{FactorizedWorlds, ShardExecutor, WorldEngine, WorldEngineConfig};
 
 /// Default bound on the number of event variables accepted by APIs that
 /// enumerate all `2^{|W|}` possible worlds. Re-exported from `pxml-events`.

@@ -1,5 +1,5 @@
 //! Tree-pattern queries with joins (the query language of the paper's
-//! reference [3], used throughout Section 2).
+//! reference \[3\], used throughout Section 2).
 //!
 //! A pattern is itself a small tree. Every pattern node has an optional
 //! label constraint (a `None` constraint is a wildcard) and is connected to

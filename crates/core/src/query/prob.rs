@@ -84,11 +84,12 @@ pub fn query_probtree_as_pw(query: &dyn Query, tree: &ProbTree) -> PossibleWorld
 
 /// Checks Theorem 1 on a concrete prob-tree and query by exhaustive
 /// expansion of the possible worlds: returns `true` iff
-/// `Q(T) ∼ Q(JT K)`. Exponential in the number of *relevant* events
-/// (guarded by `max_events`): the expansion runs on the normalized
-/// relevant-event world set, which is `∼`-equal to the raw Definition 4
-/// enumeration, and querying world-by-world commutes with merging
-/// isomorphic worlds.
+/// `Q(T) ∼ Q(JT K)`. Exponential in the worst case (guarded by
+/// `max_events`): the expansion runs on the factorized normalized world
+/// set — per-component shards whose event-probability aggregation
+/// recombines by product of the class masses — which is `∼`-equal to the
+/// raw Definition 4 enumeration, and querying world-by-world commutes
+/// with merging isomorphic worlds.
 pub fn check_theorem1(
     query: &dyn Query,
     tree: &ProbTree,
@@ -153,6 +154,32 @@ mod tests {
                 q.describe()
             );
         }
+    }
+
+    /// Theorem 1 checked on a tree the streamed engine refuses at this
+    /// budget (18 relevant events > 16) but the factorized expansion
+    /// handles: 6 components of 3 events, 64 joint classes.
+    #[test]
+    fn theorem1_via_factorized_expansion_beyond_streamed_guard() {
+        let mut t = ProbTree::new("A");
+        let root = t.tree().root();
+        for i in 0..6 {
+            let w: Vec<_> = (0..3).map(|_| t.events_mut().fresh(0.5)).collect();
+            let c = t.add_child(
+                root,
+                "B",
+                pxml_events::Condition::from_literals(
+                    w.iter().map(|&e| pxml_events::Literal::pos(e)),
+                ),
+            );
+            t.add_child(c, format!("D{i}"), pxml_events::Condition::always());
+        }
+        assert_eq!(t.events().len(), 18);
+        assert!(crate::worlds::WorldEngine::new(&t)
+            .normalized_worlds(16)
+            .is_err());
+        let q = PatternQuery::new(Some("B"));
+        assert!(check_theorem1(&q, &t, 16).unwrap());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!   `2^{|W|}` valuations — exponential, guarded by a caller-supplied bound
 //!   on `|W|`. It is the *baseline*: production call sites go through
 //!   [`possible_worlds_normalized`], which drives the relevant-event
-//!   [`WorldEngine`](crate::worlds::WorldEngine) and only pays for the
+//!   [`WorldEngine`] and only pays for the
 //!   events the tree's conditions actually mention.
 //! * [`pw_set_to_probtree`] is the converse construction showing that the
 //!   prob-tree model is at least as expressive as the PW model: any PW set
@@ -20,7 +20,7 @@ use pxml_tree::DataTree;
 
 use crate::probtree::ProbTree;
 use crate::pwset::PossibleWorldSet;
-use crate::worlds::WorldEngine;
+use crate::worlds::{WorldEngine, WorldEngineConfig};
 
 /// Computes the possible-world semantics `JT K` of a prob-tree
 /// (Definition 4) by full enumeration of the **declared** event table. The
@@ -45,19 +45,48 @@ pub fn possible_worlds(
 }
 
 /// The **normalized** possible-world semantics `JT K` of a prob-tree,
-/// computed by the relevant-event [`WorldEngine`]: only the
-/// `2^{|relevant|}` partial valuations of the events mentioned by some
-/// condition are enumerated (unmentioned events are marginalized
-/// analytically), and worlds are streamed into a canonical-form
-/// accumulator so the normalized set is produced directly.
+/// computed by the *factorized* relevant-event [`WorldEngine`]: every
+/// co-occurrence component is enumerated independently into a shard
+/// (`Σ_c 2^{|C_i|}` states instead of `2^{|relevant|}`, with `π(w) = 1`
+/// branches pruned and condition-equivalent assignments merged), and only
+/// the deduplicated shard classes are combined into joint worlds, streamed
+/// into the canonical-form accumulator.
 ///
-/// `max_events` bounds the number of **relevant** events, so trees with
-/// large but sparsely-used event tables stay tractable.
+/// `max_events` bounds both the largest single component and (as
+/// `2^{max_events}`) the total shard work and the joint combine, so
+/// everything the legacy relevant-event guard accepted is still accepted —
+/// and trees whose relevant events split into many small components are
+/// now tractable far beyond it. The executor honors the
+/// `PXML_WORLDS_PARALLELISM` / `PXML_WORLDS_MAX_JOINT` environment
+/// switches via [`WorldEngineConfig::for_event_budget`], whose joint cap
+/// defaults to exactly the `2^{max_events}` budget granted here.
 pub fn possible_worlds_normalized(
     tree: &ProbTree,
     max_events: usize,
 ) -> Result<PossibleWorldSet, TooManyValuations> {
-    WorldEngine::new(tree).normalized_worlds(max_events)
+    possible_worlds_factorized(
+        tree,
+        max_events,
+        &WorldEngineConfig::for_event_budget(max_events),
+    )
+}
+
+/// [`possible_worlds_normalized`] under an explicit executor
+/// configuration (thread budget and joint cross-product cap).
+pub fn possible_worlds_factorized(
+    tree: &ProbTree,
+    max_events: usize,
+    config: &WorldEngineConfig,
+) -> Result<PossibleWorldSet, TooManyValuations> {
+    let engine = WorldEngine::new(tree);
+    let config = config.clone().with_joint_cap_bits(max_events);
+    let factorized = engine.sharded(&config, max_events)?;
+    factorized
+        .normalized_worlds()
+        .map_err(|_joint| TooManyValuations {
+            num_events: factorized.num_free_events(),
+            max_events,
+        })
 }
 
 /// Error raised by [`pw_set_to_probtree`] when the input is not a valid PW
@@ -317,6 +346,37 @@ mod tests {
         let legacy = possible_worlds(&t, 20).unwrap().normalized();
         assert_eq!(fast.len(), 3);
         assert!(fast.isomorphic(&legacy));
+    }
+
+    /// A tree the streamed relevant-event guard refuses (18 relevant
+    /// events > `max_events` = 16) but the factorized path handles: 6
+    /// components of 3 events, each carrying a single 3-literal condition,
+    /// so every shard collapses to 2 signature classes and the joint walk
+    /// visits 2^6 = 64 states.
+    #[test]
+    fn factorization_extends_the_tractable_frontier() {
+        let mut t = ProbTree::new("A");
+        let root = t.tree().root();
+        for i in 0..6 {
+            let w: Vec<_> = (0..3).map(|_| t.events_mut().fresh(0.5)).collect();
+            t.add_child(
+                root,
+                format!("C{i}"),
+                Condition::from_literals(w.iter().map(|&e| Literal::pos(e))),
+            );
+        }
+        let engine = WorldEngine::new(&t);
+        assert_eq!(engine.num_relevant(), 18);
+        // The streamed engine refuses: 18 > 16.
+        assert!(engine.normalized_worlds(16).is_err());
+        // The factorized path answers: Σ 2^3 = 48 shard states, 64 joint
+        // classes — and matches the unguarded streamed enumeration.
+        let fast = possible_worlds_normalized(&t, 16).unwrap();
+        let reference = engine.normalized_worlds(18).unwrap();
+        assert!(fast.isomorphic(&reference));
+        assert!(prob_eq(fast.total_probability(), 1.0));
+        // 2^6 distinct worlds: each component's C_i child present or not.
+        assert_eq!(fast.len(), 1 << 6);
     }
 
     /// Regression test for the selector-probability fabrication bug: 50

@@ -30,9 +30,13 @@ pub struct ThresholdRestriction {
 /// keeps the worlds with probability at least `threshold` (an exact `≥` —
 /// see [`PossibleWorldSet::restrict_to_threshold`]).
 ///
-/// Exponential in the number of *relevant* events (this is inherent — see
-/// Theorem 4); guarded by `max_events`, which the relevant-event engine
-/// applies to the mentioned events only.
+/// Exponential in the worst case (this is inherent — see Theorem 4), but
+/// the normalization runs on the factorized shard executor: each
+/// co-occurrence component is enumerated independently (`Σ_c 2^{|C_i|}`
+/// states) and only the condition-distinct classes are crossed, so trees
+/// whose relevant events split into many small components restrict far
+/// beyond the old `2^{|relevant|}` guard. `max_events` bounds the largest
+/// component, the total shard work, and the joint combine.
 pub fn restrict_to_threshold(
     tree: &ProbTree,
     threshold: f64,
@@ -158,6 +162,33 @@ mod tests {
         assert_eq!(r.total_worlds, 3);
         assert_eq!(r.worlds.len(), 2);
         assert!(prob_eq(r.retained_mass, 0.94));
+    }
+
+    /// 18 relevant events in 6 components of 3 (one 3-literal condition
+    /// each) exceed a `max_events = 16` budget for the streamed engine,
+    /// but factorize into `Σ 2^3 = 48` shard states and 64 joint classes:
+    /// the restriction answers, and exactly, at the class probabilities.
+    #[test]
+    fn factorized_threshold_handles_many_small_components() {
+        let mut t = ProbTree::new("A");
+        let root = t.tree().root();
+        for i in 0..6 {
+            let w: Vec<_> = (0..3).map(|_| t.events_mut().fresh(0.5)).collect();
+            t.add_child(
+                root,
+                format!("C{i}"),
+                Condition::from_literals(w.iter().map(|&e| Literal::pos(e))),
+            );
+        }
+        assert_eq!(t.events().len(), 18);
+        // Each C_i is present with probability 1/8; world probabilities
+        // are (1/8)^k (7/8)^{6-k}. Threshold at the all-absent world's
+        // probability keeps exactly that single world.
+        let all_absent = (7.0f64 / 8.0).powi(6);
+        let r = restrict_to_threshold(&t, all_absent, 16).unwrap();
+        assert_eq!(r.total_worlds, 64);
+        assert_eq!(r.worlds.len(), 1);
+        assert!(prob_eq(r.retained_mass, all_absent));
     }
 
     #[test]

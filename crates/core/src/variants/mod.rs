@@ -1,7 +1,7 @@
 //! Variants of the prob-tree model (Section 5 of the paper).
 //!
 //! * [`simple`] — the *simple probabilistic model* of the authors' earlier
-//!   work (reference [3]): independent per-node probabilities. It admits a
+//!   work (reference \[3\]): independent per-node probabilities. It admits a
 //!   polynomial bound on representation size but is strictly less
 //!   expressive than the possible-world model.
 //! * [`formula_tree`] — prob-trees whose conditions are arbitrary

@@ -1,4 +1,4 @@
-//! The simple probabilistic model (reference [3] of the paper).
+//! The simple probabilistic model (reference \[3\] of the paper).
 //!
 //! Every non-root node carries an independent existence probability; a node
 //! is present when its parent is present and its own coin toss succeeds.

@@ -25,20 +25,72 @@
 //!    in conditions, and enumeration proceeds component-major. Events with
 //!    `π(w) = 1` have a zero-probability false branch; in probability-
 //!    weighted enumeration they are pinned true, pruning the whole
-//!    component subtree of assignments below the dead branch. The
-//!    component partition is also the substrate future sharding/batching
-//!    work needs: each component's assignments can be enumerated (and
-//!    eventually distributed) independently, for a per-component bound of
-//!    `Σ_c 2^{|c|}` enumeration states instead of `2^{|relevant|}`.
+//!    component subtree of assignments below the dead branch. Components
+//!    are ordered by a total criterion (length, then event ids), so shard
+//!    iteration order is identical no matter in which order conditions
+//!    were inserted.
+//! 4. **Factorized per-component shards.** Because co-occurrence drives
+//!    the partition, *every condition's support lies inside exactly one
+//!    component*. [`ShardExecutor`] exploits that: each component is
+//!    enumerated independently (`2^{|C_i|}` partial assignments, so
+//!    `Σ_c 2^{|C_i|}` enumeration states in total instead of
+//!    `2^{|relevant|}`) into a [`ComponentShard`] accumulator — partial
+//!    valuations of the component's events keyed by the truth signature
+//!    they give the component's conditions, each carrying the marginal
+//!    probability mass of its class. Independent components run on a
+//!    scoped thread pool (plain `std` threads) when
+//!    [`WorldEngineConfig::parallelism`] allows, with a sequential
+//!    fallback; shards are reassembled in component order either way, so
+//!    the result is deterministic.
 //!
-//! The engine is exact: its output is isomorphic (`∼`) to the normalized
-//! output of the full enumeration — a property-tested invariant.
+//! ## The shard-combine contract
+//!
+//! A [`FactorizedWorlds`] value answers two kinds of questions:
+//!
+//! * **Shard-local folds** never touch the cross product. A condition's
+//!   support lives inside one component, so its probability is a fold over
+//!   that single component's enumeration
+//!   ([`FactorizedWorlds::condition_probability`] multiplies the
+//!   per-component folds of an arbitrary conjunction — for independent
+//!   events this re-derives the `O(|literals|)` analytic product
+//!   [`Condition::probability`], so it serves as the decomposition's
+//!   cross-check and as the template for aggregates without a closed
+//!   form), and enumeration accounting
+//!   ([`FactorizedWorlds::states_enumerated`],
+//!   [`FactorizedWorlds::num_joint_assignments`]) is pure arithmetic over
+//!   shard sizes.
+//! * **Joint materialization is still forced** whenever the consumer needs
+//!   actual worlds or valuations rather than aggregates: the normalized PW
+//!   set (`JT K` has up to `Π_c` classes — the output itself is the cross
+//!   product), DTD satisfiability/validity sweeps (a DTD couples sibling
+//!   counts across components), and structural-equivalence/independence
+//!   checks (they compare worlds per valuation). For those,
+//!   [`FactorizedWorlds::joint_valuations`] lazily walks the cross product
+//!   of the *deduplicated* shard classes — often far fewer than
+//!   `2^{|relevant|}` states, guarded by
+//!   [`WorldEngineConfig::max_joint_worlds`] — and recombines
+//!   probabilities by product of the per-shard class masses.
+//!
+//! Shard classes merge assignments that give every condition of *this
+//! engine's tree* the same truth values, so `FactorizedWorlds` is only
+//! valid for consumers that observe valuations through those conditions
+//! (worlds, world probabilities, condition folds). Consumers that
+//! distinguish valuations beyond the tree's own conditions — the
+//! [`WorldEngine::for_pair`] structural-equivalence setting, where the
+//! second tree's conditions also matter, and the event-independence probe
+//! — must keep using the exact enumerations
+//! ([`WorldEngine::all_valuations`]).
+//!
+//! All engines are exact: their output is isomorphic (`∼`) to the
+//! normalized output of the full enumeration — a property-tested
+//! invariant asserting legacy `possible_worlds` ≡ the streamed engine ≡
+//! the factorized shard executor.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use pxml_events::valuation::TooManyValuations;
-use pxml_events::{EventId, EventTable, Valuation};
+use pxml_events::{Condition, EventId, EventTable, Valuation};
 use pxml_tree::canon::{canonical_string, Semantics};
 use pxml_tree::DataTree;
 
@@ -56,8 +108,9 @@ pub struct WorldEngine<'a> {
     /// Union of the condition supports, sorted by event id.
     relevant: Vec<EventId>,
     /// Partition of `relevant` into connected components induced by
-    /// co-occurrence in a condition; each component is sorted, components
-    /// are ordered by their smallest event.
+    /// co-occurrence in a condition; each component is sorted, and the
+    /// component list follows the total shard order — length first, then
+    /// event ids — so iteration is insertion-order independent.
     components: Vec<Vec<EventId>>,
 }
 
@@ -155,7 +208,11 @@ impl<'a> WorldEngine<'a> {
         for component in &mut components {
             component.sort_unstable();
         }
-        components.sort_unstable_by_key(|c| c[0]);
+        // Total order — length first, then the sorted event ids — so shard
+        // iteration order is deterministic regardless of the order in which
+        // conditions were declared or components popped out of the
+        // union-find map.
+        components.sort_unstable_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
 
         WorldEngine {
             tree,
@@ -284,6 +341,64 @@ impl<'a> WorldEngine<'a> {
         }
         Ok(PossibleWorldSet::from_worlds(worlds))
     }
+
+    /// Probability-weighted enumeration of a *single* component's partial
+    /// valuations (all other events left false), in binary-counter order.
+    /// With `prune_zero_probability`, events with `π(w) = 1` are pinned
+    /// true exactly as in the joint enumeration.
+    ///
+    /// This is the raw, un-deduplicated per-component stream behind the
+    /// factorized shard accumulators — `2^{|C_i|}` states for component
+    /// `i` (fewer under pinning), independent of every other component.
+    pub fn component_valuations(
+        &self,
+        component: usize,
+        prune_zero_probability: bool,
+    ) -> RelevantValuations<'_> {
+        let events = self.tree.events();
+        let mut start = Valuation::empty(self.valuation_len);
+        let mut free = Vec::new();
+        for &e in &self.components[component] {
+            if prune_zero_probability && events.prob(e) >= 1.0 {
+                start.set(e, true);
+            } else {
+                free.push(e);
+            }
+        }
+        RelevantValuations {
+            events,
+            free,
+            next: Some(start),
+        }
+    }
+
+    /// Runs the factorized shard executor in probability-weighted mode:
+    /// every component is enumerated independently (`Σ_c 2^{|C_i|}` states,
+    /// `π(w) = 1` events pinned) into per-shard class accumulators. The
+    /// per-component guard refuses components larger than `max_events`
+    /// free events, and refuses when the *total* shard work
+    /// `Σ_c 2^{|free_c|}` exceeds `2^{max_events}` — the same enumeration
+    /// budget the joint guard grants, now spent per component.
+    pub fn sharded(
+        &self,
+        config: &WorldEngineConfig,
+        max_events: usize,
+    ) -> Result<FactorizedWorlds<'a>, TooManyValuations> {
+        ShardExecutor::new(config.clone()).run(self, true, max_events)
+    }
+
+    /// [`WorldEngine::sharded`] without zero-probability pruning: every
+    /// `2^{|C_i|}` component assignment is enumerated, including the dead
+    /// `π(w) = 1` false branches. This is the shard substrate for sweeps
+    /// that quantify over *worlds* regardless of probability (brute-force
+    /// DTD satisfiability and validity).
+    pub fn sharded_all(
+        &self,
+        config: &WorldEngineConfig,
+        max_events: usize,
+    ) -> Result<FactorizedWorlds<'a>, TooManyValuations> {
+        ShardExecutor::new(config.clone()).run(self, false, max_events)
+    }
 }
 
 /// Iterator over the relevant partial valuations of a [`WorldEngine`], in
@@ -339,6 +454,631 @@ impl Iterator for WeightedValuations<'_> {
         let valuation = self.inner.next()?;
         let p = valuation.probability_over(self.inner.events, self.inner.free.iter().copied());
         Some((valuation, p))
+    }
+}
+
+/// Configuration of the factorized shard executor: how many threads may
+/// enumerate components concurrently, and how large a joint cross product
+/// a shard-combining consumer may materialize.
+///
+/// The environment can override both knobs (`PXML_WORLDS_PARALLELISM`,
+/// `PXML_WORLDS_MAX_JOINT`) via [`WorldEngineConfig::from_env`], which the
+/// production call sites ([`crate::semantics::possible_worlds_normalized`]
+/// and the DTD sweeps) use.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorldEngineConfig {
+    /// Maximum number of worker threads enumerating components
+    /// concurrently; `0` or `1` means fully sequential on the caller's
+    /// thread. Small shard sets stay sequential regardless — the executor
+    /// only spawns when the predicted work crosses
+    /// [`PARALLEL_SHARD_THRESHOLD`] states.
+    pub parallelism: usize,
+    /// Cap on the number of joint assignments (the product of the shard
+    /// class counts) that [`FactorizedWorlds::joint_valuations`] and the
+    /// consumers built on it may walk.
+    pub max_joint_worlds: u128,
+}
+
+/// Minimum predicted shard work (total `Σ_c 2^{|free_c|}` states) before
+/// the executor spawns worker threads; below it, thread setup costs more
+/// than the enumeration itself.
+pub const PARALLEL_SHARD_THRESHOLD: u128 = 4096;
+
+impl Default for WorldEngineConfig {
+    fn default() -> Self {
+        WorldEngineConfig {
+            parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            max_joint_worlds: 1 << 24,
+        }
+    }
+}
+
+impl WorldEngineConfig {
+    /// A fully sequential configuration with the default joint cap.
+    pub fn sequential() -> Self {
+        WorldEngineConfig {
+            parallelism: 1,
+            ..WorldEngineConfig::default()
+        }
+    }
+
+    /// The default configuration with environment overrides applied:
+    /// `PXML_WORLDS_PARALLELISM` (worker-thread cap, `1` disables the
+    /// thread pool) and `PXML_WORLDS_MAX_JOINT` (joint cross-product cap).
+    /// Unparsable or missing values fall back to the defaults.
+    pub fn from_env() -> Self {
+        Self::apply_env(WorldEngineConfig::default())
+    }
+
+    /// The environment-aware configuration for consumers whose public
+    /// contract is an event-count guard (`max_events`): the joint cap
+    /// defaults to exactly `2^{max_events}` — the enumeration budget the
+    /// caller already granted, so every input the streamed `2^{|relevant|}`
+    /// guard accepted stays accepted — while `PXML_WORLDS_PARALLELISM` and
+    /// an explicitly set `PXML_WORLDS_MAX_JOINT` still override their
+    /// knobs.
+    pub fn for_event_budget(max_events: usize) -> Self {
+        Self::apply_env(WorldEngineConfig {
+            max_joint_worlds: pow2_saturating(max_events),
+            ..WorldEngineConfig::default()
+        })
+    }
+
+    fn apply_env(mut config: WorldEngineConfig) -> Self {
+        if let Some(parallelism) = env_parse("PXML_WORLDS_PARALLELISM") {
+            config.parallelism = parallelism;
+        }
+        if let Some(max_joint) = env_parse("PXML_WORLDS_MAX_JOINT") {
+            config.max_joint_worlds = max_joint;
+        }
+        config
+    }
+
+    /// Caps `max_joint_worlds` at `2^bits` — used by consumers whose
+    /// public contract is an event-count guard (`max_events`), so the
+    /// joint combine never exceeds the work the caller budgeted for.
+    pub fn with_joint_cap_bits(mut self, bits: usize) -> Self {
+        self.max_joint_worlds = self.max_joint_worlds.min(pow2_saturating(bits));
+        self
+    }
+}
+
+fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// `2^bits` as a `u128`, saturating instead of overflowing.
+fn pow2_saturating(bits: usize) -> u128 {
+    if bits >= 127 {
+        u128::MAX
+    } else {
+        1u128 << bits
+    }
+}
+
+/// One deduplicated partial assignment of a component's events: the
+/// representative valuation (restricted to the component, every other
+/// event false), the total marginal probability mass of its class, and how
+/// many raw assignments the class merged.
+///
+/// Classes are keyed by the truth signature the assignment gives the
+/// component's conditions — two assignments that satisfy exactly the same
+/// conditions produce the same world contribution, so only their mass
+/// matters downstream.
+#[derive(Clone, Debug)]
+pub struct ShardAssignment {
+    /// Representative valuation of the class (the first one enumerated, in
+    /// binary-counter order over the component's free events).
+    pub valuation: Valuation,
+    /// Total marginal probability mass of the class under the component's
+    /// events (masses of one shard sum to 1).
+    pub probability: f64,
+    /// Number of raw component assignments merged into this class.
+    pub merged: u64,
+}
+
+/// The per-component accumulator produced by the [`ShardExecutor`]: the
+/// component's events, its deduplicated assignment classes, and the raw
+/// enumeration count (`2^{|free|}`) that produced them.
+#[derive(Clone, Debug)]
+pub struct ComponentShard {
+    /// The component's events, sorted by id.
+    pub events: Vec<EventId>,
+    /// Events actually enumerated (`π(w) = 1` events are pinned true in
+    /// weighted mode and excluded here).
+    pub free: Vec<EventId>,
+    /// Deduplicated assignment classes, in first-seen (binary-counter)
+    /// order.
+    pub assignments: Vec<ShardAssignment>,
+    /// Raw assignments enumerated to build this shard: exactly
+    /// `2^{|free|}`.
+    pub states_enumerated: u64,
+}
+
+/// Error returned when combining shards would walk a joint cross product
+/// larger than [`WorldEngineConfig::max_joint_worlds`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JointTooLarge {
+    /// Number of joint assignments the combine would have to walk (the
+    /// product of the shard class counts).
+    pub joint_assignments: u128,
+    /// The configured cap.
+    pub max_joint_worlds: u128,
+}
+
+impl std::fmt::Display for JointTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "combining shards would materialize {} joint assignments, \
+             exceeding the configured cap of {}",
+            self.joint_assignments, self.max_joint_worlds
+        )
+    }
+}
+
+impl std::error::Error for JointTooLarge {}
+
+/// Runs the per-component shard enumeration, on a scoped thread pool when
+/// the configuration allows and the predicted work justifies it, and
+/// reassembles the shards in component order (so the output is
+/// deterministic regardless of scheduling).
+#[derive(Clone, Debug)]
+pub struct ShardExecutor {
+    config: WorldEngineConfig,
+}
+
+impl ShardExecutor {
+    /// Creates an executor with the given configuration.
+    pub fn new(config: WorldEngineConfig) -> Self {
+        ShardExecutor { config }
+    }
+
+    /// The executor's configuration.
+    pub fn config(&self) -> &WorldEngineConfig {
+        &self.config
+    }
+
+    /// Enumerates every component of `engine` into a [`ComponentShard`]
+    /// and wraps the result as [`FactorizedWorlds`]. `weighted` selects
+    /// zero-probability pruning (the `JT K` semantics) vs the unpruned
+    /// ∀-world sweep.
+    ///
+    /// Guards: a single component with more than `max_events` free events
+    /// is refused, and so is a total shard workload `Σ_c 2^{|free_c|}`
+    /// above `2^{max_events}` — the factorized path never does more
+    /// enumeration than the caller budgeted for the joint path.
+    pub fn run<'a>(
+        &self,
+        engine: &WorldEngine<'a>,
+        weighted: bool,
+        max_events: usize,
+    ) -> Result<FactorizedWorlds<'a>, TooManyValuations> {
+        let events = engine.tree.events();
+        // Free-event count per component (after pinning), for the guards
+        // and the parallelism decision — cheap arithmetic, no enumeration.
+        let free_sizes: Vec<usize> = engine
+            .components
+            .iter()
+            .map(|component| {
+                component
+                    .iter()
+                    .filter(|&&e| !(weighted && events.prob(e) >= 1.0))
+                    .count()
+            })
+            .collect();
+        if let Some(&largest) = free_sizes.iter().max() {
+            if largest > max_events {
+                return Err(TooManyValuations {
+                    num_events: largest,
+                    max_events,
+                });
+            }
+        }
+        let total_states: u128 = free_sizes
+            .iter()
+            .fold(0u128, |acc, &f| acc.saturating_add(pow2_saturating(f)));
+        if total_states > pow2_saturating(max_events) {
+            return Err(TooManyValuations {
+                num_events: free_sizes.iter().sum(),
+                max_events,
+            });
+        }
+
+        let num_components = engine.components.len();
+        let conditions = conditions_by_component(engine);
+        let workers = self.config.parallelism.min(num_components);
+        let shards = if workers > 1 && total_states >= PARALLEL_SHARD_THRESHOLD {
+            run_parallel(engine, &conditions, weighted, workers)
+        } else {
+            (0..num_components)
+                .map(|i| enumerate_component(engine, i, &conditions[i], weighted))
+                .collect()
+        };
+        Ok(FactorizedWorlds {
+            engine: engine.clone(),
+            shards,
+            weighted,
+            max_joint_worlds: self.config.max_joint_worlds,
+        })
+    }
+}
+
+/// Groups the tree's distinct non-empty conditions by the component their
+/// support lives in. Co-occurrence within a condition is exactly what the
+/// union-find merged, so a condition's events never straddle components.
+fn conditions_by_component(engine: &WorldEngine<'_>) -> Vec<Vec<Condition>> {
+    let mut component_of: HashMap<EventId, usize> = HashMap::new();
+    for (i, component) in engine.components.iter().enumerate() {
+        for &e in component {
+            component_of.insert(e, i);
+        }
+    }
+    let mut out: Vec<Vec<Condition>> = vec![Vec::new(); engine.components.len()];
+    let mut seen: std::collections::HashSet<Vec<pxml_events::Literal>> =
+        std::collections::HashSet::new();
+    for node in engine.tree.tree().iter() {
+        let condition = engine.tree.condition(node);
+        let Some(first) = condition.events().next() else {
+            continue; // the empty condition constrains nothing
+        };
+        let component = component_of[&first];
+        debug_assert!(
+            condition.events().all(|e| component_of[&e] == component),
+            "a condition's support must live inside one component"
+        );
+        if seen.insert(condition.literals().to_vec()) {
+            out[component].push(condition);
+        }
+    }
+    out
+}
+
+/// Enumerates one component's `2^{|free|}` partial assignments and folds
+/// them into signature-keyed classes.
+fn enumerate_component(
+    engine: &WorldEngine<'_>,
+    component: usize,
+    conditions: &[Condition],
+    weighted: bool,
+) -> ComponentShard {
+    let events = engine.tree.events();
+    let component_events = engine.components[component].clone();
+    let mut classes: HashMap<Vec<u64>, usize> = HashMap::new();
+    let mut assignments: Vec<ShardAssignment> = Vec::new();
+    let mut states = 0u64;
+    for valuation in engine.component_valuations(component, weighted) {
+        states += 1;
+        let probability = valuation.probability_over(events, component_events.iter().copied());
+        let mut signature = vec![0u64; conditions.len().div_ceil(64)];
+        for (i, condition) in conditions.iter().enumerate() {
+            if condition.eval(&valuation) {
+                signature[i / 64] |= 1 << (i % 64);
+            }
+        }
+        match classes.entry(signature) {
+            Entry::Occupied(slot) => {
+                let class = &mut assignments[*slot.get()];
+                class.probability += probability;
+                class.merged += 1;
+            }
+            Entry::Vacant(slot) => {
+                slot.insert(assignments.len());
+                assignments.push(ShardAssignment {
+                    valuation,
+                    probability,
+                    merged: 1,
+                });
+            }
+        }
+    }
+    let free = component_events
+        .iter()
+        .copied()
+        .filter(|&e| !(weighted && events.prob(e) >= 1.0))
+        .collect();
+    ComponentShard {
+        events: component_events,
+        free,
+        assignments,
+        states_enumerated: states,
+    }
+}
+
+/// Work-stealing parallel shard enumeration over `std::thread::scope`:
+/// each worker pulls the next component index off an atomic counter and
+/// sends its shard home over a channel; the main thread reassembles the
+/// shards in component order.
+fn run_parallel(
+    engine: &WorldEngine<'_>,
+    conditions: &[Vec<Condition>],
+    weighted: bool,
+    workers: usize,
+) -> Vec<ComponentShard> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    let num_components = engine.components.len();
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, ComponentShard)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= num_components {
+                    break;
+                }
+                let shard = enumerate_component(engine, i, &conditions[i], weighted);
+                if tx.send((i, shard)).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Option<ComponentShard>> = vec![None; num_components];
+    for (i, shard) in rx {
+        slots[i] = Some(shard);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every component enumerated exactly once"))
+        .collect()
+}
+
+/// The factorized possible-world computation of one prob-tree: one
+/// [`ComponentShard`] per co-occurrence component, combinable by product
+/// only where a consumer genuinely needs joint worlds (see the
+/// *shard-combine contract* in the module docs).
+#[derive(Clone, Debug)]
+pub struct FactorizedWorlds<'a> {
+    engine: WorldEngine<'a>,
+    shards: Vec<ComponentShard>,
+    weighted: bool,
+    max_joint_worlds: u128,
+}
+
+impl<'a> FactorizedWorlds<'a> {
+    /// The per-component shards, in the engine's (total) component order.
+    pub fn shards(&self) -> &[ComponentShard] {
+        &self.shards
+    }
+
+    /// Total raw enumeration states visited across all shards — exactly
+    /// `Σ_c 2^{|free_c|}`. This is the counter the factorized-vs-joint
+    /// benches assert on.
+    pub fn states_enumerated(&self) -> u64 {
+        self.shards.iter().map(|s| s.states_enumerated).sum()
+    }
+
+    /// Total number of free (actually enumerated) events across shards.
+    pub fn num_free_events(&self) -> usize {
+        self.shards.iter().map(|s| s.free.len()).sum()
+    }
+
+    /// Number of joint assignments a combine would walk: the product of
+    /// the per-shard class counts (saturating).
+    pub fn num_joint_assignments(&self) -> u128 {
+        self.shards.iter().fold(1u128, |acc, s| {
+            acc.saturating_mul(s.assignments.len() as u128)
+        })
+    }
+
+    /// Probability of an arbitrary conjunction of literals over the
+    /// engine's event table, computed as a product of per-component folds
+    /// over the raw shard enumerations — the cross product is never
+    /// materialized. Literals over events outside every component (events
+    /// no tree condition mentions) are folded analytically; an event
+    /// constrained by both polarities yields 0.
+    ///
+    /// This is the *independent cross-check* of the shard decomposition:
+    /// because events are mutually independent, the production path for a
+    /// conjunction's probability is the `O(|literals|)` analytic product
+    /// [`Condition::probability`], and the property suite asserts this
+    /// exhaustive per-component marginalization (`Σ_c 2^{|C_i|}` work over
+    /// the involved components) always re-derives the same value. Use the
+    /// analytic product in hot paths; use this fold to validate shard
+    /// plumbing or as the template for per-component aggregates that have
+    /// no analytic closed form.
+    ///
+    /// Only meaningful on weighted shards ([`WorldEngine::sharded`]).
+    pub fn condition_probability(&self, condition: &Condition) -> f64 {
+        // Group the literals by component (detecting contradictions on the
+        // way); each involved component contributes one fold over its raw
+        // enumeration, every untouched component contributes factor 1.
+        let mut component_of: HashMap<EventId, usize> = HashMap::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            for &e in &shard.events {
+                component_of.insert(e, i);
+            }
+        }
+        let mut per_component: HashMap<usize, Vec<pxml_events::Literal>> = HashMap::new();
+        let mut analytic = 1.0;
+        let mut polarity: HashMap<EventId, bool> = HashMap::new();
+        for &literal in condition.literals() {
+            if let Some(&prev) = polarity.get(&literal.event) {
+                if prev != literal.positive {
+                    return 0.0; // w ∧ ¬w
+                }
+                continue; // duplicate literal
+            }
+            polarity.insert(literal.event, literal.positive);
+            match component_of.get(&literal.event) {
+                Some(&component) => per_component.entry(component).or_default().push(literal),
+                None => analytic *= literal.prob(self.engine.tree.events()),
+            }
+        }
+        let events = self.engine.tree.events();
+        let mut probability = analytic;
+        for (component, literals) in per_component {
+            let component_events = &self.shards[component].events;
+            let fold: f64 = self
+                .engine
+                .component_valuations(component, self.weighted)
+                .filter(|v| literals.iter().all(|l| l.eval(v)))
+                .map(|v| v.probability_over(events, component_events.iter().copied()))
+                .sum();
+            probability *= fold;
+        }
+        probability
+    }
+
+    /// Lazily walks the cross product of the shard classes, yielding the
+    /// joint representative valuation (the union of the per-component
+    /// representatives) with the product of the class masses. Refuses when
+    /// the product of the class counts exceeds the configured
+    /// [`WorldEngineConfig::max_joint_worlds`].
+    pub fn joint_valuations(&self) -> Result<JointValuations<'_>, JointTooLarge> {
+        let joint = self.num_joint_assignments();
+        if joint > self.max_joint_worlds {
+            return Err(JointTooLarge {
+                joint_assignments: joint,
+                max_joint_worlds: self.max_joint_worlds,
+            });
+        }
+        Ok(JointValuations {
+            shards: &self.shards,
+            valuation_len: self.engine.valuation_len,
+            indices: vec![0; self.shards.len()],
+            done: false,
+        })
+    }
+
+    /// The normalized possible-world semantics `JT K` assembled from the
+    /// shards: the joint classes are streamed into the same interned
+    /// canonical-form accumulator as [`WorldEngine::normalized_worlds`],
+    /// but each joint state carries a whole class of valuations (its
+    /// probability is the product of class masses), so the walk visits
+    /// `Π_c |classes_c|` states — never more, and usually far fewer, than
+    /// the `2^{|free|}` of the streamed engine.
+    pub fn normalized_worlds_with(
+        &self,
+        semantics: Semantics,
+    ) -> Result<PossibleWorldSet, JointTooLarge> {
+        let mut slots: HashMap<String, usize> = HashMap::new();
+        let mut worlds: Vec<(DataTree, f64)> = Vec::new();
+        for (valuation, p) in self.joint_valuations()? {
+            let world = self.engine.tree.value_in_world(&valuation);
+            match slots.entry(canonical_string(&world, semantics)) {
+                Entry::Occupied(slot) => worlds[*slot.get()].1 += p,
+                Entry::Vacant(slot) => {
+                    slot.insert(worlds.len());
+                    worlds.push((world, p));
+                }
+            }
+        }
+        Ok(PossibleWorldSet::from_worlds(worlds))
+    }
+
+    /// [`FactorizedWorlds::normalized_worlds_with`] under the paper's
+    /// default multiset semantics.
+    pub fn normalized_worlds(&self) -> Result<PossibleWorldSet, JointTooLarge> {
+        self.normalized_worlds_with(Semantics::MultiSet)
+    }
+
+    /// Consumes the factorized computation into an *owning* joint walk —
+    /// the same lazy odometer as [`FactorizedWorlds::joint_valuations`],
+    /// for callers that need to return the iterator (e.g. the DTD
+    /// brute-force sweeps) rather than borrow the shards.
+    pub fn into_joint_valuations(self) -> Result<IntoJointValuations, JointTooLarge> {
+        let joint = self.num_joint_assignments();
+        if joint > self.max_joint_worlds {
+            return Err(JointTooLarge {
+                joint_assignments: joint,
+                max_joint_worlds: self.max_joint_worlds,
+            });
+        }
+        let indices = vec![0; self.shards.len()];
+        Ok(IntoJointValuations {
+            valuation_len: self.engine.valuation_len,
+            shards: self.shards,
+            indices,
+            done: false,
+        })
+    }
+}
+
+/// Steps the joint odometer once: assembles the current representative
+/// joint valuation (union of the selected per-shard classes) with the
+/// product of the class masses, then advances least-significant shard
+/// first.
+fn joint_step(
+    shards: &[ComponentShard],
+    valuation_len: usize,
+    indices: &mut [usize],
+    done: &mut bool,
+) -> Option<(Valuation, f64)> {
+    if *done {
+        return None;
+    }
+    let mut valuation = Valuation::empty(valuation_len);
+    let mut probability = 1.0;
+    for (shard, &i) in shards.iter().zip(indices.iter()) {
+        let class = &shard.assignments[i];
+        valuation.union_with(&class.valuation);
+        probability *= class.probability;
+    }
+    *done = true;
+    for (shard, index) in shards.iter().zip(indices.iter_mut()) {
+        *index += 1;
+        if *index < shard.assignments.len() {
+            *done = false;
+            break;
+        }
+        *index = 0;
+    }
+    Some((valuation, probability))
+}
+
+/// Owning variant of [`JointValuations`], produced by
+/// [`FactorizedWorlds::into_joint_valuations`].
+#[derive(Debug)]
+pub struct IntoJointValuations {
+    shards: Vec<ComponentShard>,
+    valuation_len: usize,
+    indices: Vec<usize>,
+    done: bool,
+}
+
+impl Iterator for IntoJointValuations {
+    type Item = (Valuation, f64);
+
+    fn next(&mut self) -> Option<(Valuation, f64)> {
+        joint_step(
+            &self.shards,
+            self.valuation_len,
+            &mut self.indices,
+            &mut self.done,
+        )
+    }
+}
+
+/// Lazy odometer over the cross product of the shard classes — the joint
+/// combine of the factorized enumeration. Yields full-length valuations
+/// (the union of per-shard representatives) with the product of the class
+/// masses.
+#[derive(Debug)]
+pub struct JointValuations<'f> {
+    shards: &'f [ComponentShard],
+    valuation_len: usize,
+    indices: Vec<usize>,
+    done: bool,
+}
+
+impl Iterator for JointValuations<'_> {
+    type Item = (Valuation, f64);
+
+    fn next(&mut self) -> Option<(Valuation, f64)> {
+        joint_step(
+            self.shards,
+            self.valuation_len,
+            &mut self.indices,
+            &mut self.done,
+        )
     }
 }
 
@@ -406,8 +1146,9 @@ mod tests {
         t.add_child(b, "C", Condition::of(Literal::pos(w3)));
         let engine = WorldEngine::new(&t);
         assert_eq!(engine.relevant_events(), &[w1, w2, w3]);
-        // {w1, w2} co-occur in B's condition; w3 is alone in C's.
-        assert_eq!(engine.components(), &[vec![w1, w2], vec![w3]]);
+        // {w1, w2} co-occur in B's condition; w3 is alone in C's. Shorter
+        // components sort first (total length-then-ids order).
+        assert_eq!(engine.components(), &[vec![w3], vec![w1, w2]]);
     }
 
     #[test]
@@ -431,7 +1172,332 @@ mod tests {
         );
         t.add_child(root, "D", Condition::of(Literal::pos(w4)));
         let engine = WorldEngine::new(&t);
-        assert_eq!(engine.components(), &[vec![w1, w2, w3], vec![w4]]);
+        assert_eq!(engine.components(), &[vec![w4], vec![w1, w2, w3]]);
+    }
+
+    #[test]
+    fn component_order_is_total_and_insertion_invariant() {
+        // Build the same co-occurrence structure with conditions declared
+        // in opposite orders: the component lists must come out identical
+        // (length first, then ids), so shard iteration is deterministic.
+        let build = |reversed: bool| {
+            let mut t = ProbTree::new("A");
+            let w: Vec<_> = (0..5).map(|_| t.events_mut().fresh(0.5)).collect();
+            let root = t.tree().root();
+            let mut children: Vec<(&str, Condition)> = vec![
+                (
+                    "B",
+                    Condition::from_literals([Literal::pos(w[0]), Literal::neg(w[3])]),
+                ),
+                ("C", Condition::of(Literal::pos(w[4]))),
+                (
+                    "D",
+                    Condition::from_literals([Literal::pos(w[1]), Literal::pos(w[2])]),
+                ),
+            ];
+            if reversed {
+                children.reverse();
+            }
+            for (label, condition) in children {
+                t.add_child(root, label, condition);
+            }
+            (t, w)
+        };
+        let (a, w) = build(false);
+        let (b, _) = build(true);
+        let ca = WorldEngine::new(&a).components().to_vec();
+        let cb = WorldEngine::new(&b).components().to_vec();
+        assert_eq!(ca, cb);
+        // Singleton {w4} first, then the two pairs by ids.
+        assert_eq!(ca, vec![vec![w[4]], vec![w[0], w[3]], vec![w[1], w[2]]]);
+    }
+
+    #[test]
+    fn factorized_matches_streamed_and_legacy_on_figure1() {
+        let t = figure1_example();
+        let engine = WorldEngine::new(&t);
+        let factorized = engine
+            .sharded(&WorldEngineConfig::sequential(), 20)
+            .unwrap();
+        let fast = factorized.normalized_worlds().unwrap();
+        let streamed = engine.normalized_worlds(20).unwrap();
+        let legacy = possible_worlds(&t, 20).unwrap().normalized();
+        assert!(fast.isomorphic(&streamed));
+        assert!(fast.isomorphic(&legacy));
+        assert!(prob_eq(fast.total_probability(), 1.0));
+    }
+
+    #[test]
+    fn shard_counter_is_sum_of_component_powers() {
+        // 3 components of sizes 1, 2, 3 → Σ 2^{|C_i|} = 2 + 4 + 8 = 14
+        // shard states, while the joint enumeration walks 2^6 = 64.
+        let mut t = ProbTree::new("A");
+        let w: Vec<_> = (0..6).map(|_| t.events_mut().fresh(0.5)).collect();
+        let root = t.tree().root();
+        t.add_child(root, "B", Condition::of(Literal::pos(w[0])));
+        t.add_child(
+            root,
+            "C",
+            Condition::from_literals([Literal::pos(w[1]), Literal::neg(w[2])]),
+        );
+        t.add_child(
+            root,
+            "D",
+            Condition::from_literals([Literal::pos(w[3]), Literal::pos(w[4])]),
+        );
+        t.add_child(
+            root,
+            "E",
+            Condition::from_literals([Literal::pos(w[4]), Literal::pos(w[5])]),
+        );
+        let engine = WorldEngine::new(&t);
+        assert_eq!(engine.components().len(), 3);
+        let factorized = engine
+            .sharded(&WorldEngineConfig::sequential(), 20)
+            .unwrap();
+        assert_eq!(factorized.states_enumerated(), 2 + 4 + 8);
+        let per_shard: Vec<u64> = factorized
+            .shards()
+            .iter()
+            .map(|s| s.states_enumerated)
+            .collect();
+        assert_eq!(per_shard, vec![2, 4, 8]);
+        // Each shard's class masses sum to 1.
+        for shard in factorized.shards() {
+            let total: f64 = shard.assignments.iter().map(|a| a.probability).sum();
+            assert!(prob_eq(total, 1.0));
+        }
+        // Worlds still agree with the joint paths.
+        let fast = factorized.normalized_worlds().unwrap();
+        let legacy = possible_worlds(&t, 20).unwrap().normalized();
+        assert!(fast.isomorphic(&legacy));
+    }
+
+    #[test]
+    fn signature_dedup_merges_condition_equivalent_assignments() {
+        // One component of 3 chained events with 2 conditions: 8 raw
+        // assignments collapse to the 4 reachable condition signatures.
+        let mut t = ProbTree::new("A");
+        let w: Vec<_> = (0..3).map(|_| t.events_mut().fresh(0.5)).collect();
+        let root = t.tree().root();
+        t.add_child(
+            root,
+            "B",
+            Condition::from_literals([Literal::pos(w[0]), Literal::pos(w[1])]),
+        );
+        t.add_child(
+            root,
+            "C",
+            Condition::from_literals([Literal::pos(w[1]), Literal::pos(w[2])]),
+        );
+        let engine = WorldEngine::new(&t);
+        assert_eq!(engine.components().len(), 1);
+        let factorized = engine
+            .sharded(&WorldEngineConfig::sequential(), 20)
+            .unwrap();
+        let shard = &factorized.shards()[0];
+        assert_eq!(shard.states_enumerated, 8);
+        assert_eq!(shard.assignments.len(), 4);
+        let merged: u64 = shard.assignments.iter().map(|a| a.merged).sum();
+        assert_eq!(merged, 8);
+        // The joint walk visits only the 4 classes, and the worlds agree
+        // with the undeduplicated enumeration.
+        assert_eq!(factorized.num_joint_assignments(), 4);
+        let fast = factorized.normalized_worlds().unwrap();
+        let legacy = possible_worlds(&t, 20).unwrap().normalized();
+        assert!(fast.isomorphic(&legacy));
+    }
+
+    #[test]
+    fn joint_guard_refuses_oversized_cross_products() {
+        // 12 singleton components: shard work is 24 states, fine; the
+        // joint combine would walk 2^12 classes, above a cap of 2^10.
+        let mut t = ProbTree::new("A");
+        let root = t.tree().root();
+        for i in 0..12 {
+            let w = t.events_mut().fresh(0.5);
+            t.add_child(root, format!("C{i}"), Condition::of(Literal::pos(w)));
+        }
+        let engine = WorldEngine::new(&t);
+        let config = WorldEngineConfig::sequential().with_joint_cap_bits(10);
+        let factorized = engine.sharded(&config, 10).unwrap();
+        assert_eq!(factorized.states_enumerated(), 24);
+        let err = factorized.joint_valuations().unwrap_err();
+        assert_eq!(err.joint_assignments, 1 << 12);
+        assert_eq!(err.max_joint_worlds, 1 << 10);
+        assert!(factorized.normalized_worlds().is_err());
+    }
+
+    #[test]
+    fn event_budget_config_grants_the_full_joint_budget() {
+        // The contract regression the joint cap must not introduce: a
+        // consumer guarded by `max_events` grants the joint walk exactly
+        // `2^{max_events}`, even above the standalone default of `2^24` —
+        // so every input the streamed engine accepted stays accepted.
+        assert_eq!(
+            WorldEngineConfig::for_event_budget(26).max_joint_worlds,
+            1 << 26
+        );
+        assert_eq!(
+            WorldEngineConfig::for_event_budget(10).max_joint_worlds,
+            1 << 10
+        );
+        assert_eq!(
+            WorldEngineConfig::for_event_budget(200).max_joint_worlds,
+            u128::MAX
+        );
+        assert_eq!(WorldEngineConfig::default().max_joint_worlds, 1 << 24);
+    }
+
+    #[test]
+    fn per_component_guard_counts_the_largest_component() {
+        let mut t = ProbTree::new("A");
+        let w: Vec<_> = (0..8).map(|_| t.events_mut().fresh(0.5)).collect();
+        let root = t.tree().root();
+        t.add_child(
+            root,
+            "B",
+            Condition::from_literals(w.iter().map(|&e| Literal::pos(e))),
+        );
+        let engine = WorldEngine::new(&t);
+        let err = engine
+            .sharded(&WorldEngineConfig::sequential(), 6)
+            .unwrap_err();
+        assert_eq!(err.num_events, 8);
+        assert_eq!(err.max_events, 6);
+        assert!(engine.sharded(&WorldEngineConfig::sequential(), 8).is_ok());
+    }
+
+    #[test]
+    fn parallel_executor_matches_sequential() {
+        // 4 components of 12 chained events each: 4 · 2^12 = 16384 shard
+        // states, above PARALLEL_SHARD_THRESHOLD, so parallelism > 1
+        // really engages the scoped thread pool.
+        let mut t = ProbTree::new("A");
+        let root = t.tree().root();
+        for i in 0..4 {
+            let w: Vec<_> = (0..12)
+                .map(|j| t.events_mut().fresh(0.3 + 0.04 * ((i + j) % 10) as f64))
+                .collect();
+            for pair in w.windows(2) {
+                t.add_child(
+                    root,
+                    format!("C{i}"),
+                    Condition::from_literals([Literal::pos(pair[0]), Literal::pos(pair[1])]),
+                );
+            }
+        }
+        let engine = WorldEngine::new(&t);
+        assert_eq!(engine.components().len(), 4);
+        let sequential = engine
+            .sharded(&WorldEngineConfig::sequential(), 14)
+            .unwrap();
+        let parallel_config = WorldEngineConfig {
+            parallelism: 4,
+            ..WorldEngineConfig::sequential()
+        };
+        let parallel = engine.sharded(&parallel_config, 14).unwrap();
+        assert_eq!(sequential.states_enumerated(), 4 * (1 << 12));
+        assert_eq!(sequential.states_enumerated(), parallel.states_enumerated());
+        assert_eq!(sequential.shards().len(), parallel.shards().len());
+        for (a, b) in sequential.shards().iter().zip(parallel.shards()) {
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.assignments.len(), b.assignments.len());
+            for (x, y) in a.assignments.iter().zip(&b.assignments) {
+                assert_eq!(x.valuation, y.valuation);
+                assert!(prob_eq(x.probability, y.probability));
+                assert_eq!(x.merged, y.merged);
+            }
+        }
+    }
+
+    #[test]
+    fn condition_probability_folds_without_joint_materialization() {
+        let mut t = ProbTree::new("A");
+        let w: Vec<_> = [0.8, 0.7, 0.5, 0.4]
+            .iter()
+            .map(|&p| t.events_mut().fresh(p))
+            .collect();
+        let root = t.tree().root();
+        t.add_child(
+            root,
+            "B",
+            Condition::from_literals([Literal::pos(w[0]), Literal::neg(w[1])]),
+        );
+        t.add_child(root, "C", Condition::of(Literal::pos(w[2])));
+        let unused = t.events_mut().fresh(0.25);
+        t.add_child(root, "D", Condition::of(Literal::pos(w[3])));
+        let engine = WorldEngine::new(&t);
+        let factorized = engine
+            .sharded(&WorldEngineConfig::sequential(), 20)
+            .unwrap();
+        // Cross-component conjunction: independent events multiply.
+        let cond =
+            Condition::from_literals([Literal::pos(w[0]), Literal::neg(w[1]), Literal::pos(w[2])]);
+        let expected = cond.probability(t.events());
+        assert!(prob_eq(factorized.condition_probability(&cond), expected));
+        // Literals on events no condition mentions fold analytically.
+        let with_unused = Condition::from_literals([Literal::pos(w[2]), Literal::neg(unused)]);
+        assert!(prob_eq(
+            factorized.condition_probability(&with_unused),
+            0.5 * 0.75
+        ));
+        // Contradictions are 0, even on unmentioned events.
+        let contradiction = Condition::from_literals([Literal::pos(unused), Literal::neg(unused)]);
+        assert!(prob_eq(
+            factorized.condition_probability(&contradiction),
+            0.0
+        ));
+        // The empty condition is certain.
+        assert!(prob_eq(
+            factorized.condition_probability(&Condition::always()),
+            1.0
+        ));
+    }
+
+    #[test]
+    fn weighted_shards_pin_certain_events() {
+        let mut t = ProbTree::new("A");
+        let certain = t.events_mut().insert("certain", 1.0);
+        let w = t.events_mut().insert("w", 0.5);
+        let root = t.tree().root();
+        t.add_child(root, "B", Condition::of(Literal::pos(certain)));
+        t.add_child(root, "C", Condition::of(Literal::pos(w)));
+        let engine = WorldEngine::new(&t);
+        let weighted = engine
+            .sharded(&WorldEngineConfig::sequential(), 10)
+            .unwrap();
+        // The certain component enumerates a single pinned state.
+        assert_eq!(weighted.states_enumerated(), 1 + 2);
+        assert!(weighted
+            .joint_valuations()
+            .unwrap()
+            .all(|(v, _)| v.get(certain)));
+        // The ∀-sweep keeps the dead branch.
+        let all = engine
+            .sharded_all(&WorldEngineConfig::sequential(), 10)
+            .unwrap();
+        assert_eq!(all.states_enumerated(), 2 + 2);
+        assert_eq!(all.num_joint_assignments(), 4);
+    }
+
+    #[test]
+    fn factorized_zero_components_yield_the_certain_world() {
+        let mut t = ProbTree::new("A");
+        for _ in 0..5 {
+            t.events_mut().fresh(0.5);
+        }
+        let root = t.tree().root();
+        t.add_child(root, "B", Condition::always());
+        let engine = WorldEngine::new(&t);
+        let factorized = engine.sharded(&WorldEngineConfig::sequential(), 0).unwrap();
+        assert_eq!(factorized.states_enumerated(), 0);
+        assert_eq!(factorized.num_joint_assignments(), 1);
+        let joint: Vec<_> = factorized.joint_valuations().unwrap().collect();
+        assert_eq!(joint.len(), 1);
+        assert!(prob_eq(joint[0].1, 1.0));
+        let pw = factorized.normalized_worlds().unwrap();
+        assert_eq!(pw.len(), 1);
     }
 
     #[test]

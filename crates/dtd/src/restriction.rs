@@ -27,8 +27,11 @@ pub struct DtdRestriction {
 }
 
 /// Computes the set of valid worlds `{(t, p) ∈ JT K | t ⊨ D}`. Exponential
-/// in the number of *relevant* events (guarded by `max_events`, applied to
-/// the mentioned events only by the relevant-event world engine).
+/// in the worst case (guarded by `max_events`), but the expansion runs on
+/// the factorized shard executor: `Σ_c 2^{|C_i|}` per-component states,
+/// with only the condition-distinct classes crossed into joint worlds, so
+/// trees with many small co-occurrence components restrict far beyond the
+/// old `2^{|relevant|}` guard.
 pub fn restrict_to_dtd(
     tree: &ProbTree,
     dtd: &Dtd,
@@ -134,6 +137,41 @@ mod tests {
         assert!(r.worlds.is_empty());
         let rep = restriction_as_probtree(&t, &dtd, 20).unwrap().unwrap();
         assert_eq!(rep.num_nodes(), 1);
+    }
+
+    /// DTD restriction on 18 relevant events in 6 components of 3 — a
+    /// budget (`max_events = 16`) the streamed engine refuses: 64 joint
+    /// classes, of which the DTD keeps the worlds with at most one C.
+    #[test]
+    fn factorized_restriction_handles_many_small_components() {
+        let mut t = ProbTree::new("A");
+        let root = t.tree().root();
+        for i in 0..6 {
+            let w: Vec<_> = (0..3).map(|_| t.events_mut().fresh(0.5)).collect();
+            let c = t.add_child(
+                root,
+                "C",
+                pxml_events::Condition::from_literals(
+                    w.iter().map(|&e| pxml_events::Literal::pos(e)),
+                ),
+            );
+            t.add_child(c, format!("D{i}"), pxml_events::Condition::always());
+        }
+        assert_eq!(t.events().len(), 18);
+        let mut dtd = Dtd::new();
+        dtd.constrain("A", "C", ChildConstraint::between(0, 1))
+            .constrain("C", "D0", ChildConstraint::at_least(0));
+        for i in 1..6 {
+            dtd.constrain("C", format!("D{i}"), ChildConstraint::at_least(0));
+        }
+        let r = restrict_to_dtd(&t, &dtd, 16).unwrap();
+        // 64 distinct worlds (each C_i distinguishable by its D_i child);
+        // at most one C: 1 + 6 survive.
+        assert_eq!(r.total_worlds, 64);
+        assert_eq!(r.worlds.len(), 7);
+        let p = 1.0f64 / 8.0;
+        let expected = (1.0 - p).powi(6) + 6.0 * p * (1.0 - p).powi(5);
+        assert!(prob_eq(r.retained_mass, expected));
     }
 
     #[test]

@@ -4,16 +4,19 @@
 //!   satisfies the DTD? NP-complete in the number of event variables (and
 //!   linear in the number of nodes). The paper's NP algorithm is "guess a
 //!   valuation and check"; we provide both the deterministic exponential
-//!   sweep ([`satisfiable_bruteforce`]) and a pruned backtracking search
-//!   over the event variables ([`satisfiable_backtracking`]) that is
-//!   usually much faster while remaining exponential in the worst case.
+//!   sweep ([`satisfiable_bruteforce`]) — factorized per co-occurrence
+//!   component, so it enumerates `Σ_c 2^{|C_i|}` shard states and then
+//!   only crosses the condition-distinct classes — and a pruned
+//!   backtracking search over the event variables
+//!   ([`satisfiable_backtracking`]) that is usually much faster while
+//!   remaining exponential in the worst case.
 //! * *Validity*: do **all** possible worlds satisfy the DTD?
 //!   co-NP-complete; decided by searching for a counterexample world.
 
 use std::collections::HashMap;
 
 use pxml_core::probtree::ProbTree;
-use pxml_core::worlds::WorldEngine;
+use pxml_core::worlds::{WorldEngine, WorldEngineConfig};
 use pxml_events::valuation::TooManyValuations;
 use pxml_events::{EventId, Valuation};
 use pxml_tree::NodeId;
@@ -30,16 +33,21 @@ pub struct SearchStats {
     pub pruned: u64,
 }
 
-/// Deterministic exponential check: enumerate every *relevant* valuation
-/// (events mentioned by some condition — unmentioned events cannot change
-/// any world) and test the resulting world. Returns the witness valuation
-/// if one exists.
+/// Deterministic exponential check: sweep every *world* of the prob-tree
+/// (a DTD is a property of worlds, so valuations that give every condition
+/// the same truth values are interchangeable) and test each against the
+/// DTD. The sweep is factorized: each co-occurrence component is
+/// enumerated independently into a shard (`Σ_c 2^{|C_i|}` states, no
+/// zero-probability pruning — satisfiability quantifies over *all*
+/// worlds), condition-equivalent assignments are merged per shard, and
+/// only the deduplicated classes are crossed — with early exit on the
+/// first witness. Returns the witness valuation if one exists.
 pub fn satisfiable_bruteforce(
     tree: &ProbTree,
     dtd: &Dtd,
     max_events: usize,
 ) -> Result<Option<Valuation>, TooManyValuations> {
-    for valuation in WorldEngine::new(tree).all_valuations(max_events)? {
+    for valuation in factorized_world_sweep(tree, max_events)? {
         if validates(&tree.value_in_world(&valuation), dtd) {
             return Ok(Some(valuation));
         }
@@ -48,19 +56,43 @@ pub fn satisfiable_bruteforce(
 }
 
 /// Deterministic exponential validity check: every world must satisfy the
-/// DTD. Enumerates the relevant valuations only; returns a counterexample
-/// valuation if one exists (i.e. `Ok(None)` means *valid*).
+/// DTD. Runs the same factorized world sweep as
+/// [`satisfiable_bruteforce`]; returns a counterexample valuation if one
+/// exists (i.e. `Ok(None)` means *valid*).
 pub fn valid_bruteforce(
     tree: &ProbTree,
     dtd: &Dtd,
     max_events: usize,
 ) -> Result<Option<Valuation>, TooManyValuations> {
-    for valuation in WorldEngine::new(tree).all_valuations(max_events)? {
+    for valuation in factorized_world_sweep(tree, max_events)? {
         if !validates(&tree.value_in_world(&valuation), dtd) {
             return Ok(Some(valuation));
         }
     }
     Ok(None)
+}
+
+/// The shared factorized sweep behind the brute-force checks: unpruned
+/// per-component shards crossed into representative joint valuations, one
+/// per distinct world. `max_events` bounds the largest component, the
+/// total shard work, and (as `2^{max_events}`) the joint combine, so
+/// everything the old `2^{|relevant|}` guard accepted still is — and trees
+/// with many small components are now sweepable beyond it.
+fn factorized_world_sweep(
+    tree: &ProbTree,
+    max_events: usize,
+) -> Result<impl Iterator<Item = Valuation>, TooManyValuations> {
+    let engine = WorldEngine::new(tree);
+    let config = WorldEngineConfig::for_event_budget(max_events);
+    let factorized = engine.sharded_all(&config, max_events)?;
+    let num_free = factorized.num_free_events();
+    let joint = factorized
+        .into_joint_valuations()
+        .map_err(|_| TooManyValuations {
+            num_events: num_free,
+            max_events,
+        })?;
+    Ok(joint.map(|(v, _)| v))
 }
 
 /// Three-valued truth.
@@ -310,6 +342,48 @@ mod tests {
                 assert!(validates(&t.value_in_world(&w), &dtd));
             }
         }
+    }
+
+    /// The factorized sweep handles trees whose relevant events exceed the
+    /// old `2^{|relevant|}` guard, as long as the components are small and
+    /// their condition-distinct classes stay within the joint budget: 20
+    /// events in 5 components of 4, each component a single 4-literal
+    /// condition, give `Σ 2^4 = 80` shard states and `2^5 = 32` joint
+    /// classes under a `max_events = 16` budget that refuses `2^20`.
+    #[test]
+    fn factorized_sweep_handles_many_small_components() {
+        let mut t = ProbTree::new("A");
+        let root = t.tree().root();
+        for _ in 0..5 {
+            let w: Vec<_> = (0..4).map(|_| t.events_mut().fresh(0.5)).collect();
+            t.add_child(
+                root,
+                "C",
+                Condition::from_literals(w.iter().map(|&e| Literal::pos(e))),
+            );
+        }
+        assert_eq!(t.events().len(), 20);
+        // Exactly 3 C children is reachable (choose 3 of 5 conditions
+        // true), so the DTD is satisfiable; more than 5 is not.
+        let mut dtd = Dtd::new();
+        dtd.constrain("A", "C", ChildConstraint::between(3, 3));
+        let witness = satisfiable_bruteforce(&t, &dtd, 16).unwrap();
+        assert!(witness.is_some());
+        assert!(validates(&t.value_in_world(&witness.unwrap()), &dtd));
+        let mut impossible = Dtd::new();
+        impossible.constrain("A", "C", ChildConstraint::at_least(6));
+        assert!(satisfiable_bruteforce(&t, &impossible, 16)
+            .unwrap()
+            .is_none());
+        // Validity: not every world has ≥ 1 C child (all-false exists).
+        let mut at_least_one = Dtd::new();
+        at_least_one.constrain("A", "C", ChildConstraint::at_least(1));
+        let counterexample = valid_bruteforce(&t, &at_least_one, 16).unwrap();
+        assert!(counterexample.is_some());
+        assert!(!validates(
+            &t.value_in_world(&counterexample.unwrap()),
+            &at_least_one
+        ));
     }
 
     #[test]

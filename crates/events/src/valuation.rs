@@ -70,6 +70,24 @@ impl Valuation {
         }
     }
 
+    /// Sets every event that is true in `other` to true in `self` (bitwise
+    /// union). The factorized world engine combines per-component partial
+    /// assignments into a joint valuation this way: components assign
+    /// disjoint event sets, so the union of their representatives is the
+    /// joint assignment.
+    ///
+    /// # Panics
+    /// Panics if the two valuations cover a different number of events.
+    pub fn union_with(&mut self, other: &Valuation) {
+        assert_eq!(
+            self.len, other.len,
+            "cannot union valuations over different event counts"
+        );
+        for (word, other_word) in self.bits.iter_mut().zip(&other.bits) {
+            *word |= other_word;
+        }
+    }
+
     /// The number of true events.
     pub fn count_true(&self) -> usize {
         self.bits.iter().map(|b| b.count_ones() as usize).sum()
@@ -222,6 +240,25 @@ mod tests {
         assert_eq!(v.count_true(), 8);
         v.set(EventId::from_index(64), false);
         assert_eq!(v.count_true(), 7);
+    }
+
+    #[test]
+    fn union_with_merges_disjoint_assignments() {
+        let mut a = Valuation::from_true_events(130, [EventId::from_index(0)]);
+        let b =
+            Valuation::from_true_events(130, [EventId::from_index(64), EventId::from_index(129)]);
+        a.union_with(&b);
+        assert_eq!(a.count_true(), 3);
+        assert!(a.get(EventId::from_index(0)));
+        assert!(a.get(EventId::from_index(64)));
+        assert!(a.get(EventId::from_index(129)));
+    }
+
+    #[test]
+    #[should_panic(expected = "different event counts")]
+    fn union_with_rejects_mismatched_lengths() {
+        let mut a = Valuation::empty(3);
+        a.union_with(&Valuation::empty(4));
     }
 
     #[test]

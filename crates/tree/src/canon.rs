@@ -1,6 +1,6 @@
 //! Canonical forms and isomorphism of unordered labeled trees.
 //!
-//! The paper relies (proof of Theorem 2, citing Aho–Hopcroft–Ullman [4]) on
+//! The paper relies (proof of Theorem 2, citing Aho–Hopcroft–Ullman \[4\]) on
 //! the classical linear-time canonization of rooted unordered trees: assign
 //! integers to leaves by label, then bottom-up assign the same integer to two
 //! nodes iff they have the same label and the same multiset of child

@@ -98,6 +98,40 @@ pub fn random_probtree<R: Rng + ?Sized>(config: &ProbTreeConfig, rng: &mut R) ->
     tree
 }
 
+/// Builds a deterministic prob-tree whose relevant events partition into
+/// exactly `components` co-occurrence components of `events_per` events
+/// each — the many-small-components workload of the factorized world
+/// engine (`Σ_c 2^{|C_i|}` shard states vs `2^{components · events_per}`
+/// joint assignments).
+///
+/// Component `i` hangs a group node `G{i}` (always present) under the
+/// root; its children chain the component's events pairwise
+/// (`e_0 ∧ e_1`, `e_1 ∧ e_2`, …, forcing one co-occurrence component)
+/// plus one single-literal child per event, so worlds genuinely vary with
+/// every event. All probabilities are ½.
+pub fn many_components_probtree(components: usize, events_per: usize) -> ProbTree {
+    assert!(events_per >= 1);
+    let mut tree = ProbTree::new("R");
+    let root = tree.tree().root();
+    for i in 0..components {
+        let events: Vec<_> = (0..events_per)
+            .map(|_| tree.events_mut().fresh(0.5))
+            .collect();
+        let group = tree.add_child(root, format!("G{i}"), Condition::always());
+        for pair in events.windows(2) {
+            tree.add_child(
+                group,
+                "P",
+                Condition::from_literals([Literal::pos(pair[0]), Literal::pos(pair[1])]),
+            );
+        }
+        for &event in &events {
+            tree.add_child(group, "S", Condition::of(Literal::pos(event)));
+        }
+    }
+    tree
+}
+
 /// Generates a random tree-pattern query compatible with the label
 /// alphabet of [`random_tree`]: a root constraint plus `extra_nodes`
 /// child/descendant steps.
@@ -147,6 +181,19 @@ mod tests {
             assert!(s.max_fanout <= 3);
             assert!(s.distinct_labels <= 2);
         }
+    }
+
+    #[test]
+    fn many_components_probtree_has_the_advertised_partition() {
+        let tree = many_components_probtree(8, 3);
+        assert_eq!(tree.events().len(), 24);
+        let engine = pxml_core::WorldEngine::new(&tree);
+        assert_eq!(engine.num_relevant(), 24);
+        assert_eq!(engine.components().len(), 8);
+        assert!(engine.components().iter().all(|c| c.len() == 3));
+        // Every single-literal child makes each event world-relevant.
+        let single = many_components_probtree(2, 1);
+        assert_eq!(pxml_core::WorldEngine::new(&single).components().len(), 2);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use pxml_core::probtree::ProbTree;
 use pxml_core::query::prob::check_theorem1;
 use pxml_core::semantics::{possible_worlds, pw_set_to_probtree};
 use pxml_core::update::{ProbabilisticUpdate, UpdateOperation};
-use pxml_core::worlds::WorldEngine;
+use pxml_core::worlds::{WorldEngine, WorldEngineConfig};
 use pxml_core::PatternQuery;
 use pxml_events::{Condition, EventId, Literal};
 use pxml_tree::builder::TreeSpec;
@@ -264,6 +264,183 @@ proptest! {
         let legacy = possible_worlds(&tree, 12).unwrap().normalized();
         let fast = engine.normalized_worlds(6).unwrap();
         prop_assert!(fast.isomorphic(&legacy));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Factorized shard-executor properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Three-way agreement: the legacy full enumeration, the streamed
+    /// (PR-2) engine and the factorized shard executor produce isomorphic
+    /// normalized PW sets on random prob-trees.
+    #[test]
+    fn factorized_matches_streamed_and_legacy(spec in probtree_strategy()) {
+        let tree = build_probtree(&spec);
+        let legacy = possible_worlds(&tree, 16).unwrap().normalized();
+        let engine = WorldEngine::new(&tree);
+        let streamed = engine.normalized_worlds(16).unwrap();
+        let factorized = engine
+            .sharded(&WorldEngineConfig::sequential(), 16)
+            .unwrap()
+            .normalized_worlds()
+            .unwrap();
+        prop_assert!(factorized.isomorphic(&streamed));
+        prop_assert!(factorized.isomorphic(&legacy));
+        prop_assert!((factorized.total_probability() - 1.0).abs() < 1e-9);
+    }
+
+    /// Per-component factorized probabilities re-multiply to the joint
+    /// `Valuation::probability_over` result: every shard's class masses
+    /// are the sums of the raw per-assignment masses of its component (so
+    /// each shard carries total mass 1), each joint probability is the
+    /// product of its per-shard class masses, and whenever no
+    /// signature-merging happened the joint probability equals
+    /// `probability_over` of the relevant events exactly.
+    #[test]
+    fn factorized_probabilities_remultiply(spec in probtree_strategy()) {
+        let tree = build_probtree(&spec);
+        let engine = WorldEngine::new(&tree);
+        let fw = engine
+            .sharded(&WorldEngineConfig::sequential(), 16)
+            .unwrap();
+        for (i, shard) in fw.shards().iter().enumerate() {
+            let raw: f64 = engine
+                .component_valuations(i, true)
+                .map(|v| v.probability_over(tree.events(), shard.events.iter().copied()))
+                .sum();
+            let classes: f64 = shard.assignments.iter().map(|a| a.probability).sum();
+            prop_assert!((raw - classes).abs() < 1e-9);
+            prop_assert!((classes - 1.0).abs() < 1e-9);
+        }
+        let no_merging = fw
+            .shards()
+            .iter()
+            .all(|s| s.assignments.iter().all(|a| a.merged == 1));
+        let mut total = 0.0;
+        for (v, p) in fw.joint_valuations().unwrap() {
+            total += p;
+            if no_merging {
+                let expected =
+                    v.probability_over(tree.events(), engine.relevant_events().iter().copied());
+                prop_assert!((p - expected).abs() < 1e-9);
+            }
+        }
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// Degenerate extreme: a *single* co-occurrence component (all events
+    /// chained pairwise). The factorized path has exactly one shard, and
+    /// every joint probability re-multiplies (trivially, but through the
+    /// same plumbing) to `Valuation::probability_over`.
+    #[test]
+    fn factorized_single_component_extreme(
+        probs in prop::collection::vec(0.05f64..0.95, 2..6),
+    ) {
+        let mut tree = ProbTree::new("R");
+        let events: Vec<EventId> = probs
+            .iter()
+            .map(|&p| tree.events_mut().fresh(p))
+            .collect();
+        let root = tree.tree().root();
+        for pair in events.windows(2) {
+            tree.add_child(
+                root,
+                "P",
+                Condition::from_literals([Literal::pos(pair[0]), Literal::pos(pair[1])]),
+            );
+        }
+        let engine = WorldEngine::new(&tree);
+        prop_assert_eq!(engine.components().len(), 1);
+        let fw = engine
+            .sharded(&WorldEngineConfig::sequential(), 16)
+            .unwrap();
+        prop_assert_eq!(fw.shards().len(), 1);
+        prop_assert_eq!(fw.states_enumerated(), 1u64 << probs.len());
+        // One shard: the joint IS the shard, class masses sum to 1, and
+        // summing the raw masses per class reproduces them (checked via
+        // the class totals against the full probability_over sum).
+        let raw_total: f64 = engine
+            .component_valuations(0, true)
+            .map(|v| v.probability_over(tree.events(), events.iter().copied()))
+            .sum();
+        let class_total: f64 = fw.shards()[0]
+            .assignments
+            .iter()
+            .map(|a| a.probability)
+            .sum();
+        prop_assert!((raw_total - class_total).abs() < 1e-9);
+        let legacy = possible_worlds(&tree, 16).unwrap().normalized();
+        prop_assert!(fw.normalized_worlds().unwrap().isomorphic(&legacy));
+    }
+
+    /// The opposite extreme: all-singleton components (every event in its
+    /// own component, one single-literal condition each). No merging is
+    /// possible, so every joint probability equals
+    /// `Valuation::probability_over` exactly, and the shard counter is
+    /// `Σ_c 2^1 = 2 · |W|` vs the `2^{|W|}` joint.
+    #[test]
+    fn factorized_all_singleton_extreme(
+        probs in prop::collection::vec(0.05f64..0.95, 2..8),
+        negate in prop::collection::vec(any::<bool>(), 8),
+    ) {
+        let mut tree = ProbTree::new("R");
+        let root = tree.tree().root();
+        let events: Vec<EventId> = probs
+            .iter()
+            .map(|&p| tree.events_mut().fresh(p))
+            .collect();
+        for (i, &e) in events.iter().enumerate() {
+            let literal = if negate[i % negate.len()] {
+                Literal::neg(e)
+            } else {
+                Literal::pos(e)
+            };
+            tree.add_child(root, format!("C{i}"), Condition::of(literal));
+        }
+        let engine = WorldEngine::new(&tree);
+        prop_assert_eq!(engine.components().len(), events.len());
+        let fw = engine
+            .sharded(&WorldEngineConfig::sequential(), 16)
+            .unwrap();
+        prop_assert_eq!(fw.states_enumerated(), 2 * events.len() as u64);
+        prop_assert_eq!(fw.num_joint_assignments(), 1u128 << events.len());
+        for shard in fw.shards() {
+            prop_assert!(shard.assignments.iter().all(|a| a.merged == 1));
+        }
+        for (v, p) in fw.joint_valuations().unwrap() {
+            let expected = v.probability_over(tree.events(), events.iter().copied());
+            prop_assert!((p - expected).abs() < 1e-9);
+        }
+        let legacy = possible_worlds(&tree, 16).unwrap().normalized();
+        prop_assert!(fw.normalized_worlds().unwrap().isomorphic(&legacy));
+    }
+
+    /// The shard-local condition fold agrees with the analytic product
+    /// over independent events, without ever touching the cross product.
+    #[test]
+    fn factorized_condition_fold_matches_analytic(
+        spec in probtree_strategy(),
+        literal_spec in prop::collection::vec((0usize..4, any::<bool>()), 0..4),
+    ) {
+        let tree = build_probtree(&spec);
+        let engine = WorldEngine::new(&tree);
+        let fw = engine
+            .sharded(&WorldEngineConfig::sequential(), 16)
+            .unwrap();
+        let num_events = tree.events().len();
+        let condition = Condition::from_literals(literal_spec.iter().map(|&(e, positive)| {
+            Literal {
+                event: EventId::from_index(e % num_events),
+                positive,
+            }
+        }));
+        let folded = fw.condition_probability(&condition);
+        let analytic = condition.probability(tree.events());
+        prop_assert!((folded - analytic).abs() < 1e-9);
     }
 }
 

@@ -5,12 +5,12 @@
 //! workspace vendors the subset of the proptest 1.x API its test suites
 //! use:
 //!
-//! * the [`Strategy`] trait with [`prop_map`](Strategy::prop_map),
-//!   [`prop_flat_map`](Strategy::prop_flat_map) and
-//!   [`prop_recursive`](Strategy::prop_recursive), plus [`BoxedStrategy`];
-//! * strategies for integer ranges (`0..n`, `1..=n`), tuples of
-//!   strategies, [`collection::vec`], [`sample::select`], [`Just`], and
-//!   [`arbitrary::any`] (`any::<bool>()`);
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//!   `prop_flat_map` and `prop_recursive`, plus
+//!   [`BoxedStrategy`](strategy::BoxedStrategy);
+//! * strategies for numeric ranges (`0..n`, `1..=n`, `0.05..0.95`),
+//!   tuples of strategies, [`collection::vec`], [`sample::select`],
+//!   [`Just`](strategy::Just), and [`arbitrary::any`] (`any::<bool>()`);
 //! * the [`proptest!`] macro with `#![proptest_config(...)]`, and
 //!   [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
 //!
