@@ -1,22 +1,43 @@
 //! E4/E5 — Proposition 2 (updates) and Theorem 3: probabilistic insertions
 //! stay polynomial while the `d0` deletion on the Theorem 3 family takes
-//! time (and space) exponential in `n`.
+//! time (and space) exponential in `n` — plus the update-engine scenarios:
+//! batched scripts, nested deletion targets, and the blow-up control
+//! (shared-first negation chains + simplification) contrasted against the
+//! naive Appendix A expansion via size counters asserted outside the timed
+//! regions.
+//!
+//! Set `PXML_BENCH_QUICK=1` (as CI's `bench-smoke` job does) for a fast
+//! smoke run with small iteration budgets.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use pxml_bench::{rng, scaling_probtree, SCALING_SIZES};
-use pxml_core::update::{ProbabilisticUpdate, UpdateOperation};
-use pxml_core::PatternQuery;
+use pxml_core::semantics::possible_worlds;
+use pxml_core::update::{ProbabilisticUpdate, UpdateEngine, UpdateEngineConfig, UpdateOperation};
+use pxml_core::{PatternQuery, ProbTree};
+use pxml_events::{Condition, Literal};
 use pxml_tree::DataTree;
 use pxml_workloads::paper::{d0_deletion, theorem3_tree};
+use pxml_workloads::warehouse::{scenario_script, skeleton, WarehouseConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quick() -> bool {
+    std::env::var_os("PXML_BENCH_QUICK").is_some()
+}
 
 /// E4: insertion scaling on random prob-trees (insert an `E` child under
 /// every `L0` node, confidence 0.9).
 fn bench_insertions(c: &mut Criterion) {
     let mut r = rng();
-    let trees: Vec<_> = SCALING_SIZES
+    let sizes: &[usize] = if quick() {
+        &SCALING_SIZES[..2]
+    } else {
+        &SCALING_SIZES
+    };
+    let trees: Vec<_> = sizes
         .iter()
         .map(|&n| (n, scaling_probtree(n, &mut r)))
         .collect();
@@ -39,13 +60,21 @@ fn bench_insertions(c: &mut Criterion) {
 
 /// E5: the Theorem 3 deletion blow-up — `d0` on the n-C-children family.
 /// Time doubles (at least) with every increment of n; the companion table
-/// (`tables --exp e5`) reports the output sizes.
+/// (`tables --exp e5`) reports the output sizes. Timed on the raw engine
+/// configuration so the curve measures the Appendix A deletion itself,
+/// not the (separately benchmarked) simplification pass.
 fn bench_theorem3_deletion(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_theorem3_deletion");
-    for n in [2usize, 4, 6, 8, 10, 12] {
+    let sizes: &[usize] = if quick() {
+        &[2, 4]
+    } else {
+        &[2, 4, 6, 8, 10, 12]
+    };
+    let engine = UpdateEngine::with_config(UpdateEngineConfig::raw());
+    for &n in sizes {
         let tree = theorem3_tree(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, tree| {
-            b.iter(|| d0_deletion(1.0).apply_to_probtree(tree));
+            b.iter(|| engine.apply(tree, &d0_deletion(1.0)));
         });
     }
     group.finish();
@@ -55,7 +84,12 @@ fn bench_theorem3_deletion(c: &mut Criterion) {
 /// deletion stays flat on the very same family.
 fn bench_theorem3_insertion_contrast(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_theorem3_insertion_contrast");
-    for n in [2usize, 4, 6, 8, 10, 12] {
+    let sizes: &[usize] = if quick() {
+        &[2, 4]
+    } else {
+        &[2, 4, 6, 8, 10, 12]
+    };
+    for &n in sizes {
         let tree = theorem3_tree(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, tree| {
             b.iter(|| {
@@ -67,12 +101,173 @@ fn bench_theorem3_insertion_contrast(c: &mut Criterion) {
     group.finish();
 }
 
+/// Blow-up control on the confidence-c Theorem 3 deletion: the naive
+/// Appendix A expansion produces `3^n` survivor copies, shared-first
+/// chains produce `1 + 2^n`, and the simplification pass recovers the same
+/// reduction from the naive output. The size ratios are asserted outside
+/// the timed region; the timed comparison contrasts the engine
+/// configurations.
+fn bench_deletion_blowup_control(c: &mut Criterion) {
+    let n = if quick() { 3 } else { 5 };
+    let tree = theorem3_tree(n);
+    let update = d0_deletion(0.8);
+    let raw_engine = UpdateEngine::with_config(UpdateEngineConfig::raw());
+    let default_engine = UpdateEngine::new();
+    let simplify_only = UpdateEngine::with_config(UpdateEngineConfig {
+        simplify: true,
+        shared_first_chains: false,
+        ..UpdateEngineConfig::default()
+    });
+
+    // Counter assertions (sizes, not wall-clock).
+    let (raw_out, raw_report) = raw_engine.apply(&tree, &update);
+    let (default_out, _) = default_engine.apply(&tree, &update);
+    let (simplified_out, simplified_report) = simplify_only.apply(&tree, &update);
+    let b_copies = |t: &ProbTree| {
+        t.tree()
+            .iter()
+            .filter(|&nd| t.tree().label(nd) == "B")
+            .count()
+    };
+    assert_eq!(
+        b_copies(&raw_out),
+        3usize.pow(n as u32),
+        "naive: 3^n copies"
+    );
+    assert_eq!(
+        b_copies(&default_out),
+        1 + (1usize << n),
+        "shared-first chains: 1 + 2^n copies"
+    );
+    assert_eq!(
+        b_copies(&simplified_out),
+        1 + (1usize << n),
+        "simplification recovers the same cover from the naive output"
+    );
+    assert!(simplified_report.simplification_savings() > 0);
+    assert_eq!(raw_report.size_raw(), raw_out.size());
+    // All three agree with the Definition 16 semantics at a feasible n.
+    if n <= 3 {
+        let via_pw = update
+            .apply_to_pw_set(&possible_worlds(&tree, 20).unwrap())
+            .normalized();
+        for out in [&raw_out, &default_out, &simplified_out] {
+            let direct = possible_worlds(out, 20).unwrap().normalized();
+            assert!(direct.isomorphic(&via_pw));
+        }
+    }
+
+    let mut group = c.benchmark_group("e5_deletion_blowup_control");
+    group.bench_with_input(BenchmarkId::new("naive", n), &tree, |b, tree| {
+        b.iter(|| raw_engine.apply(tree, &update));
+    });
+    group.bench_with_input(BenchmarkId::new("shared_first", n), &tree, |b, tree| {
+        b.iter(|| default_engine.apply(tree, &update));
+    });
+    group.bench_with_input(BenchmarkId::new("simplify_naive", n), &tree, |b, tree| {
+        b.iter(|| simplify_only.apply(tree, &update));
+    });
+    group.finish();
+}
+
+/// Nested deletion targets: chains of `B → C, B → …` where every `B` with
+/// a `C` child is a target, so each target's survival split must land
+/// inside its ancestors' survivor copies (the bug the engine fixed). The
+/// correctness of the small instance is asserted against the PW semantics
+/// outside the timed region.
+fn bench_nested_target_deletion(c: &mut Criterion) {
+    fn nested_chain(depth: usize) -> ProbTree {
+        let mut t = ProbTree::new("A");
+        let root = t.tree().root();
+        let mut cur = root;
+        for i in 0..depth {
+            let b = t.add_child(cur, "B", Condition::always());
+            let w = t.events_mut().insert(format!("x{i}"), 0.5);
+            t.add_child(b, "C", Condition::of(Literal::pos(w)));
+            cur = b;
+        }
+        t
+    }
+    fn delete_b_with_c(confidence: f64) -> ProbabilisticUpdate {
+        let mut q = PatternQuery::new(Some("B"));
+        let b = q.root();
+        q.add_child(b, "C");
+        ProbabilisticUpdate::new(UpdateOperation::delete(q, b), confidence)
+    }
+
+    // Correctness cross-check on a feasible instance.
+    let small = nested_chain(3);
+    let update = delete_b_with_c(0.9);
+    let (updated, _) = UpdateEngine::new().apply(&small, &update);
+    let direct = possible_worlds(&updated, 20).unwrap().normalized();
+    let via_pw = update
+        .apply_to_pw_set(&possible_worlds(&small, 20).unwrap())
+        .normalized();
+    assert!(
+        direct.isomorphic(&via_pw),
+        "nested-target deletion must agree with the PW semantics"
+    );
+
+    let mut group = c.benchmark_group("updates_nested_target_deletion");
+    let depths: &[usize] = if quick() { &[4] } else { &[4, 6, 8] };
+    let engine = UpdateEngine::new();
+    for &depth in depths {
+        let tree = nested_chain(depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &tree, |b, tree| {
+            b.iter(|| engine.apply(tree, &update));
+        });
+    }
+    group.finish();
+}
+
+/// Batched update scripts: the warehouse extraction pipeline applied in
+/// one `apply_script` pass, at growing round counts.
+fn bench_update_scripts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("updates_warehouse_script");
+    let rounds: &[usize] = if quick() { &[6] } else { &[6, 12, 18] };
+    for &extraction_rounds in rounds {
+        let config = WarehouseConfig {
+            services: 4,
+            extraction_rounds,
+            deletion_ratio: 0.25,
+        };
+        let mut r = StdRng::seed_from_u64(0xBEEF ^ extraction_rounds as u64);
+        let (script, _) = scenario_script(&config, &mut r);
+        let base = skeleton(config.services);
+        // Scripts report per-step telemetry; spot-check it once, untimed.
+        let engine = UpdateEngine::new();
+        let (_, report) = engine.apply_script(&base, &script);
+        assert_eq!(report.steps.len(), script.len());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(extraction_rounds),
+            &(base, script),
+            |b, (base, script)| {
+                b.iter(|| UpdateEngine::new().apply_script(base, script));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    if quick() {
+        Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(20))
+            .measurement_time(Duration::from_millis(80))
+    } else {
+        Criterion::default()
+            .sample_size(15)
+            .warm_up_time(Duration::from_millis(400))
+            .measurement_time(Duration::from_millis(1500))
+    }
+}
+
 criterion_group! {
     name = benches;
-    config = Criterion::default()
-        .sample_size(15)
-        .warm_up_time(Duration::from_millis(400))
-        .measurement_time(Duration::from_millis(1500));
-    targets = bench_insertions, bench_theorem3_deletion, bench_theorem3_insertion_contrast
+    config = config();
+    targets = bench_insertions, bench_theorem3_deletion,
+        bench_theorem3_insertion_contrast, bench_deletion_blowup_control,
+        bench_nested_target_deletion, bench_update_scripts
 }
 criterion_main!(benches);

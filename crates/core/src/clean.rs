@@ -68,6 +68,61 @@ pub fn clean(tree: &ProbTree) -> ProbTree {
     compacted
 }
 
+/// Prunes the branches a **certain** event makes impossible and drops the
+/// literals it makes redundant: a positive literal on a `π(w) = 1` event
+/// holds in every positive-probability world (removed from its condition),
+/// while a negative literal on such an event can never hold there (the
+/// node and its descendants are detached). `π(w) = 0` cannot occur — the
+/// event table enforces `π ∈ (0, 1]`.
+///
+/// Unlike [`clean`], which preserves structural equivalence (Definition 9
+/// quantifies over *all* valuations, including zero-probability ones),
+/// this pass only preserves the **normalized possible-world semantics**:
+/// it is part of the update engine's simplification chain, whose contract
+/// is agreement with `apply_to_pw_set` up to normalization.
+pub fn prune_certain(tree: &ProbTree) -> ProbTree {
+    // Fresh confidence events are always < 1, so most trees have no
+    // certain event at all — skip the scan-and-compact entirely.
+    let events = tree.events();
+    if events.iter().all(|e| events.prob(e) < 1.0) {
+        return tree.clone();
+    }
+    let mut work = tree.clone();
+    let mut to_detach: Vec<NodeId> = Vec::new();
+    let nodes: Vec<NodeId> = work.tree().iter().collect();
+    for node in nodes {
+        if node == work.tree().root() {
+            continue;
+        }
+        let own = work.condition(node);
+        let mut kept: Vec<Literal> = Vec::new();
+        let mut impossible = false;
+        for &literal in own.literals() {
+            if work.events().prob(literal.event) >= 1.0 {
+                if literal.positive {
+                    continue; // certainly true: superfluous
+                }
+                impossible = true; // certainly false: dead branch
+                break;
+            }
+            kept.push(literal);
+        }
+        if impossible {
+            to_detach.push(node);
+        } else if kept.len() != own.len() {
+            work.set_condition(node, Condition::from_literals(kept));
+        }
+    }
+    for node in to_detach {
+        // Guard as in `clean`: an ancestor may already be detached.
+        if work.tree().parent(node).is_some() {
+            work.detach(node);
+        }
+    }
+    let (compacted, _) = work.compact();
+    compacted
+}
+
 /// `true` if `tree` is already clean: no node condition repeats or
 /// contradicts an ancestor literal, and every condition is consistent.
 pub fn is_clean(tree: &ProbTree) -> bool {
@@ -174,6 +229,42 @@ mod tests {
         assert!(before.isomorphic(&after));
         assert!(is_clean(&cleaned));
         assert!(cleaned.num_literals() < t.num_literals());
+    }
+
+    #[test]
+    fn prune_certain_drops_certain_literals_and_dead_branches() {
+        let mut t = ProbTree::new("A");
+        let sure = t.events_mut().insert("sure", 1.0);
+        let w = t.events_mut().insert("w", 0.5);
+        let root = t.tree().root();
+        // `sure ∧ w` simplifies to `w`.
+        let b = t.add_child(
+            root,
+            "B",
+            Condition::from_literals([Literal::pos(sure), Literal::pos(w)]),
+        );
+        t.add_child(b, "C", Condition::always());
+        // `¬sure` can never hold in a positive-probability world.
+        let d = t.add_child(root, "D", Condition::of(Literal::neg(sure)));
+        t.add_child(d, "E", Condition::always());
+        let before = crate::semantics::possible_worlds(&t, 20)
+            .unwrap()
+            .normalized();
+        let pruned = prune_certain(&t);
+        assert_eq!(pruned.num_nodes(), 3, "D and E are dead branches");
+        assert_eq!(pruned.num_literals(), 1, "only B's w literal remains");
+        let after = crate::semantics::possible_worlds(&pruned, 20)
+            .unwrap()
+            .normalized();
+        assert!(before.isomorphic(&after));
+    }
+
+    #[test]
+    fn prune_certain_is_identity_without_certain_events() {
+        let t = figure1_example();
+        let pruned = prune_certain(&t);
+        assert_eq!(pruned.num_nodes(), t.num_nodes());
+        assert_eq!(pruned.num_literals(), t.num_literals());
     }
 
     #[test]

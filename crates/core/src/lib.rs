@@ -59,7 +59,10 @@ pub mod worlds;
 pub use probtree::ProbTree;
 pub use pwset::PossibleWorldSet;
 pub use query::pattern::PatternQuery;
-pub use update::{ProbabilisticUpdate, UpdateAction, UpdateOperation};
+pub use update::{
+    ProbabilisticUpdate, UpdateAction, UpdateEngine, UpdateEngineConfig, UpdateOperation,
+    UpdateScript,
+};
 pub use worlds::{FactorizedWorlds, ShardExecutor, WorldEngine, WorldEngineConfig};
 
 /// Default bound on the number of event variables accepted by APIs that

@@ -110,39 +110,52 @@ impl ProbTree {
         new_root
     }
 
-    /// Grafts a copy of the subtree of `other` rooted at `other_node` under
-    /// `parent`, carrying over the conditions of the copied nodes, with the
-    /// copied root's condition replaced by `root_condition`. Returns the id
-    /// of the copied root.
-    pub fn graft_probtree_subtree(
+    /// Duplicates the subtree rooted at `node` (which must belong to this
+    /// tree) as a new child of `parent`, carrying over the conditions of
+    /// the copied nodes, with the copied root's condition replaced by
+    /// `root_condition`. Returns the id of the copied root.
+    ///
+    /// Update deletions replace a target with survivor copies taken from
+    /// the **evolving** tree (so that splits already applied to nested
+    /// targets are preserved); copying in place avoids cloning the whole
+    /// tree per copy.
+    pub fn duplicate_subtree(
         &mut self,
         parent: NodeId,
-        other: &ProbTree,
-        other_node: NodeId,
+        node: NodeId,
         root_condition: Condition,
     ) -> NodeId {
-        let sub = other.tree.subtree_to_tree(other_node);
-        // `subtree_to_tree` assigns fresh contiguous ids in pre-order; graft
-        // returns a mapping from those ids to ours, so we need the pre-order
-        // correspondence between `other`'s nodes and `sub`'s nodes.
-        let other_nodes: Vec<NodeId> = other.tree.descendants(other_node);
-        let sub_nodes: Vec<NodeId> = sub.iter().collect();
-        debug_assert_eq!(other_nodes.len(), sub_nodes.len());
-        let (new_root, mapping) = self.tree.graft(parent, &sub);
-        for (orig, copy) in other_nodes.iter().zip(sub_nodes.iter()) {
-            let new_id = mapping[copy];
-            if *orig == other_node {
-                continue; // root condition handled below
+        // Snapshot the subtree before mutating: `descendants` is a DFS
+        // pre-order, so every node appears after its parent.
+        let nodes: Vec<NodeId> = self.tree.descendants(node);
+        let snapshot: Vec<(NodeId, Option<NodeId>, String, Condition)> = nodes
+            .iter()
+            .map(|&n| {
+                (
+                    n,
+                    self.tree.parent(n),
+                    self.tree.label(n).to_string(),
+                    self.condition(n),
+                )
+            })
+            .collect();
+        let mut mapping: HashMap<NodeId, NodeId> = HashMap::with_capacity(snapshot.len());
+        let mut new_root = parent; // overwritten by the first iteration
+        for (old, old_parent, label, condition) in snapshot {
+            let (new_parent, condition) = if old == node {
+                (parent, root_condition.clone())
+            } else {
+                let p = old_parent.expect("non-root subtree nodes have a parent");
+                (mapping[&p], condition)
+            };
+            let new = self.tree.add_child(new_parent, label);
+            if !condition.is_empty() {
+                self.conditions.insert(new, condition);
             }
-            let cond = other.condition(*orig);
-            if !cond.is_empty() {
-                self.conditions.insert(new_id, cond);
+            mapping.insert(old, new);
+            if old == node {
+                new_root = new;
             }
-        }
-        if !root_condition.is_empty() {
-            self.conditions.insert(new_root, root_condition);
-        } else {
-            self.conditions.remove(&new_root);
         }
         new_root
     }
@@ -343,30 +356,33 @@ mod tests {
     }
 
     #[test]
-    fn graft_probtree_subtree_carries_conditions() {
-        let source = figure1_example();
-        let c_node = source
-            .tree()
-            .iter()
-            .find(|&n| source.tree().label(n) == "C")
-            .unwrap();
+    fn duplicate_subtree_replaces_root_condition() {
+        let mut t = figure1_example();
+        let w1 = t.events().by_name("w1").unwrap();
+        let c_node = t.tree().iter().find(|&n| t.tree().label(n) == "C").unwrap();
+        let root = t.tree().root();
+        let new_c = t.duplicate_subtree(root, c_node, Condition::of(Literal::pos(w1)));
+        assert_eq!(t.condition(new_c), Condition::of(Literal::pos(w1)));
+        // An empty replacement condition clears the annotation on the copy.
+        let bare = t.duplicate_subtree(root, new_c, Condition::always());
+        assert_eq!(t.condition(bare), Condition::always());
+        assert_eq!(t.num_nodes(), 8, "two copies of the 2-node C subtree");
+    }
 
-        let mut target = ProbTree::new("R");
-        let w1 = target.events_mut().insert("w1", 0.8);
-        let w2 = target.events_mut().insert("w2", 0.7);
-        let _ = (w1, w2);
-        let root = target.tree().root();
-        let new_c =
-            target.graft_probtree_subtree(root, &source, c_node, Condition::of(Literal::pos(w1)));
-        assert_eq!(target.num_nodes(), 3);
-        assert_eq!(target.condition(new_c), Condition::of(Literal::pos(w1)));
-        // The copied D child keeps its w2 condition.
-        let d = target
-            .tree()
-            .iter()
-            .find(|&n| target.tree().label(n) == "D")
-            .unwrap();
-        assert_eq!(target.condition(d).len(), 1);
+    #[test]
+    fn duplicate_subtree_copies_conditions_in_place() {
+        let mut t = figure1_example();
+        let w1 = t.events().by_name("w1").unwrap();
+        let c = t.tree().iter().find(|&n| t.tree().label(n) == "C").unwrap();
+        let root = t.tree().root();
+        let copy = t.duplicate_subtree(root, c, Condition::of(Literal::pos(w1)));
+        assert_eq!(t.num_nodes(), 6, "C and D copied");
+        assert_eq!(t.condition(copy), Condition::of(Literal::pos(w1)));
+        let copied_d = t.tree().children(copy)[0];
+        assert_eq!(t.tree().label(copied_d), "D");
+        assert_eq!(t.condition(copied_d).len(), 1, "D keeps its w2 condition");
+        // The original subtree is untouched.
+        assert_eq!(t.condition(c), Condition::always());
     }
 
     #[test]

@@ -155,17 +155,23 @@ impl PatternQuery {
 
     /// Computes all matches `µ_Q` of the pattern in `tree`.
     pub fn matches(&self, tree: &DataTree) -> Vec<PatternMatch> {
+        // One pre-order index for the whole evaluation: descendant-axis
+        // candidates are contiguous slices of the pre-order listing, so
+        // each partial match reads a slice instead of re-collecting
+        // `tree.descendants` (which made descendant patterns quadratic on
+        // deep trees).
+        let index = PreOrderIndex::new(tree);
         let mut results = Vec::new();
-        let root_candidates: Vec<NodeId> = if self.anchored {
-            vec![tree.root()]
+        let root_candidates: &[NodeId] = if self.anchored {
+            std::slice::from_ref(&index.order[0])
         } else {
-            tree.iter().collect()
+            &index.order
         };
         let mut mapping: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
-        for candidate in root_candidates {
+        for &candidate in root_candidates {
             if self.label_ok(PatternNodeId(0), tree, candidate) {
                 mapping[0] = Some(candidate);
-                self.extend_match(tree, 1, &mut mapping, &mut results);
+                self.extend_match(tree, &index, 1, &mut mapping, &mut results);
                 mapping[0] = None;
             }
         }
@@ -192,6 +198,7 @@ impl PatternQuery {
     fn extend_match(
         &self,
         tree: &DataTree,
+        index: &PreOrderIndex,
         next: usize,
         mapping: &mut Vec<Option<NodeId>>,
         results: &mut Vec<PatternMatch>,
@@ -211,25 +218,56 @@ impl PatternQuery {
             .parent
             .expect("non-root pattern nodes have a parent");
         let parent_data = mapping[parent_pattern.0].expect("parents are matched first");
-        let candidates: Vec<NodeId> = match axis {
-            Axis::Child => tree.children(parent_data).to_vec(),
-            Axis::Descendant => {
-                let mut d = tree.descendants(parent_data);
-                d.retain(|&n| n != parent_data);
-                d
-            }
+        let candidates: &[NodeId] = match axis {
+            Axis::Child => tree.children(parent_data),
+            Axis::Descendant => index.strict_descendants(parent_data),
         };
-        for candidate in candidates {
+        for &candidate in candidates {
             if self.label_ok(PatternNodeId(next), tree, candidate) {
                 mapping[next] = Some(candidate);
                 // Early join pruning: partial mappings must not already
                 // violate a join.
                 if self.joins_ok(tree, mapping) {
-                    self.extend_match(tree, next + 1, mapping, results);
+                    self.extend_match(tree, index, next + 1, mapping, results);
                 }
                 mapping[next] = None;
             }
         }
+    }
+}
+
+/// Pre-order positions and subtree sizes of the reachable nodes of one
+/// data tree. Any DFS pre-order lists the subtree of a node contiguously
+/// right after the node itself, so the strict descendants of `n` are the
+/// slice `order[pos(n) + 1 .. pos(n) + size(n)]` — O(1) to obtain, built
+/// once per [`PatternQuery::matches`] call.
+struct PreOrderIndex {
+    order: Vec<NodeId>,
+    /// Indexed by `NodeId::index()`: (position in `order`, subtree size).
+    /// Entries of detached arena slots stay `(0, 0)` and are never read.
+    span: Vec<(u32, u32)>,
+}
+
+impl PreOrderIndex {
+    fn new(tree: &DataTree) -> Self {
+        let order: Vec<NodeId> = tree.iter().collect();
+        let mut span = vec![(0u32, 0u32); tree.arena_len()];
+        for (pos, &node) in order.iter().enumerate() {
+            span[node.index()] = (pos as u32, 1);
+        }
+        // Children appear after their parents in pre-order, so a reverse
+        // sweep accumulates subtree sizes bottom-up.
+        for &node in order.iter().rev() {
+            if let Some(parent) = tree.parent(node) {
+                span[parent.index()].1 += span[node.index()].1;
+            }
+        }
+        PreOrderIndex { order, span }
+    }
+
+    fn strict_descendants(&self, node: NodeId) -> &[NodeId] {
+        let (pos, size) = self.span[node.index()];
+        &self.order[pos as usize + 1..pos as usize + size as usize]
     }
 }
 
@@ -391,6 +429,131 @@ mod tests {
         let mut q = PatternQuery::new(None);
         let root = q.root();
         q.add_join(vec![root]);
+    }
+
+    /// Reference matcher: identical backtracking, but descendant-axis
+    /// candidates re-collected via `tree.descendants` per partial match
+    /// (the pre-index behaviour). Ground truth for the span-index path.
+    fn matches_naive(q: &PatternQuery, tree: &DataTree) -> Vec<PatternMatch> {
+        fn extend(
+            q: &PatternQuery,
+            tree: &DataTree,
+            next: usize,
+            mapping: &mut Vec<Option<NodeId>>,
+            results: &mut Vec<PatternMatch>,
+        ) {
+            if next == q.nodes.len() {
+                if q.joins_ok(tree, mapping) {
+                    results.push(PatternMatch {
+                        mapping: mapping.iter().map(|m| m.unwrap()).collect(),
+                    });
+                }
+                return;
+            }
+            let (parent_pattern, axis) = q.nodes[next].parent.unwrap();
+            let parent_data = mapping[parent_pattern.0].unwrap();
+            let candidates: Vec<NodeId> = match axis {
+                Axis::Child => tree.children(parent_data).to_vec(),
+                Axis::Descendant => {
+                    let mut d = tree.descendants(parent_data);
+                    d.retain(|&n| n != parent_data);
+                    d
+                }
+            };
+            for candidate in candidates {
+                if q.label_ok(PatternNodeId(next), tree, candidate) {
+                    mapping[next] = Some(candidate);
+                    if q.joins_ok(tree, mapping) {
+                        extend(q, tree, next + 1, mapping, results);
+                    }
+                    mapping[next] = None;
+                }
+            }
+        }
+        let mut results = Vec::new();
+        let root_candidates: Vec<NodeId> = if q.anchored {
+            vec![tree.root()]
+        } else {
+            tree.iter().collect()
+        };
+        let mut mapping: Vec<Option<NodeId>> = vec![None; q.nodes.len()];
+        for candidate in root_candidates {
+            if q.label_ok(PatternNodeId(0), tree, candidate) {
+                mapping[0] = Some(candidate);
+                extend(q, tree, 1, &mut mapping, &mut results);
+                mapping[0] = None;
+            }
+        }
+        results
+    }
+
+    /// The span index serves exactly the matches the per-partial-match
+    /// `descendants` collection used to, on a deep path where the
+    /// quadratic behaviour was worst.
+    #[test]
+    fn descendant_index_agrees_with_naive_on_deep_paths() {
+        let mut tree = DataTree::new("A");
+        let mut cur = tree.root();
+        for i in 0..200 {
+            cur = tree.add_child(cur, if i % 7 == 0 { "M" } else { "A" });
+        }
+        let mut q = PatternQuery::new(None);
+        q.add_descendant(q.root(), "M");
+        let fast = q.matches(&tree);
+        let naive = matches_naive(&q, &tree);
+        assert_eq!(fast.len(), naive.len());
+        let key = |ms: &[PatternMatch]| {
+            let mut v: Vec<Vec<NodeId>> = ms.iter().map(|m| m.mapping.clone()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(key(&fast), key(&naive));
+        // 29 M nodes, each a strict descendant of everything above it.
+        assert!(!fast.is_empty());
+    }
+
+    #[test]
+    fn descendant_index_agrees_with_naive_on_branchy_trees() {
+        // A deterministic pseudo-random shape with repeated labels, two
+        // descendant axes and a join — exercises slices at every depth.
+        let mut tree = DataTree::new("R");
+        let mut nodes = vec![tree.root()];
+        let mut state = 0x9E37u32;
+        for _ in 0..120 {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            let parent = nodes[(state >> 8) as usize % nodes.len()];
+            let label = ["A", "B", "C"][(state >> 3) as usize % 3];
+            nodes.push(tree.add_child(parent, label));
+        }
+        let mut q = PatternQuery::new(Some("A"));
+        let x = q.add_node(q.root(), Axis::Descendant, None);
+        let y = q.add_node(q.root(), Axis::Descendant, None);
+        q.add_join(vec![x, y]);
+        let fast = q.matches(&tree);
+        let naive = matches_naive(&q, &tree);
+        let key = |ms: &[PatternMatch]| {
+            let mut v: Vec<Vec<NodeId>> = ms.iter().map(|m| m.mapping.clone()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(key(&fast), key(&naive));
+    }
+
+    /// The index must ignore detached arena slots (matching runs on trees
+    /// that have been updated in place).
+    #[test]
+    fn matching_after_detach_skips_detached_subtrees() {
+        let mut tree = DataTree::new("A");
+        let root = tree.root();
+        let b = tree.add_child(root, "B");
+        tree.add_child(b, "D");
+        let c = tree.add_child(root, "C");
+        tree.add_child(c, "D");
+        tree.detach(b);
+        let mut q = PatternQuery::new(None);
+        q.add_descendant(q.root(), "D");
+        // Only C's D remains reachable: matched from A and from C.
+        assert_eq!(q.matches(&tree).len(), 2);
     }
 
     #[test]

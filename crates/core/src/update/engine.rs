@@ -1,0 +1,601 @@
+//! The update engine: deterministic, nested-target-correct application of
+//! probabilistic updates to prob-trees (Appendix A, generalized).
+//!
+//! Three properties distinguish the engine from a naive transcription of
+//! the Appendix A algorithms:
+//!
+//! 1. **Nested-target correctness.** When the deletion query matches two
+//!    targets on one root-to-leaf path, the descendant's survival split
+//!    must be visible *inside* the ancestor's survivor copies. The engine
+//!    therefore orders deletion targets deepest-first over the total
+//!    `(depth, NodeId)` order and grafts every survivor copy from the
+//!    **evolving** tree, so splits already applied below a target are
+//!    carried into its copies. (The per-match deletion conditions are
+//!    still computed on the original tree — matches are defined by the
+//!    original world contents.)
+//! 2. **Determinism.** Target grouping uses a `BTreeMap`, per-target
+//!    deletion conditions are sorted and deduplicated, and every
+//!    remaining iteration order is structural — two applications of the
+//!    same update to the same tree produce byte-identical renderings.
+//! 3. **Blow-up control.** The mutually exclusive negation chain of
+//!    Appendix A is built over a configurable literal order; the default
+//!    places literals shared by many deletion conditions first, so chain
+//!    products prune inconsistent combinations early. For a confidence-`c`
+//!    deletion with `k` matches on one target this yields `1 + Π_j p_j`
+//!    survivor copies instead of `Π_j (p_j + 1)` (the fresh event `w` is
+//!    split off once), and the post-step [`simplify`](mod@super::simplify)
+//!    pass re-covers what the ordering alone cannot.
+
+use std::cmp::Reverse;
+use std::collections::BTreeMap;
+
+use pxml_events::{Condition, EventId, Literal};
+use pxml_tree::{DataTree, NodeId};
+
+use crate::probtree::ProbTree;
+use crate::query::pattern::{PatternMatch, PatternNodeId};
+
+use super::script::{ScriptReport, UpdateScript};
+use super::simplify::{simplify_with, SimplifyConfig};
+use super::{ProbabilisticUpdate, UpdateAction};
+
+/// Configuration of an [`UpdateEngine`].
+#[derive(Clone, Debug)]
+pub struct UpdateEngineConfig {
+    /// Run the [`simplify`](mod@super::simplify) pass after every step
+    /// (default: `true`).
+    pub simplify: bool,
+    /// Configuration of that pass.
+    pub simplify_config: SimplifyConfig,
+    /// Order negation-chain literals so that literals shared by many
+    /// deletion conditions come first (default: `true`). Disable to
+    /// reproduce the naive Appendix A expansion (used by the blow-up
+    /// benchmarks as a baseline).
+    pub shared_first_chains: bool,
+}
+
+impl Default for UpdateEngineConfig {
+    fn default() -> Self {
+        UpdateEngineConfig {
+            simplify: true,
+            simplify_config: SimplifyConfig::default(),
+            shared_first_chains: true,
+        }
+    }
+}
+
+impl UpdateEngineConfig {
+    /// The naive Appendix A behaviour: no simplification, no chain
+    /// reordering. Kept as the measurable baseline for the blow-up
+    /// benchmarks and the simplification assertions.
+    pub fn raw() -> Self {
+        UpdateEngineConfig {
+            simplify: false,
+            simplify_config: SimplifyConfig::default(),
+            shared_first_chains: false,
+        }
+    }
+}
+
+/// Telemetry for one applied update step.
+#[derive(Clone, Debug)]
+pub struct StepReport {
+    /// Number of query matches.
+    pub matches: usize,
+    /// Number of distinct target nodes.
+    pub targets: usize,
+    /// The fresh event variable introduced (confidence < 1 and at least
+    /// one match).
+    pub new_event: Option<EventId>,
+    /// Nodes / literals before the step.
+    pub nodes_before: usize,
+    /// Literals before the step.
+    pub literals_before: usize,
+    /// Nodes after the update but before simplification.
+    pub nodes_raw: usize,
+    /// Literals after the update but before simplification.
+    pub literals_raw: usize,
+    /// Nodes after the step (after simplification, when enabled).
+    pub nodes_after: usize,
+    /// Literals after the step (after simplification, when enabled).
+    pub literals_after: usize,
+}
+
+impl StepReport {
+    /// `|T|` before the step (nodes + literals, the paper's size measure).
+    pub fn size_before(&self) -> usize {
+        self.nodes_before + self.literals_before
+    }
+
+    /// `|T|` after the update, before simplification.
+    pub fn size_raw(&self) -> usize {
+        self.nodes_raw + self.literals_raw
+    }
+
+    /// `|T|` after the step.
+    pub fn size_after(&self) -> usize {
+        self.nodes_after + self.literals_after
+    }
+
+    /// How much the simplification pass saved on this step, in size units.
+    pub fn simplification_savings(&self) -> usize {
+        self.size_raw().saturating_sub(self.size_after())
+    }
+}
+
+/// Applies probabilistic updates to prob-trees; see the module docs for
+/// what it guarantees beyond the naive Appendix A transcription.
+#[derive(Clone, Debug, Default)]
+pub struct UpdateEngine {
+    config: UpdateEngineConfig,
+}
+
+impl UpdateEngine {
+    /// An engine with the default configuration (simplification and
+    /// shared-first chains on).
+    pub fn new() -> Self {
+        UpdateEngine::default()
+    }
+
+    /// An engine with an explicit configuration.
+    pub fn with_config(config: UpdateEngineConfig) -> Self {
+        UpdateEngine { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &UpdateEngineConfig {
+        &self.config
+    }
+
+    /// Applies one probabilistic update, returning the updated prob-tree
+    /// and the step telemetry.
+    pub fn apply(&self, tree: &ProbTree, update: &ProbabilisticUpdate) -> (ProbTree, StepReport) {
+        let matches = update.operation.query.matches(tree.tree());
+        let mut report = StepReport {
+            matches: matches.len(),
+            targets: 0,
+            new_event: None,
+            nodes_before: tree.num_nodes(),
+            literals_before: tree.num_literals(),
+            nodes_raw: tree.num_nodes(),
+            literals_raw: tree.num_literals(),
+            nodes_after: tree.num_nodes(),
+            literals_after: tree.num_literals(),
+        };
+        if matches.is_empty() {
+            return (tree.clone(), report);
+        }
+        let mut out = tree.clone();
+        let new_event = if update.confidence < 1.0 {
+            Some(out.events_mut().fresh(update.confidence))
+        } else {
+            None
+        };
+        report.new_event = new_event;
+        report.targets = match &update.operation.action {
+            UpdateAction::Insert { at, subtree } => {
+                self.apply_insertion(&mut out, tree, &matches, *at, subtree, new_event)
+            }
+            UpdateAction::Delete { at } => {
+                self.apply_deletion(&mut out, tree, &matches, *at, new_event)
+            }
+        };
+        let (raw, _) = out.compact();
+        report.nodes_raw = raw.num_nodes();
+        report.literals_raw = raw.num_literals();
+        let updated = if self.config.simplify {
+            simplify_with(&raw, &self.config.simplify_config).0
+        } else {
+            raw
+        };
+        report.nodes_after = updated.num_nodes();
+        report.literals_after = updated.num_literals();
+        (updated, report)
+    }
+
+    /// Applies a batched sequence of updates in one pass, each step against
+    /// the previous step's output, with per-step telemetry.
+    pub fn apply_script(&self, tree: &ProbTree, script: &UpdateScript) -> (ProbTree, ScriptReport) {
+        let mut current = tree.clone();
+        let mut steps = Vec::with_capacity(script.len());
+        for update in script.steps() {
+            let (next, report) = self.apply(&current, update);
+            current = next;
+            steps.push(report);
+        }
+        (current, ScriptReport { steps })
+    }
+
+    /// Appendix A insertion: one grafted copy of `subtree` per match.
+    /// Returns the number of distinct insertion parents.
+    fn apply_insertion(
+        &self,
+        out: &mut ProbTree,
+        original: &ProbTree,
+        matches: &[PatternMatch],
+        at: PatternNodeId,
+        subtree: &DataTree,
+        new_event: Option<EventId>,
+    ) -> usize {
+        let mut targets: Vec<NodeId> = Vec::new();
+        for m in matches {
+            let target = m.node(at);
+            targets.push(target);
+            let cond = match_condition(original, m);
+            let gamma_target = original.condition(target);
+            let cond_ancestors = original.ancestor_condition(target);
+            // {w} ∪ (cond − (γ(µ(n)) ∪ cond_ancestors))
+            let mut root_cond = cond.minus(&gamma_target.and(&cond_ancestors));
+            if let Some(w) = new_event {
+                root_cond = root_cond.and_literal(Literal::pos(w));
+            }
+            out.graft_data_tree(target, subtree, root_cond);
+        }
+        targets.sort();
+        targets.dedup();
+        targets.len()
+    }
+
+    /// Appendix A deletion, generalized to several (possibly nested)
+    /// matches: every target is replaced by one copy per surviving
+    /// disjunct of the mutually exclusive expansion of "no deletion
+    /// condition holds". Returns the number of distinct targets.
+    fn apply_deletion(
+        &self,
+        out: &mut ProbTree,
+        original: &ProbTree,
+        matches: &[PatternMatch],
+        at: PatternNodeId,
+        new_event: Option<EventId>,
+    ) -> usize {
+        // Group the per-match deletion conditions by target node. The
+        // conditions are computed against the original tree: a match is a
+        // statement about the original world's contents, and all node
+        // conditions it mentions still annotate the same nodes (or their
+        // copies) while targets are being split below.
+        let mut by_target: BTreeMap<NodeId, Vec<Condition>> = BTreeMap::new();
+        for m in matches {
+            let target = m.node(at);
+            assert!(
+                target != original.tree().root(),
+                "deleting the root of a prob-tree is not supported"
+            );
+            let cond = match_condition(original, m);
+            let gamma_target = original.condition(target);
+            let cond_ancestors = original.ancestor_condition(target);
+            let mut del_cond = cond.minus(&gamma_target.and(&cond_ancestors));
+            if let Some(w) = new_event {
+                del_cond = del_cond.and_literal(Literal::pos(w));
+            }
+            by_target.entry(target).or_default().push(del_cond);
+        }
+
+        // Deepest targets first (ties by NodeId): a target is only split
+        // after every target strictly below it has been, so its survivor
+        // copies — grafted from the evolving tree — embed the descendants'
+        // splits. Shallower-first (or grafting from the original tree, as
+        // the pre-engine code did) loses the descendant splits inside the
+        // ancestor's copies.
+        let mut targets: Vec<NodeId> = by_target.keys().copied().collect();
+        targets.sort_by_key(|&t| (Reverse(original.tree().depth(t)), t));
+
+        for target in &targets {
+            let target = *target;
+            let survivor_disjuncts =
+                self.expand_survivors(&by_target[&target], self.config.shared_first_chains);
+            let gamma_target = out.condition(target);
+            let parent = out
+                .tree()
+                .parent(target)
+                .expect("non-root node has a parent");
+            for disjunct in &survivor_disjuncts {
+                out.duplicate_subtree(parent, target, gamma_target.and(disjunct));
+            }
+            out.detach(target);
+        }
+        targets.len()
+    }
+
+    /// Expands `⋀_j ¬d_j` into a deterministic list of mutually exclusive
+    /// conjunctions (the survivor disjuncts). A `d_j` with no literals
+    /// means the deletion applies unconditionally: the target never
+    /// survives and the list is empty.
+    fn expand_survivors(&self, del_conds: &[Condition], shared_first: bool) -> Vec<Condition> {
+        // Sorting + deduplication: determinism regardless of match
+        // enumeration order, and `¬d ∧ ¬d = ¬d`.
+        let mut dels: Vec<Condition> = del_conds.to_vec();
+        dels.sort();
+        dels.dedup();
+        if dels.iter().any(Condition::is_empty) {
+            return Vec::new();
+        }
+        // Literal frequency across the deletion conditions; chains over
+        // shared-first literal orders collide early (a combination mixing
+        // `¬w` and `w` links is pruned as inconsistent instead of
+        // multiplying through).
+        let mut frequency: BTreeMap<Literal, usize> = BTreeMap::new();
+        if shared_first {
+            for d in &dels {
+                for &literal in d.literals() {
+                    *frequency.entry(literal).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut survivors: Vec<Condition> = vec![Condition::always()];
+        for d in &dels {
+            let mut literals: Vec<Literal> = d.literals().to_vec();
+            if shared_first {
+                literals.sort_by_key(|l| (Reverse(frequency[l]), *l));
+            }
+            let chain = negation_chain(&literals);
+            let mut next = Vec::with_capacity(survivors.len() * chain.len());
+            for base in &survivors {
+                for link in &chain {
+                    let combined = base.and(link);
+                    if combined.is_consistent() {
+                        next.push(combined);
+                    }
+                }
+            }
+            survivors = next;
+        }
+        survivors
+    }
+}
+
+/// The condition `cond` of Appendix A for one match: the union of the
+/// conditions of the nodes of the induced answer sub-datatree.
+fn match_condition(tree: &ProbTree, m: &PatternMatch) -> Condition {
+    let sub = m.induced_subtree(tree.tree());
+    let mut cond = Condition::always();
+    for node in sub.nodes() {
+        cond = cond.and(&tree.condition(node));
+    }
+    cond
+}
+
+/// The mutually exclusive expansion of `¬(a_1 ∧ … ∧ a_p)` used by
+/// Appendix A, over the given literal order:
+/// `{¬a_1}, {a_1, ¬a_2}, …, {a_1, …, a_{p−1}, ¬a_p}`.
+fn negation_chain(literals: &[Literal]) -> Vec<Condition> {
+    let mut chain = Vec::with_capacity(literals.len());
+    for (i, &lit) in literals.iter().enumerate() {
+        let mut parts: Vec<Literal> = literals[..i].to_vec();
+        parts.push(lit.negated());
+        chain.push(Condition::from_literals(parts));
+    }
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probtree::figure1_example;
+    use crate::semantics::possible_worlds;
+    use crate::update::UpdateOperation;
+    use crate::PatternQuery;
+
+    /// The nested-target fixture:
+    ///
+    /// ```text
+    /// A
+    /// └── B1 [⊤]
+    ///     ├── C1 [x]
+    ///     └── B2 [⊤]
+    ///         └── C2 [y]
+    /// ```
+    ///
+    /// Deleting every `B` that has a `C` child (confidence 1) must, in the
+    /// world `x=0, y=1`, delete `B2` but keep `B1` — which requires `B2`'s
+    /// survival split to live inside `B1`'s survivor copy.
+    fn nested_fixture() -> ProbTree {
+        let mut t = ProbTree::new("A");
+        let x = t.events_mut().insert("x", 0.5);
+        let y = t.events_mut().insert("y", 0.5);
+        let root = t.tree().root();
+        let b1 = t.add_child(root, "B", Condition::always());
+        t.add_child(b1, "C", Condition::of(Literal::pos(x)));
+        let b2 = t.add_child(b1, "B", Condition::always());
+        t.add_child(b2, "C", Condition::of(Literal::pos(y)));
+        t
+    }
+
+    fn delete_b_with_c_child(confidence: f64) -> ProbabilisticUpdate {
+        let mut q = PatternQuery::new(Some("B"));
+        let b = q.root();
+        q.add_child(b, "C");
+        ProbabilisticUpdate::new(UpdateOperation::delete(q, b), confidence)
+    }
+
+    #[test]
+    fn nested_deletion_targets_agree_with_pw_semantics() {
+        let t = nested_fixture();
+        let update = delete_b_with_c_child(1.0);
+        assert_eq!(update.operation.query.matches(t.tree()).len(), 2);
+        for config in [UpdateEngineConfig::default(), UpdateEngineConfig::raw()] {
+            let engine = UpdateEngine::with_config(config);
+            let (updated, report) = engine.apply(&t, &update);
+            assert_eq!(report.targets, 2);
+            let direct = possible_worlds(&updated, 20).unwrap().normalized();
+            let via_pw = update
+                .apply_to_pw_set(&possible_worlds(&t, 20).unwrap())
+                .normalized();
+            assert!(
+                direct.isomorphic(&via_pw),
+                "nested targets escape their survival split\n{}",
+                updated.to_ascii()
+            );
+        }
+    }
+
+    #[test]
+    fn nested_deletion_targets_with_confidence_below_one() {
+        let t = nested_fixture();
+        let update = delete_b_with_c_child(0.7);
+        let (updated, report) = UpdateEngine::new().apply(&t, &update);
+        assert!(report.new_event.is_some());
+        let direct = possible_worlds(&updated, 20).unwrap().normalized();
+        let via_pw = update
+            .apply_to_pw_set(&possible_worlds(&t, 20).unwrap())
+            .normalized();
+        assert!(direct.isomorphic(&via_pw), "\n{}", updated.to_ascii());
+    }
+
+    /// Three levels of nesting plus a multi-match target: every B below
+    /// the root is matched once per C child.
+    #[test]
+    fn deeply_nested_and_multi_match_targets() {
+        let mut t = ProbTree::new("A");
+        let x = t.events_mut().insert("x", 0.5);
+        let y = t.events_mut().insert("y", 0.5);
+        let z = t.events_mut().insert("z", 0.5);
+        let root = t.tree().root();
+        let b1 = t.add_child(root, "B", Condition::always());
+        t.add_child(b1, "C", Condition::of(Literal::pos(x)));
+        t.add_child(b1, "C", Condition::of(Literal::pos(y)));
+        let b2 = t.add_child(b1, "B", Condition::of(Literal::pos(y)));
+        let b3 = t.add_child(b2, "B", Condition::always());
+        t.add_child(b3, "C", Condition::of(Literal::pos(z)));
+        let update = delete_b_with_c_child(1.0);
+        // B1 matched twice (two C children), B3 once.
+        assert_eq!(update.operation.query.matches(t.tree()).len(), 3);
+        let (updated, report) = UpdateEngine::new().apply(&t, &update);
+        assert_eq!(report.matches, 3);
+        assert_eq!(report.targets, 2);
+        let direct = possible_worlds(&updated, 20).unwrap().normalized();
+        let via_pw = update
+            .apply_to_pw_set(&possible_worlds(&t, 20).unwrap())
+            .normalized();
+        assert!(direct.isomorphic(&via_pw), "\n{}", updated.to_ascii());
+    }
+
+    /// Regression: two applications of the same deletion must produce
+    /// byte-identical renderings (the pre-engine `HashMap` target grouping
+    /// made the sibling order depend on per-instance hash seeds).
+    #[test]
+    fn deletion_output_is_run_to_run_deterministic() {
+        let build = || {
+            let mut t = ProbTree::new("A");
+            let root = t.tree().root();
+            // Many distinct targets so a hash-ordered traversal has many
+            // orders to choose from.
+            for i in 0..12 {
+                let w = t.events_mut().insert(format!("w{i}"), 0.5);
+                let s = t.add_child(root, "S", Condition::always());
+                let b = t.add_child(s, "B", Condition::of(Literal::pos(w)));
+                t.add_child(b, "P", Condition::always());
+            }
+            t
+        };
+        let mut q = PatternQuery::new(Some("B"));
+        let b = q.root();
+        q.add_child(b, "P");
+        let update = ProbabilisticUpdate::new(UpdateOperation::delete(q, b), 0.9);
+        let engine = UpdateEngine::new();
+        let (first, _) = engine.apply(&build(), &update);
+        let (second, _) = engine.apply(&build(), &update);
+        assert_eq!(
+            first.to_ascii(),
+            second.to_ascii(),
+            "update output must not depend on hash iteration order"
+        );
+    }
+
+    /// Shared-first chains split the fresh confidence event off once:
+    /// `1 + 2^n` survivor copies instead of `3^n` on the Theorem 3 family.
+    #[test]
+    fn shared_first_chains_control_the_confidence_blowup() {
+        let tree = pxml_workloads_free_theorem3(4);
+        let update = d0(0.8);
+        let raw = UpdateEngine::with_config(UpdateEngineConfig::raw());
+        let ordered = UpdateEngine::with_config(UpdateEngineConfig {
+            simplify: false,
+            ..UpdateEngineConfig::default()
+        });
+        let (raw_out, _) = raw.apply(&tree, &update);
+        let (ordered_out, _) = ordered.apply(&tree, &update);
+        let b = |t: &ProbTree| {
+            t.tree()
+                .iter()
+                .filter(|&nd| t.tree().label(nd) == "B")
+                .count()
+        };
+        assert_eq!(b(&raw_out), 81, "naive chain product: 3^4");
+        assert_eq!(b(&ordered_out), 17, "shared-first: 1 + 2^4");
+        assert!(ordered_out.size() < raw_out.size());
+    }
+
+    /// … and the simplification pass recovers the same reduction from the
+    /// naive expansion (acceptance: the pass shrinks the Theorem 3 family).
+    #[test]
+    fn simplification_shrinks_the_naive_theorem3_output() {
+        for n in 2..=4usize {
+            let tree = pxml_workloads_free_theorem3(n);
+            let update = d0(0.8);
+            let raw = UpdateEngine::with_config(UpdateEngineConfig::raw());
+            let simplified = UpdateEngine::with_config(UpdateEngineConfig {
+                simplify: true,
+                shared_first_chains: false,
+                ..UpdateEngineConfig::default()
+            });
+            let (raw_out, raw_report) = raw.apply(&tree, &update);
+            let (simpl_out, simpl_report) = simplified.apply(&tree, &update);
+            assert_eq!(raw_report.size_raw(), simpl_report.size_raw());
+            assert!(
+                simpl_out.size() < raw_out.size(),
+                "n = {n}: {} !< {}",
+                simpl_out.size(),
+                raw_out.size()
+            );
+            assert!(simpl_report.simplification_savings() > 0);
+            // Both agree with the PW semantics at feasible sizes.
+            if n <= 3 {
+                let via_pw = update
+                    .apply_to_pw_set(&possible_worlds(&tree, 20).unwrap())
+                    .normalized();
+                let direct = possible_worlds(&simpl_out, 20).unwrap().normalized();
+                assert!(direct.isomorphic(&via_pw));
+            }
+        }
+    }
+
+    #[test]
+    fn unmatched_update_reports_identity() {
+        let t = figure1_example();
+        let q = PatternQuery::new(Some("Z"));
+        let at = q.root();
+        let update =
+            ProbabilisticUpdate::new(UpdateOperation::insert(q, at, DataTree::new("E")), 0.9);
+        let (updated, report) = UpdateEngine::new().apply(&t, &update);
+        assert_eq!(report.matches, 0);
+        assert!(report.new_event.is_none());
+        assert_eq!(report.size_before(), report.size_after());
+        assert_eq!(updated.num_nodes(), t.num_nodes());
+        assert_eq!(updated.events().len(), t.events().len(), "no fresh event");
+    }
+
+    /// Local copy of `pxml_workloads::paper::theorem3_tree` (the workloads
+    /// crate depends on this one, so the fixture cannot be imported).
+    fn pxml_workloads_free_theorem3(n: usize) -> ProbTree {
+        let mut tree = ProbTree::new("A");
+        let root = tree.tree().root();
+        tree.add_child(root, "B", Condition::always());
+        for i in 0..n {
+            let w0 = tree.events_mut().insert(format!("w{}_0", i + 1), 0.5);
+            let w1 = tree.events_mut().insert(format!("w{}_1", i + 1), 0.5);
+            tree.add_child(
+                root,
+                "C",
+                Condition::from_literals([Literal::pos(w0), Literal::pos(w1)]),
+            );
+        }
+        tree
+    }
+
+    fn d0(confidence: f64) -> ProbabilisticUpdate {
+        let mut q = PatternQuery::anchored(Some("A"));
+        let b = q.add_child(q.root(), "B");
+        let _c = q.add_child(q.root(), "C");
+        ProbabilisticUpdate::new(UpdateOperation::delete(q, b), confidence)
+    }
+}

@@ -15,15 +15,36 @@
 //! grow the prob-tree by `O(|Q(t)| · |T|)`, while deletions may blow it up
 //! to `Ω(2^n)` because the negation of a disjunction of conjunctions must
 //! be re-expressed as conjunctive node conditions.
+//!
+//! The prob-tree algorithms live in the [`UpdateEngine`] ([`engine`]):
+//! deletion targets are processed **deepest-first against the evolving
+//! tree** (so nested targets — one matched `at`-node an ancestor of
+//! another — receive their own survival split inside the ancestor's
+//! survivor copies), grouping and iteration are `BTreeMap`/sorted
+//! everywhere (byte-identical output across runs), and negation chains
+//! order shared literals first to curb the Theorem 3 blow-up. Batched
+//! sequences are applied through an [`UpdateScript`] ([`script`]) with
+//! per-step size/literal telemetry, and each step can run the [`simplify`](mod@simplify)
+//! pass (cleaning, certain-event pruning, disjoint sibling-cover merging)
+//! to shrink deletion output. The methods on [`ProbabilisticUpdate`] below
+//! are thin compatibility wrappers over a default engine, cross-checked
+//! against the possible-world semantics by the `pxml_integration` property
+//! suite.
 
-use std::collections::HashMap;
+pub mod engine;
+pub mod script;
+pub mod simplify;
 
-use pxml_events::{Condition, EventId, Literal};
+pub use engine::{StepReport, UpdateEngine, UpdateEngineConfig};
+pub use script::{ScriptReport, UpdateScript};
+pub use simplify::{simplify, simplify_with, SimplifyConfig, SimplifyReport};
+
+use pxml_events::EventId;
 use pxml_tree::{DataTree, NodeId};
 
 use crate::probtree::ProbTree;
 use crate::pwset::PossibleWorldSet;
-use crate::query::pattern::{PatternMatch, PatternNodeId, PatternQuery};
+use crate::query::pattern::{PatternNodeId, PatternQuery};
 
 /// The action part of an update operation (Definition 14).
 #[derive(Clone, Debug)]
@@ -105,7 +126,13 @@ impl UpdateOperation {
                         target != out.root(),
                         "deleting the root of a data tree is not supported"
                     );
-                    out.detach(target);
+                    // A target nested inside another target's subtree is
+                    // already gone once the ancestor is detached; detaching
+                    // it again would splice it out of the (detached)
+                    // ancestor's child list for nothing.
+                    if out.is_attached(target) {
+                        out.detach(target);
+                    }
                 }
             }
         }
@@ -156,137 +183,21 @@ impl ProbabilisticUpdate {
     /// algorithm, generalized to queries with several matches). Returns the
     /// updated prob-tree and the fresh event variable introduced (if the
     /// confidence is below 1).
+    ///
+    /// Compatibility wrapper over a default [`UpdateEngine`] (deepest-first
+    /// nested-target handling, deterministic output, simplification on).
+    /// Note that the default simplification includes
+    /// [`prune_certain`](crate::clean::prune_certain): when the input
+    /// carries `π(w) = 1` events, zero-probability branches anywhere in
+    /// the tree are pruned — the result agrees with
+    /// [`apply_to_pw_set`](Self::apply_to_pw_set) up to normalization but
+    /// is not necessarily *structurally* equivalent to what the naive
+    /// algorithm would produce. Use
+    /// [`UpdateEngine::with_config`] to opt out.
     pub fn apply_to_probtree(&self, tree: &ProbTree) -> (ProbTree, Option<EventId>) {
-        let matches = self.operation.query.matches(tree.tree());
-        if matches.is_empty() {
-            return (tree.clone(), None);
-        }
-        let mut out = tree.clone();
-        let new_event = if self.confidence < 1.0 {
-            Some(out.events_mut().fresh(self.confidence))
-        } else {
-            None
-        };
-        match &self.operation.action {
-            UpdateAction::Insert { at, subtree } => {
-                apply_insertion(&mut out, tree, &matches, *at, subtree, new_event);
-            }
-            UpdateAction::Delete { at } => {
-                apply_deletion(&mut out, tree, &matches, *at, new_event);
-            }
-        }
-        (out.compact().0, new_event)
+        let (updated, report) = UpdateEngine::new().apply(tree, self);
+        (updated, report.new_event)
     }
-}
-
-/// The condition `cond` of Appendix A for one match: the union of the
-/// conditions of the nodes of the induced answer sub-datatree.
-fn match_condition(tree: &ProbTree, m: &PatternMatch) -> Condition {
-    let sub = m.induced_subtree(tree.tree());
-    let mut cond = Condition::always();
-    for node in sub.nodes() {
-        cond = cond.and(&tree.condition(node));
-    }
-    cond
-}
-
-fn apply_insertion(
-    out: &mut ProbTree,
-    original: &ProbTree,
-    matches: &[PatternMatch],
-    at: PatternNodeId,
-    subtree: &DataTree,
-    new_event: Option<EventId>,
-) {
-    for m in matches {
-        let target = m.node(at);
-        let cond = match_condition(original, m);
-        let gamma_target = original.condition(target);
-        let cond_ancestors = original.ancestor_condition(target);
-        // {w} ∪ (cond − (γ(µ(n)) ∪ cond_ancestors))
-        let mut root_cond = cond.minus(&gamma_target.and(&cond_ancestors));
-        if let Some(w) = new_event {
-            root_cond = root_cond.and_literal(Literal::pos(w));
-        }
-        out.graft_data_tree(target, subtree, root_cond);
-    }
-}
-
-fn apply_deletion(
-    out: &mut ProbTree,
-    original: &ProbTree,
-    matches: &[PatternMatch],
-    at: PatternNodeId,
-    new_event: Option<EventId>,
-) {
-    // Group the per-match deletion conditions by target node.
-    let mut by_target: HashMap<NodeId, Vec<Condition>> = HashMap::new();
-    for m in matches {
-        let target = m.node(at);
-        assert!(
-            target != original.tree().root(),
-            "deleting the root of a prob-tree is not supported"
-        );
-        let cond = match_condition(original, m);
-        let gamma_target = original.condition(target);
-        let cond_ancestors = original.ancestor_condition(target);
-        let mut del_cond = cond.minus(&gamma_target.and(&cond_ancestors));
-        if let Some(w) = new_event {
-            del_cond = del_cond.and_literal(Literal::pos(w));
-        }
-        by_target.entry(target).or_default().push(del_cond);
-    }
-
-    for (target, del_conds) in by_target {
-        let gamma_target = original.condition(target);
-        // The node survives exactly when *none* of the deletion conditions
-        // hold: ⋀_j ¬d_j. Expand this into a disjunction of conjunctions by
-        // taking, for each d_j = a_1 ∧ … ∧ a_p, the mutually exclusive
-        // chain ¬a_1 | a_1¬a_2 | … | a_1…a_{p−1}¬a_p, and distributing the
-        // conjunction over the chains. A d_j with no literals means the
-        // deletion applies unconditionally: the node never survives.
-        let mut survivor_disjuncts: Vec<Condition> = vec![Condition::always()];
-        for d in &del_conds {
-            if d.is_empty() {
-                survivor_disjuncts.clear();
-                break;
-            }
-            let chain = negation_chain(d);
-            let mut next = Vec::with_capacity(survivor_disjuncts.len() * chain.len());
-            for base in &survivor_disjuncts {
-                for link in &chain {
-                    let combined = base.and(link);
-                    if combined.is_consistent() {
-                        next.push(combined);
-                    }
-                }
-            }
-            survivor_disjuncts = next;
-        }
-
-        // Replace the target with one copy per surviving disjunct.
-        let parent = original
-            .tree()
-            .parent(target)
-            .expect("non-root node has a parent");
-        for disjunct in &survivor_disjuncts {
-            out.graft_probtree_subtree(parent, original, target, gamma_target.and(disjunct));
-        }
-        out.detach(target);
-    }
-}
-
-/// The mutually exclusive expansion of `¬(a_1 ∧ … ∧ a_p)` used by
-/// Appendix A: `{¬a_1}, {a_1, ¬a_2}, …, {a_1, …, a_{p−1}, ¬a_p}`.
-fn negation_chain(condition: &Condition) -> Vec<Condition> {
-    let literals = condition.literals();
-    let mut chain = Vec::with_capacity(literals.len());
-    for (i, &lit) in literals.iter().enumerate() {
-        let mut parts: Vec<Literal> = literals[..i].to_vec();
-        parts.push(lit.negated());
-        chain.push(Condition::from_literals(parts));
-    }
-    chain
 }
 
 #[cfg(test)]
@@ -294,7 +205,7 @@ mod tests {
     use super::*;
     use crate::probtree::figure1_example;
     use crate::semantics::possible_worlds;
-    use pxml_events::prob_eq;
+    use pxml_events::{prob_eq, Condition, Literal};
     use pxml_tree::builder::TreeSpec;
 
     /// Insertion: add an E child under every C node, with confidence 0.9.
@@ -350,6 +261,30 @@ mod tests {
         let update = d0(1.0);
         let updated = update.operation.apply_to_data_tree(&tree);
         assert_eq!(updated.len(), 2, "both B subtrees are gone: {updated:?}");
+    }
+
+    /// B-under-B: a deletion whose targets nest must delete the outer
+    /// subtree once, without trying to detach the inner target from the
+    /// already-detached outer one.
+    #[test]
+    fn data_tree_deletion_with_nested_targets() {
+        // A → B → B → X, plus a sibling C so the pattern below matches both
+        // B nodes. Delete every B.
+        let tree = TreeSpec::node(
+            "A",
+            vec![
+                TreeSpec::node("B", vec![TreeSpec::node("B", vec![TreeSpec::leaf("X")])]),
+                TreeSpec::leaf("C"),
+            ],
+        )
+        .build();
+        let q = PatternQuery::new(Some("B"));
+        let at = q.root();
+        let update = ProbabilisticUpdate::new(UpdateOperation::delete(q, at), 1.0);
+        assert_eq!(update.operation.query.matches(&tree).len(), 2);
+        let updated = update.operation.apply_to_data_tree(&tree);
+        assert_eq!(updated.len(), 2, "only A and C remain: {updated:?}");
+        assert!(updated.iter().all(|n| updated.label(n) != "B"));
     }
 
     #[test]

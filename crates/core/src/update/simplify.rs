@@ -1,0 +1,393 @@
+//! Post-update simplification of prob-trees.
+//!
+//! Deletions blow prob-trees up (Theorem 3); this pass claws back what is
+//! recoverable without changing the (normalized) possible-world semantics,
+//! by chaining three reductions until a fixpoint (or `max_passes`):
+//!
+//! 1. [`clean`] — drop literals implied by ancestors, prune inconsistent
+//!    branches (Section 3; preserves structural equivalence);
+//! 2. [`prune_certain`] — drop literals on `π(w) = 1` events and prune the
+//!    zero-probability branches they contradict (preserves the normalized
+//!    semantics only);
+//! 3. **sibling cover merging** — for each group of sibling copies whose
+//!    subtrees are structurally identical (labels *and* conditions below
+//!    the copy root) and whose root conditions are pairwise mutually
+//!    exclusive, re-cover the disjunction of root conditions by a strictly
+//!    smaller pairwise-disjoint DNF ([`Dnf::minimized_disjoint_cover`])
+//!    and replace the copies. Because the old and new covers are
+//!    count-equivalent (Definition 10) and the subtrees identical, every
+//!    valuation produces the same multiset of child instances — this step
+//!    preserves structural equivalence, which is exactly why the survivor
+//!    copies a deletion scatters under one parent are its natural prey.
+
+use std::collections::{BTreeMap, HashMap};
+
+use pxml_events::{Condition, Dnf, Literal};
+use pxml_tree::NodeId;
+
+use crate::clean::{clean, prune_certain};
+use crate::probtree::ProbTree;
+
+/// Configuration of the [`simplify`] pass.
+#[derive(Clone, Debug)]
+pub struct SimplifyConfig {
+    /// Run [`clean`] each pass (default: `true`).
+    pub clean: bool,
+    /// Run [`prune_certain`] each pass (default: `true`).
+    pub prune_certain: bool,
+    /// Merge sibling covers each pass (default: `true`).
+    pub merge_siblings: bool,
+    /// Skip cover merging for condition supports larger than this (the
+    /// Shannon expansion is exponential in the support in the worst case;
+    /// default: 20).
+    pub max_merge_support: usize,
+    /// Skip cover merging for sibling groups larger than this (the
+    /// pairwise disjointness test is quadratic in the group; default:
+    /// 1024).
+    pub max_merge_group: usize,
+    /// Upper bound on chained passes (default: 4 — merging children can
+    /// make their parents mergeable in turn).
+    pub max_passes: usize,
+}
+
+impl Default for SimplifyConfig {
+    fn default() -> Self {
+        SimplifyConfig {
+            clean: true,
+            prune_certain: true,
+            merge_siblings: true,
+            max_merge_support: 20,
+            max_merge_group: 1024,
+            max_passes: 4,
+        }
+    }
+}
+
+/// Telemetry of one [`simplify_with`] run.
+#[derive(Clone, Debug, Default)]
+pub struct SimplifyReport {
+    /// Nodes before / after.
+    pub nodes_before: usize,
+    /// Literals before.
+    pub literals_before: usize,
+    /// Nodes after.
+    pub nodes_after: usize,
+    /// Literals after.
+    pub literals_after: usize,
+    /// Number of sibling groups replaced by a smaller cover.
+    pub merged_groups: usize,
+    /// Number of passes run (including the final no-change pass).
+    pub passes: usize,
+}
+
+impl SimplifyReport {
+    /// Size units saved (`|T|` before minus after).
+    pub fn savings(&self) -> usize {
+        (self.nodes_before + self.literals_before)
+            .saturating_sub(self.nodes_after + self.literals_after)
+    }
+}
+
+/// [`simplify_with`] under the default configuration, returning just the
+/// simplified tree.
+pub fn simplify(tree: &ProbTree) -> ProbTree {
+    simplify_with(tree, &SimplifyConfig::default()).0
+}
+
+/// Runs the simplification chain. The result has the same normalized
+/// possible-world semantics as the input (and is structurally equivalent
+/// to it whenever `prune_certain` is disabled or no `π(w) = 1` event
+/// exists).
+pub fn simplify_with(tree: &ProbTree, config: &SimplifyConfig) -> (ProbTree, SimplifyReport) {
+    let mut report = SimplifyReport {
+        nodes_before: tree.num_nodes(),
+        literals_before: tree.num_literals(),
+        ..SimplifyReport::default()
+    };
+    let mut work = tree.clone();
+    for _ in 0..config.max_passes.max(1) {
+        report.passes += 1;
+        let fingerprint = (work.num_nodes(), work.num_literals());
+        if config.clean {
+            work = clean(&work);
+        }
+        if config.prune_certain {
+            work = prune_certain(&work);
+        }
+        let mut merged = false;
+        if config.merge_siblings {
+            let (next, groups) = merge_sibling_covers(&work, config);
+            merged = groups > 0;
+            report.merged_groups += groups;
+            work = next;
+        }
+        if !merged && (work.num_nodes(), work.num_literals()) == fingerprint {
+            break;
+        }
+    }
+    report.nodes_after = work.num_nodes();
+    report.literals_after = work.num_literals();
+    (work, report)
+}
+
+/// One merging sweep over every parent node; returns the rewritten tree
+/// and the number of sibling groups replaced.
+fn merge_sibling_covers(tree: &ProbTree, config: &SimplifyConfig) -> (ProbTree, usize) {
+    let mut work = tree.clone();
+    let mut merged_groups = 0usize;
+    // Shape codes for every node of the pre-sweep tree, computed once
+    // bottom-up; only pre-sweep nodes are ever grouped (copies introduced
+    // by a merge are revisited by the next pass).
+    let shapes = ShapeCodes::new(tree);
+    let parents: Vec<NodeId> = work.tree().iter().collect();
+    for parent in parents {
+        // A parent may itself have been detached by a merge higher up the
+        // list (its whole group was replaced by fresh copies).
+        if !work.tree().is_attached(parent) {
+            continue;
+        }
+        // Group the children by the shape of everything *except* their own
+        // root condition — label, structure and the conditions below.
+        let children: Vec<NodeId> = work.tree().children(parent).to_vec();
+        if children.len() < 2 {
+            continue;
+        }
+        let mut groups: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
+        for &child in &children {
+            groups.entry(shapes.bare(child)).or_default().push(child);
+        }
+        for group in groups.values() {
+            if group.len() < 2 || group.len() > config.max_merge_group {
+                continue;
+            }
+            // Split the group into greedy cliques of pairwise mutually
+            // exclusive root conditions (identical copies — e.g. two
+            // equal-condition duplicates — are *not* disjoint and stay
+            // untouched, as the multiset semantics requires).
+            let conditions: Vec<Condition> = group.iter().map(|&c| work.condition(c)).collect();
+            let mut cliques: Vec<Vec<usize>> = Vec::new();
+            for (i, cond) in conditions.iter().enumerate() {
+                let home = cliques.iter_mut().find(|clique| {
+                    clique
+                        .iter()
+                        .all(|&j| cond.is_disjoint_with(&conditions[j]))
+                });
+                match home {
+                    Some(clique) => clique.push(i),
+                    None => cliques.push(vec![i]),
+                }
+            }
+            for clique in cliques {
+                if clique.len() < 2 {
+                    continue;
+                }
+                let dnf = Dnf::from_disjuncts(clique.iter().map(|&i| conditions[i].clone()));
+                let Some(cover) = dnf.minimized_disjoint_cover(config.max_merge_support) else {
+                    continue;
+                };
+                // Replace the clique: fresh copies of the (identical)
+                // subtree, one per cover disjunct, then drop the originals.
+                let template = group[clique[0]];
+                for disjunct in cover.disjuncts() {
+                    work.duplicate_subtree(parent, template, disjunct.clone());
+                }
+                for &i in &clique {
+                    work.detach(group[i]);
+                }
+                merged_groups += 1;
+            }
+        }
+    }
+    if merged_groups > 0 {
+        (work.compact().0, merged_groups)
+    } else {
+        // No clique merged, so `work` was never mutated.
+        (work, 0)
+    }
+}
+
+/// Interned shape codes for every reachable node, computed in one
+/// bottom-up sweep (the canonization idea of `pxml_tree::canon`, extended
+/// with conditions): two nodes share a *full* code iff their subtrees are
+/// identical including every condition, and share a *bare* code iff they
+/// are identical except for their own root condition — which is what the
+/// merge rewrites, so children are grouped by bare code. Two children
+/// with equal bare codes produce identical world contents whenever their
+/// root conditions hold.
+struct ShapeCodes {
+    bare: HashMap<NodeId, u32>,
+}
+
+impl ShapeCodes {
+    fn new(tree: &ProbTree) -> Self {
+        // (label, own-condition literals or None for the bare variant,
+        // sorted child full-codes) → code.
+        type ShapeKey = (String, Option<Vec<Literal>>, Vec<u32>);
+        let mut interner: HashMap<ShapeKey, u32> = HashMap::new();
+        let mut full: HashMap<NodeId, u32> = HashMap::new();
+        let mut bare: HashMap<NodeId, u32> = HashMap::new();
+        // Reverse pre-order visits children before their parents.
+        let order: Vec<NodeId> = tree.tree().iter().collect();
+        for &node in order.iter().rev() {
+            let mut child_codes: Vec<u32> =
+                tree.tree().children(node).iter().map(|c| full[c]).collect();
+            child_codes.sort_unstable();
+            let label = tree.tree().label(node).to_string();
+            let condition = tree.condition(node).literals().to_vec();
+            let mut intern = |key: ShapeKey| {
+                let next = interner.len() as u32;
+                *interner.entry(key).or_insert(next)
+            };
+            full.insert(
+                node,
+                intern((label.clone(), Some(condition), child_codes.clone())),
+            );
+            bare.insert(node, intern((label, None, child_codes)));
+        }
+        ShapeCodes { bare }
+    }
+
+    fn bare(&self, node: NodeId) -> u32 {
+        self.bare[&node]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::structural_equivalent_exhaustive;
+    use crate::semantics::possible_worlds;
+    use pxml_events::Literal;
+
+    /// A complementary sibling pair `X∧w` / `X∧¬w` merges into a single
+    /// `X` copy.
+    #[test]
+    fn complementary_sibling_pair_merges() {
+        let mut t = ProbTree::new("A");
+        let x = t.events_mut().insert("x", 0.6);
+        let w = t.events_mut().insert("w", 0.5);
+        let root = t.tree().root();
+        let b1 = t.add_child(
+            root,
+            "B",
+            Condition::from_literals([Literal::pos(x), Literal::pos(w)]),
+        );
+        t.add_child(b1, "D", Condition::of(Literal::pos(x)));
+        let b2 = t.add_child(
+            root,
+            "B",
+            Condition::from_literals([Literal::pos(x), Literal::neg(w)]),
+        );
+        t.add_child(b2, "D", Condition::of(Literal::pos(x)));
+        let (simplified, report) = simplify_with(&t, &SimplifyConfig::default());
+        assert_eq!(report.merged_groups, 1);
+        assert!(report.savings() > 0);
+        // One B copy left... whose D child then loses the x literal to
+        // cleaning on the next pass (x is implied by the merged root).
+        let b_count = simplified
+            .tree()
+            .iter()
+            .filter(|&n| simplified.tree().label(n) == "B")
+            .count();
+        assert_eq!(b_count, 1);
+        assert!(structural_equivalent_exhaustive(&t, &simplified, 20).unwrap());
+    }
+
+    /// Identical duplicates are a multiset feature, not a redundancy.
+    #[test]
+    fn equal_condition_duplicates_are_not_merged() {
+        let mut t = ProbTree::new("A");
+        let w = t.events_mut().insert("w", 0.5);
+        let root = t.tree().root();
+        t.add_child(root, "B", Condition::of(Literal::pos(w)));
+        t.add_child(root, "B", Condition::of(Literal::pos(w)));
+        let (simplified, report) = simplify_with(&t, &SimplifyConfig::default());
+        assert_eq!(report.merged_groups, 0);
+        assert_eq!(simplified.num_nodes(), 3);
+    }
+
+    /// Children with different subtrees never merge, even when their root
+    /// conditions are complementary.
+    #[test]
+    fn different_subtrees_are_not_merged() {
+        let mut t = ProbTree::new("A");
+        let w = t.events_mut().insert("w", 0.5);
+        let root = t.tree().root();
+        let b1 = t.add_child(root, "B", Condition::of(Literal::pos(w)));
+        t.add_child(b1, "D", Condition::always());
+        t.add_child(root, "B", Condition::of(Literal::neg(w)));
+        let (simplified, report) = simplify_with(&t, &SimplifyConfig::default());
+        assert_eq!(report.merged_groups, 0);
+        assert_eq!(simplified.num_nodes(), t.num_nodes());
+    }
+
+    /// Merging children can unlock a parent-level merge on the next pass.
+    #[test]
+    fn merging_cascades_to_parents_across_passes() {
+        let mut t = ProbTree::new("A");
+        let u = t.events_mut().insert("u", 0.5);
+        let w = t.events_mut().insert("w", 0.5);
+        let root = t.tree().root();
+        // Two S siblings with complementary conditions; their subtrees
+        // differ only by a child-level complementary pair that the first
+        // pass collapses.
+        for s_literal in [Literal::pos(u), Literal::neg(u)] {
+            let s = t.add_child(root, "S", Condition::of(s_literal));
+            t.add_child(s, "B", Condition::of(Literal::pos(w)));
+            t.add_child(s, "B", Condition::of(Literal::neg(w)));
+        }
+        let (simplified, report) = simplify_with(&t, &SimplifyConfig::default());
+        // The S subtrees are already identical, so the pre-order sweep
+        // merges the S pair first (into one unconditioned S); pass 2 then
+        // merges the B pair inside the surviving copy.
+        assert_eq!(report.merged_groups, 2);
+        assert_eq!(simplified.num_nodes(), 3, "A → S → B");
+        assert_eq!(simplified.num_literals(), 0);
+        assert!(structural_equivalent_exhaustive(&t, &simplified, 20).unwrap());
+    }
+
+    /// The full chain preserves the normalized semantics in the presence
+    /// of certain events (where structural equivalence is allowed to
+    /// change).
+    #[test]
+    fn chain_preserves_normalized_semantics_with_certain_events() {
+        let mut t = ProbTree::new("A");
+        let sure = t.events_mut().insert("sure", 1.0);
+        let w = t.events_mut().insert("w", 0.5);
+        let root = t.tree().root();
+        t.add_child(
+            root,
+            "B",
+            Condition::from_literals([Literal::pos(sure), Literal::pos(w)]),
+        );
+        t.add_child(root, "B", Condition::of(Literal::neg(w)));
+        t.add_child(root, "C", Condition::of(Literal::neg(sure)));
+        let before = possible_worlds(&t, 20).unwrap().normalized();
+        let (simplified, _) = simplify_with(&t, &SimplifyConfig::default());
+        let after = possible_worlds(&simplified, 20).unwrap().normalized();
+        assert!(before.isomorphic(&after));
+        // `sure` dropped from B's condition, then the B pair merges; the
+        // ¬sure branch is pruned.
+        assert_eq!(simplified.num_nodes(), 2);
+        assert_eq!(simplified.num_literals(), 0);
+    }
+
+    #[test]
+    fn disabled_passes_leave_the_tree_alone() {
+        let mut t = ProbTree::new("A");
+        let w = t.events_mut().insert("w", 0.5);
+        let root = t.tree().root();
+        t.add_child(root, "B", Condition::of(Literal::pos(w)));
+        t.add_child(root, "B", Condition::of(Literal::neg(w)));
+        let config = SimplifyConfig {
+            clean: false,
+            prune_certain: false,
+            merge_siblings: false,
+            ..SimplifyConfig::default()
+        };
+        let (simplified, report) = simplify_with(&t, &config);
+        assert_eq!(report.merged_groups, 0);
+        assert_eq!(report.passes, 1);
+        assert_eq!(simplified.num_nodes(), t.num_nodes());
+    }
+}

@@ -212,6 +212,60 @@ impl Condition {
         self.literals.iter().all(|l| other.literals.contains(l))
     }
 
+    /// Whether the condition contains exactly this literal (same event and
+    /// polarity).
+    pub fn contains(&self, literal: Literal) -> bool {
+        self.literals.binary_search(&literal).is_ok()
+    }
+
+    /// `true` if the two conjunctions are syntactically mutually exclusive:
+    /// one contains a literal whose negation appears in the other, so no
+    /// valuation satisfies both. Linear merge walk over the sorted literal
+    /// lists.
+    pub fn is_disjoint_with(&self, other: &Condition) -> bool {
+        let (a, b) = (&self.literals, &other.literals);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].event.cmp(&b[j].event) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if a[i].positive != b[j].positive {
+                        return true;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        false
+    }
+
+    /// Cofactor: the condition restricted by the assignment `event := value`.
+    /// Returns `None` if the assignment falsifies the condition (it contains
+    /// the opposite literal), otherwise the condition with any literal on
+    /// `event` removed (it is now satisfied).
+    pub fn assign(&self, event: EventId, value: bool) -> Option<Condition> {
+        if self
+            .literals
+            .iter()
+            .any(|l| l.event == event && l.positive != value)
+        {
+            return None;
+        }
+        if !self.mentions(event) {
+            return Some(self.clone());
+        }
+        Some(Condition {
+            literals: self
+                .literals
+                .iter()
+                .filter(|l| l.event != event)
+                .copied()
+                .collect(),
+        })
+    }
+
     /// Truth value under a valuation. The empty condition is true.
     pub fn eval(&self, valuation: &Valuation) -> bool {
         self.literals.iter().all(|l| l.eval(valuation))
@@ -404,6 +458,34 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn disjointness_requires_a_complementary_pair() {
+        let (_, w1, w2, w3) = table();
+        let a = Condition::from_literals([Literal::pos(w1), Literal::neg(w2)]);
+        let b = Condition::from_literals([Literal::neg(w1), Literal::pos(w3)]);
+        assert!(a.is_disjoint_with(&b), "w1 vs ¬w1");
+        assert!(b.is_disjoint_with(&a));
+        let c = Condition::from_literals([Literal::pos(w1), Literal::pos(w3)]);
+        assert!(!a.is_disjoint_with(&c), "compatible overlap");
+        assert!(!a.is_disjoint_with(&Condition::always()));
+        assert!(!Condition::always().is_disjoint_with(&Condition::always()));
+    }
+
+    #[test]
+    fn assign_cofactors_conditions() {
+        let (_, w1, w2, _) = table();
+        let c = Condition::from_literals([Literal::pos(w1), Literal::neg(w2)]);
+        // Satisfying assignment removes the literal.
+        assert_eq!(c.assign(w1, true), Some(Condition::of(Literal::neg(w2))));
+        // Falsifying assignment kills the condition.
+        assert_eq!(c.assign(w1, false), None);
+        // Unmentioned event leaves the condition unchanged.
+        let (_, _, _, w3) = table();
+        assert_eq!(c.assign(w3, true), Some(c.clone()));
+        assert!(c.contains(Literal::pos(w1)));
+        assert!(!c.contains(Literal::neg(w1)));
     }
 
     #[test]

@@ -18,7 +18,9 @@ use rand::Rng;
 
 use pxml_core::probtree::ProbTree;
 use pxml_core::query::pattern::PatternQuery;
-use pxml_core::update::{ProbabilisticUpdate, UpdateOperation};
+use pxml_core::update::{
+    ProbabilisticUpdate, ScriptReport, UpdateEngine, UpdateOperation, UpdateScript,
+};
 use pxml_events::Condition;
 use pxml_tree::DataTree;
 
@@ -55,13 +57,16 @@ pub struct AppliedUpdate {
     pub is_deletion: bool,
 }
 
-/// The outcome of the scenario: the final warehouse and the update log.
+/// The outcome of the scenario: the final warehouse, the update log, and
+/// the engine's per-step telemetry.
 #[derive(Clone, Debug)]
 pub struct Warehouse {
     /// The probabilistic warehouse after all extraction rounds.
     pub tree: ProbTree,
     /// The updates that were applied, in order.
     pub log: Vec<AppliedUpdate>,
+    /// Per-step size/literal telemetry from the update engine.
+    pub report: ScriptReport,
 }
 
 /// The fixed label alphabet of the scenario.
@@ -79,9 +84,12 @@ pub fn skeleton(services: usize) -> ProbTree {
     tree
 }
 
-/// Runs the extraction pipeline and returns the resulting warehouse.
-pub fn run_scenario<R: Rng + ?Sized>(config: &WarehouseConfig, rng: &mut R) -> Warehouse {
-    let mut tree = skeleton(config.services);
+/// Builds the extraction pipeline as an [`UpdateScript`] plus its log.
+pub fn scenario_script<R: Rng + ?Sized>(
+    config: &WarehouseConfig,
+    rng: &mut R,
+) -> (UpdateScript, Vec<AppliedUpdate>) {
+    let mut script = UpdateScript::new();
     let mut log = Vec::new();
     for round in 0..config.extraction_rounds {
         let confidence = rng.gen_range(0.5..0.99);
@@ -91,9 +99,10 @@ pub fn run_scenario<R: Rng + ?Sized>(config: &WarehouseConfig, rng: &mut R) -> W
             let label = FACT_LABELS[rng.gen_range(0..FACT_LABELS.len())];
             let mut query = PatternQuery::new(Some("service"));
             let fact = query.add_child(query.root(), label);
-            let update = ProbabilisticUpdate::new(UpdateOperation::delete(query, fact), confidence);
-            let (updated, _) = update.apply_to_probtree(&tree);
-            tree = updated;
+            script.push(ProbabilisticUpdate::new(
+                UpdateOperation::delete(query, fact),
+                confidence,
+            ));
             log.push(AppliedUpdate {
                 description: format!("retract every {label} fact"),
                 confidence,
@@ -108,10 +117,10 @@ pub fn run_scenario<R: Rng + ?Sized>(config: &WarehouseConfig, rng: &mut R) -> W
             fact.add_child(fact_root, format!("value{round}"));
             let query = PatternQuery::new(Some("service"));
             let at = query.root();
-            let update =
-                ProbabilisticUpdate::new(UpdateOperation::insert(query, at, fact), confidence);
-            let (updated, _) = update.apply_to_probtree(&tree);
-            tree = updated;
+            script.push(ProbabilisticUpdate::new(
+                UpdateOperation::insert(query, at, fact),
+                confidence,
+            ));
             log.push(AppliedUpdate {
                 description: format!("assert a {label} fact under every service"),
                 confidence,
@@ -119,7 +128,15 @@ pub fn run_scenario<R: Rng + ?Sized>(config: &WarehouseConfig, rng: &mut R) -> W
             });
         }
     }
-    Warehouse { tree, log }
+    (script, log)
+}
+
+/// Runs the extraction pipeline — one batched [`UpdateScript`] through the
+/// [`UpdateEngine`] — and returns the resulting warehouse.
+pub fn run_scenario<R: Rng + ?Sized>(config: &WarehouseConfig, rng: &mut R) -> Warehouse {
+    let (script, log) = scenario_script(config, rng);
+    let (tree, report) = UpdateEngine::new().apply_script(&skeleton(config.services), &script);
+    Warehouse { tree, log, report }
 }
 
 /// The scenario's canonical analysis query: services for which both an
@@ -159,6 +176,9 @@ mod tests {
         assert_eq!(warehouse.tree.events().len(), 8);
         // Insertions added nodes under the services.
         assert!(warehouse.tree.num_nodes() > skeleton(3).num_nodes());
+        // The engine report covers every round and chains sizes.
+        assert_eq!(warehouse.report.steps.len(), 8);
+        assert!(warehouse.report.peak_size() >= warehouse.tree.size());
     }
 
     #[test]
