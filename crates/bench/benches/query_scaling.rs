@@ -2,10 +2,21 @@
 //! evaluation over prob-trees is polynomial, with cost
 //! `time(Q(t)) + O(|Q(t)|·|T|)` on top of the plain data-tree evaluation.
 //!
-//! Two groups: the query on the bare data tree (the `time(Q(t))` term) and
-//! the same query on the prob-tree (adds the condition collection and
-//! probability evaluation). Both should scale polynomially (roughly
-//! linearly for this fixed two-step pattern) in the tree size.
+//! Four groups:
+//!
+//! * `e3_query_data_tree` — the query on the bare data tree (the
+//!   `time(Q(t))` term);
+//! * `e3_query_probtree` — the same query on the prob-tree via the
+//!   one-shot wrapper (adds the condition unions and probability
+//!   evaluation);
+//! * `e3_prepared_vs_unprepared` — a top-10 request served from a reused
+//!   `PreparedQuery` vs paying `prepare` on every call: the prepared path
+//!   skips matching, condition unions and (cached) probabilities;
+//! * `e3_topk_vs_full_sort` — top-10 via the bounded binary heap vs the
+//!   full-sort reference ranking, from the same prepared state.
+//!
+//! Before timing, the heap-vs-sort and threshold short-circuit comparison
+//! counters are asserted (untimed) on the largest fixture.
 //!
 //! Set `PXML_BENCH_QUICK=1` (as CI's bench-smoke job does) for a fast
 //! smoke run over the two smallest tree sizes.
@@ -17,9 +28,43 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pxml_bench::{rng, scaling_probtree, scaling_query, SCALING_SIZES};
 use pxml_core::query::prob::query_probtree;
 use pxml_core::query::Query;
+use pxml_core::QueryEngine;
 
 fn quick() -> bool {
     std::env::var_os("PXML_BENCH_QUICK").is_some()
+}
+
+/// Untimed sanity assertions on the selection counters: the bounded heap
+/// must do fewer rank comparisons than the full sort, and a selective
+/// threshold must sort only its qualifying answers.
+fn assert_selection_counters(tree: &pxml_core::ProbTree, query: &dyn Query) {
+    let prepared = QueryEngine::new().prepare(tree, query);
+    let full = prepared.ranked();
+    if full.len() < 64 {
+        return; // not enough answers for a meaningful ratio
+    }
+    let top = prepared.top_k(10);
+    assert!(
+        top.stats().comparisons < full.stats().comparisons / 2,
+        "bounded heap must beat the full sort: {} vs {} comparisons over {} answers",
+        top.stats().comparisons,
+        full.stats().comparisons,
+        full.len()
+    );
+    // A threshold keeping only the ~top answers: the short-circuit path
+    // must not pay the full ranking sort (the legacy path sorted all
+    // answers before filtering). The ratio depends on how many answers
+    // tie at the cutoff, so only strict improvement is asserted here —
+    // the sharp /4 bound lives in the engine's unit tests.
+    let cutoff = top.as_slice()[top.len() - 1].probability;
+    let selective = prepared.above(cutoff);
+    assert!(
+        selective.stats().comparisons < full.stats().comparisons,
+        "threshold short-circuit must beat the full sort: {} vs {} comparisons",
+        selective.stats().comparisons,
+        full.stats().comparisons
+    );
+    assert!(selective.len() >= top.len());
 }
 
 fn bench_query_scaling(c: &mut Criterion) {
@@ -35,6 +80,9 @@ fn bench_query_scaling(c: &mut Criterion) {
         .map(|&n| (n, scaling_probtree(n, &mut r)))
         .collect();
 
+    let (_, largest) = trees.last().expect("at least one scaling size");
+    assert_selection_counters(largest, &query);
+
     let mut group = c.benchmark_group("e3_query_data_tree");
     for (n, tree) in &trees {
         group.bench_with_input(BenchmarkId::from_parameter(n), tree, |b, tree| {
@@ -48,6 +96,45 @@ fn bench_query_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), tree, |b, tree| {
             b.iter(|| query_probtree(&query, tree));
         });
+    }
+    group.finish();
+
+    // Prepared reuse: the ranked-retrieval access pattern — one prepare,
+    // many top-k requests — vs re-preparing per request.
+    let engine = QueryEngine::new();
+    let mut group = c.benchmark_group("e3_prepared_vs_unprepared");
+    for (n, tree) in &trees {
+        group.bench_with_input(BenchmarkId::new("unprepared", n), tree, |b, tree| {
+            b.iter(|| engine.prepare(tree, &query).top_k(10));
+        });
+        group.bench_with_input(BenchmarkId::new("prepared", n), tree, |b, tree| {
+            let prepared = engine.prepare(tree, &query);
+            prepared.top_k(10); // warm the probability cache once
+            b.iter(|| prepared.top_k(10));
+        });
+    }
+    group.finish();
+
+    // Bounded-heap top-k vs the full-sort reference over one prepared
+    // state (probabilities cached, so the selection cost dominates).
+    let mut group = c.benchmark_group("e3_topk_vs_full_sort");
+    for (n, tree) in &trees {
+        let prepared = engine.prepare(tree, &query);
+        prepared.ranked(); // warm probability + tie-key caches
+        group.bench_with_input(
+            BenchmarkId::new("top10_heap", n),
+            &prepared,
+            |b, prepared| {
+                b.iter(|| prepared.top_k(10));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_sort", n),
+            &prepared,
+            |b, prepared| {
+                b.iter(|| prepared.ranked());
+            },
+        );
     }
     group.finish();
 }

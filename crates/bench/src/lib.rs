@@ -61,6 +61,7 @@ pub const SCALING_SIZES: [usize; 4] = [100, 500, 2_000, 8_000];
 mod tests {
     use super::*;
     use pxml_core::query::prob::query_probtree;
+    use pxml_core::QueryEngine;
 
     #[test]
     fn scaling_fixtures_are_generated_deterministically() {
@@ -78,5 +79,11 @@ mod tests {
             !answers.is_empty(),
             "the scaling query should match something"
         );
+        // The prepared state serves the same answers (the E3 bench relies
+        // on it for the prepared-vs-unprepared comparison).
+        let query = scaling_query();
+        let prepared = QueryEngine::new().prepare(&tree, &query);
+        assert_eq!(prepared.len(), answers.len());
+        assert!(prepared.top_k(10).len() <= 10);
     }
 }

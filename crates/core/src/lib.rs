@@ -59,6 +59,7 @@ pub mod worlds;
 pub use probtree::ProbTree;
 pub use pwset::PossibleWorldSet;
 pub use query::pattern::PatternQuery;
+pub use query::{AnswerSet, PreparedQuery, QueryEngine, QueryEngineConfig, TieBreak};
 pub use update::{
     ProbabilisticUpdate, UpdateAction, UpdateEngine, UpdateEngineConfig, UpdateOperation,
     UpdateScript,

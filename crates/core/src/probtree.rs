@@ -63,6 +63,14 @@ impl ProbTree {
         self.conditions.get(&node).cloned().unwrap_or_default()
     }
 
+    /// Borrowing variant of [`ProbTree::condition`]: `None` for the root
+    /// and unannotated nodes (which carry the empty condition). Lets bulk
+    /// consumers — e.g. the per-answer condition unions of the query
+    /// engine — walk `γ` without cloning a literal vector per node.
+    pub fn condition_ref(&self, node: NodeId) -> Option<&Condition> {
+        self.conditions.get(&node)
+    }
+
     /// Sets the condition of a non-root node.
     ///
     /// # Panics
@@ -278,6 +286,18 @@ mod tests {
     use super::*;
     use pxml_events::Literal;
     use pxml_tree::canon::{canonical_string, Semantics};
+
+    #[test]
+    fn condition_ref_agrees_with_condition() {
+        let t = figure1_example();
+        for node in t.tree().iter() {
+            match t.condition_ref(node) {
+                Some(c) => assert_eq!(c, &t.condition(node)),
+                None => assert!(t.condition(node).is_empty()),
+            }
+        }
+        assert!(t.condition_ref(t.tree().root()).is_none());
+    }
 
     #[test]
     fn figure1_structure() {

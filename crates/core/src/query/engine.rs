@@ -1,0 +1,953 @@
+//! The prepared, streaming query engine.
+//!
+//! The free functions of [`prob`](super::prob) and [`ranked`](super::ranked)
+//! each re-run the match from scratch, materialize every answer eagerly and
+//! fully sort before truncating — the wrong shape for ranked retrieval,
+//! where an application prepares a query once and then asks for the top
+//! few answers, a threshold slice, or an aggregate, over and over.
+//! [`QueryEngine::prepare`] instead evaluates the match set and the
+//! per-answer condition unions of Definition 8 **exactly once** and returns
+//! a [`PreparedQuery`] that serves every consumer from that shared state:
+//!
+//! * [`PreparedQuery::answers`] — a lazy stream; answer trees and
+//!   probabilities are only computed for the answers actually pulled;
+//! * [`PreparedQuery::top_k`] — the `k` best answers via a bounded binary
+//!   heap, `O(n log k)` comparisons instead of a full `O(n log n)` sort,
+//!   with tie-break keys built at most once per answer and cached;
+//! * [`PreparedQuery::above`] — a threshold slice that short-circuits:
+//!   non-qualifying answers never enter the ranking sort;
+//! * [`PreparedQuery::expected_matches`], [`PreparedQuery::probability_of`]
+//!   — aggregates and point lookups;
+//! * [`PreparedQuery::theorem1_check`] — the Theorem 1 cross-check through
+//!   the factorized world engine, honoring the engine's world budget and
+//!   parallelism configuration.
+//!
+//! Condition unions are **interned**: distinct answers sharing the same
+//! union (common in fan-out-heavy trees where siblings inherit one
+//! ancestor condition) share one [`Condition`] and one lazily-computed
+//! probability. The union itself is a single sorted merge
+//! ([`Condition::union_of`]) instead of the quadratic repeated
+//! [`Condition::and`] fold.
+
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::OnceLock;
+
+use pxml_events::valuation::TooManyValuations;
+use pxml_events::Condition;
+use pxml_tree::canon::Semantics;
+use pxml_tree::subtree::SubDataTree;
+
+use crate::probtree::ProbTree;
+use crate::pwset::PossibleWorldSet;
+use crate::semantics::possible_worlds_factorized;
+use crate::worlds::WorldEngineConfig;
+
+use super::prob::{query_pw_set, ProbAnswer};
+use super::Query;
+
+/// How equal-probability answers are ordered in ranked selection.
+///
+/// Every policy is refined by the answer's position in the
+/// [`Query::evaluate`] output as a final discriminator, so the induced
+/// order is **total**: the bounded-heap [`PreparedQuery::top_k`] and a
+/// full-sort reference select exactly the same answers in the same order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TieBreak {
+    /// Order ties by the canonical form of the answer tree under multiset
+    /// semantics (the default, and the policy of the legacy
+    /// [`top_k`](super::ranked::top_k)): deterministic across runs and
+    /// independent of node identities.
+    #[default]
+    Canonical,
+    /// Like [`TieBreak::Canonical`] but under set semantics (duplicate
+    /// siblings collapse to one canonical child).
+    CanonicalSet,
+    /// Keep ties in match order (the [`Query::evaluate`] output order).
+    /// Skips canonical-string construction entirely; deterministic for
+    /// deterministic queries, but sensitive to node numbering.
+    MatchOrder,
+}
+
+impl TieBreak {
+    /// The canonicalization semantics of the policy, or `None` when ties
+    /// are kept in match order.
+    fn semantics(self) -> Option<Semantics> {
+        match self {
+            TieBreak::Canonical => Some(Semantics::MultiSet),
+            TieBreak::CanonicalSet => Some(Semantics::Set),
+            TieBreak::MatchOrder => None,
+        }
+    }
+}
+
+/// Configuration of a [`QueryEngine`].
+#[derive(Clone, Debug)]
+pub struct QueryEngineConfig {
+    /// World budget of [`PreparedQuery::theorem1_check`]: the largest
+    /// co-occurrence component (and, as `2^max_events`, the total shard
+    /// and joint work) the factorized expansion may enumerate.
+    pub max_events: usize,
+    /// Passthrough to the factorized world engine (worker threads, joint
+    /// cross-product cap; the environment switches
+    /// `PXML_WORLDS_PARALLELISM` / `PXML_WORLDS_MAX_JOINT` apply).
+    pub worlds: WorldEngineConfig,
+    /// Tie-break policy of ranked selection.
+    pub tie_break: TieBreak,
+}
+
+impl Default for QueryEngineConfig {
+    fn default() -> Self {
+        QueryEngineConfig::for_event_budget(crate::DEFAULT_MAX_EXHAUSTIVE_EVENTS)
+    }
+}
+
+impl QueryEngineConfig {
+    /// The configuration for consumers whose public contract is an
+    /// event-count guard: the Theorem 1 cross-check refuses components
+    /// larger than `max_events` and the world engine's joint cap defaults
+    /// to the `2^{max_events}` budget granted here (mirroring
+    /// [`WorldEngineConfig::for_event_budget`]).
+    pub fn for_event_budget(max_events: usize) -> Self {
+        QueryEngineConfig {
+            max_events,
+            worlds: WorldEngineConfig::for_event_budget(max_events),
+            tie_break: TieBreak::default(),
+        }
+    }
+
+    /// Returns the configuration with the given tie-break policy.
+    pub fn with_tie_break(mut self, tie_break: TieBreak) -> Self {
+        self.tie_break = tie_break;
+        self
+    }
+}
+
+/// The query engine: a reusable configuration from which
+/// [`PreparedQuery`] states are built.
+///
+/// The legacy free functions ([`super::prob::query_probtree`],
+/// [`super::ranked::top_k`], …) are thin wrappers over a default engine,
+/// mirroring how [`crate::update::ProbabilisticUpdate::apply_to_probtree`]
+/// wraps the [`crate::update::UpdateEngine`].
+#[derive(Clone, Debug, Default)]
+pub struct QueryEngine {
+    config: QueryEngineConfig,
+}
+
+impl QueryEngine {
+    /// An engine with the default configuration.
+    pub fn new() -> Self {
+        QueryEngine::default()
+    }
+
+    /// An engine with an explicit configuration.
+    pub fn with_config(config: QueryEngineConfig) -> Self {
+        QueryEngine { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &QueryEngineConfig {
+        &self.config
+    }
+
+    /// Evaluates the match set and the per-answer condition unions of
+    /// Definition 8 — once — and returns the prepared state every
+    /// consumer (stream, top-k, threshold, aggregates, Theorem 1 check)
+    /// is served from.
+    ///
+    /// The query runs on the underlying data tree through
+    /// [`Query::evaluate`] (for [`crate::PatternQuery`] this is the
+    /// span-indexed matcher); each answer's condition union is a single
+    /// sorted merge over its node conditions and is interned so equal
+    /// unions share one condition and one lazily-computed probability.
+    /// Cost: `time(Q(t)) + O(|Q(t)| · |T|)` (Proposition 2) — with no
+    /// probability evaluation, tree materialization or sorting until a
+    /// consumer asks.
+    pub fn prepare<'a>(&self, tree: &'a ProbTree, query: &'a dyn Query) -> PreparedQuery<'a> {
+        let subtrees = query.evaluate(tree.tree());
+        let mut intern: HashMap<Condition, usize> = HashMap::new();
+        let mut conditions: Vec<Condition> = Vec::new();
+        let mut answers: Vec<AnswerState> = Vec::with_capacity(subtrees.len());
+        for subtree in subtrees {
+            let union = Condition::union_of(subtree.nodes().filter_map(|n| tree.condition_ref(n)));
+            let condition = match intern.entry(union) {
+                Entry::Occupied(slot) => *slot.get(),
+                Entry::Vacant(slot) => {
+                    let index = conditions.len();
+                    conditions.push(slot.key().clone());
+                    slot.insert(index);
+                    index
+                }
+            };
+            answers.push(AnswerState { subtree, condition });
+        }
+        let probabilities = std::iter::repeat_with(OnceLock::new)
+            .take(conditions.len())
+            .collect();
+        let tie_keys = std::iter::repeat_with(OnceLock::new)
+            .take(answers.len())
+            .collect();
+        PreparedQuery {
+            tree,
+            query,
+            config: self.config.clone(),
+            answers,
+            conditions,
+            probabilities,
+            tie_keys,
+            by_subtree: OnceLock::new(),
+        }
+    }
+}
+
+/// One answer in the prepared state: its node set and the index of its
+/// interned condition union.
+#[derive(Clone, Debug)]
+struct AnswerState {
+    subtree: SubDataTree,
+    condition: usize,
+}
+
+/// The shared state [`QueryEngine::prepare`] computes once per
+/// `(tree, query)` pair: the match set (in [`Query::evaluate`] order) and
+/// the interned per-answer condition unions. Everything else — answer
+/// trees, probabilities, tie-break keys, rankings — is computed on demand
+/// and cached where re-use pays (probabilities per interned condition,
+/// tie-break keys per answer).
+pub struct PreparedQuery<'a> {
+    tree: &'a ProbTree,
+    query: &'a dyn Query,
+    config: QueryEngineConfig,
+    answers: Vec<AnswerState>,
+    /// Distinct condition unions, in first-occurrence order.
+    conditions: Vec<Condition>,
+    /// Lazily-computed `eval` probability of each interned condition.
+    probabilities: Vec<OnceLock<f64>>,
+    /// Lazily-built canonical tie-break key of each answer.
+    tie_keys: Vec<OnceLock<String>>,
+    /// Answer indices sorted by node set — built lazily on the first
+    /// point lookup, so one-shot consumers never pay for the sort.
+    by_subtree: OnceLock<Vec<usize>>,
+}
+
+impl<'a> PreparedQuery<'a> {
+    /// The prob-tree the query was prepared against.
+    pub fn tree(&self) -> &'a ProbTree {
+        self.tree
+    }
+
+    /// The prepared query.
+    pub fn query(&self) -> &'a dyn Query {
+        self.query
+    }
+
+    /// Number of answers in the match set (including zero-probability
+    /// answers, which ranked selection drops).
+    pub fn len(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// `true` if the query has no answers on this tree.
+    pub fn is_empty(&self) -> bool {
+        self.answers.is_empty()
+    }
+
+    /// Number of **distinct** condition unions across the answers — the
+    /// number of probability evaluations a full drain pays after
+    /// interning.
+    pub fn num_distinct_conditions(&self) -> usize {
+        self.conditions.len()
+    }
+
+    /// Number of interned conditions whose probability has been computed
+    /// so far (telemetry: shows what a partial drain paid).
+    pub fn num_cached_probabilities(&self) -> usize {
+        self.probabilities
+            .iter()
+            .filter(|p| p.get().is_some())
+            .count()
+    }
+
+    /// Number of answers whose canonical tie-break key has been built so
+    /// far (telemetry: keys are built at most once per answer).
+    pub fn num_cached_tie_keys(&self) -> usize {
+        self.tie_keys.iter().filter(|k| k.get().is_some()).count()
+    }
+
+    /// The condition union `⋃_{n ∈ u} γ(n)` of the `index`-th answer.
+    ///
+    /// # Panics
+    /// Panics if `index ≥ len()`.
+    pub fn condition(&self, index: usize) -> &Condition {
+        &self.conditions[self.answers[index].condition]
+    }
+
+    /// The node set of the `index`-th answer.
+    ///
+    /// # Panics
+    /// Panics if `index ≥ len()`.
+    pub fn subtree(&self, index: usize) -> &SubDataTree {
+        &self.answers[index].subtree
+    }
+
+    /// The probability of the `index`-th answer (Definition 8), computed
+    /// on first use and cached per interned condition.
+    ///
+    /// # Panics
+    /// Panics if `index ≥ len()`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.condition_probability(self.answers[index].condition)
+    }
+
+    fn condition_probability(&self, condition: usize) -> f64 {
+        *self.probabilities[condition]
+            .get_or_init(|| self.conditions[condition].probability(self.tree.events()))
+    }
+
+    /// Materializes the `index`-th answer (tree, node set, probability).
+    ///
+    /// # Panics
+    /// Panics if `index ≥ len()`.
+    pub fn materialize(&self, index: usize) -> ProbAnswer {
+        let state = &self.answers[index];
+        ProbAnswer {
+            tree: state.subtree.to_tree(self.tree.tree()),
+            probability: self.condition_probability(state.condition),
+            subtree: state.subtree.clone(),
+        }
+    }
+
+    /// Streams the answers lazily, in match order: each answer's tree and
+    /// probability are only computed when the iterator reaches it, so
+    /// consumers that stop early never pay for the tail.
+    pub fn answers(&self) -> Answers<'_, 'a> {
+        Answers {
+            prepared: self,
+            next: 0,
+        }
+    }
+
+    /// The probability of the answer with exactly this node set, or
+    /// `None` if the query did not return it. Point lookup via binary
+    /// search over a sorted index built (and cached) on first use — no
+    /// re-evaluation, and no sorting cost for consumers that never ask.
+    pub fn probability_of(&self, subtree: &SubDataTree) -> Option<f64> {
+        let by_subtree = self.by_subtree.get_or_init(|| {
+            let mut index: Vec<usize> = (0..self.answers.len()).collect();
+            index.sort_unstable_by(|&a, &b| self.answers[a].subtree.cmp(&self.answers[b].subtree));
+            index
+        });
+        by_subtree
+            .binary_search_by(|&i| self.answers[i].subtree.cmp(subtree))
+            .ok()
+            .map(|pos| self.probability(by_subtree[pos]))
+    }
+
+    /// The expected number of answers over the possible worlds — by
+    /// linearity of expectation under the multiset semantics, the plain
+    /// sum of the per-answer probabilities.
+    pub fn expected_matches(&self) -> f64 {
+        (0..self.answers.len()).map(|i| self.probability(i)).sum()
+    }
+
+    /// The `k` most probable answers, best first, selected with a bounded
+    /// binary heap: `O(n log k)` rank comparisons instead of a full
+    /// `O(n log n)` sort, and only the `k` winners are materialized.
+    /// Zero-probability answers are dropped; ties follow the configured
+    /// [`TieBreak`] policy, whose canonical keys are built at most once
+    /// per answer and cached across calls.
+    pub fn top_k(&self, k: usize) -> AnswerSet {
+        let counters = SelectionCounters::default();
+        let mut heap: BinaryHeap<HeapEntry<'_, 'a>> = BinaryHeap::with_capacity(k.min(self.len()));
+        for index in 0..self.answers.len() {
+            counters.enumerated.set(counters.enumerated.get() + 1);
+            let probability = self.probability(index);
+            if probability <= 0.0 {
+                continue;
+            }
+            let entry = HeapEntry {
+                prepared: self,
+                counters: &counters,
+                index,
+                probability,
+            };
+            if heap.len() < k {
+                heap.push(entry);
+            } else if let Some(mut worst) = heap.peek_mut() {
+                // The heap is a max-heap under rank order (its maximum is
+                // the worst of the current best k); replacing the peeked
+                // entry re-sifts on drop.
+                if entry.cmp(&worst) == Ordering::Less {
+                    *worst = entry;
+                }
+            }
+        }
+        let mut ranked: Vec<(usize, f64)> =
+            heap.into_iter().map(|e| (e.index, e.probability)).collect();
+        ranked.sort_unstable_by(|&a, &b| self.rank_cmp(a, b, &counters));
+        self.select(ranked, counters)
+    }
+
+    /// All answers with probability at least `threshold`, best first. The
+    /// threshold filter short-circuits: answers below it are skipped with
+    /// one probability lookup each and never enter the ranking sort, so
+    /// the comparison count scales with the number of **qualifying**
+    /// answers — unlike the legacy `top_k(usize::MAX)`-then-filter path,
+    /// which sorted the full answer set first.
+    pub fn above(&self, threshold: f64) -> AnswerSet {
+        let counters = SelectionCounters::default();
+        let mut ranked: Vec<(usize, f64)> = Vec::new();
+        for index in 0..self.answers.len() {
+            counters.enumerated.set(counters.enumerated.get() + 1);
+            let probability = self.probability(index);
+            if probability > 0.0 && probability >= threshold {
+                ranked.push((index, probability));
+            }
+        }
+        ranked.sort_unstable_by(|&a, &b| self.rank_cmp(a, b, &counters));
+        self.select(ranked, counters)
+    }
+
+    /// Every positive-probability answer, fully ranked — the full-sort
+    /// reference that [`PreparedQuery::top_k`] is benchmarked (and
+    /// property-tested) against.
+    pub fn ranked(&self) -> AnswerSet {
+        self.above(0.0)
+    }
+
+    /// Materializes a ranked selection into an [`AnswerSet`].
+    fn select(&self, ranked: Vec<(usize, f64)>, counters: SelectionCounters) -> AnswerSet {
+        let answers: Vec<ProbAnswer> = ranked
+            .iter()
+            .map(|&(index, _)| self.materialize(index))
+            .collect();
+        AnswerSet {
+            stats: counters.into_stats(answers.len()),
+            answers,
+        }
+    }
+
+    /// Rank order: probability descending, then the tie-break policy,
+    /// then match order (a total order — see [`TieBreak`]).
+    fn rank_cmp(&self, a: (usize, f64), b: (usize, f64), counters: &SelectionCounters) -> Ordering {
+        counters.comparisons.set(counters.comparisons.get() + 1);
+        match b
+            .1
+            .partial_cmp(&a.1)
+            .expect("answer probabilities are finite")
+        {
+            Ordering::Equal => {}
+            order => return order,
+        }
+        if let Some(semantics) = self.config.tie_break.semantics() {
+            match self
+                .tie_key(a.0, semantics, counters)
+                .cmp(self.tie_key(b.0, semantics, counters))
+            {
+                Ordering::Equal => {}
+                order => return order,
+            }
+        }
+        a.0.cmp(&b.0)
+    }
+
+    /// The canonical tie-break key of an answer, built on first use and
+    /// cached — the legacy sort recomputed it inside **every** comparison.
+    fn tie_key(&self, index: usize, semantics: Semantics, counters: &SelectionCounters) -> &str {
+        self.tie_keys[index].get_or_init(|| {
+            counters
+                .tie_keys_built
+                .set(counters.tie_keys_built.get() + 1);
+            self.answers[index]
+                .subtree
+                .canonical_string(self.tree.tree(), semantics)
+        })
+    }
+
+    /// The positive-probability answers repackaged as a weighted world
+    /// set, comparable (`∼`) against [`query_pw_set`] — the statement of
+    /// Theorem 1.
+    pub fn as_pw_set(&self) -> PossibleWorldSet {
+        PossibleWorldSet::from_worlds((0..self.answers.len()).filter_map(|index| {
+            let probability = self.probability(index);
+            (probability > 0.0).then(|| {
+                (
+                    self.answers[index].subtree.to_tree(self.tree.tree()),
+                    probability,
+                )
+            })
+        }))
+    }
+
+    /// Checks Theorem 1 (`Q(T) ∼ Q(JT K)`) on the prepared state by
+    /// exhaustive expansion through the **factorized** world engine,
+    /// under the engine's world budget (`max_events`) and executor
+    /// configuration (parallelism, joint cap). Exponential in the worst
+    /// case; returns an error instead of exceeding the budget.
+    pub fn theorem1_check(&self) -> Result<bool, TooManyValuations> {
+        let direct = self.as_pw_set();
+        let worlds =
+            possible_worlds_factorized(self.tree, self.config.max_events, &self.config.worlds)?;
+        let via_worlds = query_pw_set(self.query, &worlds);
+        Ok(direct.normalized().isomorphic(&via_worlds.normalized()))
+    }
+}
+
+/// Interior-mutability counters threaded through one ranked selection.
+#[derive(Default)]
+struct SelectionCounters {
+    enumerated: Cell<u64>,
+    comparisons: Cell<u64>,
+    tie_keys_built: Cell<u64>,
+}
+
+impl SelectionCounters {
+    fn into_stats(self, selected: usize) -> SelectionStats {
+        SelectionStats {
+            enumerated: self.enumerated.get(),
+            comparisons: self.comparisons.get(),
+            tie_keys_built: self.tie_keys_built.get(),
+            selected,
+        }
+    }
+}
+
+/// Work counters of one ranked selection ([`PreparedQuery::top_k`] /
+/// [`PreparedQuery::above`] / [`PreparedQuery::ranked`]) — the evidence
+/// that the bounded-heap and short-circuit paths do less work than a full
+/// sort (asserted by tests and the `query_scaling` bench).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SelectionStats {
+    /// Prepared answers scanned (always the full match set — probabilities
+    /// are one cached lookup each).
+    pub enumerated: u64,
+    /// Pairwise rank comparisons performed.
+    pub comparisons: u64,
+    /// Canonical tie-break keys built during this selection (keys already
+    /// cached by earlier selections are not rebuilt).
+    pub tie_keys_built: u64,
+    /// Answers selected (= materialized into the result).
+    pub selected: usize,
+}
+
+/// One candidate in the bounded top-k heap. Ordered by rank (better =
+/// [`Ordering::Less`]), so the heap's maximum is the worst of the current
+/// best `k` — the eviction candidate.
+struct HeapEntry<'p, 'a> {
+    prepared: &'p PreparedQuery<'a>,
+    counters: &'p SelectionCounters,
+    index: usize,
+    probability: f64,
+}
+
+impl PartialEq for HeapEntry<'_, '_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index
+    }
+}
+
+impl Eq for HeapEntry<'_, '_> {}
+
+impl PartialOrd for HeapEntry<'_, '_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry<'_, '_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.prepared.rank_cmp(
+            (self.index, self.probability),
+            (other.index, other.probability),
+            self.counters,
+        )
+    }
+}
+
+/// Lazy answer stream over a [`PreparedQuery`] (see
+/// [`PreparedQuery::answers`]).
+pub struct Answers<'p, 'a> {
+    prepared: &'p PreparedQuery<'a>,
+    next: usize,
+}
+
+impl Iterator for Answers<'_, '_> {
+    type Item = ProbAnswer;
+
+    fn next(&mut self) -> Option<ProbAnswer> {
+        if self.next >= self.prepared.len() {
+            return None;
+        }
+        let answer = self.prepared.materialize(self.next);
+        self.next += 1;
+        Some(answer)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.prepared.len() - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Answers<'_, '_> {}
+
+/// A ranked selection of query answers, best first, with the work
+/// counters of the selection that produced it. Replaces the ad-hoc
+/// `Vec<ProbAnswer>` returns of the legacy ranked API; derefs to
+/// `[ProbAnswer]` for slice-style access.
+#[derive(Clone, Debug)]
+pub struct AnswerSet {
+    answers: Vec<ProbAnswer>,
+    stats: SelectionStats,
+}
+
+impl AnswerSet {
+    /// Work counters of the selection.
+    pub fn stats(&self) -> SelectionStats {
+        self.stats
+    }
+
+    /// The answers as a slice, best first.
+    pub fn as_slice(&self) -> &[ProbAnswer] {
+        &self.answers
+    }
+
+    /// Consumes the set, returning the answers.
+    pub fn into_vec(self) -> Vec<ProbAnswer> {
+        self.answers
+    }
+
+    /// Sum of the answer probabilities (the expected number of selected
+    /// matches).
+    pub fn total_probability(&self) -> f64 {
+        self.answers.iter().map(|a| a.probability).sum()
+    }
+
+    /// The most probable answer, if any.
+    pub fn best(&self) -> Option<&ProbAnswer> {
+        self.answers.first()
+    }
+}
+
+impl std::ops::Deref for AnswerSet {
+    type Target = [ProbAnswer];
+
+    fn deref(&self) -> &[ProbAnswer] {
+        &self.answers
+    }
+}
+
+impl IntoIterator for AnswerSet {
+    type Item = ProbAnswer;
+    type IntoIter = std::vec::IntoIter<ProbAnswer>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.answers.into_iter()
+    }
+}
+
+impl<'s> IntoIterator for &'s AnswerSet {
+    type Item = &'s ProbAnswer;
+    type IntoIter = std::slice::Iter<'s, ProbAnswer>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.answers.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probtree::figure1_example;
+    use crate::query::pattern::PatternQuery;
+    use pxml_events::{prob_eq, Literal};
+    use pxml_tree::DataTree;
+
+    /// A query wrapper counting `evaluate` calls — proves the match set
+    /// is computed exactly once per prepared state.
+    struct CountingQuery<'q> {
+        inner: &'q PatternQuery,
+        evaluations: Cell<usize>,
+    }
+
+    impl Query for CountingQuery<'_> {
+        fn evaluate(&self, tree: &DataTree) -> Vec<SubDataTree> {
+            self.evaluations.set(self.evaluations.get() + 1);
+            self.inner.evaluate(tree)
+        }
+
+        fn describe(&self) -> String {
+            self.inner.describe()
+        }
+    }
+
+    /// Root with `n` items of pairwise-distinct probabilities in
+    /// scrambled order (a pre-sorted match set would let the pattern-
+    /// defeating reference sort finish in `O(n)` comparisons and void
+    /// the heap-vs-sort measurements), each with a distinct leaf.
+    fn ladder(n: usize) -> ProbTree {
+        let mut t = ProbTree::new("catalog");
+        let root = t.tree().root();
+        for i in 0..n {
+            let rank = (i * 7919) % n;
+            let w = t
+                .events_mut()
+                .insert(format!("w{i}"), 0.9 - 0.8 * rank as f64 / n as f64);
+            let item = t.add_child(root, "item", Condition::of(Literal::pos(w)));
+            t.add_child(item, format!("sku{i}"), Condition::always());
+        }
+        t
+    }
+
+    #[test]
+    fn prepare_evaluates_the_query_exactly_once() {
+        let tree = ladder(6);
+        let q = PatternQuery::new(Some("item"));
+        let counting = CountingQuery {
+            inner: &q,
+            evaluations: Cell::new(0),
+        };
+        let prepared = QueryEngine::new().prepare(&tree, &counting);
+        // Serve every prepared-state consumer from the one match set.
+        let top = prepared.top_k(2);
+        let slice = prepared.above(0.5);
+        let expected = prepared.expected_matches();
+        let streamed: Vec<ProbAnswer> = prepared.answers().collect();
+        let point = prepared.probability_of(prepared.subtree(0));
+        assert_eq!(top.len(), 2);
+        assert!(!slice.is_empty());
+        assert!(expected > 0.0);
+        assert_eq!(streamed.len(), prepared.len());
+        assert!(point.is_some());
+        assert_eq!(counting.evaluations.get(), 1, "match set computed once");
+        // The Theorem 1 cross-check necessarily re-runs the query on
+        // every expanded world — but never re-evaluates the match set on
+        // the prob-tree itself.
+        assert!(prepared.theorem1_check().unwrap());
+        assert!(counting.evaluations.get() > 1);
+    }
+
+    #[test]
+    fn probabilities_are_lazy_and_cached_per_interned_condition() {
+        let tree = ladder(5);
+        let q = PatternQuery::new(Some("item"));
+        let prepared = QueryEngine::new().prepare(&tree, &q);
+        assert_eq!(prepared.num_cached_probabilities(), 0, "prepare pays none");
+        let first = prepared.answers().next().unwrap();
+        assert!(first.probability > 0.0);
+        assert_eq!(prepared.num_cached_probabilities(), 1, "one answer pulled");
+        prepared.expected_matches();
+        assert_eq!(
+            prepared.num_cached_probabilities(),
+            prepared.num_distinct_conditions()
+        );
+    }
+
+    #[test]
+    fn equal_condition_unions_are_interned() {
+        // Two siblings under the same conditioned parent: both answers'
+        // unions equal the parent condition.
+        let mut tree = ProbTree::new("A");
+        let w = tree.events_mut().insert("w", 0.6);
+        let root = tree.tree().root();
+        let b = tree.add_child(root, "B", Condition::of(Literal::pos(w)));
+        tree.add_child(b, "C", Condition::always());
+        tree.add_child(b, "C", Condition::always());
+        let q = PatternQuery::new(Some("C"));
+        let prepared = QueryEngine::new().prepare(&tree, &q);
+        assert_eq!(prepared.len(), 2);
+        assert_eq!(prepared.num_distinct_conditions(), 1);
+        assert!(prob_eq(prepared.probability(0), 0.6));
+        assert!(prob_eq(prepared.probability(1), 0.6));
+    }
+
+    #[test]
+    fn top_k_agrees_with_the_full_sort_reference() {
+        let tree = ladder(9);
+        let q = PatternQuery::new(Some("item"));
+        let prepared = QueryEngine::new().prepare(&tree, &q);
+        let full = prepared.ranked();
+        for k in [0usize, 1, 3, 9, 20] {
+            let top = prepared.top_k(k);
+            assert_eq!(top.len(), k.min(full.len()));
+            for (a, b) in top.iter().zip(full.iter()) {
+                assert_eq!(a.probability, b.probability);
+                assert_eq!(a.subtree, b.subtree);
+            }
+        }
+    }
+
+    #[test]
+    fn above_short_circuits_the_ranking_sort() {
+        let tree = ladder(40);
+        let q = PatternQuery::new(Some("item"));
+        let prepared = QueryEngine::new().prepare(&tree, &q);
+        let full = prepared.ranked();
+        // A selective threshold: only the few most probable answers pass.
+        let selective = prepared.above(0.8);
+        assert!(selective.len() < full.len() / 4);
+        assert_eq!(selective.stats().enumerated, full.stats().enumerated);
+        assert!(
+            selective.stats().comparisons < full.stats().comparisons / 4,
+            "selective threshold must sort only the qualifying answers \
+             ({} vs {} comparisons)",
+            selective.stats().comparisons,
+            full.stats().comparisons
+        );
+        // And the result agrees with filtering the full ranking.
+        let reference: Vec<f64> = full
+            .iter()
+            .filter(|a| a.probability >= 0.8)
+            .map(|a| a.probability)
+            .collect();
+        let probabilities: Vec<f64> = selective.iter().map(|a| a.probability).collect();
+        assert_eq!(probabilities, reference);
+    }
+
+    #[test]
+    fn top_k_bounded_heap_beats_full_sort_on_comparisons() {
+        let tree = ladder(200);
+        let q = PatternQuery::new(Some("item"));
+        let prepared = QueryEngine::new().prepare(&tree, &q);
+        let top = prepared.top_k(5);
+        let full = prepared.ranked();
+        assert_eq!(top.stats().selected, 5);
+        assert!(
+            top.stats().comparisons < full.stats().comparisons / 2,
+            "O(n log k) heap must beat the O(n log n) sort ({} vs {})",
+            top.stats().comparisons,
+            full.stats().comparisons
+        );
+    }
+
+    #[test]
+    fn tie_keys_are_built_once_and_cached_across_selections() {
+        // Four equal-probability answers with distinct shapes force tie
+        // comparisons.
+        let mut tree = ProbTree::new("r");
+        let root = tree.tree().root();
+        for i in 0..4 {
+            let w = tree.events_mut().insert(format!("w{i}"), 0.5);
+            let x = tree.add_child(root, "x", Condition::of(Literal::pos(w)));
+            tree.add_child(x, format!("leaf{i}"), Condition::always());
+        }
+        let q = PatternQuery::new(Some("x"));
+        let prepared = QueryEngine::new().prepare(&tree, &q);
+        let first = prepared.ranked();
+        assert!(first.stats().tie_keys_built > 0);
+        assert_eq!(
+            prepared.num_cached_tie_keys() as u64,
+            first.stats().tie_keys_built
+        );
+        let second = prepared.ranked();
+        assert_eq!(second.stats().tie_keys_built, 0, "keys cached");
+        let keys: Vec<&str> = first.iter().map(|a| a.tree.label(a.tree.root())).collect();
+        let keys2: Vec<&str> = second.iter().map(|a| a.tree.label(a.tree.root())).collect();
+        assert_eq!(keys, keys2);
+    }
+
+    #[test]
+    fn match_order_tie_break_skips_key_construction() {
+        let mut tree = ProbTree::new("r");
+        let root = tree.tree().root();
+        for i in 0..4 {
+            let w = tree.events_mut().insert(format!("w{i}"), 0.5);
+            tree.add_child(root, format!("x{i}"), Condition::of(Literal::pos(w)));
+        }
+        let q = PatternQuery::new(None);
+        let engine = QueryEngine::with_config(
+            QueryEngineConfig::default().with_tie_break(TieBreak::MatchOrder),
+        );
+        let prepared = engine.prepare(&tree, &q);
+        let ranked = prepared.ranked();
+        assert_eq!(ranked.stats().tie_keys_built, 0);
+        assert_eq!(prepared.num_cached_tie_keys(), 0);
+        // Equal-probability answers stay in match order.
+        let equal: Vec<usize> = ranked
+            .iter()
+            .filter(|a| prob_eq(a.probability, 0.5))
+            .map(|a| a.tree.len())
+            .collect();
+        assert!(!equal.is_empty());
+    }
+
+    #[test]
+    fn probability_of_looks_up_prepared_answers() {
+        let tree = figure1_example();
+        let mut q = PatternQuery::new(Some("C"));
+        q.add_child(q.root(), "D");
+        let prepared = QueryEngine::new().prepare(&tree, &q);
+        assert_eq!(prepared.len(), 1);
+        let hit = prepared.probability_of(prepared.subtree(0));
+        assert!(prob_eq(hit.unwrap(), 0.7));
+        let miss = SubDataTree::root_only(tree.tree());
+        assert_eq!(prepared.probability_of(&miss), None);
+    }
+
+    #[test]
+    fn theorem1_check_on_figure1() {
+        let tree = figure1_example();
+        let queries = [
+            PatternQuery::new(Some("B")),
+            PatternQuery::new(Some("D")),
+            PatternQuery::new(Some("Z")),
+        ];
+        let engine = QueryEngine::new();
+        for q in &queries {
+            assert!(engine.prepare(&tree, q).theorem1_check().unwrap());
+        }
+    }
+
+    #[test]
+    fn theorem1_check_honors_the_world_budget() {
+        let mut tree = ProbTree::new("A");
+        let root = tree.tree().root();
+        // One 6-event component: a budget of 4 must refuse.
+        let events: Vec<_> = (0..6).map(|_| tree.events_mut().fresh(0.5)).collect();
+        tree.add_child(
+            root,
+            "B",
+            Condition::from_literals(events.iter().map(|&e| Literal::pos(e))),
+        );
+        let q = PatternQuery::new(Some("B"));
+        let tight = QueryEngine::with_config(QueryEngineConfig::for_event_budget(4));
+        assert!(tight.prepare(&tree, &q).theorem1_check().is_err());
+        let roomy = QueryEngine::with_config(QueryEngineConfig::for_event_budget(8));
+        assert!(roomy.prepare(&tree, &q).theorem1_check().unwrap());
+    }
+
+    #[test]
+    fn empty_match_set_serves_empty_everything() {
+        let tree = figure1_example();
+        let q = PatternQuery::new(Some("nope"));
+        let prepared = QueryEngine::new().prepare(&tree, &q);
+        assert!(prepared.is_empty());
+        assert_eq!(prepared.answers().count(), 0);
+        assert!(prepared.top_k(3).is_empty());
+        assert!(prepared.above(0.0).is_empty());
+        assert_eq!(prepared.expected_matches(), 0.0);
+        assert!(prepared.as_pw_set().is_empty());
+        assert!(prepared.theorem1_check().unwrap());
+    }
+
+    #[test]
+    fn answer_set_accessors() {
+        let tree = ladder(3);
+        let q = PatternQuery::new(Some("item"));
+        let prepared = QueryEngine::new().prepare(&tree, &q);
+        let set = prepared.ranked();
+        assert_eq!(set.as_slice().len(), set.len());
+        assert!(prob_eq(
+            set.total_probability(),
+            prepared.expected_matches()
+        ));
+        assert_eq!(set.best().unwrap().probability, set[0].probability);
+        let by_ref: Vec<f64> = (&set).into_iter().map(|a| a.probability).collect();
+        let owned: Vec<f64> = set.clone().into_iter().map(|a| a.probability).collect();
+        assert_eq!(by_ref, owned);
+        assert_eq!(set.into_vec().len(), 3);
+    }
+}

@@ -8,11 +8,23 @@
 //! (`u ∈ Q(t) ⇔ u ∈ Q(t')` whenever `u ≤ t' ≤ t`). Tree-pattern queries
 //! with joins ([`pattern::PatternQuery`]) are locally monotone; queries
 //! with negation are not.
+//!
+//! Evaluation over prob-trees goes through the [`engine::QueryEngine`]:
+//! [`engine::QueryEngine::prepare`] computes the match set and per-answer
+//! condition unions once, and the returned [`engine::PreparedQuery`]
+//! serves streaming, top-k, threshold, aggregate and Theorem 1 consumers
+//! from that shared state. The free functions of [`prob`] and [`ranked`]
+//! are thin one-shot wrappers over a default engine.
 
+pub mod engine;
 pub mod monotone;
 pub mod pattern;
 pub mod prob;
 pub mod ranked;
+
+pub use engine::{
+    AnswerSet, PreparedQuery, QueryEngine, QueryEngineConfig, SelectionStats, TieBreak,
+};
 
 use pxml_tree::subtree::SubDataTree;
 use pxml_tree::DataTree;

@@ -147,6 +147,35 @@ mod tests {
         assert!(!is_locally_monotone_on(&q, &tree));
     }
 
+    /// Local monotonicity is exactly the precondition of the query
+    /// engine's Definition-8 weighting: for the (non-locally-monotone)
+    /// negation query, the prepared answers disagree with the
+    /// world-by-world evaluation — `theorem1_check` must report `false`.
+    #[test]
+    fn engine_theorem1_check_detects_non_locally_monotone_queries() {
+        use crate::probtree::ProbTree;
+        use crate::query::engine::QueryEngine;
+        use pxml_events::{Condition, Literal};
+
+        let mut t = ProbTree::new("A");
+        let w = t.events_mut().insert("w", 0.5);
+        let root = t.tree().root();
+        t.add_child(root, "B", Condition::of(Literal::pos(w)));
+        let q = NegationQuery {
+            forbidden: "B".to_string(),
+        };
+        // Directly on the underlying tree, B is present, so the prepared
+        // match set is empty; but the w=false world (mass 0.5) answers.
+        let engine = QueryEngine::new();
+        let prepared = engine.prepare(&t, &q);
+        assert!(prepared.is_empty());
+        assert!(!prepared.theorem1_check().unwrap());
+
+        // A locally monotone query on the same tree passes.
+        let ok = crate::query::pattern::PatternQuery::new(Some("B"));
+        assert!(engine.prepare(&t, &ok).theorem1_check().unwrap());
+    }
+
     #[test]
     fn negation_query_on_clean_tree_is_vacuously_fine() {
         // If the forbidden label never appears, the query behaves like a

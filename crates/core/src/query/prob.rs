@@ -17,8 +17,8 @@ use pxml_tree::DataTree;
 
 use crate::probtree::ProbTree;
 use crate::pwset::PossibleWorldSet;
-use crate::semantics::possible_worlds_normalized;
 
+use super::engine::{QueryEngine, QueryEngineConfig};
 use super::Query;
 
 /// One answer of a query over a prob-tree: the answer tree (materialized),
@@ -50,36 +50,20 @@ pub fn query_pw_set(query: &dyn Query, pw: &PossibleWorldSet) -> PossibleWorldSe
 /// probability of the conjunction of the conditions of its nodes.
 ///
 /// The cost is `time(Q(t)) + O(|Q(t)| · |T|)` (Proposition 2).
+///
+/// One-shot wrapper over a default [`QueryEngine`]: prepares the query
+/// and drains the full answer stream. Repeated consumers should call
+/// [`QueryEngine::prepare`] themselves and reuse the
+/// [`PreparedQuery`](super::engine::PreparedQuery).
 pub fn query_probtree(query: &dyn Query, tree: &ProbTree) -> Vec<ProbAnswer> {
-    let data = tree.tree();
-    query
-        .evaluate(data)
-        .into_iter()
-        .map(|subtree| {
-            // Union of the conditions of the answer's nodes.
-            let mut cond = pxml_events::Condition::always();
-            for node in subtree.nodes() {
-                cond = cond.and(&tree.condition(node));
-            }
-            ProbAnswer {
-                tree: subtree.to_tree(data),
-                probability: cond.probability(tree.events()),
-                subtree,
-            }
-        })
-        .collect()
+    QueryEngine::new().prepare(tree, query).answers().collect()
 }
 
 /// The answers of [`query_probtree`] repackaged as a weighted world set, so
 /// they can be compared (`∼`) against [`query_pw_set`] answers — this is
 /// exactly the statement of Theorem 1.
 pub fn query_probtree_as_pw(query: &dyn Query, tree: &ProbTree) -> PossibleWorldSet {
-    PossibleWorldSet::from_worlds(
-        query_probtree(query, tree)
-            .into_iter()
-            .filter(|a| a.probability > 0.0)
-            .map(|a| (a.tree, a.probability)),
-    )
+    QueryEngine::new().prepare(tree, query).as_pw_set()
 }
 
 /// Checks Theorem 1 on a concrete prob-tree and query by exhaustive
@@ -90,14 +74,18 @@ pub fn query_probtree_as_pw(query: &dyn Query, tree: &ProbTree) -> PossibleWorld
 /// recombines by product of the class masses — which is `∼`-equal to the
 /// raw Definition 4 enumeration, and querying world-by-world commutes
 /// with merging isomorphic worlds.
+///
+/// Wrapper over
+/// [`PreparedQuery::theorem1_check`](super::engine::PreparedQuery::theorem1_check)
+/// on an engine budgeted at `max_events`.
 pub fn check_theorem1(
     query: &dyn Query,
     tree: &ProbTree,
     max_events: usize,
 ) -> Result<bool, TooManyValuations> {
-    let direct = query_probtree_as_pw(query, tree);
-    let via_worlds = query_pw_set(query, &possible_worlds_normalized(tree, max_events)?);
-    Ok(direct.normalized().isomorphic(&via_worlds.normalized()))
+    QueryEngine::with_config(QueryEngineConfig::for_event_budget(max_events))
+        .prepare(tree, query)
+        .theorem1_check()
 }
 
 #[cfg(test)]
@@ -105,6 +93,7 @@ mod tests {
     use super::*;
     use crate::probtree::figure1_example;
     use crate::query::pattern::PatternQuery;
+    use crate::semantics::possible_worlds_normalized;
     use pxml_events::prob_eq;
 
     #[test]

@@ -13,11 +13,18 @@
 //! * [`expected_matches`] — the expected number of answers over the
 //!   possible worlds (a simple aggregate; the multiset semantics makes this
 //!   the plain sum of answer probabilities).
-
-use pxml_tree::canon::{canonical_string, Semantics};
+//!
+//! All three are one-shot wrappers over a default
+//! [`QueryEngine`]: `top_k` runs the bounded
+//! binary heap (`O(n log k)` with cached canonical tie-break keys),
+//! `above` the short-circuit threshold path that only sorts qualifying
+//! answers (it no longer full-sorts via `top_k(usize::MAX)`). Repeated
+//! consumers should prepare once and reuse the
+//! [`PreparedQuery`](super::engine::PreparedQuery).
 
 use crate::probtree::ProbTree;
-use crate::query::prob::{query_probtree, ProbAnswer};
+use crate::query::engine::QueryEngine;
+use crate::query::prob::ProbAnswer;
 use crate::query::Query;
 
 /// The `k` most probable answers of `query` on `tree`, sorted by
@@ -25,29 +32,16 @@ use crate::query::Query;
 /// condition sets) are dropped. Ties are broken by the canonical form of
 /// the answer tree so the result is deterministic.
 pub fn top_k(query: &dyn Query, tree: &ProbTree, k: usize) -> Vec<ProbAnswer> {
-    let mut answers: Vec<ProbAnswer> = query_probtree(query, tree)
-        .into_iter()
-        .filter(|a| a.probability > 0.0)
-        .collect();
-    answers.sort_by(|a, b| {
-        b.probability
-            .partial_cmp(&a.probability)
-            .expect("probabilities are finite")
-            .then_with(|| {
-                canonical_string(&a.tree, Semantics::MultiSet)
-                    .cmp(&canonical_string(&b.tree, Semantics::MultiSet))
-            })
-    });
-    answers.truncate(k);
-    answers
+    QueryEngine::new().prepare(tree, query).top_k(k).into_vec()
 }
 
 /// All answers with probability at least `threshold`, sorted by decreasing
 /// probability.
 pub fn above(query: &dyn Query, tree: &ProbTree, threshold: f64) -> Vec<ProbAnswer> {
-    let mut answers = top_k(query, tree, usize::MAX);
-    answers.retain(|a| a.probability >= threshold);
-    answers
+    QueryEngine::new()
+        .prepare(tree, query)
+        .above(threshold)
+        .into_vec()
 }
 
 /// The expected number of query answers over the possible worlds of the
@@ -56,10 +50,7 @@ pub fn above(query: &dyn Query, tree: &ProbTree, threshold: f64) -> Vec<ProbAnsw
 /// this the sum of the per-answer probabilities — a cheap aggregate that
 /// needs no world expansion.
 pub fn expected_matches(query: &dyn Query, tree: &ProbTree) -> f64 {
-    query_probtree(query, tree)
-        .iter()
-        .map(|a| a.probability)
-        .sum()
+    QueryEngine::new().prepare(tree, query).expected_matches()
 }
 
 #[cfg(test)]
@@ -69,6 +60,7 @@ mod tests {
     use crate::query::pattern::PatternQuery;
     use crate::semantics::possible_worlds;
     use pxml_events::{prob_eq, Condition, Literal};
+    use pxml_tree::canon::{canonical_string, Semantics};
 
     /// A root with three children of the same label but different
     /// probabilities, so ranking is non-trivial.
@@ -100,33 +92,45 @@ mod tests {
         assert!(prob_eq(all[2].probability, 0.2));
     }
 
+    /// Regression test for deterministic tie handling: many
+    /// equal-probability answers must come back in canonical-key order,
+    /// identically across repeated calls, across `k` values at the tie
+    /// boundary, and between the bounded-heap and full-sort paths.
     #[test]
     fn top_k_is_deterministic_under_ties() {
-        let t = catalog();
-        // Query the sku leaves: all three answers have distinct
-        // probabilities inherited from their parents; query items instead
-        // with equal probabilities to force ties.
         let mut tie_tree = ProbTree::new("r");
-        let w1 = tie_tree.events_mut().insert("w1", 0.5);
-        let w2 = tie_tree.events_mut().insert("w2", 0.5);
         let root = tie_tree.tree().root();
-        let x = tie_tree.add_child(root, "x", Condition::of(Literal::pos(w1)));
-        tie_tree.add_child(x, "a", Condition::always());
-        let y = tie_tree.add_child(root, "x", Condition::of(Literal::pos(w2)));
-        tie_tree.add_child(y, "b", Condition::always());
+        // Eight x-items, all with probability 0.5, pairwise distinct
+        // shapes (leaf labels) so the canonical tie-break is total.
+        for i in 0..8 {
+            let w = tie_tree.events_mut().insert(format!("w{i}"), 0.5);
+            let x = tie_tree.add_child(root, "x", Condition::of(Literal::pos(w)));
+            tie_tree.add_child(x, format!("leaf{i}"), Condition::always());
+        }
         let q = PatternQuery::new(Some("x"));
-        let first = top_k(&q, &tie_tree, 2);
-        let second = top_k(&q, &tie_tree, 2);
-        let keys: Vec<String> = first
-            .iter()
-            .map(|a| canonical_string(&a.tree, Semantics::MultiSet))
-            .collect();
-        let keys2: Vec<String> = second
-            .iter()
-            .map(|a| canonical_string(&a.tree, Semantics::MultiSet))
-            .collect();
-        assert_eq!(keys, keys2);
-        let _ = t;
+        let keys_of = |answers: &[ProbAnswer]| -> Vec<String> {
+            answers
+                .iter()
+                .map(|a| canonical_string(&a.tree, Semantics::MultiSet))
+                .collect()
+        };
+        let full = top_k(&q, &tie_tree, 8);
+        let keys = keys_of(&full);
+        // Equal probabilities everywhere, so the order IS the sorted
+        // canonical-key order.
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "ties must follow the canonical order");
+        // Repeated calls (fresh engines) agree byte for byte.
+        assert_eq!(keys_of(&top_k(&q, &tie_tree, 8)), keys);
+        // Every k slices the same ranking, even through the tie block.
+        for k in 1..8 {
+            assert_eq!(keys_of(&top_k(&q, &tie_tree, k)), keys[..k].to_vec());
+        }
+        // The heap path agrees with the full-sort reference.
+        let prepared = crate::query::engine::QueryEngine::new().prepare(&tie_tree, &q);
+        assert_eq!(keys_of(&prepared.ranked()), keys);
+        assert_eq!(keys_of(&prepared.top_k(3)), keys[..3].to_vec());
     }
 
     #[test]

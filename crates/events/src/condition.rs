@@ -177,6 +177,29 @@ impl Condition {
         Condition { literals }
     }
 
+    /// Conjunction of many conditions at once: a single sorted merge-union
+    /// over all their literals.
+    ///
+    /// Equivalent to folding [`Condition::and`] over the inputs, but the
+    /// fold rebuilds its accumulator on every step — `Σ_i (L_1 + … + L_i)`
+    /// literal copies, quadratic in the number of inputs — while this
+    /// concatenates every literal list once and sorts the concatenation
+    /// (`O(L log L)` for `L` total literals; the inputs are already sorted
+    /// runs, which the pattern-defeating sort exploits). This is the union
+    /// the per-answer `⋃_{n ∈ u} γ(n)` of Definition 8 needs.
+    pub fn union_of<'a, I>(conditions: I) -> Condition
+    where
+        I: IntoIterator<Item = &'a Condition>,
+    {
+        let mut literals: Vec<Literal> = Vec::new();
+        for condition in conditions {
+            literals.extend_from_slice(&condition.literals);
+        }
+        literals.sort_unstable();
+        literals.dedup();
+        Condition { literals }
+    }
+
     /// Adds a single literal, inserting it at its sorted position (linear in
     /// the condition size; no re-sort).
     pub fn and_literal(&self, literal: Literal) -> Condition {
@@ -458,6 +481,47 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn union_of_agrees_with_the_and_fold_on_all_small_triples() {
+        // Exhaustive cross-check of the one-shot merge-union against the
+        // legacy `Condition::always()` + repeated `and` fold, over every
+        // triple of subsets of a 5-literal universe (incl. contradictory
+        // and overlapping combinations).
+        let (_, w1, w2, w3) = table();
+        let universe = [
+            Literal::pos(w1),
+            Literal::neg(w1),
+            Literal::pos(w2),
+            Literal::neg(w2),
+            Literal::pos(w3),
+        ];
+        let subsets: Vec<Condition> = (0..32usize)
+            .map(|mask| {
+                Condition::from_literals(
+                    universe
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask >> i & 1 == 1)
+                        .map(|(_, &l)| l),
+                )
+            })
+            .collect();
+        for a in &subsets {
+            for b in &subsets {
+                for c in &subsets {
+                    let fold = Condition::always().and(a).and(b).and(c);
+                    let union = Condition::union_of([a, b, c]);
+                    assert_eq!(union, fold);
+                    assert_sorted_dedup(&union);
+                }
+            }
+        }
+        // Degenerate arities.
+        assert_eq!(Condition::union_of([]), Condition::always());
+        let single = &subsets[7];
+        assert_eq!(&Condition::union_of([single]), single);
     }
 
     #[test]

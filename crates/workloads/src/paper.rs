@@ -80,6 +80,30 @@ pub fn theorem4_world_probability(n: usize) -> f64 {
     0.5f64.powi(2 * n as i32)
 }
 
+/// The query battery of the Section 2 examples: `//C/D` (the paper's
+/// worked query on Figure 1, the battery's first entry), the
+/// single-label queries for `B` and `D`, the anchored `A//D` descendant
+/// query, and a non-matching control. Used by the E1 experiment
+/// (`tables --exp e1` runs the whole battery through the engine's
+/// Theorem 1 check) and the Figure 1 regression tests.
+pub fn theorem1_query_battery() -> Vec<PatternQuery> {
+    vec![
+        {
+            let mut q = PatternQuery::new(Some("C"));
+            q.add_child(q.root(), "D");
+            q
+        },
+        PatternQuery::new(Some("B")),
+        PatternQuery::new(Some("D")),
+        {
+            let mut q = PatternQuery::anchored(Some("A"));
+            q.add_descendant(q.root(), "D");
+            q
+        },
+        PatternQuery::new(Some("Z")),
+    ]
+}
+
 /// The Theorem 5 SAT-reduction instance for a CNF formula (re-exported
 /// from `pxml-dtd`).
 pub fn theorem5_instance(cnf: &Cnf) -> Theorem5Instance {
@@ -146,6 +170,21 @@ mod tests {
         let expected = theorem4_world_probability(n);
         for (_, p) in pw.iter() {
             assert!((p - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn theorem1_battery_holds_on_figure1_through_the_engine() {
+        use pxml_core::QueryEngine;
+        let tree = figure1();
+        let engine = QueryEngine::new();
+        for q in &theorem1_query_battery() {
+            use pxml_core::query::Query as _;
+            assert!(
+                engine.prepare(&tree, q).theorem1_check().unwrap(),
+                "Theorem 1 violated for {}",
+                q.describe()
+            );
         }
     }
 

@@ -18,6 +18,7 @@ use rand::Rng;
 
 use pxml_core::probtree::ProbTree;
 use pxml_core::query::pattern::PatternQuery;
+use pxml_core::query::{AnswerSet, QueryEngine};
 use pxml_core::update::{
     ProbabilisticUpdate, ScriptReport, UpdateEngine, UpdateOperation, UpdateScript,
 };
@@ -148,6 +149,33 @@ pub fn services_with_endpoint_and_contact() -> PatternQuery {
     query
 }
 
+/// The warehouse's ranked analysis report: the `k` most probable answers
+/// of the canonical query, the threshold slice of answers at least
+/// `min_confidence` likely, and the expected number of fully-described
+/// services — all served from **one** prepared state (the warehouse is
+/// queried repeatedly between update rounds; re-matching per consumer is
+/// exactly the access pattern the query engine exists to avoid).
+pub fn analyze(warehouse: &Warehouse, k: usize, min_confidence: f64) -> WarehouseAnalysis {
+    let query = services_with_endpoint_and_contact();
+    let prepared = QueryEngine::new().prepare(&warehouse.tree, &query);
+    WarehouseAnalysis {
+        expected_services: prepared.expected_matches(),
+        confident: prepared.above(min_confidence),
+        top: prepared.top_k(k),
+    }
+}
+
+/// The outcome of [`analyze`]: ranked views over one prepared query.
+#[derive(Clone, Debug)]
+pub struct WarehouseAnalysis {
+    /// The `k` most probable fully-described services.
+    pub top: AnswerSet,
+    /// All answers with probability at least the requested confidence.
+    pub confident: AnswerSet,
+    /// Expected number of fully-described services over the worlds.
+    pub expected_services: f64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +232,34 @@ mod tests {
         for answer in &answers {
             assert!(answer.probability >= 0.0 && answer.probability <= 1.0);
         }
+    }
+
+    #[test]
+    fn analysis_report_views_agree_with_the_free_functions() {
+        let mut rng = StdRng::seed_from_u64(0x77);
+        let config = WarehouseConfig {
+            services: 3,
+            extraction_rounds: 12,
+            deletion_ratio: 0.1,
+        };
+        let warehouse = run_scenario(&config, &mut rng);
+        let analysis = analyze(&warehouse, 2, 0.5);
+        let query = services_with_endpoint_and_contact();
+        // The prepared views agree with the one-shot wrappers.
+        let reference = pxml_core::query::ranked::top_k(&query, &warehouse.tree, 2);
+        assert_eq!(analysis.top.len(), reference.len());
+        for (a, b) in analysis.top.iter().zip(&reference) {
+            assert_eq!(a.probability, b.probability);
+            assert_eq!(a.subtree, b.subtree);
+        }
+        let expected = pxml_core::query::ranked::expected_matches(&query, &warehouse.tree);
+        assert!((analysis.expected_services - expected).abs() < 1e-12);
+        // Every confident answer clears the threshold and ranks best-first.
+        assert!(analysis.confident.iter().all(|a| a.probability >= 0.5));
+        assert!(analysis
+            .confident
+            .windows(2)
+            .all(|w| w[0].probability >= w[1].probability));
     }
 
     #[test]

@@ -8,11 +8,11 @@
 
 use pxml_core::probtree::ProbTree;
 use pxml_core::proxml;
-use pxml_core::query::prob::query_probtree;
 use pxml_core::query::Query as _;
 use pxml_core::semantics::possible_worlds_normalized;
 use pxml_core::update::{ProbabilisticUpdate, UpdateOperation};
 use pxml_core::PatternQuery;
+use pxml_core::QueryEngine;
 use pxml_events::{Condition, Literal};
 use pxml_tree::DataTree;
 
@@ -45,16 +45,26 @@ fn main() {
     }
 
     // ----- 3. Query: C nodes that have a D child -------------------------
+    // Prepare once, then stream answers and ask aggregates from the same
+    // prepared state.
     let mut query = PatternQuery::new(Some("C"));
     query.add_child(query.root(), "D");
     println!("\nQuery: {}", query.describe());
-    for answer in query_probtree(&query, &warehouse) {
+    let prepared = QueryEngine::new().prepare(&warehouse, &query);
+    for answer in prepared.answers() {
         println!(
             "  answer with probability {:.2}:\n{}",
             answer.probability,
             indent(&pxml_tree::render::to_ascii(&answer.tree))
         );
     }
+    println!(
+        "  expected number of matches: {:.2} (Theorem 1 check: {})",
+        prepared.expected_matches(),
+        prepared
+            .theorem1_check()
+            .expect("two events fit any budget")
+    );
 
     // ----- 4. A probabilistic update -------------------------------------
     // An extractor is 90% confident every C node also has an E child.

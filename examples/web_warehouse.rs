@@ -11,12 +11,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use pxml_core::query::prob::query_probtree;
 use pxml_core::threshold::restrict_to_threshold;
-use pxml_core::PatternQuery;
-use pxml_workloads::warehouse::{
-    run_scenario, services_with_endpoint_and_contact, WarehouseConfig,
-};
+use pxml_core::{PatternQuery, QueryEngine};
+use pxml_workloads::warehouse::{analyze, run_scenario, WarehouseConfig};
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(2007);
@@ -54,33 +51,36 @@ fn main() {
     );
 
     // ----- Analysis query 1: fully described services --------------------
-    let query = services_with_endpoint_and_contact();
-    let mut answers = query_probtree(&query, &warehouse.tree);
-    answers.sort_by(|a, b| b.probability.partial_cmp(&a.probability).unwrap());
+    // One prepared analysis serves the top-3 ranking, the confident slice
+    // and the expectation — the warehouse access pattern the query engine
+    // is shaped for.
+    let analysis = analyze(&warehouse, 3, 0.5);
     println!(
-        "\nServices with both an endpoint and a contact ({} answers, top 3 by probability):",
-        answers.len()
+        "\nServices with both an endpoint and a contact (top {} by probability):",
+        analysis.top.len()
     );
-    for answer in answers.iter().take(3) {
+    for answer in &analysis.top {
         println!(
             "  probability {:.3}  ({} nodes in the answer)",
             answer.probability,
             answer.tree.len()
         );
     }
+    println!(
+        "  {} answers at least 50% likely; {:.2} fully-described services expected",
+        analysis.confident.len(),
+        analysis.expected_services
+    );
 
     // ----- Analysis query 2: any extracted keyword ------------------------
     let mut keyword_query = PatternQuery::new(Some("service"));
     keyword_query.add_child(keyword_query.root(), "keyword");
-    let keyword_answers = query_probtree(&keyword_query, &warehouse.tree);
-    let best = keyword_answers
-        .iter()
-        .map(|a| a.probability)
-        .fold(0.0f64, f64::max);
+    let keyword = QueryEngine::new().prepare(&warehouse.tree, &keyword_query);
+    let best = keyword.top_k(1);
     println!(
         "\nServices with at least one keyword claim: {} answers, best probability {:.3}",
-        keyword_answers.len(),
-        best
+        keyword.len(),
+        best.best().map(|a| a.probability).unwrap_or(0.0)
     );
 
     // ----- Threshold pruning ----------------------------------------------

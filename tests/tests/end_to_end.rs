@@ -6,12 +6,13 @@ use pxml_core::equivalence::{
 };
 use pxml_core::probtree::figure1_example;
 use pxml_core::proxml;
-use pxml_core::query::prob::{check_theorem1, query_probtree};
+use pxml_core::query::prob::query_probtree;
 use pxml_core::query::Query as _;
 use pxml_core::semantics::{possible_worlds, pw_set_to_probtree};
 use pxml_core::threshold::restrict_to_threshold;
 use pxml_core::update::{ProbabilisticUpdate, UpdateOperation};
 use pxml_core::PatternQuery;
+use pxml_core::QueryEngine;
 use pxml_dtd::satisfiability::{satisfiable_backtracking, valid_bruteforce};
 use pxml_dtd::{ChildConstraint, Dtd};
 use pxml_events::prob_eq;
@@ -92,9 +93,10 @@ fn theorem1_holds_on_the_bibliography_for_a_query_battery() {
             q
         },
     ];
+    let engine = QueryEngine::new();
     for q in &queries {
         assert!(
-            check_theorem1(q, &bib, 20).unwrap(),
+            engine.prepare(&bib, q).theorem1_check().unwrap(),
             "Theorem 1 failed for {}",
             q.describe()
         );
@@ -112,17 +114,19 @@ fn update_then_query_probabilities_are_consistent_with_worlds() {
     let update = ProbabilisticUpdate::new(UpdateOperation::delete(dq, year), 0.5);
     let (updated, _) = update.apply_to_probtree(&bib);
 
+    // One prepared state serves the Theorem 1 check, the expectation and
+    // the ranked view.
     let mut q = PatternQuery::new(Some("book"));
     q.add_child(q.root(), "year");
-    assert!(check_theorem1(&q, &updated, 20).unwrap());
+    let prepared = QueryEngine::new().prepare(&updated, &q);
+    assert!(prepared.theorem1_check().unwrap());
 
-    let direct: f64 = query_probtree(&q, &updated)
-        .iter()
-        .map(|a| a.probability)
-        .sum();
     // By hand: year present iff confirmed ∧ year_known ∧ ¬delete_event
     // = 0.9 · 0.6 · 0.5 = 0.27.
-    assert!(prob_eq(direct, 0.27));
+    assert!(prob_eq(prepared.expected_matches(), 0.27));
+    let ranked = prepared.top_k(5);
+    assert_eq!(ranked.len(), 1);
+    assert!(prob_eq(ranked.best().unwrap().probability, 0.27));
 }
 
 #[test]
