@@ -59,12 +59,15 @@ pub mod worlds;
 pub use probtree::ProbTree;
 pub use pwset::PossibleWorldSet;
 pub use query::pattern::PatternQuery;
-pub use query::{AnswerSet, PreparedQuery, QueryEngine, QueryEngineConfig, TieBreak};
-pub use update::{
-    ProbabilisticUpdate, UpdateAction, UpdateEngine, UpdateEngineConfig, UpdateOperation,
-    UpdateScript,
+pub use query::{
+    AnswerSet, MonotonicityCertificate, PreparedQuery, QueryEngine, QueryEngineConfig, QueryHints,
+    Theorem1Error, TieBreak,
 };
-pub use worlds::{FactorizedWorlds, ShardExecutor, WorldEngine, WorldEngineConfig};
+pub use update::{
+    DeletionForecast, ProbabilisticUpdate, SurvivorBudgetExceeded, UpdateAction, UpdateEngine,
+    UpdateEngineConfig, UpdateOperation, UpdateScript,
+};
+pub use worlds::{FactorizedWorlds, ShardExecutor, ShardPlan, WorldEngine, WorldEngineConfig};
 
 /// Default bound on the number of event variables accepted by APIs that
 /// enumerate all `2^{|W|}` possible worlds. Re-exported from `pxml-events`.

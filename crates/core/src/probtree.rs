@@ -219,7 +219,7 @@ impl ProbTree {
         let mut keep: HashMap<NodeId, bool> = HashMap::new();
         // Pre-order guarantees parents are decided before children.
         for node in self.tree.iter() {
-            let parent_kept = self.tree.parent(node).map(|p| keep[&p]).unwrap_or(true);
+            let parent_kept = self.tree.parent(node).is_none_or(|p| keep[&p]);
             let own = self.condition(node).eval(valuation);
             keep.insert(node, parent_kept && own);
         }
@@ -248,6 +248,71 @@ impl ProbTree {
             },
             mapping,
         )
+    }
+
+    /// Validates the representation invariants of the prob-tree,
+    /// returning a description of the first violation found:
+    ///
+    /// * arena consistency over the **reachable** nodes — every child
+    ///   points back to its parent and every non-root node appears in its
+    ///   parent's child list (conditions of detached nodes legitimately
+    ///   linger until [`ProbTree::compact`] and are not checked);
+    /// * the root carries no condition and stored conditions are
+    ///   non-empty (Definition 2 plus the "empty conditions are never
+    ///   stored" convention);
+    /// * condition support ⊆ declared events — every literal references
+    ///   an event the table declares;
+    /// * probability mass bounds — `π(w) ∈ (0, 1]` for every event.
+    ///
+    /// Intended for `debug_assert!`-style use in tests and property
+    /// suites; it walks the whole tree, so hot paths should not call it.
+    pub fn validate_invariants(&self) -> Result<(), String> {
+        let root = self.tree.root();
+        for node in self.tree.iter() {
+            for &child in self.tree.children(node) {
+                if self.tree.parent(child) != Some(node) {
+                    return Err(format!(
+                        "arena inconsistency: child {child:?} of {node:?} does not point back"
+                    ));
+                }
+            }
+            if node != root {
+                let Some(parent) = self.tree.parent(node) else {
+                    return Err(format!("reachable non-root node {node:?} has no parent"));
+                };
+                if !self.tree.children(parent).contains(&node) {
+                    return Err(format!(
+                        "arena inconsistency: {node:?} missing from the child list of {parent:?}"
+                    ));
+                }
+            }
+            if let Some(condition) = self.conditions.get(&node) {
+                if node == root {
+                    return Err("the root carries a condition".to_string());
+                }
+                if condition.is_empty() {
+                    return Err(format!("empty condition stored for {node:?}"));
+                }
+                for event in condition.events() {
+                    if event.index() >= self.events.len() {
+                        return Err(format!(
+                            "condition of {node:?} references undeclared event index {}",
+                            event.index()
+                        ));
+                    }
+                }
+            }
+        }
+        for event in self.events.iter() {
+            let p = self.events.prob(event);
+            if !(p > 0.0 && p <= 1.0) {
+                return Err(format!(
+                    "event {} has probability {p} outside (0, 1]",
+                    self.events.name(event)
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// ASCII rendering with conditions shown next to node labels, e.g.
@@ -430,5 +495,31 @@ mod tests {
         let b = t.tree().iter().find(|&n| t.tree().label(n) == "B").unwrap();
         t.set_condition(b, Condition::always());
         assert_eq!(t.num_literals(), 1);
+    }
+
+    #[test]
+    fn invariants_hold_on_figure1_and_after_edits() {
+        let mut t = figure1_example();
+        t.validate_invariants().unwrap();
+        let b = t.tree().iter().find(|&n| t.tree().label(n) == "B").unwrap();
+        t.detach(b);
+        // Detached conditions linger until compact — still valid.
+        t.validate_invariants().unwrap();
+        let (compacted, _) = t.compact();
+        compacted.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn invariants_catch_dangling_event_references() {
+        // A condition over an event id the table never declared.
+        let mut t = ProbTree::new("A");
+        let root = t.tree().root();
+        t.add_child(
+            root,
+            "B",
+            Condition::of(Literal::pos(pxml_events::EventId::from_index(3))),
+        );
+        let err = t.validate_invariants().unwrap_err();
+        assert!(err.contains("undeclared event"), "{err}");
     }
 }

@@ -35,7 +35,6 @@ use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::OnceLock;
 
-use pxml_events::valuation::TooManyValuations;
 use pxml_events::Condition;
 use pxml_tree::canon::Semantics;
 use pxml_tree::subtree::SubDataTree;
@@ -46,7 +45,7 @@ use crate::semantics::possible_worlds_factorized;
 use crate::worlds::WorldEngineConfig;
 
 use super::prob::{query_pw_set, ProbAnswer};
-use super::Query;
+use super::{MonotonicityCertificate, Query, Theorem1Error};
 
 /// How equal-probability answers are ordered in ranked selection.
 ///
@@ -125,6 +124,18 @@ impl QueryEngineConfig {
     }
 }
 
+/// Static-analysis hints a caller may pass to
+/// [`QueryEngine::prepare_with_hints`], typically produced by the
+/// `pxml_analysis` static analyzer.
+#[derive(Clone, Debug, Default)]
+pub struct QueryHints {
+    /// The query was statically proven to have an empty answer set on
+    /// every document valid under the warehouse's DTD (e.g. its pattern
+    /// is unsatisfiable under the schema): preparation skips the match
+    /// entirely and serves an empty prepared state.
+    pub statically_empty: bool,
+}
+
 /// The query engine: a reusable configuration from which
 /// [`PreparedQuery`] states are built.
 ///
@@ -167,7 +178,24 @@ impl QueryEngine {
     /// probability evaluation, tree materialization or sorting until a
     /// consumer asks.
     pub fn prepare<'a>(&self, tree: &'a ProbTree, query: &'a dyn Query) -> PreparedQuery<'a> {
-        let subtrees = query.evaluate(tree.tree());
+        self.prepare_with_hints(tree, query, &QueryHints::default())
+    }
+
+    /// Like [`QueryEngine::prepare`], but consults static-analysis
+    /// [`QueryHints`] first: a query hinted as statically empty
+    /// short-circuits to an empty prepared state without running the
+    /// matcher at all.
+    pub fn prepare_with_hints<'a>(
+        &self,
+        tree: &'a ProbTree,
+        query: &'a dyn Query,
+        hints: &QueryHints,
+    ) -> PreparedQuery<'a> {
+        let subtrees = if hints.statically_empty {
+            Vec::new()
+        } else {
+            query.evaluate(tree.tree())
+        };
         let mut intern: HashMap<Condition, usize> = HashMap::new();
         let mut conditions: Vec<Condition> = Vec::new();
         let mut answers: Vec<AnswerState> = Vec::with_capacity(subtrees.len());
@@ -487,7 +515,17 @@ impl<'a> PreparedQuery<'a> {
     /// under the engine's world budget (`max_events`) and executor
     /// configuration (parallelism, joint cap). Exponential in the worst
     /// case; returns an error instead of exceeding the budget.
-    pub fn theorem1_check(&self) -> Result<bool, TooManyValuations> {
+    ///
+    /// Theorem 1 only holds for locally monotone queries, so the static
+    /// [`MonotonicityCertificate`] is consulted first: a
+    /// [`Rejected`](MonotonicityCertificate::Rejected) query fails fast
+    /// with [`Theorem1Error::NotCertifiedMonotone`] before any world is
+    /// enumerated. `Certified` and `Unknown` queries proceed to the
+    /// cross-check.
+    pub fn theorem1_check(&self) -> Result<bool, Theorem1Error> {
+        if let MonotonicityCertificate::Rejected { reason } = self.query.monotonicity() {
+            return Err(Theorem1Error::NotCertifiedMonotone { reason });
+        }
         let direct = self.as_pw_set();
         let worlds =
             possible_worlds_factorized(self.tree, self.config.max_events, &self.config.worlds)?;
@@ -930,6 +968,27 @@ mod tests {
         assert!(prepared.above(0.0).is_empty());
         assert_eq!(prepared.expected_matches(), 0.0);
         assert!(prepared.as_pw_set().is_empty());
+        assert!(prepared.theorem1_check().unwrap());
+    }
+
+    #[test]
+    fn statically_empty_hint_skips_the_matcher() {
+        let tree = figure1_example();
+        let q = PatternQuery::new(Some("nope"));
+        let counting = CountingQuery {
+            inner: &q,
+            evaluations: Cell::new(0),
+        };
+        let hints = QueryHints {
+            statically_empty: true,
+        };
+        let prepared = QueryEngine::new().prepare_with_hints(&tree, &counting, &hints);
+        assert_eq!(counting.evaluations.get(), 0, "matcher never ran");
+        assert!(prepared.is_empty());
+        assert_eq!(prepared.ranked().stats().enumerated, 0);
+        assert_eq!(prepared.expected_matches(), 0.0);
+        // The Theorem 1 cross-check still runs the expansion, doubling as
+        // a validation of the hint: an *honest* hint passes.
         assert!(prepared.theorem1_check().unwrap());
     }
 

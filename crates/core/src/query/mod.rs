@@ -23,11 +23,76 @@ pub mod prob;
 pub mod ranked;
 
 pub use engine::{
-    AnswerSet, PreparedQuery, QueryEngine, QueryEngineConfig, SelectionStats, TieBreak,
+    AnswerSet, PreparedQuery, QueryEngine, QueryEngineConfig, QueryHints, SelectionStats, TieBreak,
 };
 
+use pxml_events::valuation::TooManyValuations;
 use pxml_tree::subtree::SubDataTree;
 use pxml_tree::DataTree;
+
+/// A *static* local-monotonicity verdict for a query (Definition 6 of the
+/// paper): whether membership of a sub-datatree in the answer can be
+/// decided from the sub-datatree alone.
+///
+/// The certificate is syntactic — it is produced in O(|query|) without
+/// evaluating the query on any tree — and sound in one direction:
+/// [`Certified`](MonotonicityCertificate::Certified) implies semantic
+/// local monotonicity (property-tested against
+/// [`monotone::is_locally_monotone_on`]), while
+/// [`Rejected`](MonotonicityCertificate::Rejected) means the query's
+/// syntax puts it outside the locally monotone class, so the Theorem 1
+/// construction must not be trusted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MonotonicityCertificate {
+    /// The query is syntactically certified locally monotone (e.g. a
+    /// positive tree-pattern query).
+    Certified,
+    /// The query is statically known *not* to be locally monotone; the
+    /// reason is human-readable.
+    Rejected {
+        /// Why the certificate was refused (e.g. "negation on label X").
+        reason: String,
+    },
+    /// The implementation makes no static claim (default for foreign
+    /// `Query` impls); consumers fall back to runtime checks.
+    Unknown,
+}
+
+/// Error returned by the engine's Theorem 1 check
+/// ([`engine::PreparedQuery::theorem1_check`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Theorem1Error {
+    /// The static pass rejected the query's local-monotonicity
+    /// certificate, so the Theorem 1 construction does not apply and the
+    /// (exponential) cross-check was not attempted.
+    NotCertifiedMonotone {
+        /// The reason carried by the query's
+        /// [`MonotonicityCertificate::Rejected`] certificate.
+        reason: String,
+    },
+    /// The possible-world expansion needed by the cross-check exceeds the
+    /// configured event budget.
+    TooManyValuations(TooManyValuations),
+}
+
+impl std::fmt::Display for Theorem1Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Theorem1Error::NotCertifiedMonotone { reason } => {
+                write!(f, "query not certified locally monotone: {reason}")
+            }
+            Theorem1Error::TooManyValuations(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for Theorem1Error {}
+
+impl From<TooManyValuations> for Theorem1Error {
+    fn from(e: TooManyValuations) -> Self {
+        Theorem1Error::TooManyValuations(e)
+    }
+}
 
 /// A query over data trees (Definition 6): for every data tree `t`,
 /// `evaluate(t)` returns a set of sub-datatrees of `t`.
@@ -41,6 +106,13 @@ pub trait Query {
     /// A short human-readable description (used in benchmark tables).
     fn describe(&self) -> String {
         "query".to_string()
+    }
+
+    /// The query's static local-monotonicity certificate. The default
+    /// makes no claim; implementations that can decide the property from
+    /// their syntax should override it.
+    fn monotonicity(&self) -> MonotonicityCertificate {
+        MonotonicityCertificate::Unknown
     }
 }
 
@@ -67,5 +139,6 @@ mod tests {
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].len(), 1);
         assert_eq!(q.describe(), "query");
+        assert_eq!(q.monotonicity(), MonotonicityCertificate::Unknown);
     }
 }

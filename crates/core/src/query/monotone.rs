@@ -12,7 +12,7 @@ use std::collections::BTreeSet;
 use pxml_tree::subtree::{enumerate_subdatatrees, SubDataTree};
 use pxml_tree::{DataTree, NodeId};
 
-use super::Query;
+use super::{MonotonicityCertificate, Query};
 
 /// Exhaustively checks condition (ii) of Definition 6 on one tree `t`:
 /// for every sub-datatree `t'` of `t`, `Q(t') = Q(t) ∩ Sub(t')`.
@@ -73,6 +73,17 @@ impl Query for NegationQuery {
 
     fn describe(&self) -> String {
         format!("negation query (no {} anywhere)", self.forbidden)
+    }
+
+    /// Negation makes answer membership depend on the *absence* of nodes
+    /// outside the answer, so the static pass rejects the certificate.
+    fn monotonicity(&self) -> MonotonicityCertificate {
+        MonotonicityCertificate::Rejected {
+            reason: format!(
+                "negation on label {:?}: answers depend on the absence of nodes outside them",
+                self.forbidden
+            ),
+        }
     }
 }
 
@@ -149,12 +160,14 @@ mod tests {
 
     /// Local monotonicity is exactly the precondition of the query
     /// engine's Definition-8 weighting: for the (non-locally-monotone)
-    /// negation query, the prepared answers disagree with the
-    /// world-by-world evaluation — `theorem1_check` must report `false`.
+    /// negation query, the static pass rejects the certificate and
+    /// `theorem1_check` returns the typed error *without* enumerating any
+    /// possible world.
     #[test]
     fn engine_theorem1_check_detects_non_locally_monotone_queries() {
         use crate::probtree::ProbTree;
         use crate::query::engine::QueryEngine;
+        use crate::query::Theorem1Error;
         use pxml_events::{Condition, Literal};
 
         let mut t = ProbTree::new("A");
@@ -165,15 +178,38 @@ mod tests {
             forbidden: "B".to_string(),
         };
         // Directly on the underlying tree, B is present, so the prepared
-        // match set is empty; but the w=false world (mass 0.5) answers.
+        // match set is empty; but the w=false world (mass 0.5) answers —
+        // the static certificate catches this before any enumeration.
         let engine = QueryEngine::new();
         let prepared = engine.prepare(&t, &q);
         assert!(prepared.is_empty());
-        assert!(!prepared.theorem1_check().unwrap());
+        match prepared.theorem1_check() {
+            Err(Theorem1Error::NotCertifiedMonotone { reason }) => {
+                assert!(reason.contains("negation"), "unexpected reason: {reason}");
+            }
+            other => panic!("expected NotCertifiedMonotone, got {other:?}"),
+        }
 
         // A locally monotone query on the same tree passes.
         let ok = crate::query::pattern::PatternQuery::new(Some("B"));
         assert!(engine.prepare(&t, &ok).theorem1_check().unwrap());
+    }
+
+    /// The static certificates agree with the exhaustive semantic checker
+    /// on the canonical examples: positive patterns certified, negation
+    /// rejected.
+    #[test]
+    fn static_certificates_match_semantics() {
+        let mut q = PatternQuery::new(Some("C"));
+        q.add_child(q.root(), "D");
+        assert_eq!(q.monotonicity(), MonotonicityCertificate::Certified);
+        let neg = NegationQuery {
+            forbidden: "B".to_string(),
+        };
+        assert!(matches!(
+            neg.monotonicity(),
+            MonotonicityCertificate::Rejected { .. }
+        ));
     }
 
     #[test]

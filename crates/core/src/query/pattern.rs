@@ -21,7 +21,7 @@ use std::collections::BTreeSet;
 use pxml_tree::subtree::SubDataTree;
 use pxml_tree::{DataTree, NodeId};
 
-use super::Query;
+use super::{MonotonicityCertificate, Query};
 
 /// Identifier of a node of the *pattern* tree (the set `N_Q` of
 /// Appendix A).
@@ -151,6 +151,28 @@ impl PatternQuery {
     /// A pattern always has at least its root node.
     pub fn is_empty(&self) -> bool {
         false
+    }
+
+    /// The label constraint of a pattern node (`None` = wildcard).
+    pub fn label(&self, node: PatternNodeId) -> Option<&str> {
+        self.nodes[node.0].label.as_deref()
+    }
+
+    /// The parent of a pattern node together with the connecting axis
+    /// (`None` for the pattern root).
+    pub fn parent_of(&self, node: PatternNodeId) -> Option<(PatternNodeId, Axis)> {
+        self.nodes[node.0].parent
+    }
+
+    /// The join constraints: each entry is a set of pattern nodes whose
+    /// matched data nodes must carry equal labels.
+    pub fn joins(&self) -> &[Vec<PatternNodeId>] {
+        &self.joins
+    }
+
+    /// Whether the pattern root must match the data root.
+    pub fn is_anchored(&self) -> bool {
+        self.anchored
     }
 
     /// Computes all matches `µ_Q` of the pattern in `tree`.
@@ -287,6 +309,38 @@ impl Query for PatternQuery {
             self.joins.len(),
             if self.anchored { ", anchored" } else { "" }
         )
+    }
+
+    /// Positive tree patterns (with joins) are locally monotone: a match
+    /// lives entirely inside its induced sub-datatree, so membership of
+    /// an answer never depends on nodes outside it. The certificate is an
+    /// O(|pattern|) well-formedness walk — the type only admits positive
+    /// label/axis/join constraints, so every well-formed pattern is
+    /// certified.
+    fn monotonicity(&self) -> MonotonicityCertificate {
+        for (i, node) in self.nodes.iter().enumerate() {
+            match node.parent {
+                None if i != 0 => {
+                    return MonotonicityCertificate::Rejected {
+                        reason: format!("pattern node {i} is a second root"),
+                    }
+                }
+                Some((parent, _)) if parent.0 >= i => {
+                    return MonotonicityCertificate::Rejected {
+                        reason: format!("pattern node {i} precedes its parent"),
+                    }
+                }
+                _ => {}
+            }
+        }
+        for join in &self.joins {
+            if join.iter().any(|p| p.0 >= self.nodes.len()) {
+                return MonotonicityCertificate::Rejected {
+                    reason: "join references an unknown pattern node".to_string(),
+                };
+            }
+        }
+        MonotonicityCertificate::Certified
     }
 }
 

@@ -11,7 +11,6 @@
 //!   conditions of its nodes (Definition 8). Theorem 1 states the two
 //!   agree: `Q(T) ∼ Q(JT K)`.
 
-use pxml_events::valuation::TooManyValuations;
 use pxml_tree::subtree::SubDataTree;
 use pxml_tree::DataTree;
 
@@ -19,7 +18,7 @@ use crate::probtree::ProbTree;
 use crate::pwset::PossibleWorldSet;
 
 use super::engine::{QueryEngine, QueryEngineConfig};
-use super::Query;
+use super::{Query, Theorem1Error};
 
 /// One answer of a query over a prob-tree: the answer tree (materialized),
 /// the node-set it came from, and its probability.
@@ -82,7 +81,7 @@ pub fn check_theorem1(
     query: &dyn Query,
     tree: &ProbTree,
     max_events: usize,
-) -> Result<bool, TooManyValuations> {
+) -> Result<bool, Theorem1Error> {
     QueryEngine::with_config(QueryEngineConfig::for_event_budget(max_events))
         .prepare(tree, query)
         .theorem1_check()

@@ -52,6 +52,12 @@ pub struct UpdateEngineConfig {
     /// reproduce the naive Appendix A expansion (used by the blow-up
     /// benchmarks as a baseline).
     pub shared_first_chains: bool,
+    /// Hard budget on the *predicted* total survivor copies of one step
+    /// (default: `None` = unlimited). When set,
+    /// [`UpdateEngine::try_apply`] refuses a deletion whose
+    /// [`DeletionForecast`] exceeds the budget — before any subtree is
+    /// materialized.
+    pub max_survivor_copies: Option<usize>,
 }
 
 impl Default for UpdateEngineConfig {
@@ -60,6 +66,7 @@ impl Default for UpdateEngineConfig {
             simplify: true,
             simplify_config: SimplifyConfig::default(),
             shared_first_chains: true,
+            max_survivor_copies: None,
         }
     }
 }
@@ -73,7 +80,62 @@ impl UpdateEngineConfig {
             simplify: false,
             simplify_config: SimplifyConfig::default(),
             shared_first_chains: false,
+            max_survivor_copies: None,
         }
+    }
+}
+
+/// Error of [`UpdateEngine::try_apply`]: the static forecast predicts
+/// more survivor copies than the configured budget allows, so the step
+/// was refused before materializing anything.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SurvivorBudgetExceeded {
+    /// Total survivor copies the forecast predicts for the step.
+    pub predicted: usize,
+    /// The configured [`UpdateEngineConfig::max_survivor_copies`] budget.
+    pub budget: usize,
+}
+
+impl std::fmt::Display for SurvivorBudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "predicted {} survivor copies exceed the budget of {}",
+            self.predicted, self.budget
+        )
+    }
+}
+
+impl std::error::Error for SurvivorBudgetExceeded {}
+
+/// The static cost prediction of one update step, computed by
+/// [`UpdateEngine::forecast`] by replaying the match grouping and
+/// survivor expansion **without mutating the tree** — no subtree is
+/// copied, no condition is attached. For deletions the per-target counts
+/// equal, exactly, the number of survivor copies
+/// [`UpdateEngine::apply`] will graft (property-tested against
+/// [`StepReport::survivor_copies`]); insertions never copy survivors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeletionForecast {
+    /// Number of query matches the step will see.
+    pub matches: usize,
+    /// Number of distinct target nodes.
+    pub targets: usize,
+    /// Predicted survivor copies per distinct target, in the engine's
+    /// deterministic (deepest-first) target order. Empty for insertions
+    /// and unmatched steps.
+    pub survivors_per_target: Vec<usize>,
+}
+
+impl DeletionForecast {
+    /// Total survivor copies the step will graft.
+    pub fn total_survivor_copies(&self) -> usize {
+        self.survivors_per_target.iter().sum()
+    }
+
+    /// `true` if the step will not change the tree (no matches).
+    pub fn is_dead(&self) -> bool {
+        self.matches == 0
     }
 }
 
@@ -99,6 +161,10 @@ pub struct StepReport {
     pub nodes_after: usize,
     /// Literals after the step (after simplification, when enabled).
     pub literals_after: usize,
+    /// Survivor copies actually grafted by this step (0 for insertions
+    /// and unmatched steps) — the measured counterpart of
+    /// [`DeletionForecast::total_survivor_copies`].
+    pub survivor_copies: usize,
 }
 
 impl StepReport {
@@ -161,6 +227,7 @@ impl UpdateEngine {
             literals_raw: tree.num_literals(),
             nodes_after: tree.num_nodes(),
             literals_after: tree.num_literals(),
+            survivor_copies: 0,
         };
         if matches.is_empty() {
             return (tree.clone(), report);
@@ -172,14 +239,18 @@ impl UpdateEngine {
             None
         };
         report.new_event = new_event;
-        report.targets = match &update.operation.action {
+        match &update.operation.action {
             UpdateAction::Insert { at, subtree } => {
-                self.apply_insertion(&mut out, tree, &matches, *at, subtree, new_event)
+                report.targets =
+                    self.apply_insertion(&mut out, tree, &matches, *at, subtree, new_event);
             }
             UpdateAction::Delete { at } => {
-                self.apply_deletion(&mut out, tree, &matches, *at, new_event)
+                let (targets, survivors) =
+                    self.apply_deletion(&mut out, tree, &matches, *at, new_event);
+                report.targets = targets;
+                report.survivor_copies = survivors;
             }
-        };
+        }
         let (raw, _) = out.compact();
         report.nodes_raw = raw.num_nodes();
         report.literals_raw = raw.num_literals();
@@ -191,6 +262,73 @@ impl UpdateEngine {
         report.nodes_after = updated.num_nodes();
         report.literals_after = updated.num_literals();
         (updated, report)
+    }
+
+    /// Like [`UpdateEngine::apply`], but enforces the configured
+    /// [`UpdateEngineConfig::max_survivor_copies`] budget: the step's
+    /// [`DeletionForecast`] is computed first (no mutation), and if it
+    /// predicts more survivor copies than the budget allows the step is
+    /// refused with a [`SurvivorBudgetExceeded`] error — before a single
+    /// subtree copy is materialized. Without a budget this is `apply`.
+    pub fn try_apply(
+        &self,
+        tree: &ProbTree,
+        update: &ProbabilisticUpdate,
+    ) -> Result<(ProbTree, StepReport), SurvivorBudgetExceeded> {
+        if let Some(budget) = self.config.max_survivor_copies {
+            let forecast = self.forecast(tree, update);
+            let predicted = forecast.total_survivor_copies();
+            if predicted > budget {
+                return Err(SurvivorBudgetExceeded { predicted, budget });
+            }
+        }
+        Ok(self.apply(tree, update))
+    }
+
+    /// Predicts the cost of one step **without mutating the tree**: the
+    /// match set is grouped by target and the survivor expansion replayed
+    /// on the deletion conditions alone — no subtree is copied. The
+    /// fresh confidence event a sub-1 confidence would introduce is
+    /// simulated with the next free event id, so the predicted chain
+    /// lengths match the real application exactly.
+    pub fn forecast(&self, tree: &ProbTree, update: &ProbabilisticUpdate) -> DeletionForecast {
+        let matches = update.operation.query.matches(tree.tree());
+        if matches.is_empty() {
+            return DeletionForecast {
+                matches: 0,
+                targets: 0,
+                survivors_per_target: Vec::new(),
+            };
+        }
+        let new_event = (update.confidence < 1.0).then(|| EventId::from_index(tree.events().len()));
+        match &update.operation.action {
+            UpdateAction::Insert { at, .. } => {
+                let mut targets: Vec<NodeId> = matches.iter().map(|m| m.node(*at)).collect();
+                targets.sort();
+                targets.dedup();
+                DeletionForecast {
+                    matches: matches.len(),
+                    targets: targets.len(),
+                    survivors_per_target: Vec::new(),
+                }
+            }
+            UpdateAction::Delete { at } => {
+                let by_target = deletion_conditions(tree, &matches, *at, new_event);
+                let targets = deletion_order(tree, &by_target);
+                let survivors_per_target: Vec<usize> = targets
+                    .iter()
+                    .map(|t| {
+                        self.expand_survivors(&by_target[t], self.config.shared_first_chains)
+                            .len()
+                    })
+                    .collect();
+                DeletionForecast {
+                    matches: matches.len(),
+                    targets: targets.len(),
+                    survivors_per_target,
+                }
+            }
+        }
     }
 
     /// Applies a batched sequence of updates in one pass, each step against
@@ -239,7 +377,8 @@ impl UpdateEngine {
     /// Appendix A deletion, generalized to several (possibly nested)
     /// matches: every target is replaced by one copy per surviving
     /// disjunct of the mutually exclusive expansion of "no deletion
-    /// condition holds". Returns the number of distinct targets.
+    /// condition holds". Returns the number of distinct targets and the
+    /// total number of survivor copies grafted.
     fn apply_deletion(
         &self,
         out: &mut ProbTree,
@@ -247,42 +386,15 @@ impl UpdateEngine {
         matches: &[PatternMatch],
         at: PatternNodeId,
         new_event: Option<EventId>,
-    ) -> usize {
-        // Group the per-match deletion conditions by target node. The
-        // conditions are computed against the original tree: a match is a
-        // statement about the original world's contents, and all node
-        // conditions it mentions still annotate the same nodes (or their
-        // copies) while targets are being split below.
-        let mut by_target: BTreeMap<NodeId, Vec<Condition>> = BTreeMap::new();
-        for m in matches {
-            let target = m.node(at);
-            assert!(
-                target != original.tree().root(),
-                "deleting the root of a prob-tree is not supported"
-            );
-            let cond = match_condition(original, m);
-            let gamma_target = original.condition(target);
-            let cond_ancestors = original.ancestor_condition(target);
-            let mut del_cond = cond.minus(&gamma_target.and(&cond_ancestors));
-            if let Some(w) = new_event {
-                del_cond = del_cond.and_literal(Literal::pos(w));
-            }
-            by_target.entry(target).or_default().push(del_cond);
-        }
-
-        // Deepest targets first (ties by NodeId): a target is only split
-        // after every target strictly below it has been, so its survivor
-        // copies — grafted from the evolving tree — embed the descendants'
-        // splits. Shallower-first (or grafting from the original tree, as
-        // the pre-engine code did) loses the descendant splits inside the
-        // ancestor's copies.
-        let mut targets: Vec<NodeId> = by_target.keys().copied().collect();
-        targets.sort_by_key(|&t| (Reverse(original.tree().depth(t)), t));
-
+    ) -> (usize, usize) {
+        let by_target = deletion_conditions(original, matches, at, new_event);
+        let targets = deletion_order(original, &by_target);
+        let mut survivor_copies = 0;
         for target in &targets {
             let target = *target;
             let survivor_disjuncts =
                 self.expand_survivors(&by_target[&target], self.config.shared_first_chains);
+            survivor_copies += survivor_disjuncts.len();
             let gamma_target = out.condition(target);
             let parent = out
                 .tree()
@@ -293,7 +405,7 @@ impl UpdateEngine {
             }
             out.detach(target);
         }
-        targets.len()
+        (targets.len(), survivor_copies)
     }
 
     /// Expands `⋀_j ¬d_j` into a deterministic list of mutually exclusive
@@ -341,6 +453,52 @@ impl UpdateEngine {
         }
         survivors
     }
+}
+
+/// Groups the per-match deletion conditions by target node (shared by
+/// the real application and the no-mutation [`UpdateEngine::forecast`]).
+/// The conditions are computed against the original tree: a match is a
+/// statement about the original world's contents, and all node
+/// conditions it mentions still annotate the same nodes (or their
+/// copies) while targets are being split below.
+fn deletion_conditions(
+    original: &ProbTree,
+    matches: &[PatternMatch],
+    at: PatternNodeId,
+    new_event: Option<EventId>,
+) -> BTreeMap<NodeId, Vec<Condition>> {
+    let mut by_target: BTreeMap<NodeId, Vec<Condition>> = BTreeMap::new();
+    for m in matches {
+        let target = m.node(at);
+        assert!(
+            target != original.tree().root(),
+            "deleting the root of a prob-tree is not supported"
+        );
+        let cond = match_condition(original, m);
+        let gamma_target = original.condition(target);
+        let cond_ancestors = original.ancestor_condition(target);
+        let mut del_cond = cond.minus(&gamma_target.and(&cond_ancestors));
+        if let Some(w) = new_event {
+            del_cond = del_cond.and_literal(Literal::pos(w));
+        }
+        by_target.entry(target).or_default().push(del_cond);
+    }
+    by_target
+}
+
+/// The engine's deterministic target order: deepest targets first (ties
+/// by `NodeId`). A target is only split after every target strictly
+/// below it has been, so its survivor copies — grafted from the evolving
+/// tree — embed the descendants' splits. Shallower-first (or grafting
+/// from the original tree, as the pre-engine code did) loses the
+/// descendant splits inside the ancestor's copies.
+fn deletion_order(
+    original: &ProbTree,
+    by_target: &BTreeMap<NodeId, Vec<Condition>>,
+) -> Vec<NodeId> {
+    let mut targets: Vec<NodeId> = by_target.keys().copied().collect();
+    targets.sort_by_key(|&t| (Reverse(original.tree().depth(t)), t));
+    targets
 }
 
 /// The condition `cond` of Appendix A for one match: the union of the
@@ -557,6 +715,95 @@ mod tests {
                 assert!(direct.isomorphic(&via_pw));
             }
         }
+    }
+
+    /// The no-mutation forecast predicts exactly the survivor copies the
+    /// real application grafts, for both chain orders and confidences on
+    /// the Theorem 3 family: `3^n` naive, `1 + 2^n` shared-first.
+    #[test]
+    fn forecast_matches_measured_survivor_copies_on_theorem3() {
+        for n in 1..=4usize {
+            for confidence in [0.8, 1.0] {
+                let tree = pxml_workloads_free_theorem3(n);
+                let update = d0(confidence);
+                for config in [
+                    UpdateEngineConfig::raw(),
+                    UpdateEngineConfig {
+                        simplify: false,
+                        ..UpdateEngineConfig::default()
+                    },
+                ] {
+                    let shared = config.shared_first_chains;
+                    let engine = UpdateEngine::with_config(config);
+                    let forecast = engine.forecast(&tree, &update);
+                    let (_, report) = engine.apply(&tree, &update);
+                    assert_eq!(forecast.matches, report.matches);
+                    assert_eq!(forecast.targets, report.targets);
+                    assert_eq!(
+                        forecast.total_survivor_copies(),
+                        report.survivor_copies,
+                        "n={n} confidence={confidence} shared_first={shared}"
+                    );
+                    if confidence < 1.0 {
+                        let expected = if shared {
+                            1 + (1usize << n)
+                        } else {
+                            3usize.pow(n as u32)
+                        };
+                        assert_eq!(forecast.total_survivor_copies(), expected);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `try_apply` refuses a predicted blow-up before materializing and
+    /// accepts steps within budget.
+    #[test]
+    fn try_apply_enforces_the_survivor_budget() {
+        let tree = pxml_workloads_free_theorem3(4);
+        let update = d0(0.8);
+        let tight = UpdateEngine::with_config(UpdateEngineConfig {
+            simplify: false,
+            max_survivor_copies: Some(16),
+            ..UpdateEngineConfig::default()
+        });
+        let err = tight.try_apply(&tree, &update).unwrap_err();
+        assert_eq!(err.predicted, 17, "shared-first: 1 + 2^4");
+        assert_eq!(err.budget, 16);
+        assert!(err.to_string().contains("17"));
+        let roomy = UpdateEngine::with_config(UpdateEngineConfig {
+            simplify: false,
+            max_survivor_copies: Some(17),
+            ..UpdateEngineConfig::default()
+        });
+        let (_, report) = roomy.try_apply(&tree, &update).unwrap();
+        assert_eq!(report.survivor_copies, 17);
+    }
+
+    /// Insertions and unmatched steps forecast zero survivor copies.
+    #[test]
+    fn forecast_on_insertions_and_dead_steps() {
+        let t = figure1_example();
+        let engine = UpdateEngine::new();
+        let insert = {
+            let q = PatternQuery::new(Some("C"));
+            let at = q.root();
+            ProbabilisticUpdate::new(UpdateOperation::insert(q, at, DataTree::new("E")), 0.9)
+        };
+        let f = engine.forecast(&t, &insert);
+        assert_eq!(f.matches, 1);
+        assert_eq!(f.targets, 1);
+        assert_eq!(f.total_survivor_copies(), 0);
+        assert!(!f.is_dead());
+        let dead = {
+            let q = PatternQuery::new(Some("Z"));
+            let at = q.root();
+            ProbabilisticUpdate::new(UpdateOperation::insert(q, at, DataTree::new("E")), 0.9)
+        };
+        let f = engine.forecast(&t, &dead);
+        assert!(f.is_dead());
+        assert_eq!(f.targets, 0);
     }
 
     #[test]

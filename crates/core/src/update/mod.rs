@@ -35,7 +35,9 @@ pub mod engine;
 pub mod script;
 pub mod simplify;
 
-pub use engine::{StepReport, UpdateEngine, UpdateEngineConfig};
+pub use engine::{
+    DeletionForecast, StepReport, SurvivorBudgetExceeded, UpdateEngine, UpdateEngineConfig,
+};
 pub use script::{ScriptReport, UpdateScript};
 pub use simplify::{simplify, simplify_with, SimplifyConfig, SimplifyReport};
 

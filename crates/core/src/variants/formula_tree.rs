@@ -109,7 +109,7 @@ impl FormulaProbTree {
             .collect();
         let mut keep: HashMap<NodeId, bool> = HashMap::new();
         for node in self.tree.iter() {
-            let parent_kept = self.tree.parent(node).map(|p| keep[&p]).unwrap_or(true);
+            let parent_kept = self.tree.parent(node).is_none_or(|p| keep[&p]);
             let own = self.formula(node).eval(&assignment);
             keep.insert(node, parent_kept && own);
         }

@@ -245,6 +245,29 @@ impl<'a> WorldEngine<'a> {
         &self.components
     }
 
+    /// The static shard plan of this engine's factorized enumeration:
+    /// per-component free-event counts (after π = 1 pinning when
+    /// `weighted`) and the predicted workload `Σ_c 2^{|free_c|}` —
+    /// computed with cheap arithmetic, without enumerating a single
+    /// world. [`ShardExecutor::run`] takes its guards from this plan, so
+    /// the prediction and the execution share one source of truth (the
+    /// plan's [`ShardPlan::predicted_states`] equals the executor's
+    /// [`FactorizedWorlds::states_enumerated`] exactly).
+    pub fn shard_plan(&self, weighted: bool) -> ShardPlan {
+        let events = self.tree.events();
+        let free_sizes: Vec<usize> = self
+            .components
+            .iter()
+            .map(|component| {
+                component
+                    .iter()
+                    .filter(|&&e| !(weighted && events.prob(e) >= 1.0))
+                    .count()
+            })
+            .collect();
+        ShardPlan { free_sizes }
+    }
+
     /// Probability-weighted enumeration of the relevant partial valuations
     /// (`JT K`-style semantics): yields `(valuation, p)` where `p` is the
     /// marginal probability of the partial assignment. Zero-probability
@@ -487,9 +510,7 @@ pub const PARALLEL_SHARD_THRESHOLD: u128 = 4096;
 impl Default for WorldEngineConfig {
     fn default() -> Self {
         WorldEngineConfig {
-            parallelism: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            parallelism: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
             max_joint_worlds: 1 << 24,
         }
     }
@@ -621,6 +642,73 @@ impl std::fmt::Display for JointTooLarge {
 
 impl std::error::Error for JointTooLarge {}
 
+/// The static plan of a factorized world enumeration, produced by
+/// [`WorldEngine::shard_plan`]: per-component free-event counts and the
+/// predicted raw workload, all from arithmetic on the co-occurrence
+/// partition — no possible world is touched. The `pxml_analysis` census
+/// wraps this plan, and [`ShardExecutor::run`] derives its budget guards
+/// from it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Free (actually enumerated) events per component, in the engine's
+    /// deterministic component order.
+    free_sizes: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Number of co-occurrence components.
+    pub fn num_components(&self) -> usize {
+        self.free_sizes.len()
+    }
+
+    /// Free-event count per component, in component order.
+    pub fn free_sizes(&self) -> &[usize] {
+        &self.free_sizes
+    }
+
+    /// The largest per-component free-event count (0 with no components)
+    /// — the quantity the per-component budget guard compares against
+    /// `max_events`.
+    pub fn largest_free_component(&self) -> usize {
+        self.free_sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total free events across components.
+    pub fn num_free_events(&self) -> usize {
+        self.free_sizes.iter().sum()
+    }
+
+    /// Predicted raw enumeration workload `Σ_c 2^{|free_c|}` (saturating)
+    /// — exactly the [`FactorizedWorlds::states_enumerated`] counter the
+    /// executor will report.
+    pub fn predicted_states(&self) -> u128 {
+        self.free_sizes
+            .iter()
+            .fold(0u128, |acc, &f| acc.saturating_add(pow2_saturating(f)))
+    }
+
+    /// The executor's tractability verdict: a single component with more
+    /// than `max_events` free events is refused, and so is a total
+    /// workload above `2^{max_events}` — the factorized path never does
+    /// more enumeration than the caller budgeted for the joint path.
+    pub fn check_budget(&self, max_events: usize) -> Result<(), TooManyValuations> {
+        let largest = self.largest_free_component();
+        if largest > max_events {
+            return Err(TooManyValuations {
+                num_events: largest,
+                max_events,
+            });
+        }
+        if self.predicted_states() > pow2_saturating(max_events) {
+            return Err(TooManyValuations {
+                num_events: self.num_free_events(),
+                max_events,
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Runs the per-component shard enumeration, on a scoped thread pool when
 /// the configuration allows and the predicted work justifies it, and
 /// reassembles the shards in component order (so the output is
@@ -656,36 +744,11 @@ impl ShardExecutor {
         weighted: bool,
         max_events: usize,
     ) -> Result<FactorizedWorlds<'a>, TooManyValuations> {
-        let events = engine.tree.events();
-        // Free-event count per component (after pinning), for the guards
-        // and the parallelism decision — cheap arithmetic, no enumeration.
-        let free_sizes: Vec<usize> = engine
-            .components
-            .iter()
-            .map(|component| {
-                component
-                    .iter()
-                    .filter(|&&e| !(weighted && events.prob(e) >= 1.0))
-                    .count()
-            })
-            .collect();
-        if let Some(&largest) = free_sizes.iter().max() {
-            if largest > max_events {
-                return Err(TooManyValuations {
-                    num_events: largest,
-                    max_events,
-                });
-            }
-        }
-        let total_states: u128 = free_sizes
-            .iter()
-            .fold(0u128, |acc, &f| acc.saturating_add(pow2_saturating(f)));
-        if total_states > pow2_saturating(max_events) {
-            return Err(TooManyValuations {
-                num_events: free_sizes.iter().sum(),
-                max_events,
-            });
-        }
+        // The static shard plan supplies the guards and the parallelism
+        // decision — cheap arithmetic, no enumeration.
+        let plan = engine.shard_plan(weighted);
+        plan.check_budget(max_events)?;
+        let total_states = plan.predicted_states();
 
         let num_components = engine.components.len();
         let conditions = conditions_by_component(engine);

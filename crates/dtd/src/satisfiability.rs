@@ -159,11 +159,7 @@ fn search(
 fn presences(tree: &ProbTree, assignment: &[Option<bool>]) -> HashMap<NodeId, Maybe> {
     let mut out: HashMap<NodeId, Maybe> = HashMap::new();
     for node in tree.tree().iter() {
-        let parent = tree
-            .tree()
-            .parent(node)
-            .map(|p| out[&p])
-            .unwrap_or(Maybe::True);
+        let parent = tree.tree().parent(node).map_or(Maybe::True, |p| out[&p]);
         let own = eval_condition3(tree, node, assignment);
         let combined = match (parent, own) {
             (Maybe::False, _) | (_, Maybe::False) => Maybe::False,

@@ -74,7 +74,11 @@ impl Dnf {
     /// The event variables mentioned anywhere in the formula, deduplicated
     /// and sorted.
     pub fn events(&self) -> Vec<EventId> {
-        let mut events: Vec<EventId> = self.disjuncts.iter().flat_map(|c| c.events()).collect();
+        let mut events: Vec<EventId> = self
+            .disjuncts
+            .iter()
+            .flat_map(super::condition::Condition::events)
+            .collect();
         events.sort_unstable();
         events.dedup();
         events
@@ -333,7 +337,10 @@ fn disjoint_tautology(disjuncts: &[Condition]) -> bool {
         // only disjunct.
         return true;
     }
-    let mut events: Vec<EventId> = disjuncts.iter().flat_map(|c| c.events()).collect();
+    let mut events: Vec<EventId> = disjuncts
+        .iter()
+        .flat_map(super::condition::Condition::events)
+        .collect();
     events.sort_unstable();
     events.dedup();
     let k = events.len();

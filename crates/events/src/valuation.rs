@@ -353,7 +353,10 @@ mod tests {
         let mut v = Valuation::empty(5);
         v.set(EventId::from_index(1), true);
         v.set(EventId::from_index(3), true);
-        let trues: Vec<usize> = v.true_events().map(|e| e.index()).collect();
+        let trues: Vec<usize> = v
+            .true_events()
+            .map(super::super::event::EventId::index)
+            .collect();
         assert_eq!(trues, vec![1, 3]);
     }
 }

@@ -151,7 +151,7 @@ mod tests {
         for v in helpers::vals(3) {
             let expected = dnf.count_satisfied(&v) as i128;
             let got = p.eval_01(&|ev| v.get(ev));
-            assert_eq!(got, expected, "valuation {:?}", v);
+            assert_eq!(got, expected, "valuation {v:?}");
         }
     }
 

@@ -22,6 +22,7 @@ use pxml_core::query::{AnswerSet, QueryEngine};
 use pxml_core::update::{
     ProbabilisticUpdate, ScriptReport, UpdateEngine, UpdateOperation, UpdateScript,
 };
+use pxml_dtd::{ChildConstraint, Dtd};
 use pxml_events::Condition;
 use pxml_tree::DataTree;
 
@@ -83,6 +84,21 @@ pub fn skeleton(services: usize) -> ProbTree {
         tree.add_child(service, "name", Condition::always());
     }
     tree
+}
+
+/// The unordered DTD the warehouse is expected to respect (Definition 12):
+/// a `warehouse` root holding any number of `service` children, each with
+/// exactly one `name` and any number of `keyword`/`endpoint`/`contact`
+/// facts. Fact labels are left unconstrained so the per-round `value{n}`
+/// payloads below them stay legal.
+pub fn warehouse_dtd() -> Dtd {
+    let mut dtd = Dtd::new();
+    dtd.constrain("warehouse", "service", ChildConstraint::at_least(0));
+    dtd.constrain("service", "name", ChildConstraint::between(1, 1));
+    for label in FACT_LABELS {
+        dtd.constrain("service", label, ChildConstraint::at_least(0));
+    }
+    dtd
 }
 
 /// Builds the extraction pipeline as an [`UpdateScript`] plus its log.
@@ -188,6 +204,30 @@ mod tests {
         let tree = skeleton(3);
         assert_eq!(tree.num_nodes(), 1 + 3 * 2);
         assert_eq!(tree.events().len(), 0);
+    }
+
+    #[test]
+    fn warehouse_dtd_accepts_the_skeleton_and_scenario_worlds() {
+        let dtd = warehouse_dtd();
+        assert!(pxml_dtd::validates(skeleton(4).tree(), &dtd));
+        // Every possible world of a small scenario run stays valid: the
+        // script only inserts facts under services and deletes facts.
+        let mut rng = StdRng::seed_from_u64(0xD7D);
+        let config = WarehouseConfig {
+            services: 2,
+            extraction_rounds: 6,
+            deletion_ratio: 0.3,
+        };
+        let warehouse = run_scenario(&config, &mut rng);
+        let pw = pxml_core::semantics::possible_worlds(&warehouse.tree, 16).unwrap();
+        for (world, _) in pw.iter() {
+            assert!(pxml_dtd::validates(world, &dtd));
+        }
+        // A service without a name is rejected.
+        let mut bad = ProbTree::new("warehouse");
+        let root = bad.tree().root();
+        bad.add_child(root, "service", Condition::always());
+        assert!(!pxml_dtd::validates(bad.tree(), &dtd));
     }
 
     #[test]

@@ -150,9 +150,8 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_attr_value(&mut self) -> Result<String, ParseError> {
-        let quote = match self.peek() {
-            Some(q @ (b'"' | b'\'')) => q,
-            _ => return Err(self.error("expected a quoted attribute value")),
+        let Some(quote @ (b'"' | b'\'')) = self.peek() else {
+            return Err(self.error("expected a quoted attribute value"));
         };
         self.pos += 1;
         let start = self.pos;

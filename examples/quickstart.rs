@@ -77,9 +77,10 @@ fn main() {
     let (updated, new_event) = update.apply_to_probtree(&warehouse);
     println!(
         "After inserting E under C with confidence 0.9 (new event {}):\n{}",
-        new_event
-            .map(|e| updated.events().name(e).to_string())
-            .unwrap_or_else(|| "none".to_string()),
+        new_event.map_or_else(
+            || "none".to_string(),
+            |e| updated.events().name(e).to_string()
+        ),
         updated.to_ascii()
     );
 

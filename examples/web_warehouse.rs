@@ -80,7 +80,7 @@ fn main() {
     println!(
         "\nServices with at least one keyword claim: {} answers, best probability {:.3}",
         keyword.len(),
-        best.best().map(|a| a.probability).unwrap_or(0.0)
+        best.best().map_or(0.0, |a| a.probability)
     );
 
     // ----- Threshold pruning ----------------------------------------------

@@ -75,6 +75,8 @@ fn build_probtree(spec: &ProbTreeSpec) -> ProbTree {
             });
         tree.set_condition(node, Condition::from_literals(literals));
     }
+    tree.validate_invariants()
+        .expect("generated prob-trees satisfy the model invariants");
     tree
 }
 
@@ -201,6 +203,7 @@ proptest! {
             )
         };
         let (updated, _) = update.apply_to_probtree(&tree);
+        prop_assert!(updated.validate_invariants().is_ok());
         let direct = possible_worlds(&updated, 20).unwrap().normalized();
         let via_pw = update
             .apply_to_pw_set(&possible_worlds(&tree, 16).unwrap())
