@@ -79,6 +79,28 @@ impl ScriptAnalysis {
             .map(|s| s.forecast.total_survivor_copies())
             .sum()
     }
+
+    /// Total predicted **logical** survivor nodes over all steps — what a
+    /// deep-copy representation would have to materialize (Theorem 3's
+    /// exponential blow-up lives here).
+    pub fn predicted_logical_survivor_nodes(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| s.forecast.logical_survivor_nodes())
+            .sum()
+    }
+
+    /// Total predicted **distinct stored** survivor nodes over all steps —
+    /// what the hash-consed representation actually allocates. Under
+    /// survivor sharing this stays linear on the Theorem 3 family while
+    /// [`ScriptAnalysis::predicted_logical_survivor_nodes`] grows as
+    /// `1 + 2^n`.
+    pub fn predicted_distinct_survivor_nodes(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| s.forecast.distinct_survivor_nodes())
+            .sum()
+    }
 }
 
 /// Analyzes `script` as it would run against `tree` under `engine`'s
@@ -230,6 +252,55 @@ mod tests {
                 UpdateEngine::with_config(pxml_core::update::UpdateEngineConfig::raw());
             let raw = analyze_script(&raw_engine, &tree, &script, None);
             assert_eq!(raw.predicted_survivor_copies(), 3usize.pow(n as u32));
+        }
+    }
+
+    #[test]
+    fn distinct_vs_logical_node_forecasts_match_the_stored_representation() {
+        use pxml_core::update::UpdateEngineConfig;
+        for n in 1..=4usize {
+            let tree = theorem3_tree(n);
+            let script = UpdateScript::from_steps([d0_deletion(0.8)]);
+            // Sharing on: the engine grafts 1 + 2^n *logical* copies of the
+            // deleted B leaf but stores its shape exactly once.
+            let engine = UpdateEngine::with_config(UpdateEngineConfig {
+                simplify: false,
+                ..UpdateEngineConfig::default()
+            });
+            let analysis = analyze_script(&engine, &tree, &script, None);
+            assert_eq!(analysis.predicted_logical_survivor_nodes(), 1 + (1 << n));
+            assert_eq!(analysis.predicted_distinct_survivor_nodes(), 1);
+            // The forecast agrees with what the applied tree actually
+            // stores: logical-minus-distinct is exactly the node count the
+            // hash-consed representation avoided materializing.
+            let (updated, report) = engine.apply_script(&tree, &script);
+            let stats = updated.memory_stats();
+            assert_eq!(
+                stats.logical_nodes - stats.distinct_nodes,
+                analysis.predicted_logical_survivor_nodes()
+                    - analysis.predicted_distinct_survivor_nodes()
+            );
+            assert_eq!(
+                report.steps[0].distinct_nodes_after, stats.distinct_nodes,
+                "the step report's distinct counter is the memory-stats one"
+            );
+            // The deep oracle materializes every logical copy.
+            let deep = UpdateEngine::with_config(
+                UpdateEngineConfig {
+                    simplify: false,
+                    ..UpdateEngineConfig::default()
+                }
+                .deep_oracle(),
+            );
+            let deep_analysis = analyze_script(&deep, &tree, &script, None);
+            assert_eq!(
+                deep_analysis.predicted_distinct_survivor_nodes(),
+                deep_analysis.predicted_logical_survivor_nodes()
+            );
+            let (deep_out, _) = deep.apply_script(&tree, &script);
+            let deep_stats = deep_out.memory_stats();
+            assert_eq!(deep_stats.logical_nodes, deep_stats.distinct_nodes);
+            assert_eq!(deep_stats.logical_nodes, stats.logical_nodes);
         }
     }
 

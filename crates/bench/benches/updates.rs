@@ -123,7 +123,10 @@ fn bench_deletion_blowup_control(c: &mut Criterion) {
     let (raw_out, raw_report) = raw_engine.apply(&tree, &update);
     let (default_out, _) = default_engine.apply(&tree, &update);
     let (simplified_out, simplified_report) = simplify_only.apply(&tree, &update);
+    // Survivor copies are shared handles, so count the *logical* B
+    // occurrences through the expanded view.
     let b_copies = |t: &ProbTree| {
+        let t = t.expanded();
         t.tree()
             .iter()
             .filter(|&nd| t.tree().label(nd) == "B")
@@ -220,6 +223,70 @@ fn bench_nested_target_deletion(c: &mut Criterion) {
     group.finish();
 }
 
+/// E13 — hash-consed DAG storage on the Theorem 3 deletion: at `n = 12`
+/// the confidence-c deletion produces `1 + 2^12 = 4097` **logical**
+/// survivor copies of the deleted `B` leaf, but the shared node store
+/// keeps the **distinct** stored node count linear in `n` (`n + 2`). The
+/// counters are asserted outside the timed region (in quick mode too —
+/// this is CI's dedup smoke check); the timed comparison contrasts shared
+/// grafting with the deep-copy oracle at a feasible size.
+fn bench_dedup_memory(c: &mut Criterion) {
+    let shared_engine = UpdateEngine::with_config(UpdateEngineConfig {
+        simplify: false,
+        ..UpdateEngineConfig::default()
+    });
+
+    // Counter assertions (storage, not wall-clock): distinct stays linear
+    // while the logical count blows up exponentially.
+    let n = 12usize;
+    let update = d0_deletion(0.8);
+    let (out, report) = shared_engine.apply(&theorem3_tree(n), &update);
+    let stats = out.memory_stats();
+    assert_eq!(
+        stats.logical_nodes,
+        1 + n + 1 + (1usize << n),
+        "root + n C children + (1 + 2^n) B survivor copies"
+    );
+    assert_eq!(
+        stats.distinct_nodes,
+        n + 2,
+        "distinct stored nodes grow linearly in n"
+    );
+    assert_eq!(report.distinct_nodes_after, stats.distinct_nodes);
+    assert!(stats.dedup_ratio() > 100.0);
+    // The deep-copy oracle materializes every logical copy (checked at a
+    // size where 3^n-free logical grafting is still feasible).
+    let deep_engine = UpdateEngine::with_config(
+        UpdateEngineConfig {
+            simplify: false,
+            ..UpdateEngineConfig::default()
+        }
+        .deep_oracle(),
+    );
+    let small = if quick() { 6 } else { 10 };
+    let (shared_small, _) = shared_engine.apply(&theorem3_tree(small), &update);
+    let (deep_small, _) = deep_engine.apply(&theorem3_tree(small), &update);
+    let shared_stats = shared_small.memory_stats();
+    let deep_stats = deep_small.memory_stats();
+    assert_eq!(deep_stats.logical_nodes, deep_stats.distinct_nodes);
+    assert_eq!(deep_stats.logical_nodes, shared_stats.logical_nodes);
+    assert_eq!(
+        shared_small.to_ascii(),
+        deep_small.to_ascii(),
+        "shared and deep representations render identically"
+    );
+
+    let mut group = c.benchmark_group("e13_dedup_memory");
+    let tree = theorem3_tree(small);
+    group.bench_with_input(BenchmarkId::new("shared", small), &tree, |b, tree| {
+        b.iter(|| shared_engine.apply(tree, &update));
+    });
+    group.bench_with_input(BenchmarkId::new("deep_copy", small), &tree, |b, tree| {
+        b.iter(|| deep_engine.apply(tree, &update));
+    });
+    group.finish();
+}
+
 /// Batched update scripts: the warehouse extraction pipeline applied in
 /// one `apply_script` pass, at growing round counts.
 fn bench_update_scripts(c: &mut Criterion) {
@@ -268,6 +335,7 @@ criterion_group! {
     config = config();
     targets = bench_insertions, bench_theorem3_deletion,
         bench_theorem3_insertion_contrast, bench_deletion_blowup_control,
-        bench_nested_target_deletion, bench_update_scripts
+        bench_dedup_memory, bench_nested_target_deletion,
+        bench_update_scripts
 }
 criterion_main!(benches);

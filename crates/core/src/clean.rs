@@ -17,9 +17,11 @@ use pxml_tree::NodeId;
 
 use crate::probtree::ProbTree;
 
-/// Returns a cleaned, compacted copy of `tree`.
+/// Returns a cleaned, compacted copy of `tree`. Shared children are
+/// materialized first: cleaning rewrites conditions in place, which the
+/// immutable stored shapes do not support.
 pub fn clean(tree: &ProbTree) -> ProbTree {
-    let mut work = tree.clone();
+    let mut work = tree.expanded().into_owned();
     let mut to_detach: Vec<NodeId> = Vec::new();
 
     // Pre-order walk guarantees ancestors are processed before descendants,
@@ -87,7 +89,7 @@ pub fn prune_certain(tree: &ProbTree) -> ProbTree {
     if events.iter().all(|e| events.prob(e) < 1.0) {
         return tree.clone();
     }
-    let mut work = tree.clone();
+    let mut work = tree.expanded().into_owned();
     let mut to_detach: Vec<NodeId> = Vec::new();
     let nodes: Vec<NodeId> = work.tree().iter().collect();
     for node in nodes {
@@ -126,6 +128,8 @@ pub fn prune_certain(tree: &ProbTree) -> ProbTree {
 /// `true` if `tree` is already clean: no node condition repeats or
 /// contradicts an ancestor literal, and every condition is consistent.
 pub fn is_clean(tree: &ProbTree) -> bool {
+    let tree = tree.expanded();
+    let tree = tree.as_ref();
     for node in tree.tree().iter() {
         if node == tree.tree().root() {
             continue;

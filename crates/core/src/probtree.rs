@@ -4,12 +4,80 @@
 //! set of event variables `W`, a probability distribution `π` over `W`, and
 //! a function `γ` assigning a condition (conjunction of literals over `W`)
 //! to every non-root node. The root carries no condition.
+//!
+//! # Representation: hash-consed DAG with copy-on-write duplication
+//!
+//! Logically a prob-tree is a tree, but its *representation* is a DAG:
+//! alongside the arena ([`DataTree`]) every prob-tree owns a hash-consed
+//! [`NodeStore`] of subtree shapes, and a node's logical children are its
+//! arena children **followed by** its [`SharedChild`] handles — O(1)
+//! occurrences of stored shapes. [`ProbTree::duplicate_subtree`] (the
+//! workhorse of update deletions, which materialize `1 + 2^n` survivor
+//! copies on the paper's Appendix-A family) interns the source subtree
+//! once and pushes a handle per copy, so `k` copies of an `m`-node subtree
+//! cost `O(m + k)` distinct stored nodes instead of `O(k·m)`.
+//!
+//! Invariants of the shared representation:
+//!
+//! * handle shapes are **bare** — the stored root carries no annotation
+//!   (`ann = None`); the occurrence's root condition lives on the handle,
+//!   which is what lets copies with different root conditions share one
+//!   shape. Inner stored nodes carry `Some(γ)` (with `Some(always)` for
+//!   the empty condition, keeping bare and empty distinguishable);
+//! * mutation is copy-on-write: shapes are immutable, and any operation
+//!   that needs arena access below a handle first *faults it in*
+//!   ([`ProbTree::fault_in`]), expanding the shape back into arena nodes;
+//! * adding an arena child under a node with handles faults the handles
+//!   in first, so the logical child order (arena then shared) always
+//!   equals the temporal insertion order — expansions render byte-
+//!   identically to deep copies;
+//! * the store's refcounts count one reference per handle plus one per
+//!   stored parent occurrence; [`ProbTree::compact`] garbage-collects
+//!   dead shapes by re-interning the reachable ones into a fresh store.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 use pxml_events::{Condition, EventTable, Valuation};
 use pxml_tree::render::to_ascii_annotated;
-use pxml_tree::{DataTree, NodeId};
+use pxml_tree::{DataTree, NodeId, NodeStore, ShapeId};
+
+/// One shared occurrence of a stored subtree: a copy-on-write child
+/// handle. The shape is *bare* (its stored root has no annotation); the
+/// occurrence's root condition is carried here.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SharedChild {
+    /// The stored shape this occurrence expands to.
+    pub shape: ShapeId,
+    /// Condition `γ` of the occurrence's root.
+    pub condition: Condition,
+}
+
+/// Memory accounting of the DAG representation; see
+/// [`ProbTree::memory_stats`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct MemoryStats {
+    /// Nodes of the logical tree (what [`ProbTree::num_nodes`] reports).
+    pub logical_nodes: usize,
+    /// Physically stored nodes: attached arena nodes plus distinct live
+    /// shapes reachable from the handles.
+    pub distinct_nodes: usize,
+    /// Literals of the logical tree ([`ProbTree::num_literals`]).
+    pub logical_literals: usize,
+    /// Shared occurrences (total handle count under reachable nodes).
+    pub shared_occurrences: usize,
+    /// Live shapes in the node store (reachable handles' shapes plus any
+    /// garbage awaiting [`ProbTree::compact`]).
+    pub store_live_shapes: usize,
+}
+
+impl MemoryStats {
+    /// Logical over distinct nodes — `1.0` when nothing is shared, large
+    /// on blow-up families (e.g. ~`2^n / n` on the Appendix-A family).
+    pub fn dedup_ratio(&self) -> f64 {
+        self.logical_nodes as f64 / self.distinct_nodes.max(1) as f64
+    }
+}
 
 /// A probabilistic tree (prob-tree).
 #[derive(Clone, Debug)]
@@ -19,6 +87,11 @@ pub struct ProbTree {
     /// Condition of every non-root node; nodes absent from the map carry
     /// the empty (always-true) condition.
     conditions: HashMap<NodeId, Condition>,
+    /// Hash-consed shapes backing the shared (copy-on-write) children.
+    store: NodeStore<Condition>,
+    /// Shared children per arena node, in insertion order; a node's
+    /// logical children are its arena children followed by these.
+    handles: HashMap<NodeId, Vec<SharedChild>>,
 }
 
 impl ProbTree {
@@ -29,6 +102,8 @@ impl ProbTree {
             tree: DataTree::new(label),
             events: EventTable::new(),
             conditions: HashMap::new(),
+            store: NodeStore::new(),
+            handles: HashMap::new(),
         }
     }
 
@@ -39,6 +114,8 @@ impl ProbTree {
             tree,
             events,
             conditions: HashMap::new(),
+            store: NodeStore::new(),
+            handles: HashMap::new(),
         }
     }
 
@@ -89,12 +166,16 @@ impl ProbTree {
     }
 
     /// Adds a child node with the given label and condition; returns its id.
+    ///
+    /// If `parent` has shared children they are faulted in first, so the
+    /// logical child order stays the temporal insertion order.
     pub fn add_child(
         &mut self,
         parent: NodeId,
         label: impl Into<String>,
         condition: Condition,
     ) -> NodeId {
+        self.fault_in(parent);
         let id = self.tree.add_child(parent, label);
         if !condition.is_empty() {
             self.conditions.insert(id, condition);
@@ -111,6 +192,7 @@ impl ProbTree {
         subtree: &DataTree,
         root_condition: Condition,
     ) -> NodeId {
+        self.fault_in(parent);
         let (new_root, _) = self.tree.graft(parent, subtree);
         if !root_condition.is_empty() {
             self.conditions.insert(new_root, root_condition);
@@ -119,20 +201,53 @@ impl ProbTree {
     }
 
     /// Duplicates the subtree rooted at `node` (which must belong to this
-    /// tree) as a new child of `parent`, carrying over the conditions of
-    /// the copied nodes, with the copied root's condition replaced by
-    /// `root_condition`. Returns the id of the copied root.
+    /// tree and be reachable) as a new logical child of `parent`, with the
+    /// copy's root condition replaced by `root_condition`.
     ///
-    /// Update deletions replace a target with survivor copies taken from
-    /// the **evolving** tree (so that splits already applied to nested
-    /// targets are preserved); copying in place avoids cloning the whole
-    /// tree per copy.
-    pub fn duplicate_subtree(
+    /// This is **copy-on-write**: the subtree is interned into the node
+    /// store once (hash-consing dedupes it against everything already
+    /// stored) and the copy is an O(1) [`SharedChild`] handle. Update
+    /// deletions replace a target with survivor copies taken from the
+    /// **evolving** tree (so that splits already applied to nested targets
+    /// are preserved); the handle snapshot has the same effect, since
+    /// shapes are immutable.
+    pub fn duplicate_subtree(&mut self, parent: NodeId, node: NodeId, root_condition: Condition) {
+        self.duplicate_subtree_n(parent, node, std::slice::from_ref(&root_condition));
+    }
+
+    /// [`ProbTree::duplicate_subtree`] amortized over `k` copies: interns
+    /// the source subtree once and pushes one handle per condition, so the
+    /// `1 + 2^n` survivor copies of an Appendix-A deletion cost one shape
+    /// chain plus `1 + 2^n` O(1) handles.
+    pub fn duplicate_subtree_n(
+        &mut self,
+        parent: NodeId,
+        node: NodeId,
+        root_conditions: &[Condition],
+    ) {
+        let shape = self.intern_subtree_shape(node);
+        let entries = self.handles.entry(parent).or_default();
+        for condition in root_conditions {
+            self.store.retain(shape);
+            entries.push(SharedChild {
+                shape,
+                condition: condition.clone(),
+            });
+        }
+    }
+
+    /// The deep-copy variant of [`ProbTree::duplicate_subtree`], kept as
+    /// the property-tested oracle for the shared representation: the copy
+    /// is materialized as fresh arena nodes and its root id is returned.
+    /// Shared children inside the source subtree are faulted in first.
+    pub fn duplicate_subtree_deep(
         &mut self,
         parent: NodeId,
         node: NodeId,
         root_condition: Condition,
     ) -> NodeId {
+        self.fault_in_subtree(node);
+        self.fault_in(parent);
         // Snapshot the subtree before mutating: `descendants` is a DFS
         // pre-order, so every node appears after its parent.
         let nodes: Vec<NodeId> = self.tree.descendants(node);
@@ -168,25 +283,84 @@ impl ProbTree {
         new_root
     }
 
+    /// Interns the (arena + shared) subtree rooted at `node` as a *bare*
+    /// shape: inner nodes carry `Some(γ)` (`Some(always)` when empty), the
+    /// root carries `None` so occurrences can attach their own condition.
+    fn intern_subtree_shape(&mut self, node: NodeId) -> ShapeId {
+        let mut stack = vec![(node, false)];
+        let mut results: Vec<ShapeId> = Vec::new();
+        while let Some((n, expanded)) = stack.pop() {
+            if expanded {
+                let arity = self.tree.children(n).len();
+                let mut children: Vec<ShapeId> = results.split_off(results.len() - arity);
+                // Shared children follow the arena children, converted to
+                // full shapes by pushing the handle condition down onto
+                // the stored root.
+                if let Some(entries) = self.handles.get(&n) {
+                    let converted: Vec<(ShapeId, Condition)> = entries
+                        .iter()
+                        .map(|h| (h.shape, h.condition.clone()))
+                        .collect();
+                    for (shape, condition) in converted {
+                        let weight = condition.len();
+                        children.push(self.store.with_ann(shape, Some(condition), weight));
+                    }
+                }
+                let (ann, weight) = if n == node {
+                    (None, 0)
+                } else {
+                    let c = self.condition(n);
+                    let weight = c.len();
+                    (Some(c), weight)
+                };
+                let label = self.tree.label(n).to_string();
+                results.push(self.store.intern(&label, ann, weight, &children));
+            } else {
+                stack.push((n, true));
+                for &child in self.tree.children(n).iter().rev() {
+                    stack.push((child, false));
+                }
+            }
+        }
+        results
+            .pop()
+            .expect("subtree interning produces a root shape")
+    }
+
     /// Detaches the subtree rooted at `node` (cannot be the root).
     pub fn detach(&mut self, node: NodeId) {
         self.tree.detach(node);
-        // Conditions of detached nodes become garbage; they are dropped on
-        // the next `compact`.
+        // Conditions and handles of detached nodes become garbage; they
+        // are dropped (and their shapes released) on the next `compact`.
     }
 
-    /// Number of reachable nodes.
+    /// Number of **logical** nodes: reachable arena nodes plus the full
+    /// expansion of every shared child.
     pub fn num_nodes(&self) -> usize {
-        self.tree.len()
+        self.tree
+            .iter()
+            .map(|n| {
+                1 + self.handles.get(&n).map_or(0, |hs| {
+                    hs.iter().map(|h| self.store.size(h.shape)).sum::<usize>()
+                })
+            })
+            .sum()
     }
 
-    /// Total number of literals over all reachable nodes. Together with
+    /// Total number of literals over all logical nodes. Together with
     /// [`ProbTree::num_nodes`], this is the size measure `|T|` used by
     /// Proposition 2 and Theorems 3–5.
     pub fn num_literals(&self) -> usize {
         self.tree
             .iter()
-            .map(|n| self.conditions.get(&n).map_or(0, Condition::len))
+            .map(|n| {
+                self.conditions.get(&n).map_or(0, Condition::len)
+                    + self.handles.get(&n).map_or(0, |hs| {
+                        hs.iter()
+                            .map(|h| h.condition.len() + self.store.weight(h.shape))
+                            .sum::<usize>()
+                    })
+            })
             .sum()
     }
 
@@ -214,22 +388,61 @@ impl ProbTree {
     /// The value `V(T)` of the prob-tree in the world described by
     /// `valuation` (Definition 4): the subtree of `t` where every node whose
     /// condition is violated has been removed together with its
-    /// descendants.
+    /// descendants. Works directly on the shared representation — shapes
+    /// are filtered without being faulted in.
     pub fn value_in_world(&self, valuation: &Valuation) -> DataTree {
-        let mut keep: HashMap<NodeId, bool> = HashMap::new();
-        // Pre-order guarantees parents are decided before children.
-        for node in self.tree.iter() {
-            let parent_kept = self.tree.parent(node).is_none_or(|p| keep[&p]);
-            let own = self.condition(node).eval(valuation);
-            keep.insert(node, parent_kept && own);
+        let root = self.tree.root();
+        let mut out = DataTree::new(self.tree.label(root));
+        let mut stack: Vec<(NodeId, NodeId)> = vec![(root, out.root())];
+        while let Some((src, dst)) = stack.pop() {
+            for &child in self.tree.children(src) {
+                if self
+                    .conditions
+                    .get(&child)
+                    .is_none_or(|c| c.eval(valuation))
+                {
+                    let nd = out.add_child(dst, self.tree.label(child));
+                    stack.push((child, nd));
+                }
+            }
+            if let Some(entries) = self.handles.get(&src) {
+                for h in entries {
+                    if h.condition.eval(valuation) {
+                        self.shape_value_into(&mut out, dst, h.shape, valuation);
+                    }
+                }
+            }
         }
-        let (out, _) = self.tree.extract(&|n| keep[&n]);
         out
     }
 
+    /// Expands the world-restricted value of a stored shape under `parent`
+    /// (the occurrence's root condition has already been checked).
+    fn shape_value_into(
+        &self,
+        out: &mut DataTree,
+        parent: NodeId,
+        shape: ShapeId,
+        valuation: &Valuation,
+    ) {
+        let root = out.add_child(parent, self.store.label(shape));
+        let mut stack = vec![(shape, root)];
+        while let Some((s, nd)) = stack.pop() {
+            for &c in self.store.children(s) {
+                let kept = self.store.ann(c).is_none_or(|cond| cond.eval(valuation));
+                if kept {
+                    let cn = out.add_child(nd, self.store.label(c));
+                    stack.push((c, cn));
+                }
+            }
+        }
+    }
+
     /// Rebuilds the prob-tree with a compact arena (dropping detached
-    /// nodes). Conditions are carried over. Returns the new prob-tree and
-    /// the old→new node mapping.
+    /// nodes) and a garbage-collected node store (reachable shapes are
+    /// re-interned; dead ones are dropped). Conditions and handles are
+    /// carried over. Returns the new prob-tree and the old→new node
+    /// mapping.
     pub fn compact(&self) -> (ProbTree, HashMap<NodeId, NodeId>) {
         let (tree, mapping) = self.tree.compact();
         let mut conditions = HashMap::new();
@@ -240,14 +453,200 @@ impl ProbTree {
                 }
             }
         }
+        let mut store = NodeStore::new();
+        let mut memo: HashMap<ShapeId, ShapeId> = HashMap::new();
+        let mut handles: HashMap<NodeId, Vec<SharedChild>> = HashMap::new();
+        for (old, new) in &mapping {
+            if let Some(entries) = self.handles.get(old) {
+                if entries.is_empty() {
+                    continue;
+                }
+                let moved: Vec<SharedChild> = entries
+                    .iter()
+                    .map(|h| {
+                        let shape = reintern_shape(&self.store, &mut store, &mut memo, h.shape);
+                        store.retain(shape);
+                        SharedChild {
+                            shape,
+                            condition: h.condition.clone(),
+                        }
+                    })
+                    .collect();
+                handles.insert(*new, moved);
+            }
+        }
         (
             ProbTree {
                 tree,
                 events: self.events.clone(),
                 conditions,
+                store,
+                handles,
             },
             mapping,
         )
+    }
+
+    /// Shared children of `node`, in insertion order (after its arena
+    /// children in the logical child order). Empty for fully materialized
+    /// nodes.
+    pub fn shared_children(&self, node: NodeId) -> &[SharedChild] {
+        self.handles.get(&node).map_or(&[], Vec::as_slice)
+    }
+
+    /// The hash-consed shape store backing the shared children.
+    pub fn store(&self) -> &NodeStore<Condition> {
+        &self.store
+    }
+
+    /// Whether any reachable node has shared children.
+    pub fn has_shared(&self) -> bool {
+        self.tree
+            .iter()
+            .any(|n| self.handles.get(&n).is_some_and(|hs| !hs.is_empty()))
+    }
+
+    /// Materializes the shared children of `node` as arena nodes (in
+    /// handle order, after the existing arena children), releasing their
+    /// shapes. No-op for nodes without handles.
+    pub fn fault_in(&mut self, node: NodeId) {
+        let Some(entries) = self.handles.remove(&node) else {
+            return;
+        };
+        let conditions = &mut self.conditions;
+        for h in entries {
+            let new_root = self
+                .tree
+                .graft_shape(node, &self.store, h.shape, &mut |nd, ann| {
+                    if let Some(c) = ann {
+                        if !c.is_empty() {
+                            conditions.insert(nd, c.clone());
+                        }
+                    }
+                });
+            if !h.condition.is_empty() {
+                conditions.insert(new_root, h.condition);
+            }
+            self.store.release(h.shape);
+        }
+    }
+
+    /// Faults in every handle in the subtree rooted at `node` (expanded
+    /// nodes never carry handles, so one pass suffices).
+    pub fn fault_in_subtree(&mut self, node: NodeId) {
+        for n in self.tree.descendants(node) {
+            self.fault_in(n);
+        }
+    }
+
+    /// Fully materializes the tree: faults in every reachable handle.
+    pub fn expand_all(&mut self) {
+        let root = self.tree.root();
+        self.fault_in_subtree(root);
+    }
+
+    /// A fully materialized view of this prob-tree: borrows `self` when
+    /// nothing is shared, otherwise clones and expands. Consumers that
+    /// traverse the arena directly go through this.
+    pub fn expanded(&self) -> Cow<'_, ProbTree> {
+        if self.has_shared() {
+            let mut full = self.clone();
+            full.expand_all();
+            Cow::Owned(full)
+        } else {
+            Cow::Borrowed(self)
+        }
+    }
+
+    /// Every condition of the logical tree (arena conditions, handle root
+    /// conditions, and the annotations of each handle's reachable shapes),
+    /// without materializing anything. Empty conditions are skipped. The
+    /// world engines use this to collect relevant events.
+    pub fn all_conditions(&self) -> Vec<&Condition> {
+        let mut out = Vec::new();
+        for n in self.tree.iter() {
+            if let Some(c) = self.conditions.get(&n) {
+                out.push(c);
+            }
+            if let Some(entries) = self.handles.get(&n) {
+                for h in entries {
+                    if !h.condition.is_empty() {
+                        out.push(&h.condition);
+                    }
+                    for s in self.store.reachable_from([h.shape]) {
+                        if let Some(c) = self.store.ann(s) {
+                            if !c.is_empty() {
+                                out.push(c);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Memory accounting of the shared representation: logical size
+    /// versus physically stored nodes, and the resulting dedup ratio.
+    pub fn memory_stats(&self) -> MemoryStats {
+        let mut arena_nodes = 0usize;
+        let mut shared_occurrences = 0usize;
+        let mut roots: Vec<ShapeId> = Vec::new();
+        for n in self.tree.iter() {
+            arena_nodes += 1;
+            if let Some(entries) = self.handles.get(&n) {
+                shared_occurrences += entries.len();
+                roots.extend(entries.iter().map(|h| h.shape));
+            }
+        }
+        let distinct_shapes = self.store.reachable_from(roots).len();
+        MemoryStats {
+            logical_nodes: self.num_nodes(),
+            distinct_nodes: arena_nodes + distinct_shapes,
+            logical_literals: self.num_literals(),
+            shared_occurrences,
+            store_live_shapes: self.store.num_live(),
+        }
+    }
+
+    /// Interns the **whole** logical tree into an external store as a full
+    /// shape (the root is bare, matching its condition-free status), after
+    /// translating this tree's own shapes into `store`. Hash-consing in a
+    /// store shared by several documents dedupes equal subtrees across
+    /// them; see [`corpus_memory_stats`].
+    pub fn intern_into(&self, store: &mut NodeStore<Condition>) -> ShapeId {
+        let mut memo: HashMap<ShapeId, ShapeId> = HashMap::new();
+        let mut stack = vec![(self.tree.root(), false)];
+        let mut results: Vec<ShapeId> = Vec::new();
+        while let Some((n, expanded)) = stack.pop() {
+            if expanded {
+                let arity = self.tree.children(n).len();
+                let mut children: Vec<ShapeId> = results.split_off(results.len() - arity);
+                if let Some(entries) = self.handles.get(&n) {
+                    for h in entries {
+                        let bare = reintern_shape(&self.store, store, &mut memo, h.shape);
+                        let weight = h.condition.len();
+                        children.push(store.with_ann(bare, Some(h.condition.clone()), weight));
+                    }
+                }
+                let (ann, weight) = if n == self.tree.root() {
+                    (None, 0)
+                } else {
+                    let c = self.condition(n);
+                    let weight = c.len();
+                    (Some(c), weight)
+                };
+                results.push(store.intern(self.tree.label(n), ann, weight, &children));
+            } else {
+                stack.push((n, true));
+                for &child in self.tree.children(n).iter().rev() {
+                    stack.push((child, false));
+                }
+            }
+        }
+        results
+            .pop()
+            .expect("document interning produces a root shape")
     }
 
     /// Validates the representation invariants of the prob-tree,
@@ -262,7 +661,12 @@ impl ProbTree {
     ///   stored" convention);
     /// * condition support ⊆ declared events — every literal references
     ///   an event the table declares;
-    /// * probability mass bounds — `π(w) ∈ (0, 1]` for every event.
+    /// * probability mass bounds — `π(w) ∈ (0, 1]` for every event;
+    /// * DAG-store consistency — every handle references a live **bare**
+    ///   shape whose conditions reference declared events, and the store
+    ///   itself passes [`NodeStore::validate`] (acyclicity, refcounts
+    ///   matching the handle census, cached sizes, and agreement of the
+    ///   cached canonical codes with a from-scratch canonization).
     ///
     /// Intended for `debug_assert!`-style use in tests and property
     /// suites; it walks the whole tree, so hot paths should not call it.
@@ -312,20 +716,124 @@ impl ProbTree {
                 ));
             }
         }
+        // DAG-store checks. Handles under detached nodes legitimately
+        // linger until `compact`, but they still hold references, so the
+        // external census covers *every* handle entry.
+        let mut external: HashMap<ShapeId, usize> = HashMap::new();
+        for entries in self.handles.values() {
+            for h in entries {
+                if !self.store.is_live(h.shape) {
+                    return Err(format!("handle references dead shape {}", h.shape));
+                }
+                if self.store.ann(h.shape).is_some() {
+                    return Err(format!(
+                        "handle shape {} is not bare (stored root carries a condition)",
+                        h.shape
+                    ));
+                }
+                *external.entry(h.shape).or_insert(0) += 1;
+            }
+        }
+        for entries in self.handles.values() {
+            for h in entries {
+                for shape in self.store.reachable_from([h.shape]) {
+                    if let Some(c) = self.store.ann(shape) {
+                        for event in c.events() {
+                            if event.index() >= self.events.len() {
+                                return Err(format!(
+                                    "stored shape {shape} references undeclared event index {}",
+                                    event.index()
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.store
+            .validate(&external)
+            .map_err(|e| format!("node store: {e}"))?;
         Ok(())
     }
 
     /// ASCII rendering with conditions shown next to node labels, e.g.
-    /// `B  [w1 ∧ ¬w2]`.
+    /// `B  [w1 ∧ ¬w2]`. Shared children render exactly as their expansion
+    /// would (byte-identical to the deep-copy representation).
     pub fn to_ascii(&self) -> String {
-        to_ascii_annotated(&self.tree, &|node| {
-            let cond = self.condition(node);
+        let full = self.expanded();
+        let full = full.as_ref();
+        to_ascii_annotated(&full.tree, &|node| {
+            let cond = full.condition(node);
             if cond.is_empty() {
                 String::new()
             } else {
-                format!("  [{}]", cond.display(&self.events))
+                format!("  [{}]", cond.display(&full.events))
             }
         })
+    }
+}
+
+/// Translates a shape from `src` into `dst`, memoized, preserving labels,
+/// annotations and stored child order. Used by [`ProbTree::compact`] (GC
+/// into a fresh store) and [`ProbTree::intern_into`] (cross-document
+/// dedup into a shared store).
+fn reintern_shape(
+    src: &NodeStore<Condition>,
+    dst: &mut NodeStore<Condition>,
+    memo: &mut HashMap<ShapeId, ShapeId>,
+    shape: ShapeId,
+) -> ShapeId {
+    if let Some(&done) = memo.get(&shape) {
+        return done;
+    }
+    let mut stack = vec![(shape, false)];
+    while let Some((s, expanded)) = stack.pop() {
+        if memo.contains_key(&s) {
+            continue;
+        }
+        if expanded {
+            let children: Vec<ShapeId> = src.children(s).iter().map(|c| memo[c]).collect();
+            let ann = src.ann(s).cloned();
+            let weight = ann.as_ref().map_or(0, Condition::len);
+            let new = dst.intern(src.label(s), ann, weight, &children);
+            memo.insert(s, new);
+        } else {
+            stack.push((s, true));
+            for &c in src.children(s).iter().rev() {
+                stack.push((c, false));
+            }
+        }
+    }
+    memo[&shape]
+}
+
+/// Cross-document dedup accounting: interns every document into one fresh
+/// shared [`NodeStore`] and reports the corpus' logical size against the
+/// distinct nodes that store ends up holding. Equal subtrees *across*
+/// documents (e.g. the unedited regions of warehouse snapshots) collapse
+/// to shared shapes, so the ratio measures how much a corpus-wide store
+/// would save.
+pub fn corpus_memory_stats(docs: &[&ProbTree]) -> MemoryStats {
+    let mut store: NodeStore<Condition> = NodeStore::new();
+    let mut logical_nodes = 0;
+    let mut logical_literals = 0;
+    let mut shared_occurrences = 0;
+    for doc in docs {
+        doc.intern_into(&mut store);
+        logical_nodes += doc.num_nodes();
+        logical_literals += doc.num_literals();
+        shared_occurrences += doc
+            .tree()
+            .iter()
+            .map(|n| doc.shared_children(n).len())
+            .sum::<usize>();
+    }
+    MemoryStats {
+        logical_nodes,
+        distinct_nodes: store.num_live(),
+        logical_literals,
+        shared_occurrences,
+        store_live_shapes: store.num_live(),
     }
 }
 
@@ -446,12 +954,18 @@ mod tests {
         let w1 = t.events().by_name("w1").unwrap();
         let c_node = t.tree().iter().find(|&n| t.tree().label(n) == "C").unwrap();
         let root = t.tree().root();
-        let new_c = t.duplicate_subtree(root, c_node, Condition::of(Literal::pos(w1)));
-        assert_eq!(t.condition(new_c), Condition::of(Literal::pos(w1)));
-        // An empty replacement condition clears the annotation on the copy.
-        let bare = t.duplicate_subtree(root, new_c, Condition::always());
-        assert_eq!(t.condition(bare), Condition::always());
+        t.duplicate_subtree(root, c_node, Condition::of(Literal::pos(w1)));
+        let copy = &t.shared_children(root)[0];
+        assert_eq!(copy.condition, Condition::of(Literal::pos(w1)));
+        assert_eq!(t.num_nodes(), 6, "C and D copied (logically)");
+        // A second copy with an empty condition shares the same shape.
+        t.duplicate_subtree(root, c_node, Condition::always());
+        let shared = t.shared_children(root);
+        assert_eq!(shared.len(), 2);
+        assert_eq!(shared[0].shape, shared[1].shape, "hash-consed");
+        assert_eq!(shared[1].condition, Condition::always());
         assert_eq!(t.num_nodes(), 8, "two copies of the 2-node C subtree");
+        t.validate_invariants().unwrap();
     }
 
     #[test]
@@ -460,14 +974,145 @@ mod tests {
         let w1 = t.events().by_name("w1").unwrap();
         let c = t.tree().iter().find(|&n| t.tree().label(n) == "C").unwrap();
         let root = t.tree().root();
-        let copy = t.duplicate_subtree(root, c, Condition::of(Literal::pos(w1)));
+        t.duplicate_subtree(root, c, Condition::of(Literal::pos(w1)));
         assert_eq!(t.num_nodes(), 6, "C and D copied");
+        // Fault the copy in and check the conditions were carried over.
+        t.fault_in(root);
+        assert!(t.shared_children(root).is_empty());
+        assert_eq!(t.num_nodes(), 6, "logical size unchanged by fault-in");
+        let copy = *t.tree().children(root).last().unwrap();
+        assert_eq!(t.tree().label(copy), "C");
         assert_eq!(t.condition(copy), Condition::of(Literal::pos(w1)));
         let copied_d = t.tree().children(copy)[0];
         assert_eq!(t.tree().label(copied_d), "D");
         assert_eq!(t.condition(copied_d).len(), 1, "D keeps its w2 condition");
         // The original subtree is untouched.
         assert_eq!(t.condition(c), Condition::always());
+        t.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn shared_and_deep_copies_render_identically() {
+        let mut shared = figure1_example();
+        let mut deep = figure1_example();
+        let w1 = shared.events().by_name("w1").unwrap();
+        let find_c = |t: &ProbTree| t.tree().iter().find(|&n| t.tree().label(n) == "C").unwrap();
+        let (cs, cd) = (find_c(&shared), find_c(&deep));
+        let root = shared.tree().root();
+        shared.duplicate_subtree(root, cs, Condition::of(Literal::pos(w1)));
+        shared.duplicate_subtree(root, cs, Condition::of(Literal::neg(w1)));
+        deep.duplicate_subtree_deep(root, cd, Condition::of(Literal::pos(w1)));
+        deep.duplicate_subtree_deep(root, cd, Condition::of(Literal::neg(w1)));
+        assert_eq!(shared.to_ascii(), deep.to_ascii());
+        assert_eq!(shared.num_nodes(), deep.num_nodes());
+        assert_eq!(shared.num_literals(), deep.num_literals());
+        shared.validate_invariants().unwrap();
+        deep.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicating_a_subtree_containing_handles_stays_consistent() {
+        let mut t = figure1_example();
+        let w1 = t.events().by_name("w1").unwrap();
+        let c = t.tree().iter().find(|&n| t.tree().label(n) == "C").unwrap();
+        // Put a shared copy of D under C, then duplicate C itself: the
+        // interned C shape must absorb the handle.
+        let d = t.tree().children(c)[0];
+        t.duplicate_subtree(c, d, Condition::of(Literal::neg(w1)));
+        let root = t.tree().root();
+        t.duplicate_subtree(root, c, Condition::of(Literal::pos(w1)));
+        assert_eq!(t.num_nodes(), 4 + 1 + 3, "D copy + 3-node C copy");
+        t.validate_invariants().unwrap();
+        let mut expanded = t.clone();
+        expanded.expand_all();
+        assert_eq!(expanded.to_ascii(), t.to_ascii());
+        expanded.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn add_child_faults_in_existing_handles_first() {
+        let mut t = figure1_example();
+        let c = t.tree().iter().find(|&n| t.tree().label(n) == "C").unwrap();
+        let root = t.tree().root();
+        t.duplicate_subtree(root, c, Condition::always());
+        assert!(t.has_shared());
+        let e = t.add_child(root, "E", Condition::always());
+        assert!(!t.has_shared(), "handles expanded before the new child");
+        let kids = t.tree().children(root);
+        assert_eq!(*kids.last().unwrap(), e, "E comes after the expansion");
+        t.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn memory_stats_count_logical_vs_distinct() {
+        let mut t = figure1_example();
+        let c = t.tree().iter().find(|&n| t.tree().label(n) == "C").unwrap();
+        let root = t.tree().root();
+        let conds: Vec<Condition> = vec![Condition::always(); 5];
+        t.duplicate_subtree_n(root, c, &conds);
+        let stats = t.memory_stats();
+        assert_eq!(stats.logical_nodes, 4 + 5 * 2);
+        // 4 arena nodes + 2 distinct shapes (bare C, full D).
+        assert_eq!(stats.distinct_nodes, 4 + 2);
+        assert_eq!(stats.shared_occurrences, 5);
+        assert!(stats.dedup_ratio() > 2.0);
+        t.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn compact_garbage_collects_the_store() {
+        let mut t = figure1_example();
+        let c = t.tree().iter().find(|&n| t.tree().label(n) == "C").unwrap();
+        let root = t.tree().root();
+        t.duplicate_subtree(root, c, Condition::always());
+        // Detach the original C; its nodes die, the shared copy lives.
+        t.detach(c);
+        let (compacted, _) = t.compact();
+        compacted.validate_invariants().unwrap();
+        assert_eq!(compacted.num_nodes(), 4, "A, B and the shared C copy");
+        assert!(compacted.has_shared());
+        let stats = compacted.memory_stats();
+        assert_eq!(stats.store_live_shapes, 2, "bare C and full D only");
+    }
+
+    #[test]
+    fn corpus_interning_dedupes_across_documents() {
+        let a = figure1_example();
+        let b = figure1_example();
+        let stats = corpus_memory_stats(&[&a, &b]);
+        assert_eq!(stats.logical_nodes, 8);
+        // Both documents collapse onto one stored shape chain: bare root
+        // A, full B, full C, full D.
+        assert_eq!(stats.distinct_nodes, 4);
+        assert!((stats.dedup_ratio() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn value_in_world_sees_through_handles() {
+        let mut t = figure1_example();
+        let w2 = t.events().by_name("w2").unwrap();
+        let c = t.tree().iter().find(|&n| t.tree().label(n) == "C").unwrap();
+        let root = t.tree().root();
+        t.duplicate_subtree(root, c, Condition::of(Literal::pos(w2)));
+        let deep = t.expanded().into_owned();
+        for bits in 0u32..4 {
+            let v = Valuation::from_true_events(
+                2,
+                [
+                    t.events().by_name("w1").unwrap(),
+                    t.events().by_name("w2").unwrap(),
+                ]
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| bits & (1 << i) != 0)
+                .map(|(_, e)| e),
+            );
+            assert_eq!(
+                canonical_string(&t.value_in_world(&v), Semantics::MultiSet),
+                canonical_string(&deep.value_in_world(&v), Semantics::MultiSet),
+                "world {bits} must agree between shared and expanded"
+            );
+        }
     }
 
     #[test]

@@ -58,8 +58,12 @@ impl From<ParseError> for ProXmlError {
     }
 }
 
-/// Serializes a prob-tree as a ProXML document.
+/// Serializes a prob-tree as a ProXML document. Shared (stored) children
+/// are serialized through the expanded view: ProXML has no sharing syntax,
+/// so the document spells out every logical occurrence.
 pub fn to_xml(tree: &ProbTree) -> String {
+    let tree = tree.expanded();
+    let tree = tree.as_ref();
     let mut root = Element::new("prob-tree");
 
     let mut events_el = Element::new("events");

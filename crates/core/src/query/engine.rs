@@ -29,6 +29,7 @@
 //! ([`Condition::union_of`]) instead of the quadratic repeated
 //! [`Condition::and`] fold.
 
+use std::borrow::Cow;
 use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::hash_map::Entry;
@@ -191,6 +192,10 @@ impl QueryEngine {
         query: &'a dyn Query,
         hints: &QueryHints,
     ) -> PreparedQuery<'a> {
+        // Pattern matching and answer materialization address arena nodes,
+        // so a tree with shared (stored) children is expanded once here;
+        // trees without handles are borrowed as-is.
+        let tree = tree.expanded();
         let subtrees = if hints.statically_empty {
             Vec::new()
         } else {
@@ -246,7 +251,9 @@ struct AnswerState {
 /// and cached where re-use pays (probabilities per interned condition,
 /// tie-break keys per answer).
 pub struct PreparedQuery<'a> {
-    tree: &'a ProbTree,
+    /// The queried tree — borrowed when it had no shared children, owned
+    /// when preparation had to expand handles into arena nodes.
+    tree: Cow<'a, ProbTree>,
     query: &'a dyn Query,
     config: QueryEngineConfig,
     answers: Vec<AnswerState>,
@@ -262,9 +269,10 @@ pub struct PreparedQuery<'a> {
 }
 
 impl<'a> PreparedQuery<'a> {
-    /// The prob-tree the query was prepared against.
-    pub fn tree(&self) -> &'a ProbTree {
-        self.tree
+    /// The prob-tree the query was prepared against (the expanded view if
+    /// the input tree had shared children).
+    pub fn tree(&self) -> &ProbTree {
+        self.tree.as_ref()
     }
 
     /// The prepared query.
@@ -528,7 +536,7 @@ impl<'a> PreparedQuery<'a> {
         }
         let direct = self.as_pw_set();
         let worlds =
-            possible_worlds_factorized(self.tree, self.config.max_events, &self.config.worlds)?;
+            possible_worlds_factorized(&self.tree, self.config.max_events, &self.config.worlds)?;
         let via_worlds = query_pw_set(self.query, &worlds);
         Ok(direct.normalized().isomorphic(&via_worlds.normalized()))
     }

@@ -58,6 +58,13 @@ pub struct UpdateEngineConfig {
     /// [`DeletionForecast`] exceeds the budget — before any subtree is
     /// materialized.
     pub max_survivor_copies: Option<usize>,
+    /// Graft survivor copies as hash-consed copy-on-write handles
+    /// (default: `true`): the target subtree is interned once and every
+    /// copy is O(1), so an Appendix-A deletion stores `O(n)` distinct
+    /// nodes for its `1 + 2^n` logical copies. Disable to materialize
+    /// every copy as fresh arena nodes — the deep-copy oracle the
+    /// property suites compare against.
+    pub survivor_sharing: bool,
 }
 
 impl Default for UpdateEngineConfig {
@@ -67,6 +74,7 @@ impl Default for UpdateEngineConfig {
             simplify_config: SimplifyConfig::default(),
             shared_first_chains: true,
             max_survivor_copies: None,
+            survivor_sharing: true,
         }
     }
 }
@@ -74,14 +82,23 @@ impl Default for UpdateEngineConfig {
 impl UpdateEngineConfig {
     /// The naive Appendix A behaviour: no simplification, no chain
     /// reordering. Kept as the measurable baseline for the blow-up
-    /// benchmarks and the simplification assertions.
+    /// benchmarks and the simplification assertions. (Survivor sharing
+    /// stays on — the representation is orthogonal to the chain order.)
     pub fn raw() -> Self {
         UpdateEngineConfig {
             simplify: false,
             simplify_config: SimplifyConfig::default(),
             shared_first_chains: false,
             max_survivor_copies: None,
+            survivor_sharing: true,
         }
+    }
+
+    /// The deep-copy oracle: identical logical behaviour with survivor
+    /// sharing disabled, used to cross-check the shared representation.
+    pub fn deep_oracle(mut self) -> Self {
+        self.survivor_sharing = false;
+        self
     }
 }
 
@@ -125,12 +142,50 @@ pub struct DeletionForecast {
     /// deterministic (deepest-first) target order. Empty for insertions
     /// and unmatched steps.
     pub survivors_per_target: Vec<usize>,
+    /// Logical size of each target's subtree (same order), measured on
+    /// the input tree. Exact for non-nested targets; with nested targets
+    /// the real copies also embed deeper splits, so this is a floor.
+    pub subtree_nodes_per_target: Vec<usize>,
+    /// Whether the engine will graft the copies as shared handles
+    /// ([`UpdateEngineConfig::survivor_sharing`]) — decides which node
+    /// prediction [`DeletionForecast::distinct_survivor_nodes`] gives.
+    pub survivor_sharing: bool,
 }
 
 impl DeletionForecast {
     /// Total survivor copies the step will graft.
     pub fn total_survivor_copies(&self) -> usize {
         self.survivors_per_target.iter().sum()
+    }
+
+    /// Predicted **logical** nodes of all survivor copies together:
+    /// `Σ_targets copies · subtree size` — what [`ProbTree::num_nodes`]
+    /// will charge (exact for non-nested targets).
+    ///
+    /// [`ProbTree::num_nodes`]: crate::ProbTree::num_nodes
+    pub fn logical_survivor_nodes(&self) -> usize {
+        self.survivors_per_target
+            .iter()
+            .zip(&self.subtree_nodes_per_target)
+            .map(|(copies, nodes)| copies * nodes)
+            .sum()
+    }
+
+    /// Predicted **distinct stored** nodes of all survivor copies: with
+    /// survivor sharing one interned shape chain per target
+    /// (`Σ subtree sizes`, independent of the copy count — a ceiling,
+    /// since hash-consing may dedupe across targets too); without sharing
+    /// this equals [`DeletionForecast::logical_survivor_nodes`].
+    pub fn distinct_survivor_nodes(&self) -> usize {
+        if self.survivor_sharing {
+            self.subtree_nodes_per_target
+                .iter()
+                .zip(&self.survivors_per_target)
+                .map(|(&nodes, &copies)| if copies == 0 { 0 } else { nodes })
+                .sum()
+        } else {
+            self.logical_survivor_nodes()
+        }
     }
 
     /// `true` if the step will not change the tree (no matches).
@@ -165,6 +220,12 @@ pub struct StepReport {
     /// and unmatched steps) — the measured counterpart of
     /// [`DeletionForecast::total_survivor_copies`].
     pub survivor_copies: usize,
+    /// Distinct stored nodes after the update, before simplification
+    /// (arena nodes plus hash-consed shapes — `nodes_raw` minus what
+    /// sharing deduped).
+    pub distinct_nodes_raw: usize,
+    /// Distinct stored nodes after the step.
+    pub distinct_nodes_after: usize,
 }
 
 impl StepReport {
@@ -215,7 +276,14 @@ impl UpdateEngine {
 
     /// Applies one probabilistic update, returning the updated prob-tree
     /// and the step telemetry.
+    ///
+    /// Shared children of the *input* are materialized first (pattern
+    /// matching addresses arena nodes), so cross-step sharing is not yet
+    /// preserved; the copies this step grafts are shared in the output
+    /// (unless [`UpdateEngineConfig::survivor_sharing`] is off).
     pub fn apply(&self, tree: &ProbTree, update: &ProbabilisticUpdate) -> (ProbTree, StepReport) {
+        let tree = tree.expanded();
+        let tree = tree.as_ref();
         let matches = update.operation.query.matches(tree.tree());
         let mut report = StepReport {
             matches: matches.len(),
@@ -228,6 +296,8 @@ impl UpdateEngine {
             nodes_after: tree.num_nodes(),
             literals_after: tree.num_literals(),
             survivor_copies: 0,
+            distinct_nodes_raw: tree.num_nodes(),
+            distinct_nodes_after: tree.num_nodes(),
         };
         if matches.is_empty() {
             return (tree.clone(), report);
@@ -254,6 +324,7 @@ impl UpdateEngine {
         let (raw, _) = out.compact();
         report.nodes_raw = raw.num_nodes();
         report.literals_raw = raw.num_literals();
+        report.distinct_nodes_raw = raw.memory_stats().distinct_nodes;
         let updated = if self.config.simplify {
             simplify_with(&raw, &self.config.simplify_config).0
         } else {
@@ -261,6 +332,7 @@ impl UpdateEngine {
         };
         report.nodes_after = updated.num_nodes();
         report.literals_after = updated.num_literals();
+        report.distinct_nodes_after = updated.memory_stats().distinct_nodes;
         (updated, report)
     }
 
@@ -292,12 +364,16 @@ impl UpdateEngine {
     /// simulated with the next free event id, so the predicted chain
     /// lengths match the real application exactly.
     pub fn forecast(&self, tree: &ProbTree, update: &ProbabilisticUpdate) -> DeletionForecast {
+        let tree = tree.expanded();
+        let tree = tree.as_ref();
         let matches = update.operation.query.matches(tree.tree());
         if matches.is_empty() {
             return DeletionForecast {
                 matches: 0,
                 targets: 0,
                 survivors_per_target: Vec::new(),
+                subtree_nodes_per_target: Vec::new(),
+                survivor_sharing: self.config.survivor_sharing,
             };
         }
         let new_event = (update.confidence < 1.0).then(|| EventId::from_index(tree.events().len()));
@@ -310,6 +386,8 @@ impl UpdateEngine {
                     matches: matches.len(),
                     targets: targets.len(),
                     survivors_per_target: Vec::new(),
+                    subtree_nodes_per_target: Vec::new(),
+                    survivor_sharing: self.config.survivor_sharing,
                 }
             }
             UpdateAction::Delete { at } => {
@@ -322,10 +400,16 @@ impl UpdateEngine {
                             .len()
                     })
                     .collect();
+                let subtree_nodes_per_target: Vec<usize> = targets
+                    .iter()
+                    .map(|&t| tree.tree().descendants(t).len())
+                    .collect();
                 DeletionForecast {
                     matches: matches.len(),
                     targets: targets.len(),
                     survivors_per_target,
+                    subtree_nodes_per_target,
+                    survivor_sharing: self.config.survivor_sharing,
                 }
             }
         }
@@ -400,8 +484,17 @@ impl UpdateEngine {
                 .tree()
                 .parent(target)
                 .expect("non-root node has a parent");
-            for disjunct in &survivor_disjuncts {
-                out.duplicate_subtree(parent, target, gamma_target.and(disjunct));
+            let root_conditions: Vec<Condition> = survivor_disjuncts
+                .iter()
+                .map(|disjunct| gamma_target.and(disjunct))
+                .collect();
+            if self.config.survivor_sharing {
+                // One interned shape chain, k O(1) handles.
+                out.duplicate_subtree_n(parent, target, &root_conditions);
+            } else {
+                for condition in root_conditions {
+                    out.duplicate_subtree_deep(parent, target, condition);
+                }
             }
             out.detach(target);
         }
@@ -672,7 +765,10 @@ mod tests {
         });
         let (raw_out, _) = raw.apply(&tree, &update);
         let (ordered_out, _) = ordered.apply(&tree, &update);
+        // Survivor copies are shared handles, so count the *logical* B
+        // occurrences through the expanded view.
         let b = |t: &ProbTree| {
+            let t = t.expanded();
             t.tree()
                 .iter()
                 .filter(|&nd| t.tree().label(nd) == "B")
@@ -681,6 +777,12 @@ mod tests {
         assert_eq!(b(&raw_out), 81, "naive chain product: 3^4");
         assert_eq!(b(&ordered_out), 17, "shared-first: 1 + 2^4");
         assert!(ordered_out.size() < raw_out.size());
+        // Both representations store each distinct survivor shape once.
+        let ordered_stats = ordered_out.memory_stats();
+        assert!(
+            ordered_stats.distinct_nodes < ordered_stats.logical_nodes,
+            "hash-consing must dedupe the 17 survivor copies: {ordered_stats:?}"
+        );
     }
 
     /// … and the simplification pass recovers the same reduction from the

@@ -22,8 +22,8 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use pxml_events::{Condition, Dnf, Literal};
-use pxml_tree::NodeId;
+use pxml_events::{Condition, Dnf};
+use pxml_tree::{AnnotatedCanonInterner, NodeId};
 
 use crate::clean::{clean, prune_certain};
 use crate::probtree::ProbTree;
@@ -131,14 +131,17 @@ pub fn simplify_with(tree: &ProbTree, config: &SimplifyConfig) -> (ProbTree, Sim
 }
 
 /// One merging sweep over every parent node; returns the rewritten tree
-/// and the number of sibling groups replaced.
+/// and the number of sibling groups replaced. Shared children are
+/// materialized first: grouping and replacement address arena nodes.
 fn merge_sibling_covers(tree: &ProbTree, config: &SimplifyConfig) -> (ProbTree, usize) {
+    let tree = tree.expanded();
+    let tree = tree.as_ref();
     let mut work = tree.clone();
     let mut merged_groups = 0usize;
-    // Shape codes for every node of the pre-sweep tree, computed once
+    // Bare shape codes for every node of the pre-sweep tree, computed once
     // bottom-up; only pre-sweep nodes are ever grouped (copies introduced
     // by a merge are revisited by the next pass).
-    let shapes = ShapeCodes::new(tree);
+    let shapes = bare_shape_codes(tree);
     let parents: Vec<NodeId> = work.tree().iter().collect();
     for parent in parents {
         // A parent may itself have been detached by a merge higher up the
@@ -154,7 +157,7 @@ fn merge_sibling_covers(tree: &ProbTree, config: &SimplifyConfig) -> (ProbTree, 
         }
         let mut groups: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
         for &child in &children {
-            groups.entry(shapes.bare(child)).or_default().push(child);
+            groups.entry(shapes[&child]).or_default().push(child);
         }
         for group in groups.values() {
             if group.len() < 2 || group.len() > config.max_merge_group {
@@ -206,50 +209,34 @@ fn merge_sibling_covers(tree: &ProbTree, config: &SimplifyConfig) -> (ProbTree, 
     }
 }
 
-/// Interned shape codes for every reachable node, computed in one
-/// bottom-up sweep (the canonization idea of `pxml_tree::canon`, extended
-/// with conditions): two nodes share a *full* code iff their subtrees are
-/// identical including every condition, and share a *bare* code iff they
-/// are identical except for their own root condition — which is what the
+/// Bare shape codes for every reachable node, computed in one bottom-up
+/// sweep over the shared [`AnnotatedCanonInterner`] of `pxml_tree` — the
+/// same interner the hash-consed [`pxml_tree::NodeStore`] uses for its
+/// canonical codes, so one annotation convention serves both: inner
+/// nodes intern under `Some(γ)`, the node itself under `None` (the *bare*
+/// variant). Two nodes share a full code iff their subtrees are identical
+/// including every condition, and share a bare code iff they are
+/// identical except for their own root condition — which is what the
 /// merge rewrites, so children are grouped by bare code. Two children
 /// with equal bare codes produce identical world contents whenever their
 /// root conditions hold.
-struct ShapeCodes {
-    bare: HashMap<NodeId, u32>,
-}
-
-impl ShapeCodes {
-    fn new(tree: &ProbTree) -> Self {
-        // (label, own-condition literals or None for the bare variant,
-        // sorted child full-codes) → code.
-        type ShapeKey = (String, Option<Vec<Literal>>, Vec<u32>);
-        let mut interner: HashMap<ShapeKey, u32> = HashMap::new();
-        let mut full: HashMap<NodeId, u32> = HashMap::new();
-        let mut bare: HashMap<NodeId, u32> = HashMap::new();
-        // Reverse pre-order visits children before their parents.
-        let order: Vec<NodeId> = tree.tree().iter().collect();
-        for &node in order.iter().rev() {
-            let mut child_codes: Vec<u32> =
-                tree.tree().children(node).iter().map(|c| full[c]).collect();
-            child_codes.sort_unstable();
-            let label = tree.tree().label(node).to_string();
-            let condition = tree.condition(node).literals().to_vec();
-            let mut intern = |key: ShapeKey| {
-                let next = interner.len() as u32;
-                *interner.entry(key).or_insert(next)
-            };
-            full.insert(
-                node,
-                intern((label.clone(), Some(condition), child_codes.clone())),
-            );
-            bare.insert(node, intern((label, None, child_codes)));
-        }
-        ShapeCodes { bare }
+fn bare_shape_codes(tree: &ProbTree) -> HashMap<NodeId, u32> {
+    let mut interner: AnnotatedCanonInterner<Condition> = AnnotatedCanonInterner::new();
+    let mut full: HashMap<NodeId, u32> = HashMap::new();
+    let mut bare: HashMap<NodeId, u32> = HashMap::new();
+    // Reverse pre-order visits children before their parents.
+    let order: Vec<NodeId> = tree.tree().iter().collect();
+    for &node in order.iter().rev() {
+        let child_codes: Vec<u32> = tree.tree().children(node).iter().map(|c| full[c]).collect();
+        let label = tree.tree().label(node);
+        let condition = tree.condition(node);
+        full.insert(
+            node,
+            interner.intern(label, Some(&condition), child_codes.clone()),
+        );
+        bare.insert(node, interner.intern(label, None, child_codes));
     }
-
-    fn bare(&self, node: NodeId) -> u32 {
-        self.bare[&node]
-    }
+    bare
 }
 
 #[cfg(test)]

@@ -148,9 +148,9 @@ impl<'a> WorldEngine<'a> {
              same event variables and distribution"
         );
         let extra: Vec<EventId> = b
-            .tree()
-            .iter()
-            .flat_map(|n| b.condition(n).events().collect::<Vec<_>>())
+            .all_conditions()
+            .into_iter()
+            .flat_map(|c| c.events().collect::<Vec<_>>())
             .collect();
         Self::build(a, a.events().len(), extra)
     }
@@ -184,7 +184,10 @@ impl<'a> WorldEngine<'a> {
                 parent.insert(ra.max(rb), ra.min(rb));
             }
         };
-        let conditions = tree.tree().iter().map(|n| tree.condition(n));
+        // `all_conditions` walks the shared representation directly —
+        // handle conditions and stored-shape annotations included — so
+        // world enumeration never needs to materialize shared subtrees.
+        let conditions = tree.all_conditions();
         for condition in conditions {
             let mut events = condition.events();
             if let Some(first) = events.next() {
@@ -782,8 +785,9 @@ fn conditions_by_component(engine: &WorldEngine<'_>) -> Vec<Vec<Condition>> {
     let mut out: Vec<Vec<Condition>> = vec![Vec::new(); engine.components.len()];
     let mut seen: std::collections::HashSet<Vec<pxml_events::Literal>> =
         std::collections::HashSet::new();
-    for node in engine.tree.tree().iter() {
-        let condition = engine.tree.condition(node);
+    // `all_conditions` covers both arena nodes and shared (stored) children,
+    // so factorization sees every constraint without materializing handles.
+    for condition in engine.tree.all_conditions() {
         let Some(first) = condition.events().next() else {
             continue; // the empty condition constrains nothing
         };
@@ -793,7 +797,7 @@ fn conditions_by_component(engine: &WorldEngine<'_>) -> Vec<Vec<Condition>> {
             "a condition's support must live inside one component"
         );
         if seen.insert(condition.literals().to_vec()) {
-            out[component].push(condition);
+            out[component].push(condition.clone());
         }
     }
     out

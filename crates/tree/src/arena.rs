@@ -9,6 +9,9 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::Hash;
+
+use crate::store::{NodeStore, ShapeId};
 
 /// Identifier of a node inside one [`DataTree`] arena.
 ///
@@ -295,6 +298,50 @@ impl DataTree {
         out
     }
 
+    /// Expands a shape from a hash-consed [`NodeStore`] as a new child of
+    /// `parent`, returning the id of the expansion's root. `on_node` is
+    /// invoked once per created node (the expansion root included) with
+    /// the node's stored annotation, letting callers re-attach
+    /// occurrence data (e.g. prob-tree conditions) as the copy grows.
+    pub fn graft_shape<A: Clone + Eq + Hash>(
+        &mut self,
+        parent: NodeId,
+        store: &NodeStore<A>,
+        shape: ShapeId,
+        on_node: &mut dyn FnMut(NodeId, Option<&A>),
+    ) -> NodeId {
+        let new_root = self.add_child(parent, store.label(shape));
+        on_node(new_root, store.ann(shape));
+        self.graft_shape_children(store, shape, new_root, on_node);
+        new_root
+    }
+
+    /// Expands the *children* of `shape` under the existing node `target`,
+    /// in stored order. See [`DataTree::graft_shape`] for `on_node`.
+    pub fn graft_shape_children<A: Clone + Eq + Hash>(
+        &mut self,
+        store: &NodeStore<A>,
+        shape: ShapeId,
+        target: NodeId,
+        on_node: &mut dyn FnMut(NodeId, Option<&A>),
+    ) {
+        // Depth-first with explicit stack; children of one parent are
+        // pushed in reverse so they are created in stored order.
+        let mut stack: Vec<(NodeId, ShapeId)> = store
+            .children(shape)
+            .iter()
+            .rev()
+            .map(|&c| (target, c))
+            .collect();
+        while let Some((dst, s)) = stack.pop() {
+            let node = self.add_child(dst, store.label(s));
+            on_node(node, store.ann(s));
+            for &c in store.children(s).iter().rev() {
+                stack.push((node, c));
+            }
+        }
+    }
+
     /// Collects, for every reachable node, the multiset of child labels.
     /// Used by DTD validation.
     pub fn child_label_counts(&self, node: NodeId) -> HashMap<&str, usize> {
@@ -317,7 +364,10 @@ impl<'a> Iterator for PreOrder<'a> {
 
     fn next(&mut self) -> Option<NodeId> {
         let node = self.stack.pop()?;
-        for &child in self.tree.children(node) {
+        // Reversed push so siblings pop left-to-right: the traversal is a
+        // true pre-order, and consumers that rebuild trees from it (e.g.
+        // deep subtree copies) preserve child order.
+        for &child in self.tree.children(node).iter().rev() {
             self.stack.push(child);
         }
         Some(node)

@@ -15,6 +15,7 @@
 //!   children collapse.
 
 use std::collections::HashMap;
+use std::hash::Hash;
 
 use crate::arena::{DataTree, NodeId};
 
@@ -75,6 +76,52 @@ impl CanonInterner {
         }
         let root_code = codes[&tree.root()];
         CanonCodes { codes, root_code }
+    }
+}
+
+/// [`CanonInterner`] generalized to trees whose nodes carry an annotation
+/// of type `A` alongside the label (prob-trees use node conditions; the
+/// hash-consed [`crate::store::NodeStore`] uses this interner for its
+/// order-insensitive canonical codes).
+///
+/// Two shapes receive the same code iff they have the same label, equal
+/// annotations (`Option<A>` — `None` distinguishes "no annotation" from
+/// any real one), and the same **multiset** of child codes: child order
+/// never matters here, matching the unordered-tree semantics of
+/// [`isomorphic`].
+#[derive(Clone, Debug)]
+pub struct AnnotatedCanonInterner<A> {
+    codes: HashMap<(String, Option<A>, Vec<u32>), u32>,
+}
+
+impl<A: Clone + Eq + Hash> AnnotatedCanonInterner<A> {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        AnnotatedCanonInterner {
+            codes: HashMap::new(),
+        }
+    }
+
+    /// Number of distinct annotated shapes seen so far.
+    pub fn distinct_shapes(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Interns an annotated shape, sorting `child_codes` so that child
+    /// order is irrelevant, and returns its canonical code.
+    pub fn intern(&mut self, label: &str, ann: Option<&A>, mut child_codes: Vec<u32>) -> u32 {
+        child_codes.sort_unstable();
+        let next = self.codes.len() as u32;
+        *self
+            .codes
+            .entry((label.to_string(), ann.cloned(), child_codes))
+            .or_insert(next)
+    }
+}
+
+impl<A: Clone + Eq + Hash> Default for AnnotatedCanonInterner<A> {
+    fn default() -> Self {
+        Self::new()
     }
 }
 

@@ -23,6 +23,10 @@
 //! * [`render`]: human-readable and DOT rendering.
 //! * [`stats`]: size/shape statistics and the counting sequence of rooted
 //!   unordered trees used by Proposition 1.
+//! * [`store`]: a hash-consed [`NodeStore`] of annotated subtree shapes —
+//!   the DAG backing that lets equal subtrees be physically shared across
+//!   copies and documents ([`DataTree::graft_shape`] expands a stored
+//!   shape back into an arena).
 //!
 //! ```
 //! use pxml_tree::{DataTree, canon::{isomorphic, Semantics}};
@@ -49,9 +53,11 @@ pub mod builder;
 pub mod canon;
 pub mod render;
 pub mod stats;
+pub mod store;
 pub mod subtree;
 
 pub use arena::{DataTree, NodeId};
 pub use builder::TreeSpec;
-pub use canon::{canonical_string, isomorphic, Semantics};
+pub use canon::{canonical_string, isomorphic, AnnotatedCanonInterner, Semantics};
+pub use store::{NodeStore, ShapeId};
 pub use subtree::SubDataTree;

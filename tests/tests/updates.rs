@@ -88,6 +88,8 @@ fn build_probtree(spec: &ProbTreeSpec) -> ProbTree {
             });
         tree.set_condition(node, Condition::from_literals(literals));
     }
+    tree.validate_invariants()
+        .expect("generated tree violates prob-tree/DAG-store invariants");
     tree
 }
 
@@ -159,6 +161,7 @@ proptest! {
     ) {
         let tree = build_probtree(&spec);
         let (updated, _) = update.apply_to_probtree(&tree);
+        prop_assert!(updated.validate_invariants().is_ok());
         let direct = possible_worlds(&updated, 16).unwrap().normalized();
         let via_pw = update
             .apply_to_pw_set(&possible_worlds(&tree, 16).unwrap())
@@ -211,6 +214,7 @@ proptest! {
         let tree = build_probtree(&spec);
         let script = UpdateScript::from_steps(updates);
         let (updated, report) = UpdateEngine::new().apply_script(&tree, &script);
+        prop_assert!(updated.validate_invariants().is_ok());
         prop_assert_eq!(report.steps.len(), script.len());
         let direct = possible_worlds(&updated, 16).unwrap().normalized();
         let via_pw = script
