@@ -34,7 +34,9 @@ pub mod script;
 pub use census::{WorldsAnalysis, WorldsLint};
 pub use query::{PatternSpine, QueryAnalysis, Satisfiability};
 pub use report::AnalysisReport;
-pub use script::{ScriptAnalysis, StepAnalysis, StepFootprint};
+pub use script::{
+    predict_maintenance, MaintenancePrediction, ScriptAnalysis, StepAnalysis, StepFootprint,
+};
 
 use pxml_core::query::pattern::PatternQuery;
 use pxml_core::query::Query;

@@ -70,6 +70,10 @@ impl QueryAnalysis {
     }
 
     /// The set of concrete labels mentioned anywhere on a spine.
+    ///
+    /// Wildcards are silently skipped, so this set is useful for
+    /// diagnostics but **not** sound as a maintenance footprint — use
+    /// [`QueryAnalysis::maintenance_footprint`] for that.
     pub fn footprint(&self) -> BTreeSet<String> {
         let mut labels = BTreeSet::new();
         for spine in &self.spines {
@@ -79,6 +83,31 @@ impl QueryAnalysis {
             }
         }
         labels
+    }
+
+    /// The query's *maintenance footprint*: the finite label set
+    /// incremental view maintenance
+    /// ([`pxml_core::PreparedQuery::maintain`]) keys on. `None` when no
+    /// bounded set exists — the query has no spines (it is not a pattern)
+    /// or some spine node is a label wildcard, in which case an update to
+    /// *any* label could create or destroy answers and maintenance must
+    /// re-prepare.
+    ///
+    /// Agrees with the engine-side
+    /// [`Query::label_footprint`] on every pattern query (every pattern
+    /// node lies on some root-to-leaf spine).
+    pub fn maintenance_footprint(&self) -> Option<BTreeSet<String>> {
+        if self.spines.is_empty() {
+            return None;
+        }
+        let mut labels = BTreeSet::new();
+        for spine in &self.spines {
+            labels.insert(spine.root_label.clone()?);
+            for (_, label) in &spine.steps {
+                labels.insert(label.clone()?);
+            }
+        }
+        Some(labels)
     }
 }
 
@@ -237,6 +266,38 @@ mod tests {
         for label in ["service", "keyword", "value", "endpoint"] {
             assert!(footprint.contains(label));
         }
+    }
+
+    #[test]
+    fn maintenance_footprint_agrees_with_the_engine_and_rejects_wildcards() {
+        // Concrete-label patterns: the static footprint is exactly the
+        // engine-side `Query::label_footprint` maintenance keys on.
+        let mut query = PatternQuery::new(Some("service"));
+        let kw = query.add_child(query.root(), "keyword");
+        query.add_descendant(kw, "value");
+        query.add_child(query.root(), "endpoint");
+        let analysis = analyze_pattern(&query, None);
+        assert_eq!(analysis.maintenance_footprint(), query.label_footprint());
+        assert_eq!(
+            analysis.maintenance_footprint().unwrap(),
+            analysis.footprint()
+        );
+
+        // A wildcard anywhere unbounds the footprint — on both sides.
+        let mut wild = PatternQuery::new(Some("service"));
+        wild.add_child(wild.root(), "endpoint");
+        wild.add_node(wild.root(), Axis::Child, None);
+        let wild_analysis = analyze_pattern(&wild, None);
+        assert_eq!(wild_analysis.maintenance_footprint(), None);
+        assert_eq!(wild.label_footprint(), None);
+        // …while the diagnostic footprint still lists the concrete labels.
+        assert!(wild_analysis.footprint().contains("endpoint"));
+
+        // Non-pattern queries have no spines, hence no footprint.
+        let negated = analyze_query(&NegationQuery {
+            forbidden: "spam".into(),
+        });
+        assert_eq!(negated.maintenance_footprint(), None);
     }
 
     #[test]

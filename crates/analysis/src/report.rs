@@ -8,7 +8,7 @@ use pxml_core::MonotonicityCertificate;
 
 use crate::census::{WorldsAnalysis, WorldsLint};
 use crate::query::{QueryAnalysis, Satisfiability};
-use crate::script::ScriptAnalysis;
+use crate::script::{predict_maintenance, MaintenancePrediction, ScriptAnalysis};
 
 /// Everything the static analyzer can say about a workload before any
 /// engine runs: the query-side certificates, the script-side forecasts
@@ -61,6 +61,11 @@ impl AnalysisReport {
             lines.push(format!("query[{i}].spines={}", q.spines.len()));
             let footprint: Vec<String> = q.footprint().into_iter().collect();
             lines.push(format!("query[{i}].footprint={}", footprint.join(",")));
+            let maintenance = match q.maintenance_footprint() {
+                Some(labels) => labels.into_iter().collect::<Vec<_>>().join(","),
+                None => "unbounded".to_owned(),
+            };
+            lines.push(format!("query[{i}].maintenance_footprint={maintenance}"));
         }
         if let Some(script) = &self.script {
             for step in &script.steps {
@@ -85,6 +90,21 @@ impl AnalysisReport {
                 "script.predicted_survivor_copies={}",
                 script.predicted_survivor_copies()
             ));
+            for (i, q) in self.queries.iter().enumerate() {
+                for (j, prediction) in predict_maintenance(q, &script.footprints)
+                    .iter()
+                    .enumerate()
+                {
+                    let verdict = match prediction {
+                        MaintenancePrediction::Patchable => "patchable".to_owned(),
+                        MaintenancePrediction::SpineTouching { witness } => {
+                            format!("touches:{witness}")
+                        }
+                        MaintenancePrediction::Unbounded => "unbounded".to_owned(),
+                    };
+                    lines.push(format!("maintenance.query[{i}].step[{j}]={verdict}"));
+                }
+            }
         }
         if let Some(worlds) = &self.worlds {
             lines.push(format!("worlds.events={}", worlds.num_events));
@@ -142,6 +162,16 @@ impl fmt::Display for AnalysisReport {
                 }
                 writeln!(f, "  spine: {path}")?;
             }
+            match q.maintenance_footprint() {
+                Some(labels) => {
+                    let labels: Vec<String> = labels.into_iter().collect();
+                    writeln!(f, "  maintenance footprint: {}", labels.join(", "))?;
+                }
+                None => writeln!(
+                    f,
+                    "  maintenance footprint: unbounded (every update re-prepares)"
+                )?,
+            }
         }
         if let Some(script) = &self.script {
             writeln!(f, "script: {} steps", script.steps.len())?;
@@ -165,6 +195,19 @@ impl fmt::Display for AnalysisReport {
                     .map(|(i, j)| format!("({i},{j})"))
                     .collect();
                 writeln!(f, "  reorderable pairs: {}", pairs.join(" "))?;
+            }
+            for (i, q) in self.queries.iter().enumerate() {
+                let verdicts: Vec<String> = predict_maintenance(q, &script.footprints)
+                    .iter()
+                    .map(|p| match p {
+                        MaintenancePrediction::Patchable => "patchable".to_owned(),
+                        MaintenancePrediction::SpineTouching { witness } => {
+                            format!("touches:{witness}")
+                        }
+                        MaintenancePrediction::Unbounded => "unbounded".to_owned(),
+                    })
+                    .collect();
+                writeln!(f, "  maintenance vs query #{i}: {}", verdicts.join(" "))?;
             }
         }
         if let Some(worlds) = &self.worlds {

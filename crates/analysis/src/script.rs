@@ -181,6 +181,58 @@ pub fn step_footprint(update: &ProbabilisticUpdate, dtd: Option<&Dtd>) -> StepFo
     }
 }
 
+/// The predicted interaction of one script step with a prepared query
+/// kept live by [`pxml_core::PreparedQuery::maintain`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MaintenancePrediction {
+    /// The step's write footprint is bounded and disjoint from the
+    /// query's maintenance footprint: maintenance is expected to patch
+    /// the prepared state in place.
+    Patchable,
+    /// The step writes a label on the query's spine: maintenance is
+    /// expected to fall back to a full re-prepare.
+    SpineTouching {
+        /// A label witnessing the intersection.
+        witness: String,
+    },
+    /// No bounded verdict: the step's writes or the query's footprint
+    /// are not statically bounded.
+    Unbounded,
+}
+
+/// Predicts, step by step, whether a prepared query with the given
+/// analysis can be maintained in place across the script.
+///
+/// This is a **lint, not a guarantee**: the engine decides from the
+/// *runtime* [`pxml_core::UpdateDelta`], which is diffed from the actual
+/// result. A step predicted [`Patchable`](MaintenancePrediction::Patchable)
+/// can still force a fallback at run time — e.g. when the simplification
+/// pass merges pre-existing siblings whose labels lie inside the
+/// footprint, the delta reports those labels as removed/inserted even
+/// though the step's own syntax never mentions them. The prediction
+/// errs only in that direction; maintenance itself stays sound either
+/// way.
+pub fn predict_maintenance(
+    query: &crate::query::QueryAnalysis,
+    footprints: &[StepFootprint],
+) -> Vec<MaintenancePrediction> {
+    let Some(query_footprint) = query.maintenance_footprint() else {
+        return vec![MaintenancePrediction::Unbounded; footprints.len()];
+    };
+    footprints
+        .iter()
+        .map(|step| match &step.writes {
+            None => MaintenancePrediction::Unbounded,
+            Some(writes) => match writes.intersection(&query_footprint).next() {
+                Some(witness) => MaintenancePrediction::SpineTouching {
+                    witness: witness.clone(),
+                },
+                None => MaintenancePrediction::Patchable,
+            },
+        })
+        .collect()
+}
+
 fn footprints_independent(a: &StepFootprint, b: &StepFootprint) -> bool {
     if !a.is_bounded() || !b.is_bounded() {
         return false;
@@ -352,6 +404,69 @@ mod tests {
         let pw_a = possible_worlds(&a, 16).unwrap().normalized();
         let pw_b = possible_worlds(&b, 16).unwrap().normalized();
         assert!(pw_a.isomorphic(&pw_b));
+    }
+
+    #[test]
+    fn maintenance_predictions_match_the_engine_on_the_warehouse() {
+        use pxml_core::{Document, MaintainOutcome, QueryEngine};
+        use pxml_workloads::warehouse::services_with_endpoint_and_contact;
+
+        let query = services_with_endpoint_and_contact();
+        let query_analysis = crate::query::analyze_pattern(&query, None);
+        let script = UpdateScript::from_steps([
+            insert_fact("keyword", 0.9),  // off-footprint → patchable
+            insert_fact("endpoint", 0.8), // on the spine → fallback
+            delete_fact("keyword", 0.7),  // unbounded writes without a DTD
+        ]);
+        let footprints: Vec<StepFootprint> = script
+            .steps()
+            .iter()
+            .map(|update| step_footprint(update, None))
+            .collect();
+        let predictions = predict_maintenance(&query_analysis, &footprints);
+        assert_eq!(
+            predictions,
+            vec![
+                MaintenancePrediction::Patchable,
+                MaintenancePrediction::SpineTouching {
+                    witness: "endpoint".into(),
+                },
+                MaintenancePrediction::Unbounded,
+            ]
+        );
+
+        // A wildcarded query is never predicted patchable.
+        let mut wild = PatternQuery::new(Some("service"));
+        wild.add_node(wild.root(), pxml_core::query::pattern::Axis::Child, None);
+        let wild_predictions =
+            predict_maintenance(&crate::query::analyze_pattern(&wild, None), &footprints);
+        assert!(wild_predictions
+            .iter()
+            .all(|p| *p == MaintenancePrediction::Unbounded));
+
+        // Ground truth: run the script through a Document and maintain a
+        // prepared query across it. Bounded predictions agree with the
+        // engine; the Unbounded delete is where the lint is conservative —
+        // the runtime delta (keyword/value removals, off-footprint) may
+        // still patch.
+        let mut doc = Document::new(skeleton(2));
+        let engine = UpdateEngine::new();
+        let query_engine = QueryEngine::new();
+        let mut prepared = query_engine.prepare_doc(&doc, &query);
+        let mut outcomes = Vec::new();
+        for update in script.steps() {
+            engine.apply_doc(&mut doc, update);
+            outcomes.push(prepared.maintain(&doc).unwrap());
+        }
+        assert!(matches!(outcomes[0], MaintainOutcome::Patched { .. }));
+        assert!(matches!(outcomes[1], MaintainOutcome::Fallback { .. }));
+        // Whatever path step 3 took, the maintained state serves exactly
+        // what a fresh prepare serves.
+        let fresh = query_engine.prepare_doc(&doc, &query);
+        assert_eq!(prepared.len(), fresh.len());
+        for index in 0..prepared.len() {
+            assert_eq!(prepared.probability(index), fresh.probability(index));
+        }
     }
 
     #[test]

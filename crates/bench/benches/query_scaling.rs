@@ -15,8 +15,16 @@
 //! * `e3_topk_vs_full_sort` — top-10 via the bounded binary heap vs the
 //!   full-sort reference ranking, from the same prepared state.
 //!
+//! Plus `e14_maintain_vs_reprepare` — the live-view access pattern of the
+//! warehouse scenario: the endpoint+contact monitoring query served after
+//! every extractor round, by per-round fresh prepares vs one
+//! incrementally maintained `PreparedQuery`.
+//!
 //! Before timing, the heap-vs-sort and threshold short-circuit comparison
-//! counters are asserted (untimed) on the largest fixture.
+//! counters are asserted (untimed) on the largest fixture, and the
+//! maintenance counters are asserted on the warehouse fixture (no
+//! fallback on off-footprint rounds; ≥5x fewer union rebuilds than
+//! per-round re-preparing).
 //!
 //! Set `PXML_BENCH_QUICK=1` (as CI's bench-smoke job does) for a fast
 //! smoke run over the two smallest tree sizes.
@@ -26,12 +34,15 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use pxml_bench::{rng, scaling_probtree, scaling_query, SCALING_SIZES};
-use pxml_core::query::prob::query_probtree;
+use pxml_core::query::pattern::PatternQuery;
 use pxml_core::query::Query;
-use pxml_core::QueryEngine;
+use pxml_core::update::{ProbabilisticUpdate, UpdateEngine, UpdateOperation};
+use pxml_core::{Document, MaintainOutcome, QueryEngine};
+use pxml_tree::DataTree;
+use pxml_workloads::warehouse::{services_with_endpoint_and_contact, skeleton};
 
 fn quick() -> bool {
-    std::env::var_os("PXML_BENCH_QUICK").is_some()
+    pxml_core::config::env::flag(pxml_core::config::env::BENCH_QUICK)
 }
 
 /// Untimed sanity assertions on the selection counters: the bounded heap
@@ -94,7 +105,12 @@ fn bench_query_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_query_probtree");
     for (n, tree) in &trees {
         group.bench_with_input(BenchmarkId::from_parameter(n), tree, |b, tree| {
-            b.iter(|| query_probtree(&query, tree));
+            b.iter(|| {
+                QueryEngine::new()
+                    .prepare(tree, &query)
+                    .answers()
+                    .collect::<Vec<_>>()
+            });
         });
     }
     group.finish();
@@ -139,6 +155,108 @@ fn bench_query_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// One extractor round: claim a `label` fact (with a distinct per-round
+/// value leaf) under every service.
+fn claim_fact(label: &str, round: usize, confidence: f64) -> ProbabilisticUpdate {
+    let mut fact = DataTree::new(label);
+    let fact_root = fact.root();
+    fact.add_child(fact_root, format!("value{round}"));
+    let query = PatternQuery::new(Some("service"));
+    let at = query.root();
+    ProbabilisticUpdate::new(UpdateOperation::insert(query, at, fact), confidence)
+}
+
+/// A warehouse already carrying endpoint and contact facts (so the
+/// endpoint+contact query has answers) plus a keyword-only extraction
+/// script — every step off the query's {service, endpoint, contact}
+/// footprint, so maintenance must patch every round.
+fn maintenance_fixture(services: usize, rounds: usize) -> (Document, Vec<ProbabilisticUpdate>) {
+    let update_engine = UpdateEngine::new();
+    let mut doc = Document::new(skeleton(services));
+    update_engine.apply_doc(&mut doc, &claim_fact("endpoint", 0, 0.9));
+    update_engine.apply_doc(&mut doc, &claim_fact("contact", 0, 0.8));
+    let script: Vec<ProbabilisticUpdate> = (1..=rounds)
+        .map(|round| claim_fact("keyword", round, 0.5 + 0.4 * (round as f64 / rounds as f64)))
+        .collect();
+    (doc, script)
+}
+
+/// Untimed counter assertions for the incremental-maintenance contract:
+/// keyword-only rounds never fall back, and patching rebuilds at least
+/// 5x fewer condition unions than re-preparing every round would.
+fn assert_maintenance_counters(services: usize, rounds: usize) {
+    let (mut doc, script) = maintenance_fixture(services, rounds);
+    let query = services_with_endpoint_and_contact();
+    let query_engine = QueryEngine::new();
+    let update_engine = UpdateEngine::new();
+    let mut prepared = query_engine.prepare_doc(&doc, &query);
+    assert!(!prepared.is_empty(), "the seeded warehouse has answers");
+    let mut reprepare_union_work = 0usize;
+    for update in &script {
+        update_engine.apply_doc(&mut doc, update);
+        let outcome = prepared.maintain(&doc).expect("document-backed state");
+        assert!(
+            matches!(outcome, MaintainOutcome::Patched { .. }),
+            "keyword rounds are off-footprint and must patch, got {outcome:?}"
+        );
+        // A fresh prepare recomputes one condition union per answer.
+        reprepare_union_work += query_engine.prepare_doc(&doc, &query).len();
+    }
+    let stats = prepared.maintenance_stats();
+    assert_eq!(stats.fallbacks, 0, "no silent fallback on keyword rounds");
+    assert_eq!(stats.steps_patched, rounds);
+    assert!(
+        stats.unions_rebuilt * 5 <= reprepare_union_work,
+        "maintenance must rebuild at least 5x fewer unions than per-round \
+         re-preparing: {} rebuilt vs {} across {} fresh prepares",
+        stats.unions_rebuilt,
+        reprepare_union_work,
+        rounds
+    );
+}
+
+/// E14 — incremental view maintenance: serving the endpoint+contact
+/// monitoring query after every extractor round, either by re-preparing
+/// from scratch each round or by patching one live `PreparedQuery`
+/// through the document's update deltas. Both arms replay the identical
+/// scenario (document construction and update application included), so
+/// the measured difference is exactly prepare-per-round vs
+/// maintain-per-round.
+fn bench_maintenance(c: &mut Criterion) {
+    let (services, rounds) = if quick() { (8, 4) } else { (24, 10) };
+    assert_maintenance_counters(services, rounds);
+
+    let query = services_with_endpoint_and_contact();
+    let query_engine = QueryEngine::new();
+    let update_engine = UpdateEngine::new();
+    let mut group = c.benchmark_group("e14_maintain_vs_reprepare");
+    group.bench_function(format!("reprepare_every_round/{services}"), |b| {
+        b.iter(|| {
+            let (mut doc, script) = maintenance_fixture(services, rounds);
+            let mut total = 0.0f64;
+            for update in &script {
+                update_engine.apply_doc(&mut doc, update);
+                total += query_engine.prepare_doc(&doc, &query).expected_matches();
+            }
+            total
+        });
+    });
+    group.bench_function(format!("maintain_across_rounds/{services}"), |b| {
+        b.iter(|| {
+            let (mut doc, script) = maintenance_fixture(services, rounds);
+            let mut prepared = query_engine.prepare_doc(&doc, &query);
+            let mut total = 0.0f64;
+            for update in &script {
+                update_engine.apply_doc(&mut doc, update);
+                prepared.maintain(&doc).expect("document-backed state");
+                total += prepared.expected_matches();
+            }
+            total
+        });
+    });
+    group.finish();
+}
+
 fn config() -> Criterion {
     if quick() {
         Criterion::default()
@@ -156,6 +274,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_query_scaling
+    targets = bench_query_scaling, bench_maintenance
 }
 criterion_main!(benches);

@@ -13,7 +13,7 @@ use pxml_core::threshold::{restrict_to_threshold, restriction_as_probtree};
 use pxml_workloads::paper::{theorem4_tree, theorem4_world_probability};
 
 fn quick() -> bool {
-    std::env::var_os("PXML_BENCH_QUICK").is_some()
+    pxml_core::config::env::flag(pxml_core::config::env::BENCH_QUICK)
 }
 
 fn bench_threshold_restriction(c: &mut Criterion) {

@@ -25,7 +25,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn quick() -> bool {
-    std::env::var_os("PXML_BENCH_QUICK").is_some()
+    pxml_core::config::env::flag(pxml_core::config::env::BENCH_QUICK)
 }
 
 /// E4: insertion scaling on random prob-trees (insert an `E` child under

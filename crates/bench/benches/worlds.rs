@@ -36,7 +36,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn quick() -> bool {
-    std::env::var_os("PXML_BENCH_QUICK").is_some()
+    pxml_core::config::env::flag(pxml_core::config::env::BENCH_QUICK)
 }
 
 /// A 200-node tree mentioning `mentioned` events in its conditions, with

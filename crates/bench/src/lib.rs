@@ -60,7 +60,6 @@ pub const SCALING_SIZES: [usize; 4] = [100, 500, 2_000, 8_000];
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pxml_core::query::prob::query_probtree;
     use pxml_core::QueryEngine;
 
     #[test]
@@ -74,7 +73,11 @@ mod tests {
     #[test]
     fn scaling_query_has_answers_on_the_fixture() {
         let tree = scaling_probtree(2_000, &mut rng());
-        let answers = query_probtree(&scaling_query(), &tree);
+        let one_shot_query = scaling_query();
+        let answers: Vec<_> = QueryEngine::new()
+            .prepare(&tree, &one_shot_query)
+            .answers()
+            .collect();
         assert!(
             !answers.is_empty(),
             "the scaling query should match something"

@@ -12,6 +12,8 @@
 //! Cleaning preserves structural equivalence and is the first step of the
 //! Figure 3 randomized equivalence algorithm.
 
+use std::collections::HashMap;
+
 use pxml_events::{Condition, Literal};
 use pxml_tree::NodeId;
 
@@ -21,6 +23,15 @@ use crate::probtree::ProbTree;
 /// materialized first: cleaning rewrites conditions in place, which the
 /// immutable stored shapes do not support.
 pub fn clean(tree: &ProbTree) -> ProbTree {
+    clean_traced(tree).0
+}
+
+/// [`clean`] plus the node mapping from ids in `tree` (after expansion —
+/// expansion appends, so pre-existing arena ids are stable) to ids in the
+/// returned tree. `None` means the identity mapping; nodes absent from the
+/// map were pruned. The update engine threads these maps through its
+/// simplification chain to build the ground-truth [`crate::UpdateDelta`].
+pub fn clean_traced(tree: &ProbTree) -> (ProbTree, Option<HashMap<NodeId, NodeId>>) {
     let mut work = tree.expanded().into_owned();
     let mut to_detach: Vec<NodeId> = Vec::new();
 
@@ -66,8 +77,8 @@ pub fn clean(tree: &ProbTree) -> ProbTree {
             work.detach(node);
         }
     }
-    let (compacted, _) = work.compact();
-    compacted
+    let (compacted, mapping) = work.compact();
+    (compacted, Some(mapping))
 }
 
 /// Prunes the branches a **certain** event makes impossible and drops the
@@ -83,11 +94,18 @@ pub fn clean(tree: &ProbTree) -> ProbTree {
 /// it is part of the update engine's simplification chain, whose contract
 /// is agreement with `apply_to_pw_set` up to normalization.
 pub fn prune_certain(tree: &ProbTree) -> ProbTree {
+    prune_certain_traced(tree).0
+}
+
+/// [`prune_certain`] plus the node mapping, with the same contract as
+/// [`clean_traced`]. The no-certain-event early return yields `None`
+/// (identity) without scanning.
+pub fn prune_certain_traced(tree: &ProbTree) -> (ProbTree, Option<HashMap<NodeId, NodeId>>) {
     // Fresh confidence events are always < 1, so most trees have no
     // certain event at all — skip the scan-and-compact entirely.
     let events = tree.events();
     if events.iter().all(|e| events.prob(e) < 1.0) {
-        return tree.clone();
+        return (tree.clone(), None);
     }
     let mut work = tree.expanded().into_owned();
     let mut to_detach: Vec<NodeId> = Vec::new();
@@ -121,8 +139,8 @@ pub fn prune_certain(tree: &ProbTree) -> ProbTree {
             work.detach(node);
         }
     }
-    let (compacted, _) = work.compact();
-    compacted
+    let (compacted, mapping) = work.compact();
+    (compacted, Some(mapping))
 }
 
 /// `true` if `tree` is already clean: no node condition repeats or

@@ -1,0 +1,441 @@
+//! Versioned documents: an epoch-stamped prob-tree plus a structured
+//! delta log, the handle both engines speak.
+//!
+//! A [`Document`] owns the current prob-tree behind an [`Arc`] snapshot
+//! and stamps every state with a monotone [`Epoch`]. Each
+//! [`UpdateEngine::apply_doc`](crate::UpdateEngine::apply_doc) step
+//! commits a new epoch together with an [`UpdateDelta`] — the ground
+//! truth of what the step did to the tree, reconstructed from the node
+//! mapping the engine threads through its compaction and simplification
+//! chain:
+//!
+//! * **removed** — nodes of the old frame with no image in the new frame
+//!   (deletion targets, pruned branches, merged sibling copies), reported
+//!   as a label set;
+//! * **inserted** — nodes of the new frame that are nobody's image
+//!   (grafted insertion subtrees, survivor copies, merge covers), again
+//!   as labels;
+//! * **rewritten** — surviving nodes whose root condition `γ` changed
+//!   (deletion splits, cleaning, certain-event pruning).
+//!
+//! Because the delta is *diffed from the result* rather than predicted
+//! from the step, it is exact no matter which simplification passes
+//! fired. [`PreparedQuery::maintain`](crate::PreparedQuery::maintain)
+//! consumes the log to patch prepared state in place, falling back to a
+//! full re-prepare only when a delta's label footprint intersects the
+//! query's spine labels.
+//!
+//! Snapshots are cheap ([`Document::snapshot`] clones an `Arc`), so
+//! readers hold on to the exact epoch they prepared against while the
+//! document moves on.
+
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pxml_tree::NodeId;
+
+use crate::probtree::ProbTree;
+use crate::update::engine::StepReport;
+use crate::update::simplify::NodeMapping;
+
+/// Monotone version stamp of a [`Document`] state. Epoch 0 is the state
+/// the document was created with; every committed update step adds 1.
+pub type Epoch = u64;
+
+static NEXT_DOCUMENT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Process-unique identity of a [`Document`], used to reject maintaining
+/// prepared state against the wrong document. Ids are never reused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocumentId(u64);
+
+impl DocumentId {
+    fn fresh() -> Self {
+        DocumentId(NEXT_DOCUMENT_ID.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// The structured difference between two consecutive [`Document`] epochs.
+#[derive(Clone, Debug)]
+pub struct UpdateDelta {
+    /// The epoch this delta produced (its step moved `epoch - 1` to
+    /// `epoch`).
+    pub epoch: Epoch,
+    /// Mapping from surviving old-frame node ids to their new-frame ids.
+    /// `None` means the step left the tree untouched (no matches); ids
+    /// absent from a `Some` map were removed.
+    pub node_map: Option<HashMap<NodeId, NodeId>>,
+    /// Labels of the removed old-frame nodes.
+    pub removed_labels: BTreeSet<String>,
+    /// Labels of the inserted new-frame nodes.
+    pub inserted_labels: BTreeSet<String>,
+    /// New-frame ids of surviving nodes whose root condition changed.
+    pub rewritten: BTreeSet<NodeId>,
+    /// Number of removed old-frame nodes.
+    pub nodes_removed: usize,
+    /// Number of inserted new-frame nodes.
+    pub nodes_inserted: usize,
+    /// The engine telemetry of the committing step (matches, survivor
+    /// copies, simplification savings, entry-expansion skip).
+    pub report: StepReport,
+}
+
+impl UpdateDelta {
+    /// `true` if the step changed nothing: no node removed, inserted, or
+    /// condition-rewritten.
+    pub fn is_identity(&self) -> bool {
+        self.nodes_removed == 0 && self.nodes_inserted == 0 && self.rewritten.is_empty()
+    }
+
+    /// `true` if any removed or inserted label lies in `footprint` — the
+    /// spine-intersection test deciding whether prepared state for a
+    /// query with that label footprint can be patched in place.
+    pub fn touches(&self, footprint: &BTreeSet<String>) -> bool {
+        self.removed_labels
+            .iter()
+            .chain(self.inserted_labels.iter())
+            .any(|label| footprint.contains(label))
+    }
+
+    /// Sends an old-frame node id through the delta, `None` if the node
+    /// was removed.
+    pub fn map_node(&self, node: NodeId) -> Option<NodeId> {
+        match &self.node_map {
+            None => Some(node),
+            Some(map) => map.get(&node).copied(),
+        }
+    }
+
+    /// Diffs two consecutive frames given the engine's composed node
+    /// mapping. Both frames must be fully expanded (the [`Document`]
+    /// invariant), so arena iteration covers every logical node.
+    fn diff(
+        old: &ProbTree,
+        new: &ProbTree,
+        mapping: &NodeMapping,
+        epoch: Epoch,
+        report: StepReport,
+    ) -> Self {
+        let mut delta = UpdateDelta {
+            epoch,
+            node_map: mapping.clone(),
+            removed_labels: BTreeSet::new(),
+            inserted_labels: BTreeSet::new(),
+            rewritten: BTreeSet::new(),
+            nodes_removed: 0,
+            nodes_inserted: 0,
+            report,
+        };
+        let Some(map) = mapping else {
+            return delta; // identity: the step had no matches
+        };
+        let mut image: HashSet<NodeId> = HashSet::with_capacity(map.len());
+        for old_node in old.tree().iter() {
+            let Some(&new_node) = map.get(&old_node) else {
+                delta
+                    .removed_labels
+                    .insert(old.tree().label(old_node).to_owned());
+                delta.nodes_removed += 1;
+                continue;
+            };
+            image.insert(new_node);
+            let changed = match (old.condition_ref(old_node), new.condition_ref(new_node)) {
+                (Some(before), Some(after)) => before != after,
+                (None, None) => false,
+                (Some(one), None) | (None, Some(one)) => !one.is_empty(),
+            };
+            if changed {
+                delta.rewritten.insert(new_node);
+            }
+        }
+        for new_node in new.tree().iter() {
+            if !image.contains(&new_node) {
+                delta
+                    .inserted_labels
+                    .insert(new.tree().label(new_node).to_owned());
+                delta.nodes_inserted += 1;
+            }
+        }
+        delta
+    }
+}
+
+/// Default number of deltas a [`Document`] retains; older entries are
+/// trimmed and maintenance against a pre-trim epoch falls back to a full
+/// re-prepare.
+pub const DEFAULT_DELTA_LOG_CAPACITY: usize = 256;
+
+/// A versioned prob-tree handle: the current tree behind an [`Arc`]
+/// snapshot, an [`Epoch`] stamp, and the log of [`UpdateDelta`]s that
+/// produced it. Both engines speak it —
+/// [`QueryEngine::prepare_doc`](crate::QueryEngine::prepare_doc) stamps
+/// prepared state with the document's identity and epoch, and
+/// [`UpdateEngine::apply_doc`](crate::UpdateEngine::apply_doc) commits
+/// new epochs.
+///
+/// The held tree is always fully expanded: pattern matching, delta
+/// diffing, and prepared-query patching all address arena nodes, and the
+/// expansion is done once per commit instead of once per reader.
+/// (Keeping update-created sharing alive across steps *inside* a
+/// document is a known follow-on — see ROADMAP.)
+#[derive(Debug)]
+pub struct Document {
+    id: DocumentId,
+    epoch: Epoch,
+    tree: Arc<ProbTree>,
+    /// `log[i]` moved epoch `base_epoch + i` to `base_epoch + i + 1`.
+    log: VecDeque<Arc<UpdateDelta>>,
+    base_epoch: Epoch,
+    log_capacity: usize,
+}
+
+impl Document {
+    /// Wraps a prob-tree as epoch 0 of a fresh document. Shared children
+    /// are materialized once, up front (see the type docs).
+    pub fn new(tree: ProbTree) -> Self {
+        Document::with_log_capacity(tree, DEFAULT_DELTA_LOG_CAPACITY)
+    }
+
+    /// [`Document::new`] with an explicit delta-log capacity (0 keeps no
+    /// history: every maintenance call behind by more than zero epochs
+    /// falls back).
+    pub fn with_log_capacity(tree: ProbTree, log_capacity: usize) -> Self {
+        let mut tree = tree;
+        tree.expand_all();
+        Document {
+            id: DocumentId::fresh(),
+            epoch: 0,
+            tree: Arc::new(tree),
+            log: VecDeque::new(),
+            base_epoch: 0,
+            log_capacity,
+        }
+    }
+
+    /// The document's process-unique identity.
+    pub fn id(&self) -> DocumentId {
+        self.id
+    }
+
+    /// The current epoch (0 until the first committed step).
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// The current tree.
+    pub fn tree(&self) -> &ProbTree {
+        &self.tree
+    }
+
+    /// A cheap owning snapshot of the current tree (an `Arc` clone).
+    pub fn snapshot(&self) -> Arc<ProbTree> {
+        Arc::clone(&self.tree)
+    }
+
+    /// Number of deltas currently retained.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The deltas moving `epoch` to the current epoch, oldest first —
+    /// `Some(&[])` when already current, `None` when the log has been
+    /// trimmed past `epoch` (or `epoch` is from the future).
+    pub fn deltas_since(&self, epoch: Epoch) -> Option<Vec<Arc<UpdateDelta>>> {
+        if epoch > self.epoch || epoch < self.base_epoch {
+            return None;
+        }
+        let skip = (epoch - self.base_epoch) as usize;
+        Some(self.log.iter().skip(skip).cloned().collect())
+    }
+
+    /// Commits the result of one engine step as the next epoch, diffing
+    /// the structured delta out of the traced node mapping.
+    pub(crate) fn commit(
+        &mut self,
+        new_tree: ProbTree,
+        report: StepReport,
+        mapping: NodeMapping,
+    ) -> Arc<UpdateDelta> {
+        let mut new_tree = new_tree;
+        // Survivor grafting may have introduced handles; restore the
+        // fully-expanded invariant. Expansion appends arena nodes without
+        // renaming, so the traced mapping stays valid and the faulted-in
+        // copies are picked up as insertions by the diff.
+        new_tree.expand_all();
+        self.epoch += 1;
+        let delta = Arc::new(UpdateDelta::diff(
+            &self.tree, &new_tree, &mapping, self.epoch, report,
+        ));
+        self.tree = Arc::new(new_tree);
+        self.log.push_back(Arc::clone(&delta));
+        while self.log.len() > self.log_capacity {
+            self.log.pop_front();
+            self.base_epoch += 1;
+        }
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probtree::figure1_example;
+    use crate::update::{ProbabilisticUpdate, UpdateEngine, UpdateOperation};
+    use crate::PatternQuery;
+    use pxml_tree::DataTree;
+
+    fn insert_under(label: &str, inserted: &str, confidence: f64) -> ProbabilisticUpdate {
+        let q = PatternQuery::new(Some(label));
+        let at = q.root();
+        ProbabilisticUpdate::new(
+            UpdateOperation::insert(q, at, DataTree::new(inserted)),
+            confidence,
+        )
+    }
+
+    fn delete_at(label: &str, confidence: f64) -> ProbabilisticUpdate {
+        let q = PatternQuery::new(Some(label));
+        let at = q.root();
+        ProbabilisticUpdate::new(UpdateOperation::delete(q, at), confidence)
+    }
+
+    #[test]
+    fn fresh_documents_have_distinct_ids_and_epoch_zero() {
+        let a = Document::new(figure1_example());
+        let b = Document::new(figure1_example());
+        assert_ne!(a.id(), b.id());
+        assert_eq!(a.epoch(), 0);
+        assert_eq!(a.log_len(), 0);
+        assert_eq!(a.deltas_since(0).map(|d| d.len()), Some(0));
+        assert!(a.deltas_since(1).is_none(), "future epochs are rejected");
+    }
+
+    #[test]
+    fn insertion_delta_reports_inserted_labels_only() {
+        let mut doc = Document::new(figure1_example());
+        let before = doc.snapshot();
+        let delta = UpdateEngine::new().apply_doc(&mut doc, &insert_under("C", "E", 0.9));
+        assert_eq!(doc.epoch(), 1);
+        assert_eq!(delta.epoch, 1);
+        assert!(!delta.is_identity());
+        assert_eq!(delta.nodes_inserted, 1);
+        assert_eq!(delta.nodes_removed, 0);
+        assert_eq!(delta.inserted_labels, BTreeSet::from(["E".to_owned()]));
+        assert!(delta.removed_labels.is_empty());
+        // No survivor node changed its condition.
+        assert!(delta.rewritten.is_empty());
+        // Every old node survives and maps into the new frame with its
+        // label preserved.
+        for node in before.tree().iter() {
+            let mapped = delta.map_node(node).expect("insertions remove nothing");
+            assert_eq!(before.tree().label(node), doc.tree().tree().label(mapped));
+        }
+        // The spine-intersection test sees exactly the inserted label.
+        assert!(delta.touches(&BTreeSet::from(["E".to_owned()])));
+        assert!(!delta.touches(&BTreeSet::from(["B".to_owned(), "D".to_owned()])));
+    }
+
+    #[test]
+    fn probabilistic_deletion_replaces_the_target_with_a_survivor_copy() {
+        // Deleting B with confidence 0.5 keeps a B in the tree — it
+        // survives in the worlds where the deletion event is false — but
+        // the engine realizes that survivor as a *fresh copy* carrying the
+        // `γ ∧ ¬e` condition, not as an in-place rewrite. The delta must
+        // say exactly that: one removal and one insertion, both labeled B,
+        // so a query whose footprint contains B correctly falls back.
+        let mut doc = Document::new(figure1_example());
+        let delta = UpdateEngine::new().apply_doc(&mut doc, &delete_at("B", 0.5));
+        assert_eq!(delta.nodes_removed, 1);
+        assert_eq!(delta.nodes_inserted, 1);
+        assert_eq!(delta.removed_labels, BTreeSet::from(["B".to_owned()]));
+        assert_eq!(delta.inserted_labels, BTreeSet::from(["B".to_owned()]));
+        assert!(delta.rewritten.is_empty());
+        assert!(!delta.is_identity());
+        assert!(delta.touches(&BTreeSet::from(["B".to_owned()])));
+        // The survivor copy is really there, gated on the deletion event.
+        let tree = doc.snapshot();
+        let survivor = tree
+            .tree()
+            .iter()
+            .find(|&n| tree.tree().label(n) == "B")
+            .expect("B survives probabilistic deletion");
+        assert!(
+            !tree.condition(survivor).is_empty(),
+            "the survivor is conditional on the deletion event"
+        );
+    }
+
+    #[test]
+    fn certain_deletion_removes_the_subtree() {
+        // Deleting C with confidence 1 removes C and its child D.
+        let mut doc = Document::new(figure1_example());
+        let delta = UpdateEngine::new().apply_doc(&mut doc, &delete_at("C", 1.0));
+        assert_eq!(delta.nodes_removed, 2);
+        assert_eq!(
+            delta.removed_labels,
+            BTreeSet::from(["C".to_owned(), "D".to_owned()])
+        );
+        assert!(delta.touches(&BTreeSet::from(["D".to_owned()])));
+        assert_eq!(doc.tree().num_nodes(), 2, "A and B remain");
+    }
+
+    #[test]
+    fn no_match_steps_commit_identity_deltas() {
+        let mut doc = Document::new(figure1_example());
+        let delta = UpdateEngine::new().apply_doc(&mut doc, &insert_under("Z", "E", 0.9));
+        assert_eq!(doc.epoch(), 1, "identity steps still advance the epoch");
+        assert!(delta.is_identity());
+        assert!(delta.node_map.is_none());
+        let root = doc.tree().tree().root();
+        assert_eq!(delta.map_node(root), Some(root));
+    }
+
+    #[test]
+    fn delta_log_trims_at_capacity() {
+        let mut doc = Document::with_log_capacity(figure1_example(), 2);
+        let engine = UpdateEngine::new();
+        for _ in 0..3 {
+            engine.apply_doc(&mut doc, &insert_under("C", "E", 0.9));
+        }
+        assert_eq!(doc.epoch(), 3);
+        assert_eq!(doc.log_len(), 2);
+        assert!(doc.deltas_since(0).is_none(), "epoch 0 was trimmed away");
+        let pending = doc.deltas_since(1).expect("epoch 1 still covered");
+        assert_eq!(pending.len(), 2);
+        assert_eq!(pending[0].epoch, 2);
+        assert_eq!(pending[1].epoch, 3);
+        assert_eq!(doc.deltas_since(3).map(|d| d.len()), Some(0));
+    }
+
+    #[test]
+    fn snapshots_pin_their_epoch() {
+        let mut doc = Document::new(figure1_example());
+        let before = doc.snapshot();
+        UpdateEngine::new().apply_doc(&mut doc, &insert_under("C", "E", 1.0));
+        assert_eq!(before.num_nodes() + 1, doc.tree().num_nodes());
+    }
+
+    #[test]
+    fn script_application_collects_per_step_reports() {
+        use crate::update::UpdateScript;
+        let mut doc = Document::new(figure1_example());
+        let script = UpdateScript::from_steps([
+            insert_under("C", "E", 0.9),
+            delete_at("B", 0.5),
+            insert_under("E", "F", 1.0),
+        ]);
+        let report = UpdateEngine::new().apply_script_doc(&mut doc, &script);
+        assert_eq!(report.steps.len(), 3);
+        assert_eq!(doc.epoch(), 3);
+        assert_eq!(doc.log_len(), 3);
+        // The document path computes the same final tree as the borrowed
+        // path.
+        let (batch, batch_report) = UpdateEngine::new().apply_script(&figure1_example(), &script);
+        assert_eq!(doc.tree().num_nodes(), batch.expanded().num_nodes());
+        assert_eq!(report.steps.len(), batch_report.steps.len());
+        for (a, b) in report.steps.iter().zip(&batch_report.steps) {
+            assert_eq!(a.matches, b.matches);
+        }
+    }
+}

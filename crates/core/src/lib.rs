@@ -45,7 +45,10 @@
 #![forbid(unsafe_code)]
 
 pub mod clean;
+pub mod config;
+pub mod document;
 pub mod equivalence;
+pub mod prelude;
 pub mod probtree;
 pub mod proxml;
 pub mod pwset;
@@ -56,11 +59,13 @@ pub mod update;
 pub mod variants;
 pub mod worlds;
 
+pub use document::{Document, DocumentId, Epoch, UpdateDelta, DEFAULT_DELTA_LOG_CAPACITY};
 pub use probtree::ProbTree;
 pub use pwset::PossibleWorldSet;
 pub use query::pattern::PatternQuery;
 pub use query::{
-    AnswerSet, MonotonicityCertificate, PreparedQuery, QueryEngine, QueryEngineConfig, QueryHints,
+    AnswerSet, FallbackReason, MaintainError, MaintainOutcome, MaintainStats,
+    MonotonicityCertificate, PreparedQuery, QueryEngine, QueryEngineConfig, QueryHints,
     Theorem1Error, TieBreak,
 };
 pub use update::{

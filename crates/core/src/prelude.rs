@@ -1,0 +1,42 @@
+//! Convenience facade: one `use pxml_core::prelude::*;` pulls in the
+//! engine-based API and, for code still mid-migration, the deprecated
+//! one-shot wrappers.
+//!
+//! The recommended shape of new code is engine-first:
+//!
+//! * wrap the prob-tree in a [`Document`] when it will be updated;
+//! * [`QueryEngine::prepare`] / [`QueryEngine::prepare_doc`] once, then
+//!   serve answers, top-k, thresholds, aggregates and the Theorem 1 check
+//!   from the [`PreparedQuery`] — and keep it live across update steps
+//!   with [`PreparedQuery::maintain`];
+//! * apply updates through [`UpdateEngine::apply_doc`] /
+//!   [`UpdateEngine::apply_script_doc`] so every step commits a
+//!   structured [`UpdateDelta`].
+//!
+//! The free functions re-exported at the bottom (`query_probtree`,
+//! `top_k`, `above`, `expected_matches`, `check_theorem1`) predate the
+//! engines. Each one builds a fresh default engine, prepares, serves one
+//! request and throws the prepared state away; they remain for existing
+//! call sites but are `#[deprecated]` — every use has a direct
+//! [`QueryEngine`] / [`PreparedQuery`] replacement with the same
+//! semantics and strictly better reuse.
+
+pub use crate::document::{Document, DocumentId, Epoch, UpdateDelta};
+pub use crate::probtree::ProbTree;
+pub use crate::pwset::PossibleWorldSet;
+pub use crate::query::engine::{
+    AnswerSet, FallbackReason, MaintainError, MaintainOutcome, MaintainStats, PreparedQuery,
+    QueryEngine, QueryEngineConfig, QueryHints, SelectionStats, TieBreak,
+};
+pub use crate::query::pattern::PatternQuery;
+pub use crate::query::prob::{query_pw_set, ProbAnswer};
+pub use crate::query::{MonotonicityCertificate, Query, Theorem1Error};
+pub use crate::update::{
+    ProbabilisticUpdate, UpdateAction, UpdateEngine, UpdateEngineConfig, UpdateOperation,
+    UpdateScript,
+};
+
+#[allow(deprecated)]
+pub use crate::query::prob::{check_theorem1, query_probtree};
+#[allow(deprecated)]
+pub use crate::query::ranked::{above, expected_matches, top_k};

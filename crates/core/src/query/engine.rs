@@ -33,13 +33,15 @@ use std::borrow::Cow;
 use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::hash_map::Entry;
-use std::collections::{BinaryHeap, HashMap};
-use std::sync::OnceLock;
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::sync::{Arc, OnceLock};
 
 use pxml_events::Condition;
 use pxml_tree::canon::Semantics;
 use pxml_tree::subtree::SubDataTree;
+use pxml_tree::NodeId;
 
+use crate::document::{Document, DocumentId, Epoch};
 use crate::probtree::ProbTree;
 use crate::pwset::PossibleWorldSet;
 use crate::semantics::possible_worlds_factorized;
@@ -195,44 +197,94 @@ impl QueryEngine {
         // Pattern matching and answer materialization address arena nodes,
         // so a tree with shared (stored) children is expanded once here;
         // trees without handles are borrowed as-is.
-        let tree = tree.expanded();
-        let subtrees = if hints.statically_empty {
-            Vec::new()
-        } else {
-            query.evaluate(tree.tree())
-        };
-        let mut intern: HashMap<Condition, usize> = HashMap::new();
-        let mut conditions: Vec<Condition> = Vec::new();
-        let mut answers: Vec<AnswerState> = Vec::with_capacity(subtrees.len());
-        for subtree in subtrees {
-            let union = Condition::union_of(subtree.nodes().filter_map(|n| tree.condition_ref(n)));
-            let condition = match intern.entry(union) {
-                Entry::Occupied(slot) => *slot.get(),
-                Entry::Vacant(slot) => {
-                    let index = conditions.len();
-                    conditions.push(slot.key().clone());
-                    slot.insert(index);
-                    index
-                }
-            };
-            answers.push(AnswerState { subtree, condition });
-        }
-        let probabilities = std::iter::repeat_with(OnceLock::new)
-            .take(conditions.len())
-            .collect();
-        let tie_keys = std::iter::repeat_with(OnceLock::new)
-            .take(answers.len())
-            .collect();
-        PreparedQuery {
-            tree,
+        build_prepared(
+            self.config.clone(),
+            TreeSlot::Borrowed(Box::new(tree.expanded())),
             query,
-            config: self.config.clone(),
-            answers,
-            conditions,
-            probabilities,
-            tie_keys,
-            by_subtree: OnceLock::new(),
-        }
+            hints,
+            None,
+        )
+    }
+
+    /// Prepares against the current epoch of a [`Document`]. The returned
+    /// state holds a cheap owning snapshot of the document's tree and is
+    /// stamped with the document's identity and epoch, so it stays
+    /// servable while the document moves on — and can be brought back up
+    /// to date in place with [`PreparedQuery::maintain`].
+    pub fn prepare_doc<'a>(&self, doc: &Document, query: &'a dyn Query) -> PreparedQuery<'a> {
+        self.prepare_doc_with_hints(doc, query, &QueryHints::default())
+    }
+
+    /// [`QueryEngine::prepare_doc`] with static-analysis [`QueryHints`]
+    /// (replayed on every maintenance fallback re-prepare).
+    pub fn prepare_doc_with_hints<'a>(
+        &self,
+        doc: &Document,
+        query: &'a dyn Query,
+        hints: &QueryHints,
+    ) -> PreparedQuery<'a> {
+        build_prepared(
+            self.config.clone(),
+            TreeSlot::Shared(doc.snapshot()),
+            query,
+            hints,
+            Some((doc.id(), doc.epoch())),
+        )
+    }
+}
+
+/// The one place prepared state is built — shared by borrow-based and
+/// document-based preparation and by the maintenance fallback, so all
+/// three produce byte-identical layouts (answer order, interning order,
+/// empty caches).
+fn build_prepared<'a>(
+    config: QueryEngineConfig,
+    tree: TreeSlot<'a>,
+    query: &'a dyn Query,
+    hints: &QueryHints,
+    doc: Option<(DocumentId, Epoch)>,
+) -> PreparedQuery<'a> {
+    let subtrees = if hints.statically_empty {
+        Vec::new()
+    } else {
+        query.evaluate(tree.get().tree())
+    };
+    let mut intern: HashMap<Condition, usize> = HashMap::new();
+    let mut conditions: Vec<Condition> = Vec::new();
+    let mut answers: Vec<AnswerState> = Vec::with_capacity(subtrees.len());
+    for subtree in subtrees {
+        let union =
+            Condition::union_of(subtree.nodes().filter_map(|n| tree.get().condition_ref(n)));
+        let condition = match intern.entry(union) {
+            Entry::Occupied(slot) => *slot.get(),
+            Entry::Vacant(slot) => {
+                let index = conditions.len();
+                conditions.push(slot.key().clone());
+                slot.insert(index);
+                index
+            }
+        };
+        answers.push(AnswerState { subtree, condition });
+    }
+    let probabilities = std::iter::repeat_with(OnceLock::new)
+        .take(conditions.len())
+        .collect();
+    let tie_keys = std::iter::repeat_with(OnceLock::new)
+        .take(answers.len())
+        .collect();
+    PreparedQuery {
+        tree,
+        query,
+        footprint: query.label_footprint(),
+        hints: hints.clone(),
+        doc,
+        maint: MaintainStats::default(),
+        config,
+        answers,
+        conditions,
+        probabilities,
+        tie_keys,
+        by_subtree: OnceLock::new(),
     }
 }
 
@@ -244,6 +296,120 @@ struct AnswerState {
     condition: usize,
 }
 
+/// How a [`PreparedQuery`] holds its tree: borrowed (the legacy
+/// `prepare(&tree, …)` entry points — possibly an owned expansion of a
+/// shared-children input) or an owning [`Document`] snapshot, which keeps
+/// serving after the document commits further epochs.
+enum TreeSlot<'a> {
+    /// Borrow-based preparation ([`QueryEngine::prepare`]). Boxed so the
+    /// possibly-owned expansion doesn't dominate the enum's size.
+    Borrowed(Box<Cow<'a, ProbTree>>),
+    /// Document-based preparation ([`QueryEngine::prepare_doc`]).
+    Shared(Arc<ProbTree>),
+}
+
+impl TreeSlot<'_> {
+    fn get(&self) -> &ProbTree {
+        match self {
+            TreeSlot::Borrowed(tree) => (**tree).as_ref(),
+            TreeSlot::Shared(tree) => tree,
+        }
+    }
+}
+
+/// Cumulative maintenance telemetry of one [`PreparedQuery`] — the
+/// counters the cross-check suites use to prove the patched path did not
+/// silently fall back ([`fallbacks`](MaintainStats::fallbacks) stays 0 on
+/// non-spine-touching deltas) and did less work than re-preparing
+/// ([`unions_rebuilt`](MaintainStats::unions_rebuilt) vs the fresh
+/// prepare's one-union-per-answer).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaintainStats {
+    /// Deltas patched in place across all [`PreparedQuery::maintain`]
+    /// calls.
+    pub steps_patched: usize,
+    /// Full re-prepares forced by a fallback.
+    pub fallbacks: usize,
+    /// Per-answer condition unions recomputed because a delta rewrote a
+    /// condition on one of the answer's nodes.
+    pub unions_rebuilt: usize,
+    /// Per-answer condition unions carried over unchanged (with their
+    /// cached probabilities).
+    pub unions_carried: usize,
+    /// Answers remapped to new-frame node ids by patching.
+    pub answers_remapped: usize,
+}
+
+/// What one [`PreparedQuery::maintain`] call did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MaintainOutcome {
+    /// The prepared state already matches the document's epoch.
+    UpToDate,
+    /// All pending deltas were patched in place.
+    Patched {
+        /// Number of deltas patched.
+        steps: usize,
+    },
+    /// Patching was not possible; the state was rebuilt by a full
+    /// re-prepare against the document's current epoch (still in place —
+    /// the prepared query is up to date afterwards either way).
+    Fallback {
+        /// Why the patch path was abandoned.
+        reason: FallbackReason,
+    },
+}
+
+/// Why [`PreparedQuery::maintain`] fell back to a full re-prepare.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The query reports no finite label footprint
+    /// ([`Query::label_footprint`] returned `None`, e.g. a pattern with a
+    /// label wildcard), so no delta can be proven harmless.
+    UnboundedFootprint,
+    /// A delta inserted or removed a label inside the query's footprint —
+    /// the match set may have changed, only re-matching can tell.
+    SpineTouched,
+    /// The document trimmed its delta log past this state's epoch.
+    LogTrimmed,
+    /// A patched answer referenced a node the delta removed without its
+    /// label being in the footprint — defensively impossible for sound
+    /// footprints, kept as a safety net rather than a panic.
+    AnswerDisplaced,
+}
+
+/// Error of [`PreparedQuery::maintain`]: the call itself was invalid
+/// (as opposed to a valid call that had to fall back — that is a
+/// [`MaintainOutcome::Fallback`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MaintainError {
+    /// The state came from a borrow-based `prepare`, which has no
+    /// document identity or epoch to maintain against.
+    NotDocumentBacked,
+    /// The state was prepared against a different [`Document`].
+    DocumentMismatch,
+    /// The document's epoch is *behind* the prepared state's — the handle
+    /// passed in is not the one the state was prepared against.
+    EpochRewound,
+}
+
+impl std::fmt::Display for MaintainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MaintainError::NotDocumentBacked => {
+                write!(f, "prepared state is not backed by a document")
+            }
+            MaintainError::DocumentMismatch => {
+                write!(f, "prepared state belongs to a different document")
+            }
+            MaintainError::EpochRewound => {
+                write!(f, "document epoch is behind the prepared state")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MaintainError {}
+
 /// The shared state [`QueryEngine::prepare`] computes once per
 /// `(tree, query)` pair: the match set (in [`Query::evaluate`] order) and
 /// the interned per-answer condition unions. Everything else — answer
@@ -251,10 +417,20 @@ struct AnswerState {
 /// and cached where re-use pays (probabilities per interned condition,
 /// tie-break keys per answer).
 pub struct PreparedQuery<'a> {
-    /// The queried tree — borrowed when it had no shared children, owned
-    /// when preparation had to expand handles into arena nodes.
-    tree: Cow<'a, ProbTree>,
+    /// The queried tree — a borrow/owned-expansion for the legacy entry
+    /// points, an owning snapshot for document-backed preparation.
+    tree: TreeSlot<'a>,
     query: &'a dyn Query,
+    /// The query's label footprint, computed once at prepare time — the
+    /// label set [`PreparedQuery::maintain`] checks deltas against.
+    footprint: Option<BTreeSet<String>>,
+    /// The hints preparation ran under, replayed by fallback re-prepares.
+    hints: QueryHints,
+    /// Identity and epoch of the backing document (`None` for the legacy
+    /// borrow-based entry points).
+    doc: Option<(DocumentId, Epoch)>,
+    /// Cumulative maintenance counters.
+    maint: MaintainStats,
     config: QueryEngineConfig,
     answers: Vec<AnswerState>,
     /// Distinct condition unions, in first-occurrence order.
@@ -270,9 +446,184 @@ pub struct PreparedQuery<'a> {
 
 impl<'a> PreparedQuery<'a> {
     /// The prob-tree the query was prepared against (the expanded view if
-    /// the input tree had shared children).
+    /// the input tree had shared children; the stamped epoch's snapshot
+    /// when document-backed).
     pub fn tree(&self) -> &ProbTree {
-        self.tree.as_ref()
+        self.tree.get()
+    }
+
+    /// Identity and epoch of the backing [`Document`], `None` for
+    /// borrow-based preparation.
+    pub fn document_stamp(&self) -> Option<(DocumentId, Epoch)> {
+        self.doc
+    }
+
+    /// The label footprint maintenance checks deltas against (`None` =
+    /// unbounded, every maintenance call re-prepares).
+    pub fn footprint(&self) -> Option<&BTreeSet<String>> {
+        self.footprint.as_ref()
+    }
+
+    /// Cumulative maintenance telemetry.
+    pub fn maintenance_stats(&self) -> MaintainStats {
+        self.maint
+    }
+
+    /// Brings document-backed prepared state up to date with `doc`,
+    /// patching the match set, interned condition unions, probability
+    /// cache and document stamp in place — answer by answer through the
+    /// pending [`crate::UpdateDelta`]s — whenever every pending delta's
+    /// inserted/removed labels avoid the query's
+    /// [footprint](Query::label_footprint). Falls back to a full
+    /// re-prepare (against the current epoch, replaying the original
+    /// [`QueryHints`]) when the footprint is unbounded, a delta touches
+    /// it, or the delta log was trimmed; the state is up to date on
+    /// return either way.
+    ///
+    /// Patched state is **indistinguishable** from a fresh prepare on the
+    /// document's current tree: same answers in the same order, the same
+    /// interned-condition layout, bit-identical probabilities, and equal
+    /// [`SelectionStats`] on every subsequent selection (property-tested
+    /// against the fresh-prepare oracle).
+    pub fn maintain(&mut self, doc: &Document) -> Result<MaintainOutcome, MaintainError> {
+        let Some((id, epoch)) = self.doc else {
+            return Err(MaintainError::NotDocumentBacked);
+        };
+        if id != doc.id() {
+            return Err(MaintainError::DocumentMismatch);
+        }
+        if doc.epoch() < epoch {
+            return Err(MaintainError::EpochRewound);
+        }
+        if doc.epoch() == epoch {
+            return Ok(MaintainOutcome::UpToDate);
+        }
+        let Some(deltas) = doc.deltas_since(epoch) else {
+            return Ok(self.reprepare(doc, FallbackReason::LogTrimmed));
+        };
+        let Some(footprint) = self.footprint.clone() else {
+            return Ok(self.reprepare(doc, FallbackReason::UnboundedFootprint));
+        };
+        // Phase 1 — plan: thread every answer's node set through every
+        // pending delta, tracking which answers had a condition rewritten
+        // along the way. Nothing is mutated yet, so a fallback mid-plan
+        // leaves the state consistent for `reprepare` to replace.
+        let mut node_sets: Vec<Vec<NodeId>> = self
+            .answers
+            .iter()
+            .map(|a| a.subtree.nodes().collect())
+            .collect();
+        let mut dirty = vec![false; self.answers.len()];
+        let mut steps = 0usize;
+        for delta in &deltas {
+            if delta.touches(&footprint) {
+                return Ok(self.reprepare(doc, FallbackReason::SpineTouched));
+            }
+            for (index, nodes) in node_sets.iter_mut().enumerate() {
+                for node in nodes.iter_mut() {
+                    match delta.map_node(*node) {
+                        Some(mapped) => *node = mapped,
+                        None => return Ok(self.reprepare(doc, FallbackReason::AnswerDisplaced)),
+                    }
+                }
+                if nodes.iter().any(|n| delta.rewritten.contains(n)) {
+                    dirty[index] = true;
+                }
+            }
+            steps += 1;
+        }
+        // Phase 2 — commit: rebuild each answer against the new snapshot.
+        // Clean answers keep their condition union (and its cached
+        // probability — the union is over unchanged node conditions, and
+        // the event table only ever grows, so the value is bit-identical
+        // to what a fresh prepare would compute); dirty answers recompute
+        // the union from the new tree.
+        let snapshot = doc.snapshot();
+        struct Patched {
+            subtree: SubDataTree,
+            condition: Condition,
+            cached_probability: Option<f64>,
+        }
+        let mut patched: Vec<Patched> = Vec::with_capacity(self.answers.len());
+        for (index, nodes) in node_sets.into_iter().enumerate() {
+            let subtree = SubDataTree::from_nodes(snapshot.tree(), nodes);
+            let (condition, cached_probability) = if dirty[index] {
+                self.maint.unions_rebuilt += 1;
+                let union =
+                    Condition::union_of(subtree.nodes().filter_map(|n| snapshot.condition_ref(n)));
+                (union, None)
+            } else {
+                self.maint.unions_carried += 1;
+                let slot = self.answers[index].condition;
+                (
+                    self.conditions[slot].clone(),
+                    self.probabilities[slot].get().copied(),
+                )
+            };
+            patched.push(Patched {
+                subtree,
+                condition,
+                cached_probability,
+            });
+        }
+        // Re-sort and re-intern in the new answer order: `Query::evaluate`
+        // returns answers in `SubDataTree` order, so this reproduces the
+        // exact layout (answer order, interning order) of a fresh prepare.
+        // Remapping is injective, so no two answers collapse.
+        patched.sort_by(|a, b| a.subtree.cmp(&b.subtree));
+        let mut intern: HashMap<Condition, usize> = HashMap::new();
+        let mut conditions: Vec<Condition> = Vec::new();
+        let mut probabilities: Vec<OnceLock<f64>> = Vec::new();
+        let mut answers: Vec<AnswerState> = Vec::with_capacity(patched.len());
+        for p in patched {
+            let condition = match intern.entry(p.condition) {
+                Entry::Occupied(slot) => *slot.get(),
+                Entry::Vacant(slot) => {
+                    let index = conditions.len();
+                    conditions.push(slot.key().clone());
+                    probabilities.push(OnceLock::new());
+                    slot.insert(index);
+                    index
+                }
+            };
+            if let Some(probability) = p.cached_probability {
+                let _ = probabilities[condition].set(probability);
+            }
+            answers.push(AnswerState {
+                subtree: p.subtree,
+                condition,
+            });
+        }
+        self.maint.steps_patched += steps;
+        self.maint.answers_remapped += answers.len();
+        self.tie_keys = std::iter::repeat_with(OnceLock::new)
+            .take(answers.len())
+            .collect();
+        self.answers = answers;
+        self.conditions = conditions;
+        self.probabilities = probabilities;
+        self.by_subtree = OnceLock::new();
+        self.tree = TreeSlot::Shared(snapshot);
+        self.doc = Some((id, doc.epoch()));
+        Ok(MaintainOutcome::Patched { steps })
+    }
+
+    /// The maintenance fallback: rebuild everything against the
+    /// document's current epoch, preserving the cumulative maintenance
+    /// counters (and counting the fallback).
+    fn reprepare(&mut self, doc: &Document, reason: FallbackReason) -> MaintainOutcome {
+        let mut maint = self.maint;
+        maint.fallbacks += 1;
+        let hints = self.hints.clone();
+        *self = build_prepared(
+            self.config.clone(),
+            TreeSlot::Shared(doc.snapshot()),
+            self.query,
+            &hints,
+            Some((doc.id(), doc.epoch())),
+        );
+        self.maint = maint;
+        MaintainOutcome::Fallback { reason }
     }
 
     /// The prepared query.
@@ -340,7 +691,7 @@ impl<'a> PreparedQuery<'a> {
 
     fn condition_probability(&self, condition: usize) -> f64 {
         *self.probabilities[condition]
-            .get_or_init(|| self.conditions[condition].probability(self.tree.events()))
+            .get_or_init(|| self.conditions[condition].probability(self.tree.get().events()))
     }
 
     /// Materializes the `index`-th answer (tree, node set, probability).
@@ -350,7 +701,7 @@ impl<'a> PreparedQuery<'a> {
     pub fn materialize(&self, index: usize) -> ProbAnswer {
         let state = &self.answers[index];
         ProbAnswer {
-            tree: state.subtree.to_tree(self.tree.tree()),
+            tree: state.subtree.to_tree(self.tree.get().tree()),
             probability: self.condition_probability(state.condition),
             subtree: state.subtree.clone(),
         }
@@ -499,7 +850,7 @@ impl<'a> PreparedQuery<'a> {
                 .set(counters.tie_keys_built.get() + 1);
             self.answers[index]
                 .subtree
-                .canonical_string(self.tree.tree(), semantics)
+                .canonical_string(self.tree.get().tree(), semantics)
         })
     }
 
@@ -511,7 +862,7 @@ impl<'a> PreparedQuery<'a> {
             let probability = self.probability(index);
             (probability > 0.0).then(|| {
                 (
-                    self.answers[index].subtree.to_tree(self.tree.tree()),
+                    self.answers[index].subtree.to_tree(self.tree.get().tree()),
                     probability,
                 )
             })
@@ -535,8 +886,11 @@ impl<'a> PreparedQuery<'a> {
             return Err(Theorem1Error::NotCertifiedMonotone { reason });
         }
         let direct = self.as_pw_set();
-        let worlds =
-            possible_worlds_factorized(&self.tree, self.config.max_events, &self.config.worlds)?;
+        let worlds = possible_worlds_factorized(
+            self.tree.get(),
+            self.config.max_events,
+            &self.config.worlds,
+        )?;
         let via_worlds = query_pw_set(self.query, &worlds);
         Ok(direct.normalized().isomorphic(&via_worlds.normalized()))
     }
@@ -1016,5 +1370,222 @@ mod tests {
         let owned: Vec<f64> = set.clone().into_iter().map(|a| a.probability).collect();
         assert_eq!(by_ref, owned);
         assert_eq!(set.into_vec().len(), 3);
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental maintenance (`PreparedQuery::maintain`)
+    // ------------------------------------------------------------------
+
+    use crate::update::{ProbabilisticUpdate, UpdateEngine, UpdateOperation};
+
+    fn doc_insert(label: &str, inserted: &str, confidence: f64) -> ProbabilisticUpdate {
+        let q = PatternQuery::new(Some(label));
+        let at = q.root();
+        ProbabilisticUpdate::new(
+            UpdateOperation::insert(q, at, DataTree::new(inserted)),
+            confidence,
+        )
+    }
+
+    fn doc_delete(label: &str, confidence: f64) -> ProbabilisticUpdate {
+        let q = PatternQuery::new(Some(label));
+        let at = q.root();
+        ProbabilisticUpdate::new(UpdateOperation::delete(q, at), confidence)
+    }
+
+    /// The maintained state must be indistinguishable from a fresh
+    /// prepare against the same document epoch: same answers, same
+    /// ranking order, bit-identical probabilities.
+    fn assert_agrees_with_fresh(maintained: &PreparedQuery<'_>, doc: &Document, q: &PatternQuery) {
+        let fresh = QueryEngine::new().prepare_doc(doc, q);
+        assert_eq!(maintained.len(), fresh.len());
+        for i in 0..fresh.len() {
+            assert_eq!(maintained.subtree(i), fresh.subtree(i), "answer #{i} nodes");
+            assert_eq!(
+                maintained.probability(i).to_bits(),
+                fresh.probability(i).to_bits(),
+                "answer #{i} probability is bit-identical"
+            );
+        }
+        for (a, b) in maintained.ranked().iter().zip(fresh.ranked().iter()) {
+            assert_eq!(a.probability.to_bits(), b.probability.to_bits());
+            assert_eq!(a.subtree, b.subtree, "ranking order agrees");
+        }
+    }
+
+    #[test]
+    fn maintain_patches_off_footprint_insertions_in_place() {
+        let q = PatternQuery::new(Some("item"));
+        let mut doc = Document::new(ladder(6));
+        let mut prepared = QueryEngine::new().prepare_doc(&doc, &q);
+        assert_eq!(prepared.document_stamp(), Some((doc.id(), 0)));
+        assert_eq!(
+            prepared.footprint().map(std::collections::BTreeSet::len),
+            Some(1),
+            "the item pattern has a one-label footprint"
+        );
+        prepared.expected_matches(); // cache every probability
+        assert_eq!(
+            prepared.num_cached_probabilities(),
+            prepared.num_distinct_conditions()
+        );
+        let engine = UpdateEngine::new();
+        engine.apply_doc(&mut doc, &doc_insert("sku0", "note", 0.9));
+        engine.apply_doc(&mut doc, &doc_insert("catalog", "annex", 0.4));
+        let outcome = prepared.maintain(&doc).unwrap();
+        assert_eq!(outcome, MaintainOutcome::Patched { steps: 2 });
+        let stats = prepared.maintenance_stats();
+        assert_eq!(stats.steps_patched, 2);
+        assert_eq!(stats.fallbacks, 0, "no silent fallback");
+        assert_eq!(stats.unions_rebuilt, 0, "no condition was rewritten");
+        assert_eq!(stats.unions_carried, 6, "one carried union per answer");
+        assert_eq!(
+            prepared.num_cached_probabilities(),
+            prepared.num_distinct_conditions(),
+            "cached probabilities survive the patch"
+        );
+        assert_agrees_with_fresh(&prepared, &doc, &q);
+        assert_eq!(prepared.maintain(&doc), Ok(MaintainOutcome::UpToDate));
+    }
+
+    #[test]
+    fn certain_deletion_of_the_matched_label_falls_back_to_empty() {
+        let q = PatternQuery::new(Some("item"));
+        let mut doc = Document::new(ladder(3));
+        let mut prepared = QueryEngine::new().prepare_doc(&doc, &q);
+        assert_eq!(prepared.len(), 3);
+        UpdateEngine::new().apply_doc(&mut doc, &doc_delete("item", 1.0));
+        let outcome = prepared.maintain(&doc).unwrap();
+        assert_eq!(
+            outcome,
+            MaintainOutcome::Fallback {
+                reason: FallbackReason::SpineTouched
+            }
+        );
+        assert!(prepared.is_empty(), "every item is gone");
+        let stats = prepared.maintenance_stats();
+        assert_eq!(stats.fallbacks, 1);
+        assert_eq!(stats.steps_patched, 0);
+        assert_agrees_with_fresh(&prepared, &doc, &q);
+    }
+
+    #[test]
+    fn footprint_label_insertion_falls_back_and_surfaces_the_new_answer() {
+        let q = PatternQuery::new(Some("item"));
+        let mut doc = Document::new(ladder(3));
+        let mut prepared = QueryEngine::new().prepare_doc(&doc, &q);
+        assert_eq!(prepared.len(), 3);
+        UpdateEngine::new().apply_doc(&mut doc, &doc_insert("catalog", "item", 0.85));
+        let outcome = prepared.maintain(&doc).unwrap();
+        assert_eq!(
+            outcome,
+            MaintainOutcome::Fallback {
+                reason: FallbackReason::SpineTouched
+            }
+        );
+        assert_eq!(prepared.len(), 4, "the inserted item is an answer now");
+        assert!(
+            (0..prepared.len()).any(|i| prob_eq(prepared.probability(i), 0.85)),
+            "the new answer carries the insertion confidence"
+        );
+        assert_agrees_with_fresh(&prepared, &doc, &q);
+    }
+
+    #[test]
+    fn off_footprint_condition_rewrites_patch_and_rebuild_only_dirty_unions() {
+        // A certain helper event rides on the first item's condition; the
+        // first update triggers the engine's prune-certain pass, which
+        // strips the redundant literal from the *surviving* node — a pure
+        // condition rewrite in the delta, with no removal or insertion of
+        // footprint labels. The patched path must rebuild exactly that
+        // answer's union and break the resulting probability tie exactly
+        // as a fresh prepare does.
+        let mut tree = ProbTree::new("catalog");
+        let root = tree.tree().root();
+        let c = tree.events_mut().insert("c", 1.0);
+        let w1 = tree.events_mut().insert("w1", 0.5);
+        let w2 = tree.events_mut().insert("w2", 0.5);
+        tree.add_child(
+            root,
+            "item",
+            Condition::from_literals([Literal::pos(w1), Literal::pos(c)]),
+        );
+        tree.add_child(root, "item", Condition::of(Literal::pos(w2)));
+        let q = PatternQuery::new(Some("item"));
+        let mut doc = Document::new(tree);
+        let mut prepared = QueryEngine::new().prepare_doc(&doc, &q);
+        prepared.expected_matches(); // cache every probability
+        UpdateEngine::new().apply_doc(&mut doc, &doc_insert("catalog", "note", 0.9));
+        let deltas = doc.deltas_since(0).unwrap();
+        assert!(
+            !deltas[0].rewritten.is_empty(),
+            "prune-certain rewrote the surviving item in place"
+        );
+        let outcome = prepared.maintain(&doc).unwrap();
+        assert_eq!(outcome, MaintainOutcome::Patched { steps: 1 });
+        let stats = prepared.maintenance_stats();
+        assert_eq!(stats.unions_rebuilt, 1, "only the rewritten answer");
+        assert_eq!(stats.unions_carried, 1);
+        assert_eq!(stats.fallbacks, 0);
+        // Both items are tied at probability 0.5 after the rewrite.
+        assert!(prob_eq(prepared.probability(0), 0.5));
+        assert!(prob_eq(prepared.probability(1), 0.5));
+        assert_agrees_with_fresh(&prepared, &doc, &q);
+    }
+
+    #[test]
+    fn maintain_rejects_foreign_and_borrowed_states() {
+        let q = PatternQuery::new(Some("item"));
+        let tree = ladder(2);
+        let doc = Document::new(ladder(2));
+        let mut borrowed = QueryEngine::new().prepare(&tree, &q);
+        assert_eq!(borrowed.document_stamp(), None);
+        assert_eq!(
+            borrowed.maintain(&doc),
+            Err(MaintainError::NotDocumentBacked)
+        );
+        let other = Document::new(ladder(2));
+        let mut prepared = QueryEngine::new().prepare_doc(&doc, &q);
+        assert_eq!(
+            prepared.maintain(&other),
+            Err(MaintainError::DocumentMismatch)
+        );
+        assert_eq!(prepared.maintain(&doc), Ok(MaintainOutcome::UpToDate));
+    }
+
+    #[test]
+    fn trimmed_delta_logs_force_a_fallback_reprepare() {
+        let q = PatternQuery::new(Some("item"));
+        let mut doc = Document::with_log_capacity(ladder(3), 0);
+        let mut prepared = QueryEngine::new().prepare_doc(&doc, &q);
+        UpdateEngine::new().apply_doc(&mut doc, &doc_insert("catalog", "note", 0.9));
+        let outcome = prepared.maintain(&doc).unwrap();
+        assert_eq!(
+            outcome,
+            MaintainOutcome::Fallback {
+                reason: FallbackReason::LogTrimmed
+            }
+        );
+        assert_agrees_with_fresh(&prepared, &doc, &q);
+    }
+
+    #[test]
+    fn wildcard_patterns_always_fall_back_with_unbounded_footprint() {
+        let q = PatternQuery::new(None);
+        let mut doc = Document::new(ladder(2));
+        let mut prepared = QueryEngine::new().prepare_doc(&doc, &q);
+        assert!(
+            prepared.footprint().is_none(),
+            "wildcards have no footprint"
+        );
+        UpdateEngine::new().apply_doc(&mut doc, &doc_insert("catalog", "note", 0.9));
+        let outcome = prepared.maintain(&doc).unwrap();
+        assert_eq!(
+            outcome,
+            MaintainOutcome::Fallback {
+                reason: FallbackReason::UnboundedFootprint
+            }
+        );
+        assert_agrees_with_fresh(&prepared, &doc, &q);
     }
 }

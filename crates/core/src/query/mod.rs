@@ -23,7 +23,8 @@ pub mod prob;
 pub mod ranked;
 
 pub use engine::{
-    AnswerSet, PreparedQuery, QueryEngine, QueryEngineConfig, QueryHints, SelectionStats, TieBreak,
+    AnswerSet, FallbackReason, MaintainError, MaintainOutcome, MaintainStats, PreparedQuery,
+    QueryEngine, QueryEngineConfig, QueryHints, SelectionStats, TieBreak,
 };
 
 use pxml_events::valuation::TooManyValuations;
@@ -113,6 +114,17 @@ pub trait Query {
     /// their syntax should override it.
     fn monotonicity(&self) -> MonotonicityCertificate {
         MonotonicityCertificate::Unknown
+    }
+
+    /// The query's *label footprint*: a finite label set such that every
+    /// node any answer can ever contain is either labeled from the set or
+    /// an ancestor of such a node. `Some(labels)` licenses incremental
+    /// maintenance ([`engine::PreparedQuery::maintain`]): an update delta
+    /// inserting and removing only labels outside the set provably
+    /// preserves the match set. `None` (the default, and the only sound
+    /// answer for label wildcards) forces maintenance to re-prepare.
+    fn label_footprint(&self) -> Option<std::collections::BTreeSet<String>> {
+        None
     }
 }
 

@@ -311,6 +311,14 @@ impl Query for PatternQuery {
         )
     }
 
+    /// A fully labeled pattern's answers bind only nodes carrying the
+    /// pattern's labels (plus their ancestors, kept by the parent
+    /// closure), so the label set is a sound maintenance footprint. One
+    /// wildcard makes the reachable label set unbounded — `None`.
+    fn label_footprint(&self) -> Option<BTreeSet<String>> {
+        self.nodes.iter().map(|n| n.label.clone()).collect()
+    }
+
     /// Positive tree patterns (with joins) are locally monotone: a match
     /// lives entirely inside its induced sub-datatree, so membership of
     /// an answer never depends on nodes outside it. The certificate is an

@@ -54,6 +54,7 @@ pub fn query_pw_set(query: &dyn Query, pw: &PossibleWorldSet) -> PossibleWorldSe
 /// and drains the full answer stream. Repeated consumers should call
 /// [`QueryEngine::prepare`] themselves and reuse the
 /// [`PreparedQuery`](super::engine::PreparedQuery).
+#[deprecated(note = "use QueryEngine / Document")]
 pub fn query_probtree(query: &dyn Query, tree: &ProbTree) -> Vec<ProbAnswer> {
     QueryEngine::new().prepare(tree, query).answers().collect()
 }
@@ -77,6 +78,7 @@ pub fn query_probtree_as_pw(query: &dyn Query, tree: &ProbTree) -> PossibleWorld
 /// Wrapper over
 /// [`PreparedQuery::theorem1_check`](super::engine::PreparedQuery::theorem1_check)
 /// on an engine budgeted at `max_events`.
+#[deprecated(note = "use QueryEngine / Document")]
 pub fn check_theorem1(
     query: &dyn Query,
     tree: &ProbTree,
@@ -89,6 +91,8 @@ pub fn check_theorem1(
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the deprecated one-shot wrappers are the units under test
+
     use super::*;
     use crate::probtree::figure1_example;
     use crate::query::pattern::PatternQuery;

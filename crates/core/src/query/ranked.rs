@@ -31,12 +31,14 @@ use crate::query::Query;
 /// decreasing probability. Zero-probability answers (inconsistent
 /// condition sets) are dropped. Ties are broken by the canonical form of
 /// the answer tree so the result is deterministic.
+#[deprecated(note = "use QueryEngine / Document")]
 pub fn top_k(query: &dyn Query, tree: &ProbTree, k: usize) -> Vec<ProbAnswer> {
     QueryEngine::new().prepare(tree, query).top_k(k).into_vec()
 }
 
 /// All answers with probability at least `threshold`, sorted by decreasing
 /// probability.
+#[deprecated(note = "use QueryEngine / Document")]
 pub fn above(query: &dyn Query, tree: &ProbTree, threshold: f64) -> Vec<ProbAnswer> {
     QueryEngine::new()
         .prepare(tree, query)
@@ -49,12 +51,15 @@ pub fn above(query: &dyn Query, tree: &ProbTree, threshold: f64) -> Vec<ProbAnsw
 /// sub-datatrees of the underlying tree, linearity of expectation makes
 /// this the sum of the per-answer probabilities — a cheap aggregate that
 /// needs no world expansion.
+#[deprecated(note = "use QueryEngine / Document")]
 pub fn expected_matches(query: &dyn Query, tree: &ProbTree) -> f64 {
     QueryEngine::new().prepare(tree, query).expected_matches()
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the deprecated one-shot wrappers are the units under test
+
     use super::*;
     use crate::probtree::figure1_example;
     use crate::query::pattern::PatternQuery;

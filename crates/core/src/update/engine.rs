@@ -33,10 +33,10 @@ use pxml_events::{Condition, EventId, Literal};
 use pxml_tree::{DataTree, NodeId};
 
 use crate::probtree::ProbTree;
-use crate::query::pattern::{PatternMatch, PatternNodeId};
+use crate::query::pattern::{PatternMatch, PatternNodeId, PatternQuery};
 
 use super::script::{ScriptReport, UpdateScript};
-use super::simplify::{simplify_with, SimplifyConfig};
+use super::simplify::{compose_mappings, simplify_traced, NodeMapping, SimplifyConfig};
 use super::{ProbabilisticUpdate, UpdateAction};
 
 /// Configuration of an [`UpdateEngine`].
@@ -226,6 +226,11 @@ pub struct StepReport {
     pub distinct_nodes_raw: usize,
     /// Distinct stored nodes after the step.
     pub distinct_nodes_after: usize,
+    /// Whether the engine kept the input's shared children as handles
+    /// instead of materializing them at entry: the step's query labels
+    /// provably cannot reach inside any stored shape, so matching on the
+    /// arena alone is exact and the input DAG stays compact across steps.
+    pub entry_expansion_skipped: bool,
 }
 
 impl StepReport {
@@ -277,13 +282,39 @@ impl UpdateEngine {
     /// Applies one probabilistic update, returning the updated prob-tree
     /// and the step telemetry.
     ///
-    /// Shared children of the *input* are materialized first (pattern
-    /// matching addresses arena nodes), so cross-step sharing is not yet
-    /// preserved; the copies this step grafts are shared in the output
-    /// (unless [`UpdateEngineConfig::survivor_sharing`] is off).
+    /// Shared children of the *input* are materialized first when the
+    /// step's query could reach inside a stored shape (pattern matching
+    /// addresses arena nodes); when every query label is provably absent
+    /// from every reachable shape the expansion is skipped and the input
+    /// DAG stays compact ([`StepReport::entry_expansion_skipped`]). The
+    /// copies this step grafts are shared in the output (unless
+    /// [`UpdateEngineConfig::survivor_sharing`] is off).
     pub fn apply(&self, tree: &ProbTree, update: &ProbabilisticUpdate) -> (ProbTree, StepReport) {
-        let tree = tree.expanded();
-        let tree = tree.as_ref();
+        let (updated, report, _) = self.apply_traced(tree, update, false);
+        (updated, report)
+    }
+
+    /// [`UpdateEngine::apply`] plus, when `trace` is set, the composed node
+    /// mapping from ids of the (expanded) input to ids of the output —
+    /// the raw material [`crate::Document::commit`] diffs into an
+    /// [`crate::UpdateDelta`]. With `trace` off no mapping is collected.
+    pub(crate) fn apply_traced(
+        &self,
+        tree: &ProbTree,
+        update: &ProbabilisticUpdate,
+        trace: bool,
+    ) -> (ProbTree, StepReport, NodeMapping) {
+        // Satellite of the cross-step sharing gap: when no query label can
+        // occur inside any stored shape, arena-only matching is exact and
+        // the input's sharing survives the step.
+        let skip_entry = can_skip_entry_expansion(tree, &update.operation.query);
+        let expanded;
+        let tree = if skip_entry {
+            tree
+        } else {
+            expanded = tree.expanded();
+            expanded.as_ref()
+        };
         let matches = update.operation.query.matches(tree.tree());
         let mut report = StepReport {
             matches: matches.len(),
@@ -298,9 +329,10 @@ impl UpdateEngine {
             survivor_copies: 0,
             distinct_nodes_raw: tree.num_nodes(),
             distinct_nodes_after: tree.num_nodes(),
+            entry_expansion_skipped: skip_entry,
         };
         if matches.is_empty() {
-            return (tree.clone(), report);
+            return (tree.clone(), report, None);
         }
         let mut out = tree.clone();
         let new_event = if update.confidence < 1.0 {
@@ -321,19 +353,25 @@ impl UpdateEngine {
                 report.survivor_copies = survivors;
             }
         }
-        let (raw, _) = out.compact();
+        let (raw, compact_mapping) = out.compact();
+        let mut mapping: NodeMapping = trace.then_some(compact_mapping);
         report.nodes_raw = raw.num_nodes();
         report.literals_raw = raw.num_literals();
         report.distinct_nodes_raw = raw.memory_stats().distinct_nodes;
         let updated = if self.config.simplify {
-            simplify_with(&raw, &self.config.simplify_config).0
+            let (simplified, _, simplify_mapping) =
+                simplify_traced(&raw, &self.config.simplify_config);
+            if trace {
+                mapping = compose_mappings(mapping, simplify_mapping);
+            }
+            simplified
         } else {
             raw
         };
         report.nodes_after = updated.num_nodes();
         report.literals_after = updated.num_literals();
         report.distinct_nodes_after = updated.memory_stats().distinct_nodes;
-        (updated, report)
+        (updated, report, mapping)
     }
 
     /// Like [`UpdateEngine::apply`], but enforces the configured
@@ -426,6 +464,33 @@ impl UpdateEngine {
             steps.push(report);
         }
         (current, ScriptReport { steps })
+    }
+
+    /// Applies one update to a [`Document`](crate::Document), committing
+    /// the result as the document's next epoch together with the diffed
+    /// [`UpdateDelta`](crate::UpdateDelta) that prepared queries consume
+    /// via [`PreparedQuery::maintain`](crate::PreparedQuery::maintain).
+    pub fn apply_doc(
+        &self,
+        doc: &mut crate::Document,
+        update: &ProbabilisticUpdate,
+    ) -> std::sync::Arc<crate::UpdateDelta> {
+        let (updated, report, mapping) = self.apply_traced(doc.tree(), update, true);
+        doc.commit(updated, report, mapping)
+    }
+
+    /// Applies a batched script to a [`Document`](crate::Document), one
+    /// committed epoch (and one delta) per step.
+    pub fn apply_script_doc(
+        &self,
+        doc: &mut crate::Document,
+        script: &UpdateScript,
+    ) -> ScriptReport {
+        let mut steps = Vec::with_capacity(script.len());
+        for update in script.steps() {
+            steps.push(self.apply_doc(doc, update).report.clone());
+        }
+        ScriptReport { steps }
     }
 
     /// Appendix A insertion: one grafted copy of `subtree` per match.
@@ -546,6 +611,36 @@ impl UpdateEngine {
         }
         survivors
     }
+}
+
+/// `true` when arena-only matching of `query` on `tree` is exact — the
+/// tree has shared children, every query node carries a concrete label
+/// (a wildcard could bind nodes a stored shape would contribute), and no
+/// query label occurs anywhere in a shape reachable from the tree's
+/// handles. Pattern matches then bind arena nodes only, and ancestor
+/// relations among arena nodes are unchanged by expansion, so the match
+/// sets on the arena and on the expanded tree coincide.
+fn can_skip_entry_expansion(tree: &ProbTree, query: &PatternQuery) -> bool {
+    if !tree.has_shared() {
+        // Nothing to skip: `expanded()` is already a zero-cost borrow.
+        return false;
+    }
+    let mut labels: Vec<&str> = Vec::with_capacity(query.len());
+    for i in 0..query.len() {
+        match query.label(PatternNodeId(i)) {
+            None => return false,
+            Some(label) => labels.push(label),
+        }
+    }
+    let store = tree.store();
+    let roots = tree
+        .tree()
+        .iter()
+        .flat_map(|n| tree.shared_children(n).iter().map(|sc| sc.shape));
+    store
+        .reachable_from(roots)
+        .iter()
+        .all(|&shape| !labels.contains(&store.label(shape)))
 }
 
 /// Groups the per-match deletion conditions by target node (shared by

@@ -4,9 +4,9 @@
 //! recoverable without changing the (normalized) possible-world semantics,
 //! by chaining three reductions until a fixpoint (or `max_passes`):
 //!
-//! 1. [`clean`] — drop literals implied by ancestors, prune inconsistent
+//! 1. [`clean`](crate::clean::clean) — drop literals implied by ancestors, prune inconsistent
 //!    branches (Section 3; preserves structural equivalence);
-//! 2. [`prune_certain`] — drop literals on `π(w) = 1` events and prune the
+//! 2. [`prune_certain`](crate::clean::prune_certain) — drop literals on `π(w) = 1` events and prune the
 //!    zero-probability branches they contradict (preserves the normalized
 //!    semantics only);
 //! 3. **sibling cover merging** — for each group of sibling copies whose
@@ -25,15 +25,38 @@ use std::collections::{BTreeMap, HashMap};
 use pxml_events::{Condition, Dnf};
 use pxml_tree::{AnnotatedCanonInterner, NodeId};
 
-use crate::clean::{clean, prune_certain};
+use crate::clean::{clean_traced, prune_certain_traced};
 use crate::probtree::ProbTree;
+
+/// A node mapping across one rewrite, as threaded through the
+/// simplification chain: `None` is the identity, `Some(map)` sends each
+/// surviving pre-rewrite id to its post-rewrite id (absent ids were
+/// pruned). Rewrites only ever *append* arena nodes before compacting, so
+/// pre-existing ids are stable until the final compaction and maps compose
+/// by straight lookup.
+pub(crate) type NodeMapping = Option<HashMap<NodeId, NodeId>>;
+
+/// Composes two node mappings: `first` (old → mid) then `second`
+/// (mid → new).
+pub(crate) fn compose_mappings(first: NodeMapping, second: NodeMapping) -> NodeMapping {
+    match (first, second) {
+        (None, second) => second,
+        (first, None) => first,
+        (Some(first), Some(second)) => Some(
+            first
+                .into_iter()
+                .filter_map(|(old, mid)| second.get(&mid).map(|&new| (old, new)))
+                .collect(),
+        ),
+    }
+}
 
 /// Configuration of the [`simplify`] pass.
 #[derive(Clone, Debug)]
 pub struct SimplifyConfig {
-    /// Run [`clean`] each pass (default: `true`).
+    /// Run [`clean`](crate::clean::clean) each pass (default: `true`).
     pub clean: bool,
-    /// Run [`prune_certain`] each pass (default: `true`).
+    /// Run [`prune_certain`](crate::clean::prune_certain) each pass (default: `true`).
     pub prune_certain: bool,
     /// Merge sibling covers each pass (default: `true`).
     pub merge_siblings: bool,
@@ -99,27 +122,45 @@ pub fn simplify(tree: &ProbTree) -> ProbTree {
 /// to it whenever `prune_certain` is disabled or no `π(w) = 1` event
 /// exists).
 pub fn simplify_with(tree: &ProbTree, config: &SimplifyConfig) -> (ProbTree, SimplifyReport) {
+    let (tree, report, _) = simplify_traced(tree, config);
+    (tree, report)
+}
+
+/// [`simplify_with`] plus the composed node mapping from ids in `tree` to
+/// ids in the result (`None` = identity; absent ids were pruned). This is
+/// how the update engine reconstructs, after the fact, exactly which nodes
+/// the whole simplification chain removed or rewrote.
+pub(crate) fn simplify_traced(
+    tree: &ProbTree,
+    config: &SimplifyConfig,
+) -> (ProbTree, SimplifyReport, NodeMapping) {
     let mut report = SimplifyReport {
         nodes_before: tree.num_nodes(),
         literals_before: tree.num_literals(),
         ..SimplifyReport::default()
     };
     let mut work = tree.clone();
+    let mut mapping: NodeMapping = None;
     for _ in 0..config.max_passes.max(1) {
         report.passes += 1;
         let fingerprint = (work.num_nodes(), work.num_literals());
         if config.clean {
-            work = clean(&work);
+            let (next, step) = clean_traced(&work);
+            work = next;
+            mapping = compose_mappings(mapping, step);
         }
         if config.prune_certain {
-            work = prune_certain(&work);
+            let (next, step) = prune_certain_traced(&work);
+            work = next;
+            mapping = compose_mappings(mapping, step);
         }
         let mut merged = false;
         if config.merge_siblings {
-            let (next, groups) = merge_sibling_covers(&work, config);
+            let (next, groups, step) = merge_sibling_covers_traced(&work, config);
             merged = groups > 0;
             report.merged_groups += groups;
             work = next;
+            mapping = compose_mappings(mapping, step);
         }
         if !merged && (work.num_nodes(), work.num_literals()) == fingerprint {
             break;
@@ -127,13 +168,16 @@ pub fn simplify_with(tree: &ProbTree, config: &SimplifyConfig) -> (ProbTree, Sim
     }
     report.nodes_after = work.num_nodes();
     report.literals_after = work.num_literals();
-    (work, report)
+    (work, report, mapping)
 }
 
 /// One merging sweep over every parent node; returns the rewritten tree
 /// and the number of sibling groups replaced. Shared children are
 /// materialized first: grouping and replacement address arena nodes.
-fn merge_sibling_covers(tree: &ProbTree, config: &SimplifyConfig) -> (ProbTree, usize) {
+fn merge_sibling_covers_traced(
+    tree: &ProbTree,
+    config: &SimplifyConfig,
+) -> (ProbTree, usize, NodeMapping) {
     let tree = tree.expanded();
     let tree = tree.as_ref();
     let mut work = tree.clone();
@@ -202,10 +246,11 @@ fn merge_sibling_covers(tree: &ProbTree, config: &SimplifyConfig) -> (ProbTree, 
         }
     }
     if merged_groups > 0 {
-        (work.compact().0, merged_groups)
+        let (compacted, mapping) = work.compact();
+        (compacted, merged_groups, Some(mapping))
     } else {
         // No clique merged, so `work` was never mutated.
-        (work, 0)
+        (work, 0, None)
     }
 }
 

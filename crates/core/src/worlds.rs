@@ -551,10 +551,11 @@ impl WorldEngineConfig {
     }
 
     fn apply_env(mut config: WorldEngineConfig) -> Self {
-        if let Some(parallelism) = env_parse("PXML_WORLDS_PARALLELISM") {
+        use crate::config::env;
+        if let Some(parallelism) = env::parse_lenient(env::WORLDS_PARALLELISM) {
             config.parallelism = parallelism;
         }
-        if let Some(max_joint) = env_parse("PXML_WORLDS_MAX_JOINT") {
+        if let Some(max_joint) = env::parse_lenient(env::WORLDS_MAX_JOINT) {
             config.max_joint_worlds = max_joint;
         }
         config
@@ -567,10 +568,6 @@ impl WorldEngineConfig {
         self.max_joint_worlds = self.max_joint_worlds.min(pow2_saturating(bits));
         self
     }
-}
-
-fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
-    std::env::var(name).ok().and_then(|v| v.parse().ok())
 }
 
 /// `2^bits` as a `u128`, saturating instead of overflowing.

@@ -18,10 +18,11 @@ use rand::Rng;
 
 use pxml_core::probtree::ProbTree;
 use pxml_core::query::pattern::PatternQuery;
-use pxml_core::query::{AnswerSet, QueryEngine};
+use pxml_core::query::{AnswerSet, MaintainOutcome, MaintainStats, QueryEngine};
 use pxml_core::update::{
     ProbabilisticUpdate, ScriptReport, UpdateEngine, UpdateOperation, UpdateScript,
 };
+use pxml_core::Document;
 use pxml_dtd::{ChildConstraint, Dtd};
 use pxml_events::Condition;
 use pxml_tree::DataTree;
@@ -204,10 +205,89 @@ pub struct WarehouseAnalysis {
     pub expected_services: f64,
 }
 
+/// One extraction round of [`run_scenario_live`]: the analysis served
+/// right after the round's update, and how the prepared state was brought
+/// current (patched in place, or re-prepared because the update touched
+/// the query's spine labels).
+#[derive(Clone, Debug)]
+pub struct LiveRound {
+    /// The post-round analysis, served from the maintained prepared state.
+    pub analysis: WarehouseAnalysis,
+    /// How `maintain` brought the state up to date for this round.
+    pub outcome: MaintainOutcome,
+}
+
+/// The outcome of [`run_scenario_live`]: the final warehouse plus the
+/// per-round analyses and the maintenance telemetry of the one prepared
+/// query that served them all.
+#[derive(Clone, Debug)]
+pub struct LiveScenario {
+    /// The final warehouse (same contents as [`run_scenario`]).
+    pub warehouse: Warehouse,
+    /// One entry per extraction round, in order.
+    pub rounds: Vec<LiveRound>,
+    /// Cumulative maintenance counters of the prepared analysis query.
+    pub maintenance: MaintainStats,
+}
+
+/// Runs the extraction pipeline **live**: the warehouse is wrapped in a
+/// versioned [`Document`], the canonical analysis query is prepared once
+/// ([`QueryEngine::prepare_doc`]), and after every update round the
+/// prepared state is brought current with
+/// [`pxml_core::PreparedQuery::maintain`] instead of being re-prepared —
+/// the access pattern the motivating application (Section 1 of the paper)
+/// actually has: extractors keep updating the warehouse while the same
+/// analyses are served between rounds.
+///
+/// Rounds whose update only touches labels outside the query's footprint
+/// (e.g. `keyword` facts, for the endpoint-and-contact query) are patched
+/// in place; rounds inserting or deleting `endpoint`/`contact` facts fall
+/// back to a full re-prepare. Both cases serve answers identical to
+/// [`analyze`] on the round's tree.
+pub fn run_scenario_live<R: Rng + ?Sized>(
+    config: &WarehouseConfig,
+    rng: &mut R,
+    k: usize,
+    min_confidence: f64,
+) -> LiveScenario {
+    let (script, log) = scenario_script(config, rng);
+    let mut doc = Document::new(skeleton(config.services));
+    let query = services_with_endpoint_and_contact();
+    let query_engine = QueryEngine::new();
+    let update_engine = UpdateEngine::new();
+    let mut prepared = query_engine.prepare_doc(&doc, &query);
+    let mut rounds = Vec::with_capacity(script.len());
+    let mut steps = Vec::with_capacity(script.len());
+    for update in script.steps() {
+        let delta = update_engine.apply_doc(&mut doc, update);
+        steps.push(delta.report.clone());
+        let outcome = prepared
+            .maintain(&doc)
+            .expect("prepared against this document");
+        rounds.push(LiveRound {
+            analysis: WarehouseAnalysis {
+                expected_services: prepared.expected_matches(),
+                confident: prepared.above(min_confidence),
+                top: prepared.top_k(k),
+            },
+            outcome,
+        });
+    }
+    let maintenance = prepared.maintenance_stats();
+    LiveScenario {
+        warehouse: Warehouse {
+            tree: doc.snapshot().as_ref().clone(),
+            log,
+            report: ScriptReport { steps },
+        },
+        rounds,
+        maintenance,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pxml_core::query::prob::query_probtree;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -280,12 +360,15 @@ mod tests {
         };
         let warehouse = run_scenario(&config, &mut rng);
         let query = services_with_endpoint_and_contact();
-        let answers = query_probtree(&query, &warehouse.tree);
-        for answer in &answers {
+        let prepared = QueryEngine::new().prepare(&warehouse.tree, &query);
+        for answer in prepared.answers() {
             assert!(answer.probability >= 0.0 && answer.probability <= 1.0);
         }
     }
 
+    // The one-shot wrappers are deprecated but must stay semantically
+    // identical to the prepared views while they exist.
+    #[allow(deprecated)]
     #[test]
     fn analysis_report_views_agree_with_the_free_functions() {
         let mut rng = StdRng::seed_from_u64(0x77);
@@ -312,6 +395,69 @@ mod tests {
             .confident
             .windows(2)
             .all(|w| w[0].probability >= w[1].probability));
+    }
+
+    #[test]
+    fn live_scenario_agrees_with_batch_reanalysis_every_round() {
+        let config = WarehouseConfig {
+            services: 3,
+            extraction_rounds: 10,
+            deletion_ratio: 0.2,
+        };
+        let seed = 0xBEEF;
+        let live = run_scenario_live(&config, &mut StdRng::seed_from_u64(seed), 2, 0.5);
+        assert_eq!(live.rounds.len(), 10);
+
+        // Replay the same script through the batch engine, re-preparing
+        // from scratch after every round: the maintained prepared state
+        // must serve the exact same analyses.
+        let (script, _) = scenario_script(&config, &mut StdRng::seed_from_u64(seed));
+        let engine = UpdateEngine::new();
+        let mut tree = skeleton(config.services);
+        for (round, update) in script.steps().iter().enumerate() {
+            let (next, _) = engine.apply(&tree, update);
+            tree = next;
+            let fresh = analyze(
+                &Warehouse {
+                    tree: tree.clone(),
+                    log: Vec::new(),
+                    report: ScriptReport { steps: Vec::new() },
+                },
+                2,
+                0.5,
+            );
+            let served = &live.rounds[round].analysis;
+            assert_eq!(served.top.len(), fresh.top.len(), "round {round}");
+            for (a, b) in served.top.iter().zip(fresh.top.iter()) {
+                assert_eq!(a.probability, b.probability, "round {round}");
+            }
+            assert_eq!(served.confident.len(), fresh.confident.len());
+            assert!((served.expected_services - fresh.expected_services).abs() < 1e-12);
+        }
+
+        // The scenario mixes keyword-only rounds (patched in place) with
+        // endpoint/contact rounds (spine-touching fallbacks); the
+        // cumulative counters must reflect both paths.
+        let fallbacks = live
+            .rounds
+            .iter()
+            .filter(|r| matches!(r.outcome, MaintainOutcome::Fallback { .. }))
+            .count();
+        assert_eq!(live.maintenance.fallbacks, fallbacks);
+        assert!(
+            live.maintenance.steps_patched > 0,
+            "some rounds must be patched in place: {:?}",
+            live.maintenance
+        );
+
+        // Same final warehouse as the batch pipeline.
+        let batch = run_scenario(&config, &mut StdRng::seed_from_u64(seed));
+        assert_eq!(live.warehouse.tree.num_nodes(), batch.tree.num_nodes());
+        assert_eq!(
+            live.warehouse.tree.num_literals(),
+            batch.tree.num_literals()
+        );
+        assert_eq!(live.warehouse.report.steps.len(), batch.report.steps.len());
     }
 
     #[test]

@@ -6,7 +6,6 @@ use pxml_core::equivalence::{
 };
 use pxml_core::probtree::figure1_example;
 use pxml_core::proxml;
-use pxml_core::query::prob::query_probtree;
 use pxml_core::query::Query as _;
 use pxml_core::semantics::{possible_worlds, pw_set_to_probtree};
 use pxml_core::threshold::restrict_to_threshold;
@@ -42,7 +41,10 @@ fn xml_ingestion_query_update_roundtrip() {
     // Query: pages with a topic.
     let mut q = PatternQuery::new(Some("page"));
     q.add_child(q.root(), "topic");
-    let answers = query_probtree(&q, &warehouse);
+    let answers: Vec<_> = QueryEngine::new()
+        .prepare(&warehouse, &q)
+        .answers()
+        .collect();
     assert_eq!(answers.len(), 1);
     assert!(prob_eq(answers[0].probability, 0.35));
 

@@ -1,0 +1,306 @@
+//! Property suite for incremental view maintenance.
+//!
+//! The versioned-`Document` redesign lets a `PreparedQuery` stay live
+//! across `UpdateEngine` steps: each committed epoch carries a structured
+//! `UpdateDelta`, and `PreparedQuery::maintain` patches the match set,
+//! the interned condition unions and the cached probabilities in place
+//! whenever the delta's label traffic provably misses the query's spine
+//! footprint. This suite pins the two contracts over random (tree,
+//! pattern, script) triples:
+//!
+//! 1. **Indistinguishability** — after every maintenance call the state
+//!    must equal a fresh prepare against the same epoch: same answers in
+//!    the same order, bit-identical probabilities, identical selection
+//!    statistics.
+//! 2. **No silent fallback** — when the query has a bounded footprint
+//!    and a delta provably misses it, the patch path *must* be taken;
+//!    conversely spine-touching and unbounded cases must re-prepare.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use pxml_core::probtree::ProbTree;
+use pxml_core::query::pattern::{Axis, PatternQuery};
+use pxml_core::update::{ProbabilisticUpdate, UpdateOperation};
+use pxml_core::{
+    Document, FallbackReason, MaintainOutcome, PreparedQuery, QueryEngine, UpdateEngine,
+};
+use pxml_events::{Condition, EventId, Literal};
+use pxml_tree::builder::TreeSpec;
+use pxml_tree::DataTree;
+
+/// Node labels used below the root. The root is always labeled `R`, so a
+/// label pattern can never select the root for deletion (unsupported by
+/// Definition 15 and the engine alike).
+const LABELS: [&str; 4] = ["A", "B", "C", "D"];
+
+// ---------------------------------------------------------------------------
+// Strategies (same small-world construction as the queries/updates suites)
+// ---------------------------------------------------------------------------
+
+fn tree_spec_strategy() -> impl Strategy<Value = TreeSpec> {
+    let leaf = prop::sample::select(LABELS.to_vec()).prop_map(TreeSpec::leaf);
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        (
+            prop::sample::select(LABELS.to_vec()),
+            prop::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(label, children)| TreeSpec::node(label, children))
+    })
+}
+
+#[derive(Clone, Debug)]
+struct ProbTreeSpec {
+    children: Vec<TreeSpec>,
+    num_events: usize,
+    conditions: Vec<Vec<(usize, bool)>>,
+}
+
+fn probtree_strategy() -> impl Strategy<Value = ProbTreeSpec> {
+    (
+        prop::collection::vec(tree_spec_strategy(), 1..3),
+        1usize..=4,
+    )
+        .prop_flat_map(|(children, num_events)| {
+            let nodes: usize = children.iter().map(TreeSpec::size).sum();
+            prop::collection::vec(
+                prop::collection::vec((0..num_events, any::<bool>()), 0..=2),
+                nodes + 1,
+            )
+            .prop_map(move |conditions| ProbTreeSpec {
+                children: children.clone(),
+                num_events,
+                conditions,
+            })
+        })
+}
+
+fn build_probtree(spec: &ProbTreeSpec) -> ProbTree {
+    let mut data = DataTree::new("R");
+    let root = data.root();
+    for child in &spec.children {
+        data.graft(root, &child.build());
+    }
+    let mut tree = ProbTree::from_data_tree(data, pxml_events::EventTable::new());
+    let events: Vec<EventId> = (0..spec.num_events)
+        .map(|i| {
+            tree.events_mut()
+                .insert(format!("e{i}"), 0.4 + 0.05 * i as f64)
+        })
+        .collect();
+    let nodes: Vec<_> = tree.tree().iter().collect();
+    for (idx, node) in nodes.into_iter().enumerate() {
+        if node == tree.tree().root() {
+            continue;
+        }
+        let literals = spec.conditions[idx % spec.conditions.len()]
+            .iter()
+            .map(|&(e, positive)| Literal {
+                event: events[e % events.len()],
+                positive,
+            });
+        tree.set_condition(node, Condition::from_literals(literals));
+    }
+    tree.validate_invariants()
+        .expect("generated tree violates prob-tree/DAG-store invariants");
+    tree
+}
+
+/// A random small pattern: up to three extra nodes hung off earlier
+/// pattern nodes, mixed axes, wildcard or concrete labels — wildcards
+/// yield unbounded footprints, exercising the mandatory-fallback arm.
+#[derive(Clone, Debug)]
+struct PatternSpec {
+    anchored: bool,
+    root_label: Option<&'static str>,
+    nodes: Vec<(usize, bool, Option<&'static str>)>,
+}
+
+fn pattern_strategy() -> impl Strategy<Value = PatternSpec> {
+    let label = prop::sample::select(vec![None, Some("A"), Some("B"), Some("C"), Some("D")]);
+    (
+        any::<bool>(),
+        label.clone(),
+        prop::collection::vec((0usize..4, any::<bool>(), label), 0..3),
+    )
+        .prop_map(|(anchored, root_label, nodes)| PatternSpec {
+            anchored,
+            root_label,
+            nodes,
+        })
+}
+
+fn build_pattern(spec: &PatternSpec) -> PatternQuery {
+    let mut q = if spec.anchored {
+        PatternQuery::anchored(spec.root_label)
+    } else {
+        PatternQuery::new(spec.root_label)
+    };
+    let mut ids = vec![q.root()];
+    for &(parent, descendant, label) in &spec.nodes {
+        let parent = ids[parent % ids.len()];
+        let axis = if descendant {
+            Axis::Descendant
+        } else {
+            Axis::Child
+        };
+        ids.push(q.add_node(parent, axis, label));
+    }
+    q
+}
+
+/// A random update: label deletions (plain, child-qualified, descendant)
+/// and insertions, at mixed confidences including certain ones.
+fn update_strategy() -> impl Strategy<Value = ProbabilisticUpdate> {
+    (
+        0usize..4,
+        prop::sample::select(LABELS.to_vec()),
+        prop::sample::select(LABELS.to_vec()),
+        prop::sample::select(vec![0.5f64, 0.8, 1.0]),
+    )
+        .prop_map(|(shape, l1, l2, confidence)| {
+            let operation = match shape {
+                0 => {
+                    let q = PatternQuery::new(Some(l1));
+                    let at = q.root();
+                    UpdateOperation::delete(q, at)
+                }
+                1 => {
+                    let mut q = PatternQuery::new(Some(l1));
+                    let at = q.root();
+                    q.add_child(at, l2);
+                    UpdateOperation::delete(q, at)
+                }
+                2 => {
+                    let mut q = PatternQuery::new(Some(l1));
+                    let at = q.add_descendant(q.root(), l2);
+                    UpdateOperation::delete(q, at)
+                }
+                _ => {
+                    let mut q = PatternQuery::new(Some(l1));
+                    let at = q.root();
+                    q.add_child(at, l2);
+                    let mut sub = DataTree::new("new");
+                    let sub_root = sub.root();
+                    sub.add_child(sub_root, "leaf");
+                    UpdateOperation::insert(q, at, sub)
+                }
+            };
+            ProbabilisticUpdate::new(operation, confidence)
+        })
+}
+
+// ---------------------------------------------------------------------------
+// Cross-check helper
+// ---------------------------------------------------------------------------
+
+/// The maintained state must be indistinguishable from a fresh prepare
+/// against the same document epoch.
+fn assert_matches_fresh(maintained: &PreparedQuery<'_>, doc: &Document, query: &PatternQuery) {
+    let fresh = QueryEngine::new().prepare_doc(doc, query);
+    prop_assert_eq!(maintained.len(), fresh.len());
+    for i in 0..fresh.len() {
+        prop_assert_eq!(maintained.subtree(i), fresh.subtree(i));
+        prop_assert_eq!(
+            maintained.probability(i).to_bits(),
+            fresh.probability(i).to_bits(),
+            "answer #{} probability must be bit-identical",
+            i
+        );
+    }
+    let ranked_maintained = maintained.ranked();
+    let ranked_fresh = fresh.ranked();
+    prop_assert_eq!(ranked_maintained.stats(), ranked_fresh.stats());
+    for (a, b) in ranked_maintained.iter().zip(ranked_fresh.iter()) {
+        prop_assert_eq!(a.probability.to_bits(), b.probability.to_bits());
+        prop_assert_eq!(&a.subtree, &b.subtree);
+    }
+    prop_assert_eq!(
+        maintained.expected_matches().to_bits(),
+        fresh.expected_matches().to_bits()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Step-by-step maintenance: after every committed epoch the
+    /// maintained state equals a fresh prepare, and the outcome is
+    /// exactly determined by the delta/footprint intersection — a
+    /// non-touching delta on a bounded footprint MUST patch (no silent
+    /// fallback), a touching one MUST fall back.
+    #[test]
+    fn maintained_state_is_indistinguishable_from_a_fresh_prepare(
+        spec in probtree_strategy(),
+        pattern in pattern_strategy(),
+        updates in prop::collection::vec(update_strategy(), 1..4),
+    ) {
+        let tree = build_probtree(&spec);
+        let query = build_pattern(&pattern);
+        let mut doc = Document::new(tree);
+        let query_engine = QueryEngine::new();
+        let update_engine = UpdateEngine::new();
+        let mut prepared = query_engine.prepare_doc(&doc, &query);
+        let footprint: Option<BTreeSet<String>> = prepared.footprint().cloned();
+        for update in &updates {
+            let delta = update_engine.apply_doc(&mut doc, update);
+            let outcome = prepared.maintain(&doc).unwrap();
+            match &footprint {
+                None => prop_assert_eq!(
+                    outcome,
+                    MaintainOutcome::Fallback { reason: FallbackReason::UnboundedFootprint }
+                ),
+                Some(fp) if delta.touches(fp) => prop_assert_eq!(
+                    outcome,
+                    MaintainOutcome::Fallback { reason: FallbackReason::SpineTouched }
+                ),
+                Some(_) => prop_assert_eq!(
+                    outcome,
+                    MaintainOutcome::Patched { steps: 1 },
+                    "no silent fallback on a non-spine-touching delta"
+                ),
+            }
+            assert_matches_fresh(&prepared, &doc, &query);
+        }
+        // Every step was accounted for as either a patch or a fallback.
+        let stats = prepared.maintenance_stats();
+        prop_assert_eq!(stats.steps_patched + stats.fallbacks, updates.len());
+    }
+
+    /// Batched maintenance: apply the whole script first, then catch up
+    /// with one `maintain` call spanning all pending deltas.
+    #[test]
+    fn one_maintain_call_catches_up_across_a_whole_script(
+        spec in probtree_strategy(),
+        pattern in pattern_strategy(),
+        updates in prop::collection::vec(update_strategy(), 1..4),
+    ) {
+        let tree = build_probtree(&spec);
+        let query = build_pattern(&pattern);
+        let mut doc = Document::new(tree);
+        let query_engine = QueryEngine::new();
+        let update_engine = UpdateEngine::new();
+        let mut prepared = query_engine.prepare_doc(&doc, &query);
+        let footprint: Option<BTreeSet<String>> = prepared.footprint().cloned();
+        for update in &updates {
+            update_engine.apply_doc(&mut doc, update);
+        }
+        let deltas = doc.deltas_since(0).unwrap();
+        let outcome = prepared.maintain(&doc).unwrap();
+        let expected = match &footprint {
+            None => MaintainOutcome::Fallback { reason: FallbackReason::UnboundedFootprint },
+            Some(fp) if deltas.iter().any(|d| d.touches(fp)) => {
+                MaintainOutcome::Fallback { reason: FallbackReason::SpineTouched }
+            }
+            Some(_) => MaintainOutcome::Patched { steps: updates.len() },
+        };
+        prop_assert_eq!(outcome, expected);
+        assert_matches_fresh(&prepared, &doc, &query);
+        prop_assert_eq!(prepared.maintain(&doc).unwrap(), MaintainOutcome::UpToDate);
+    }
+}

@@ -5,7 +5,6 @@ use proptest::prelude::*;
 use pxml_core::clean::{clean, is_clean};
 use pxml_core::equivalence::structural_equivalent_exhaustive;
 use pxml_core::probtree::ProbTree;
-use pxml_core::query::prob::check_theorem1;
 use pxml_core::semantics::{possible_worlds, pw_set_to_probtree};
 use pxml_core::update::{ProbabilisticUpdate, UpdateOperation};
 use pxml_core::worlds::{WorldEngine, WorldEngineConfig};
@@ -164,8 +163,11 @@ proptest! {
                 q
             },
         ];
+        let engine = pxml_core::QueryEngine::with_config(
+            pxml_core::QueryEngineConfig::for_event_budget(16),
+        );
         for q in &queries {
-            prop_assert!(check_theorem1(q, &tree, 16).unwrap());
+            prop_assert!(engine.prepare(&tree, q).theorem1_check().unwrap());
         }
     }
 
