@@ -9,7 +9,7 @@
 
 use pxml_core::worlds::{ShardPlan, WorldEngine};
 use pxml_core::ProbTree;
-use pxml_events::EventId;
+use pxml_events::{EventId, Possibility, Semiring};
 use pxml_tree::NodeId;
 
 /// A condition-level lint: something statically suspicious about how the
@@ -24,8 +24,11 @@ pub enum WorldsLint {
         /// Its name in the event table.
         name: String,
     },
-    /// A node's condition contains `w ∧ ¬w`: the node (and its subtree)
-    /// is present in no possible world.
+    /// A node's condition is impossible — its value under the
+    /// [`Possibility`] semiring is `false`, i.e. it holds in no
+    /// positive-probability world. This covers the intrinsic
+    /// contradiction `w ∧ ¬w` *and* a negative literal on a `π(w) = 1`
+    /// event, which the old syntactic `is_consistent` check missed.
     ContradictoryCondition {
         /// The node that can never exist.
         node: NodeId,
@@ -85,9 +88,13 @@ pub fn analyze_worlds(tree: &ProbTree, max_events: usize) -> WorldsAnalysis {
             });
         }
     }
+    // Impossibility is a semiring-zero test, not an ad-hoc syntactic
+    // check: a condition is dead iff its Possibility value is `false`
+    // (inconsistent, or negating a certain event).
+    let possibility = Possibility;
     for node in tree.tree().iter() {
         if let Some(condition) = tree.condition_ref(node) {
-            if !condition.is_consistent() {
+            if possibility.is_zero(&condition.eval_in(&possibility, tree.events())) {
                 lints.push(WorldsLint::ContradictoryCondition {
                     node,
                     label: tree.tree().label(node).to_owned(),
@@ -160,5 +167,24 @@ mod tests {
         assert!(
             analysis.weighted_plan.num_free_events() < analysis.unweighted_plan.num_free_events()
         );
+    }
+
+    #[test]
+    fn possibility_lint_catches_negated_certain_events() {
+        // `¬sure` with π(sure) = 1 is syntactically consistent but holds in
+        // no world — the Possibility semiring sees through it.
+        let mut tree = ProbTree::new("A");
+        let sure = tree.events_mut().insert("sure", 1.0);
+        let maybe = tree.events_mut().insert("maybe", 0.5);
+        let root = tree.tree().root();
+        tree.add_child(root, "B", Condition::of(Literal::neg(sure)));
+        tree.add_child(root, "C", Condition::of(Literal::pos(maybe)));
+        let analysis = analyze_worlds(&tree, 16);
+        assert!(analysis.lints.iter().any(
+            |l| matches!(l, WorldsLint::ContradictoryCondition { label, .. } if label == "B")
+        ));
+        assert!(!analysis.lints.iter().any(
+            |l| matches!(l, WorldsLint::ContradictoryCondition { label, .. } if label == "C")
+        ));
     }
 }

@@ -17,7 +17,10 @@
 //! - [`census`]: the co-occurrence component census predicting the
 //!   executor's exact `states_enumerated` counter, a tractability
 //!   verdict against an event budget, and condition lints (π = 1
-//!   pinnable events, contradictory conditions).
+//!   pinnable events, Possibility-semiring-zero conditions).
+//! - [`semiring`]: per-query/script provenance-semiring facts — lineage
+//!   width bounds, `TopKProofs` exactness, and which semirings make
+//!   certainty pruning a non-identity.
 //!
 //! Every prediction is property-tested against the corresponding engine
 //! counter; the [`StaticAnalyzer`] is the front door and the
@@ -30,12 +33,17 @@ pub mod census;
 pub mod query;
 pub mod report;
 pub mod script;
+pub mod semiring;
 
 pub use census::{WorldsAnalysis, WorldsLint};
 pub use query::{PatternSpine, QueryAnalysis, Satisfiability};
 pub use report::AnalysisReport;
 pub use script::{
     predict_maintenance, MaintenancePrediction, ScriptAnalysis, StepAnalysis, StepFootprint,
+};
+pub use semiring::{
+    query_semiring_support, script_semiring_support, QuerySemiringSupport, ScriptSemiringSupport,
+    SUPPORTED_SEMIRINGS,
 };
 
 use pxml_core::query::pattern::PatternQuery;

@@ -9,6 +9,7 @@ use pxml_core::MonotonicityCertificate;
 use crate::census::{WorldsAnalysis, WorldsLint};
 use crate::query::{QueryAnalysis, Satisfiability};
 use crate::script::{predict_maintenance, MaintenancePrediction, ScriptAnalysis};
+use crate::semiring::{query_semiring_support, script_semiring_support, SUPPORTED_SEMIRINGS};
 
 /// Everything the static analyzer can say about a workload before any
 /// engine runs: the query-side certificates, the script-side forecasts
@@ -106,6 +107,33 @@ impl AnalysisReport {
                 }
             }
         }
+        for (i, q) in self.queries.iter().enumerate() {
+            let support = query_semiring_support(q, self.worlds.as_ref());
+            lines.push(format!(
+                "semiring.query[{i}].supported={}",
+                SUPPORTED_SEMIRINGS.join(",")
+            ));
+            let width = match support.lineage_width_bound {
+                Some(n) => n.to_string(),
+                None => "unbounded".to_owned(),
+            };
+            lines.push(format!("semiring.query[{i}].lineage_width_bound={width}"));
+            lines.push(format!(
+                "semiring.query[{i}].topk_exact={}",
+                support.topk_exact()
+            ));
+            lines.push(format!(
+                "semiring.query[{i}].topk_proofs_needed={}",
+                support.topk_proofs_needed
+            ));
+        }
+        if self.script.is_some() {
+            let support = script_semiring_support(self.worlds.as_ref());
+            lines.push(format!(
+                "semiring.script.prune_semirings={}",
+                support.prune_semirings()
+            ));
+        }
         if let Some(worlds) = &self.worlds {
             lines.push(format!("worlds.events={}", worlds.num_events));
             lines.push(format!("worlds.relevant={}", worlds.num_relevant));
@@ -172,6 +200,16 @@ impl fmt::Display for AnalysisReport {
                     "  maintenance footprint: unbounded (every update re-prepares)"
                 )?,
             }
+            let support = query_semiring_support(q, self.worlds.as_ref());
+            let width = match support.lineage_width_bound {
+                Some(n) => format!("<= {n}"),
+                None => "unbounded".to_owned(),
+            };
+            writeln!(
+                f,
+                "  semirings: all supported; lineage width {width}; top-k exact ({} proof(s) needed)",
+                support.topk_proofs_needed
+            )?;
         }
         if let Some(script) = &self.script {
             writeln!(f, "script: {} steps", script.steps.len())?;
@@ -268,5 +306,14 @@ mod tests {
         assert!(lines
             .iter()
             .any(|l| l.starts_with("worlds.predicted_states=")));
+        assert!(lines.contains(&format!(
+            "semiring.query[0].supported={}",
+            crate::semiring::SUPPORTED_SEMIRINGS.join(",")
+        )));
+        assert!(lines.contains(&"semiring.query[0].topk_exact=true".to_owned()));
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("semiring.query[0].lineage_width_bound=")));
+        assert!(text.contains("semirings: all supported"));
     }
 }

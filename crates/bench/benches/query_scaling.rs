@@ -20,6 +20,14 @@
 //! every extractor round, by per-round fresh prepares vs one
 //! incrementally maintained `PreparedQuery`.
 //!
+//! Plus `e15_semiring_overhead` — the generic provenance path on the
+//! deletion blow-up family (retract/re-claim rounds grow `¬w` chains in
+//! the answers' conditions): before timing, the generic `Probability`
+//! drain is asserted **bit-identical** to the pre-refactor f64 fast
+//! path; the timed arms then drain the same prepared state under
+//! `Probability`, `Possibility` (boolean ops instead of float
+//! multiplies) and `Lineage`.
+//!
 //! Before timing, the heap-vs-sort and threshold short-circuit comparison
 //! counters are asserted (untimed) on the largest fixture, and the
 //! maintenance counters are asserted on the warehouse fixture (no
@@ -38,6 +46,7 @@ use pxml_core::query::pattern::PatternQuery;
 use pxml_core::query::Query;
 use pxml_core::update::{ProbabilisticUpdate, UpdateEngine, UpdateOperation};
 use pxml_core::{Document, MaintainOutcome, QueryEngine};
+use pxml_events::{Lineage, Possibility, Probability};
 use pxml_tree::DataTree;
 use pxml_workloads::warehouse::{services_with_endpoint_and_contact, skeleton};
 
@@ -257,6 +266,68 @@ fn bench_maintenance(c: &mut Criterion) {
     group.finish();
 }
 
+/// The deletion blow-up family: retract/re-claim rounds against the
+/// `endpoint` facts grow `¬w` survivor chains in the conditions the
+/// endpoint+contact query unions per answer — the family where
+/// per-literal semiring cost dominates the drain.
+fn blowup_fixture(rounds: usize) -> pxml_core::ProbTree {
+    let engine = UpdateEngine::new();
+    let mut tree = skeleton(6);
+    tree = engine.apply(&tree, &claim_fact("endpoint", 0, 0.9)).0;
+    tree = engine.apply(&tree, &claim_fact("contact", 0, 0.8)).0;
+    for round in 1..=rounds {
+        let mut retract = PatternQuery::new(Some("service"));
+        let fact = retract.add_child(retract.root(), "endpoint");
+        let delete = ProbabilisticUpdate::new(UpdateOperation::delete(retract, fact), 0.3);
+        tree = engine.apply(&tree, &delete).0;
+        tree = engine.apply(&tree, &claim_fact("endpoint", round, 0.9)).0;
+    }
+    tree
+}
+
+/// Untimed contract assertion: draining the prepared state through the
+/// generic `Probability` semiring returns, answer for answer, the exact
+/// bits of the pre-refactor f64 fast path.
+fn assert_probability_bit_identity(tree: &pxml_core::ProbTree, query: &dyn Query) {
+    let prepared = QueryEngine::new().prepare(tree, query);
+    let generic = prepared.answers_in(&Probability);
+    let fast: Vec<_> = prepared.answers().collect();
+    assert_eq!(generic.len(), fast.len());
+    for ((_, value), answer) in generic.iter().zip(&fast) {
+        assert_eq!(
+            value.to_bits(),
+            answer.probability.to_bits(),
+            "generic Probability must be bit-identical to the f64 fast path"
+        );
+    }
+}
+
+/// E15 — semiring-generic provenance: one prepared match set drained
+/// under three semirings. `Probability` re-folds f64 products,
+/// `Possibility` folds booleans over the same literals, `Lineage`
+/// accumulates event sets — the spread is the cost of genericity.
+fn bench_semiring_overhead(c: &mut Criterion) {
+    let rounds = if quick() { 4 } else { 12 };
+    let tree = blowup_fixture(rounds);
+    let query = services_with_endpoint_and_contact();
+    assert_probability_bit_identity(&tree, &query);
+
+    let engine = QueryEngine::new();
+    let prepared = engine.prepare(&tree, &query);
+    assert!(!prepared.is_empty(), "the blow-up fixture has answers");
+    let mut group = c.benchmark_group("e15_semiring_overhead");
+    group.bench_function(format!("probability_generic/{rounds}"), |b| {
+        b.iter(|| prepared.answers_in(&Probability));
+    });
+    group.bench_function(format!("possibility/{rounds}"), |b| {
+        b.iter(|| prepared.answers_in(&Possibility));
+    });
+    group.bench_function(format!("lineage/{rounds}"), |b| {
+        b.iter(|| prepared.answers_in(&Lineage));
+    });
+    group.finish();
+}
+
 fn config() -> Criterion {
     if quick() {
         Criterion::default()
@@ -274,6 +345,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_query_scaling, bench_maintenance
+    targets = bench_query_scaling, bench_maintenance, bench_semiring_overhead
 }
 criterion_main!(benches);

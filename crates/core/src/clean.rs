@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use pxml_events::{Condition, Literal};
+use pxml_events::{Condition, Literal, Probability, Semiring};
 use pxml_tree::NodeId;
 
 use crate::probtree::ProbTree;
@@ -99,12 +99,40 @@ pub fn prune_certain(tree: &ProbTree) -> ProbTree {
 
 /// [`prune_certain`] plus the node mapping, with the same contract as
 /// [`clean_traced`]. The no-certain-event early return yields `None`
-/// (identity) without scanning.
+/// (identity) without scanning. Equivalent to [`prune_certain_traced_in`]
+/// under the [`Probability`] semiring.
 pub fn prune_certain_traced(tree: &ProbTree) -> (ProbTree, Option<HashMap<NodeId, NodeId>>) {
+    prune_certain_traced_in(tree, &Probability)
+}
+
+/// [`prune_certain`] generalized over a [`Semiring`]: a literal is dropped
+/// when it is *certain* in the semiring's sense
+/// ([`Semiring::literal_certain`]: its negation annihilates), and a branch
+/// is detached when its literal's interpretation is the semiring's zero.
+/// Under [`Probability`] this is exactly the π ≥ 1 pass ([`prune_certain`]
+/// keeps its historical behavior); under `Counting` or `Lineage` no
+/// literal is ever certain and the pass is the identity.
+pub fn prune_certain_in<S: Semiring>(tree: &ProbTree, semiring: &S) -> ProbTree {
+    prune_certain_traced_in(tree, semiring).0
+}
+
+/// [`prune_certain_in`] plus the node mapping, with the same contract as
+/// [`clean_traced`].
+pub fn prune_certain_traced_in<S: Semiring>(
+    tree: &ProbTree,
+    semiring: &S,
+) -> (ProbTree, Option<HashMap<NodeId, NodeId>>) {
     // Fresh confidence events are always < 1, so most trees have no
-    // certain event at all — skip the scan-and-compact entirely.
+    // certain event at all — skip the scan-and-compact entirely. (Under
+    // `Probability` only positive literals on π = 1 events are certain and
+    // only their negations are impossible, so checking both polarities per
+    // event reduces to the historical `π < 1 for all events` early
+    // return.)
     let events = tree.events();
-    if events.iter().all(|e| events.prob(e) < 1.0) {
+    if events.iter().all(|e| {
+        !semiring.literal_certain(Literal::pos(e), events)
+            && !semiring.literal_certain(Literal::neg(e), events)
+    }) {
         return (tree.clone(), None);
     }
     let mut work = tree.expanded().into_owned();
@@ -118,10 +146,10 @@ pub fn prune_certain_traced(tree: &ProbTree) -> (ProbTree, Option<HashMap<NodeId
         let mut kept: Vec<Literal> = Vec::new();
         let mut impossible = false;
         for &literal in own.literals() {
-            if work.events().prob(literal.event) >= 1.0 {
-                if literal.positive {
-                    continue; // certainly true: superfluous
-                }
+            if semiring.literal_certain(literal, work.events()) {
+                continue; // certainly true: superfluous
+            }
+            if semiring.is_zero(&semiring.literal(literal, work.events())) {
                 impossible = true; // certainly false: dead branch
                 break;
             }

@@ -36,7 +36,7 @@ use std::collections::hash_map::Entry;
 use std::collections::{BTreeSet, BinaryHeap, HashMap};
 use std::sync::{Arc, OnceLock};
 
-use pxml_events::Condition;
+use pxml_events::{Condition, Semiring};
 use pxml_tree::canon::Semantics;
 use pxml_tree::subtree::SubDataTree;
 use pxml_tree::NodeId;
@@ -722,15 +722,75 @@ impl<'a> PreparedQuery<'a> {
     /// search over a sorted index built (and cached) on first use — no
     /// re-evaluation, and no sorting cost for consumers that never ask.
     pub fn probability_of(&self, subtree: &SubDataTree) -> Option<f64> {
-        let by_subtree = self.by_subtree.get_or_init(|| {
-            let mut index: Vec<usize> = (0..self.answers.len()).collect();
-            index.sort_unstable_by(|&a, &b| self.answers[a].subtree.cmp(&self.answers[b].subtree));
-            index
-        });
+        let by_subtree = self.subtree_index();
         by_subtree
             .binary_search_by(|&i| self.answers[i].subtree.cmp(subtree))
             .ok()
             .map(|pos| self.probability(by_subtree[pos]))
+    }
+
+    /// The sorted-by-subtree answer index backing point lookups, built
+    /// (and cached) on first use and shared by every semiring.
+    fn subtree_index(&self) -> &[usize] {
+        self.by_subtree.get_or_init(|| {
+            let mut index: Vec<usize> = (0..self.answers.len()).collect();
+            index.sort_unstable_by(|&a, &b| self.answers[a].subtree.cmp(&self.answers[b].subtree));
+            index
+        })
+    }
+
+    /// The semiring value of the `index`-th answer's condition union —
+    /// [`PreparedQuery::probability`] generalized over any [`Semiring`].
+    /// The match set and the interned condition unions are shared across
+    /// semirings (one prepare serves them all); only the `f64`
+    /// probability path additionally keeps a persistent per-condition
+    /// cache.
+    ///
+    /// # Panics
+    /// Panics if `index ≥ len()`.
+    pub fn value_in<S: Semiring>(&self, semiring: &S, index: usize) -> S::Value {
+        self.conditions[self.answers[index].condition].eval_in(semiring, self.tree.get().events())
+    }
+
+    /// Evaluates every **distinct** interned condition union once under
+    /// `semiring`, indexed by condition slot.
+    fn condition_values_in<S: Semiring>(&self, semiring: &S) -> Vec<S::Value> {
+        let events = self.tree.get().events();
+        self.conditions
+            .iter()
+            .map(|c| c.eval_in(semiring, events))
+            .collect()
+    }
+
+    /// All answers under an arbitrary [`Semiring`], in match order: each
+    /// distinct condition union is evaluated exactly once per call and
+    /// the per-answer values are cloned from those slots, so a drain
+    /// costs `num_distinct_conditions()` semiring folds — the same
+    /// sharing the probability path gets from its cache — with **no
+    /// re-matching** of the query.
+    pub fn answers_in<S: Semiring>(&self, semiring: &S) -> Vec<(&SubDataTree, S::Value)> {
+        let values = self.condition_values_in(semiring);
+        self.answers
+            .iter()
+            .map(|a| (&a.subtree, values[a.condition].clone()))
+            .collect()
+    }
+
+    /// The semiring value of the answer with exactly this node set, or
+    /// `None` if the query did not return it —
+    /// [`PreparedQuery::probability_of`] generalized over any
+    /// [`Semiring`], via the same cached sorted-by-subtree point-lookup
+    /// index.
+    pub fn probability_of_in<S: Semiring>(
+        &self,
+        semiring: &S,
+        subtree: &SubDataTree,
+    ) -> Option<S::Value> {
+        let by_subtree = self.subtree_index();
+        by_subtree
+            .binary_search_by(|&i| self.answers[i].subtree.cmp(subtree))
+            .ok()
+            .map(|pos| self.value_in(semiring, by_subtree[pos]))
     }
 
     /// The expected number of answers over the possible worlds — by

@@ -10,6 +10,12 @@
 //!   `eval(⋃_{n ∈ u} γ(n))` — the probability of the conjunction of the
 //!   conditions of its nodes (Definition 8). Theorem 1 states the two
 //!   agree: `Q(T) ∼ Q(JT K)`.
+//!
+//! The `eval` in Definition 8 is one instance of a semiring fold: the
+//! prepared engine generalizes it to any [`pxml_events::Semiring`]
+//! (possibility, counting, lineage, top-k proofs) via
+//! [`super::engine::PreparedQuery::answers_in`], with the f64 path here
+//! remaining the bit-identical [`pxml_events::Probability`] instance.
 
 use pxml_tree::subtree::SubDataTree;
 use pxml_tree::DataTree;

@@ -39,7 +39,7 @@ pub use engine::{
     DeletionForecast, StepReport, SurvivorBudgetExceeded, UpdateEngine, UpdateEngineConfig,
 };
 pub use script::{ScriptReport, UpdateScript};
-pub use simplify::{simplify, simplify_with, SimplifyConfig, SimplifyReport};
+pub use simplify::{simplify, simplify_with, simplify_with_in, SimplifyConfig, SimplifyReport};
 
 use pxml_events::EventId;
 use pxml_tree::{DataTree, NodeId};

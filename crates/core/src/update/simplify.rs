@@ -22,10 +22,10 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use pxml_events::{Condition, Dnf};
+use pxml_events::{Condition, Dnf, Probability, Semiring};
 use pxml_tree::{AnnotatedCanonInterner, NodeId};
 
-use crate::clean::{clean_traced, prune_certain_traced};
+use crate::clean::{clean_traced, prune_certain_traced_in};
 use crate::probtree::ProbTree;
 
 /// A node mapping across one rewrite, as threaded through the
@@ -126,6 +126,23 @@ pub fn simplify_with(tree: &ProbTree, config: &SimplifyConfig) -> (ProbTree, Sim
     (tree, report)
 }
 
+/// [`simplify_with`] generalized over a [`Semiring`]: the prune-certain
+/// pass drops literals that are certain *in the semiring's sense*
+/// ([`Semiring::literal_certain`]) and the sibling-cover merge strips the
+/// same certain literals (and drops semiring-impossible disjuncts) from
+/// the covers it synthesizes. Under [`Probability`] this is exactly
+/// [`simplify_with`]; under a semiring with no certain literals (e.g.
+/// `Counting` or `Lineage`) the prune pass is the identity and covers are
+/// kept verbatim.
+pub fn simplify_with_in<S: Semiring>(
+    tree: &ProbTree,
+    config: &SimplifyConfig,
+    semiring: &S,
+) -> (ProbTree, SimplifyReport) {
+    let (tree, report, _) = simplify_traced_in(tree, config, semiring);
+    (tree, report)
+}
+
 /// [`simplify_with`] plus the composed node mapping from ids in `tree` to
 /// ids in the result (`None` = identity; absent ids were pruned). This is
 /// how the update engine reconstructs, after the fact, exactly which nodes
@@ -133,6 +150,16 @@ pub fn simplify_with(tree: &ProbTree, config: &SimplifyConfig) -> (ProbTree, Sim
 pub(crate) fn simplify_traced(
     tree: &ProbTree,
     config: &SimplifyConfig,
+) -> (ProbTree, SimplifyReport, NodeMapping) {
+    simplify_traced_in(tree, config, &Probability)
+}
+
+/// [`simplify_traced`] over an arbitrary [`Semiring`] (see
+/// [`simplify_with_in`]).
+fn simplify_traced_in<S: Semiring>(
+    tree: &ProbTree,
+    config: &SimplifyConfig,
+    semiring: &S,
 ) -> (ProbTree, SimplifyReport, NodeMapping) {
     let mut report = SimplifyReport {
         nodes_before: tree.num_nodes(),
@@ -150,13 +177,13 @@ pub(crate) fn simplify_traced(
             mapping = compose_mappings(mapping, step);
         }
         if config.prune_certain {
-            let (next, step) = prune_certain_traced(&work);
+            let (next, step) = prune_certain_traced_in(&work, semiring);
             work = next;
             mapping = compose_mappings(mapping, step);
         }
         let mut merged = false;
         if config.merge_siblings {
-            let (next, groups, step) = merge_sibling_covers_traced(&work, config);
+            let (next, groups, step) = merge_sibling_covers_traced(&work, config, semiring);
             merged = groups > 0;
             report.merged_groups += groups;
             work = next;
@@ -174,9 +201,16 @@ pub(crate) fn simplify_traced(
 /// One merging sweep over every parent node; returns the rewritten tree
 /// and the number of sibling groups replaced. Shared children are
 /// materialized first: grouping and replacement address arena nodes.
-fn merge_sibling_covers_traced(
+///
+/// When `config.prune_certain` is set, synthesized cover disjuncts are
+/// post-processed with the semiring's notion of certainty — exactly what
+/// the next pass's prune-certain would do to them. Under [`Probability`]
+/// after a prune pass this is a no-op (no certain-event literal survives
+/// pruning, and the Shannon expansion only branches on mentioned events).
+fn merge_sibling_covers_traced<S: Semiring>(
     tree: &ProbTree,
     config: &SimplifyConfig,
+    semiring: &S,
 ) -> (ProbTree, usize, NodeMapping) {
     let tree = tree.expanded();
     let tree = tree.as_ref();
@@ -234,9 +268,35 @@ fn merge_sibling_covers_traced(
                 };
                 // Replace the clique: fresh copies of the (identical)
                 // subtree, one per cover disjunct, then drop the originals.
+                // With prune-certain enabled, apply its literal-level
+                // rewrite to each fresh disjunct up front: drop disjuncts
+                // containing a semiring-impossible literal, strip
+                // semiring-certain literals from the rest.
                 let template = group[clique[0]];
-                for disjunct in cover.disjuncts() {
-                    work.duplicate_subtree(parent, template, disjunct.clone());
+                let disjuncts: Vec<Condition> = if config.prune_certain {
+                    let events = work.events();
+                    cover
+                        .disjuncts()
+                        .iter()
+                        .filter(|d| {
+                            !d.literals()
+                                .iter()
+                                .any(|&l| semiring.is_zero(&semiring.literal(l, events)))
+                        })
+                        .map(|d| {
+                            Condition::from_literals(
+                                d.literals()
+                                    .iter()
+                                    .copied()
+                                    .filter(|&l| !semiring.literal_certain(l, events)),
+                            )
+                        })
+                        .collect()
+                } else {
+                    cover.disjuncts().to_vec()
+                };
+                for disjunct in disjuncts {
+                    work.duplicate_subtree(parent, template, disjunct);
                 }
                 for &i in &clique {
                     work.detach(group[i]);

@@ -90,7 +90,7 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use pxml_events::valuation::TooManyValuations;
-use pxml_events::{Condition, EventId, EventTable, Valuation};
+use pxml_events::{Condition, EventId, EventTable, Semiring, Valuation};
 use pxml_tree::canon::{canonical_string, Semantics};
 use pxml_tree::DataTree;
 
@@ -581,30 +581,37 @@ fn pow2_saturating(bits: usize) -> u128 {
 
 /// One deduplicated partial assignment of a component's events: the
 /// representative valuation (restricted to the component, every other
-/// event false), the total marginal probability mass of its class, and how
-/// many raw assignments the class merged.
+/// event false), the total semiring mass of its class, and how many raw
+/// assignments the class merged.
 ///
 /// Classes are keyed by the truth signature the assignment gives the
 /// component's conditions — two assignments that satisfy exactly the same
 /// conditions produce the same world contribution, so only their mass
 /// matters downstream.
+///
+/// The mass type defaults to `f64` — the probability-semiring
+/// instantiation every pre-semiring consumer was written against; a
+/// generic run ([`ShardExecutor::run_in`]) accumulates whatever
+/// `S::Value` its semiring produces.
 #[derive(Clone, Debug)]
-pub struct ShardAssignment {
+pub struct ShardAssignment<V = f64> {
     /// Representative valuation of the class (the first one enumerated, in
     /// binary-counter order over the component's free events).
     pub valuation: Valuation,
-    /// Total marginal probability mass of the class under the component's
-    /// events (masses of one shard sum to 1).
-    pub probability: f64,
+    /// Total marginal semiring mass of the class under the component's
+    /// events (under the probability semiring, masses of one shard sum
+    /// to 1).
+    pub probability: V,
     /// Number of raw component assignments merged into this class.
     pub merged: u64,
 }
 
 /// The per-component accumulator produced by the [`ShardExecutor`]: the
 /// component's events, its deduplicated assignment classes, and the raw
-/// enumeration count (`2^{|free|}`) that produced them.
+/// enumeration count (`2^{|free|}`) that produced them. Generic over the
+/// class-mass type like [`ShardAssignment`] (default `f64`).
 #[derive(Clone, Debug)]
-pub struct ComponentShard {
+pub struct ComponentShard<V = f64> {
     /// The component's events, sorted by id.
     pub events: Vec<EventId>,
     /// Events actually enumerated (`π(w) = 1` events are pinned true in
@@ -612,7 +619,7 @@ pub struct ComponentShard {
     pub free: Vec<EventId>,
     /// Deduplicated assignment classes, in first-seen (binary-counter)
     /// order.
-    pub assignments: Vec<ShardAssignment>,
+    pub assignments: Vec<ShardAssignment<V>>,
     /// Raw assignments enumerated to build this shard: exactly
     /// `2^{|free|}`.
     pub states_enumerated: u64,
@@ -767,6 +774,36 @@ impl ShardExecutor {
             max_joint_worlds: self.config.max_joint_worlds,
         })
     }
+
+    /// [`ShardExecutor::run`] generalized over a [`Semiring`]: every class
+    /// accumulates `S::Value` mass instead of `f64` probability. The same
+    /// budget guards apply; the generic path enumerates sequentially (the
+    /// probability fast path keeps the parallel executor to itself).
+    ///
+    /// `weighted` pins `π(w) = 1` events exactly as in the probability
+    /// run; semirings that weigh unmentioned events (e.g. `Counting`)
+    /// usually want `weighted = false` so every component event is
+    /// enumerated.
+    pub fn run_in<'a, S: Semiring>(
+        &self,
+        engine: &WorldEngine<'a>,
+        semiring: &S,
+        weighted: bool,
+        max_events: usize,
+    ) -> Result<FactorizedWorlds<'a, S::Value>, TooManyValuations> {
+        let plan = engine.shard_plan(weighted);
+        plan.check_budget(max_events)?;
+        let conditions = conditions_by_component(engine);
+        let shards = (0..engine.components.len())
+            .map(|i| enumerate_component_in(engine, i, &conditions[i], weighted, semiring))
+            .collect();
+        Ok(FactorizedWorlds {
+            engine: engine.clone(),
+            shards,
+            weighted,
+            max_joint_worlds: self.config.max_joint_worlds,
+        })
+    }
 }
 
 /// Groups the tree's distinct non-empty conditions by the component their
@@ -801,21 +838,46 @@ fn conditions_by_component(engine: &WorldEngine<'_>) -> Vec<Vec<Condition>> {
 }
 
 /// Enumerates one component's `2^{|free|}` partial assignments and folds
-/// them into signature-keyed classes.
+/// them into signature-keyed classes. The probability-semiring
+/// instantiation of [`enumerate_component_in`] — the parallel executor's
+/// worker, kept monomorphic so the fast path's codegen (and its
+/// bit-exact accumulation order) is pinned.
 fn enumerate_component(
     engine: &WorldEngine<'_>,
     component: usize,
     conditions: &[Condition],
     weighted: bool,
 ) -> ComponentShard {
+    enumerate_component_in(
+        engine,
+        component,
+        conditions,
+        weighted,
+        &pxml_events::Probability,
+    )
+}
+
+/// [`enumerate_component`] over an arbitrary [`Semiring`]: each class
+/// accumulates the `add`-fold of its raw assignments'
+/// [`Valuation::weight_over_in`] masses, in binary-counter enumeration
+/// order (under the probability semiring this is exactly the historical
+/// `class.probability += probability`).
+fn enumerate_component_in<S: Semiring>(
+    engine: &WorldEngine<'_>,
+    component: usize,
+    conditions: &[Condition],
+    weighted: bool,
+    semiring: &S,
+) -> ComponentShard<S::Value> {
     let events = engine.tree.events();
     let component_events = engine.components[component].clone();
     let mut classes: HashMap<Vec<u64>, usize> = HashMap::new();
-    let mut assignments: Vec<ShardAssignment> = Vec::new();
+    let mut assignments: Vec<ShardAssignment<S::Value>> = Vec::new();
     let mut states = 0u64;
     for valuation in engine.component_valuations(component, weighted) {
         states += 1;
-        let probability = valuation.probability_over(events, component_events.iter().copied());
+        let probability =
+            valuation.weight_over_in(semiring, events, component_events.iter().copied());
         let mut signature = vec![0u64; conditions.len().div_ceil(64)];
         for (i, condition) in conditions.iter().enumerate() {
             if condition.eval(&valuation) {
@@ -825,7 +887,7 @@ fn enumerate_component(
         match classes.entry(signature) {
             Entry::Occupied(slot) => {
                 let class = &mut assignments[*slot.get()];
-                class.probability += probability;
+                class.probability = semiring.add(class.probability.clone(), probability);
                 class.merged += 1;
             }
             Entry::Vacant(slot) => {
@@ -898,17 +960,23 @@ fn run_parallel(
 /// [`ComponentShard`] per co-occurrence component, combinable by product
 /// only where a consumer genuinely needs joint worlds (see the
 /// *shard-combine contract* in the module docs).
+///
+/// Generic over the shard class-mass type `V` (default `f64`, the
+/// probability semiring): [`ShardExecutor::run`] produces the classic
+/// `FactorizedWorlds<'a>` with the full joint/normalization API, while
+/// [`ShardExecutor::run_in`] produces a `FactorizedWorlds<'a, S::Value>`
+/// whose shard-local folds carry arbitrary semiring values.
 #[derive(Clone, Debug)]
-pub struct FactorizedWorlds<'a> {
+pub struct FactorizedWorlds<'a, V = f64> {
     engine: WorldEngine<'a>,
-    shards: Vec<ComponentShard>,
+    shards: Vec<ComponentShard<V>>,
     weighted: bool,
     max_joint_worlds: u128,
 }
 
-impl<'a> FactorizedWorlds<'a> {
+impl<'a, V> FactorizedWorlds<'a, V> {
     /// The per-component shards, in the engine's (total) component order.
-    pub fn shards(&self) -> &[ComponentShard] {
+    pub fn shards(&self) -> &[ComponentShard<V>] {
         &self.shards
     }
 
@@ -932,6 +1000,80 @@ impl<'a> FactorizedWorlds<'a> {
         })
     }
 
+    /// Semiring value of an arbitrary conjunction of literals, computed as
+    /// a `mul` of per-component `add`-folds over the raw shard
+    /// enumerations — the generic form of
+    /// [`FactorizedWorlds::condition_probability`] (which is its
+    /// probability-semiring instantiation). Involved components are folded
+    /// in component order; literals over events outside every component
+    /// multiply in directly; an event constrained by both polarities
+    /// yields the semiring's zero. When the semiring weighs unmentioned
+    /// events ([`Semiring::constrains_unmentioned`], e.g. `Counting`),
+    /// every table event not covered by an involved component or an
+    /// out-of-component literal contributes its [`Semiring::unmentioned`]
+    /// factor, so the fold ranges over the full event universe.
+    pub fn condition_value_in<S: Semiring<Value = V>>(
+        &self,
+        semiring: &S,
+        condition: &Condition,
+    ) -> V {
+        let events = self.engine.tree.events();
+        let mut component_of: HashMap<EventId, usize> = HashMap::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            for &e in &shard.events {
+                component_of.insert(e, i);
+            }
+        }
+        // Group the literals by component (detecting contradictions on the
+        // way); iterate involved components in sorted order so generic
+        // accumulation is deterministic.
+        let mut per_component: std::collections::BTreeMap<usize, Vec<pxml_events::Literal>> =
+            std::collections::BTreeMap::new();
+        let mut polarity: HashMap<EventId, bool> = HashMap::new();
+        let mut acc = semiring.one();
+        for &literal in condition.literals() {
+            if let Some(&prev) = polarity.get(&literal.event) {
+                if prev != literal.positive {
+                    return semiring.zero(); // w ∧ ¬w
+                }
+                continue; // duplicate literal
+            }
+            polarity.insert(literal.event, literal.positive);
+            match component_of.get(&literal.event) {
+                Some(&component) => per_component.entry(component).or_default().push(literal),
+                None => acc = semiring.mul(acc, semiring.literal(literal, events)),
+            }
+        }
+        for (&component, literals) in &per_component {
+            let component_events = &self.shards[component].events;
+            let mut fold = semiring.zero();
+            for v in self
+                .engine
+                .component_valuations(component, self.weighted)
+                .filter(|v| literals.iter().all(|l| l.eval(v)))
+            {
+                fold = semiring.add(
+                    fold,
+                    v.weight_over_in(semiring, events, component_events.iter().copied()),
+                );
+            }
+            acc = semiring.mul(acc, fold);
+        }
+        if semiring.constrains_unmentioned() {
+            for e in events.iter() {
+                let in_involved_component = component_of
+                    .get(&e)
+                    .is_some_and(|c| per_component.contains_key(c));
+                if !in_involved_component && !polarity.contains_key(&e) {
+                    acc = semiring.mul(acc, semiring.unmentioned(e, events));
+                }
+            }
+        }
+        acc
+    }
+}
+
+impl<'a> FactorizedWorlds<'a> {
     /// Probability of an arbitrary conjunction of literals over the
     /// engine's event table, computed as a product of per-component folds
     /// over the raw shard enumerations — the cross product is never
@@ -951,44 +1093,7 @@ impl<'a> FactorizedWorlds<'a> {
     ///
     /// Only meaningful on weighted shards ([`WorldEngine::sharded`]).
     pub fn condition_probability(&self, condition: &Condition) -> f64 {
-        // Group the literals by component (detecting contradictions on the
-        // way); each involved component contributes one fold over its raw
-        // enumeration, every untouched component contributes factor 1.
-        let mut component_of: HashMap<EventId, usize> = HashMap::new();
-        for (i, shard) in self.shards.iter().enumerate() {
-            for &e in &shard.events {
-                component_of.insert(e, i);
-            }
-        }
-        let mut per_component: HashMap<usize, Vec<pxml_events::Literal>> = HashMap::new();
-        let mut analytic = 1.0;
-        let mut polarity: HashMap<EventId, bool> = HashMap::new();
-        for &literal in condition.literals() {
-            if let Some(&prev) = polarity.get(&literal.event) {
-                if prev != literal.positive {
-                    return 0.0; // w ∧ ¬w
-                }
-                continue; // duplicate literal
-            }
-            polarity.insert(literal.event, literal.positive);
-            match component_of.get(&literal.event) {
-                Some(&component) => per_component.entry(component).or_default().push(literal),
-                None => analytic *= literal.prob(self.engine.tree.events()),
-            }
-        }
-        let events = self.engine.tree.events();
-        let mut probability = analytic;
-        for (component, literals) in per_component {
-            let component_events = &self.shards[component].events;
-            let fold: f64 = self
-                .engine
-                .component_valuations(component, self.weighted)
-                .filter(|v| literals.iter().all(|l| l.eval(v)))
-                .map(|v| v.probability_over(events, component_events.iter().copied()))
-                .sum();
-            probability *= fold;
-        }
-        probability
+        self.condition_value_in(&pxml_events::Probability, condition)
     }
 
     /// Lazily walks the cross product of the shard classes, yielding the

@@ -7,6 +7,7 @@
 use std::fmt;
 
 use crate::event::{EventId, EventTable};
+use crate::semiring::{Probability, Semiring};
 use crate::valuation::Valuation;
 
 /// An atomic condition: an event variable or its negation.
@@ -294,14 +295,41 @@ impl Condition {
         self.literals.iter().all(|l| l.eval(valuation))
     }
 
+    /// The `eval` function of Definition 8, generalized to any
+    /// commutative semiring: the semiring's `zero` if the condition is
+    /// inconsistent, otherwise the `mul`-fold of the literal
+    /// interpretations (in sorted literal order), times the
+    /// [`Semiring::unmentioned`] factor of every unconstrained event when
+    /// the instance asks for it (e.g. [`crate::semiring::Counting`]).
+    ///
+    /// Under [`Probability`] this monomorphizes to exactly the
+    /// pre-semiring fold `literals.map(prob).product()` — same operations,
+    /// same order, bit-identical results.
+    pub fn eval_in<S: Semiring>(&self, semiring: &S, events: &EventTable) -> S::Value {
+        if !self.is_consistent() {
+            return semiring.zero();
+        }
+        let mut acc = semiring.one();
+        for &literal in &self.literals {
+            acc = semiring.mul(acc, semiring.literal(literal, events));
+        }
+        if semiring.constrains_unmentioned() {
+            for event in events.iter() {
+                if !self.mentions(event) {
+                    acc = semiring.mul(acc, semiring.unmentioned(event, events));
+                }
+            }
+        }
+        acc
+    }
+
     /// The `eval` function of Definition 8: `0` if the condition is
     /// inconsistent, otherwise the product of `π(w)` for positive literals
-    /// and `1 − π(w)` for negative literals.
+    /// and `1 − π(w)` for negative literals. Equivalent to
+    /// [`Condition::eval_in`] under the [`Probability`] semiring (the
+    /// specialized fast path).
     pub fn probability(&self, events: &EventTable) -> f64 {
-        if !self.is_consistent() {
-            return 0.0;
-        }
-        self.literals.iter().map(|l| l.prob(events)).product()
+        self.eval_in(&Probability, events)
     }
 
     /// Renders the condition using the table's event names; the empty
@@ -356,6 +384,45 @@ mod tests {
         let c = Condition::from_literals([Literal::pos(w2), Literal::pos(w1), Literal::pos(w2)]);
         assert_eq!(c.len(), 2);
         assert_eq!(c.literals()[0].event, w1);
+    }
+
+    /// The pre-semiring probability fold, kept verbatim as the oracle the
+    /// generic [`Condition::eval_in`] path is pinned against. This is the
+    /// single surviving hand-rolled copy; the production folds in `dnf`
+    /// and the worlds engine are wrappers over the generic fold.
+    fn probability_oracle(c: &Condition, events: &EventTable) -> f64 {
+        if !c.is_consistent() {
+            return 0.0;
+        }
+        c.literals.iter().map(|l| l.prob(events)).product()
+    }
+
+    #[test]
+    fn generic_probability_fold_is_bit_identical_to_the_oracle() {
+        let (t, w1, w2, w3) = table();
+        let universe = [
+            Literal::pos(w1),
+            Literal::neg(w1),
+            Literal::pos(w2),
+            Literal::neg(w2),
+            Literal::pos(w3),
+            Literal::neg(w3),
+        ];
+        for mask in 0..64usize {
+            let c = Condition::from_literals(
+                universe
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask >> i & 1 == 1)
+                    .map(|(_, &l)| l),
+            );
+            assert_eq!(
+                c.probability(&t).to_bits(),
+                probability_oracle(&c, &t).to_bits(),
+                "condition {:?}",
+                c.literals()
+            );
+        }
     }
 
     #[test]

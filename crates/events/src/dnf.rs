@@ -16,6 +16,7 @@ use std::fmt;
 
 use crate::condition::{Condition, Literal};
 use crate::event::{EventId, EventTable};
+use crate::semiring::{Probability, Semiring};
 use crate::valuation::{all_valuations, TooManyValuations, Valuation};
 
 /// A propositional formula in disjunctive normal form: a disjunction of
@@ -153,10 +154,26 @@ impl Dnf {
         events: &EventTable,
         max_events: usize,
     ) -> Result<f64, TooManyValuations> {
-        let mut total = 0.0;
+        self.eval_in(&Probability, events, max_events)
+    }
+
+    /// Semiring-generic value of the formula: the `add`-fold, over all
+    /// satisfying valuations in binary-counter order, of each valuation's
+    /// [`Valuation::weight_in`]. The valuations are mutually exclusive, so
+    /// this is the disjoint sum every semiring's laws cover. Exponential;
+    /// under [`Probability`] it is exactly [`Dnf::probability_naive`]
+    /// (bit-identical), and under [`crate::semiring::Counting`] it is the
+    /// number of models over the table's full event universe.
+    pub fn eval_in<S: Semiring>(
+        &self,
+        semiring: &S,
+        events: &EventTable,
+        max_events: usize,
+    ) -> Result<S::Value, TooManyValuations> {
+        let mut total = semiring.zero();
         for v in all_valuations(events.len(), max_events)? {
             if self.eval(&v) {
-                total += v.probability(events);
+                total = semiring.add(total, v.weight_in(semiring, events));
             }
         }
         Ok(total)

@@ -21,6 +21,10 @@
 //!   relation of Definition 10, with the naive exponential decision
 //!   procedure used as a baseline against the Schwartz–Zippel test of
 //!   `pxml-poly`.
+//! * [`Semiring`] — the commutative provenance semiring every condition
+//!   fold is parameterized over, with the [`Probability`] fast path plus
+//!   [`Possibility`], [`Counting`], [`TopKProofs`] and [`Lineage`]
+//!   instances (see the [`semiring`] module docs for the law table).
 //!
 //! ## Quick example
 //!
@@ -49,11 +53,13 @@
 pub mod condition;
 pub mod dnf;
 pub mod event;
+pub mod semiring;
 pub mod valuation;
 
 pub use condition::{Condition, Literal};
 pub use dnf::Dnf;
 pub use event::{EventId, EventTable};
+pub use semiring::{Counting, Lineage, Possibility, Probability, Proof, Semiring, TopKProofs};
 pub use valuation::Valuation;
 
 /// Tolerance used throughout the workspace when comparing probabilities.

@@ -4,7 +4,9 @@
 //! the possible-world semantics of a prob-tree enumerates all of them
 //! (Definition 4). Valuations are stored as compact bitsets.
 
+use crate::condition::Literal;
 use crate::event::{EventId, EventTable};
+use crate::semiring::{Probability, Semiring};
 
 /// A truth assignment for the event variables of one [`EventTable`].
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -109,22 +111,31 @@ impl Valuation {
     /// contribute a factor of 1 and the result is the marginal probability
     /// of the partial assignment.
     pub fn probability(&self, events: &EventTable) -> f64 {
+        self.weight_in(&Probability, events)
+    }
+
+    /// Semiring-generic weight of the valuation: the `mul`-fold, in event
+    /// order, of the literal each covered event realizes (`w` if true,
+    /// `¬w` if false). Under [`Probability`] this is exactly
+    /// [`Valuation::probability`] — same operations, same order,
+    /// bit-identical results.
+    pub fn weight_in<S: Semiring>(&self, semiring: &S, events: &EventTable) -> S::Value {
         assert!(
             self.len <= events.len(),
             "valuation covers {} events but the table declares only {}",
             self.len,
             events.len()
         );
-        (0..self.len)
-            .map(EventId::from_index)
-            .map(|e| {
-                if self.get(e) {
-                    events.prob(e)
-                } else {
-                    1.0 - events.prob(e)
-                }
-            })
-            .product()
+        let mut acc = semiring.one();
+        for e in (0..self.len).map(EventId::from_index) {
+            let literal = if self.get(e) {
+                Literal::pos(e)
+            } else {
+                Literal::neg(e)
+            };
+            acc = semiring.mul(acc, semiring.literal(literal, events));
+        }
+        acc
     }
 
     /// Marginal probability of the partial assignment this valuation makes
@@ -138,16 +149,29 @@ impl Valuation {
         events: &EventTable,
         subset: I,
     ) -> f64 {
-        subset
-            .into_iter()
-            .map(|e| {
-                if self.get(e) {
-                    events.prob(e)
-                } else {
-                    1.0 - events.prob(e)
-                }
-            })
-            .product()
+        self.weight_over_in(&Probability, events, subset)
+    }
+
+    /// Semiring-generic marginal weight of the partial assignment this
+    /// valuation makes to `subset` only (see
+    /// [`Valuation::probability_over`], which is this fold under
+    /// [`Probability`] — bit-identical).
+    pub fn weight_over_in<S: Semiring, I: IntoIterator<Item = EventId>>(
+        &self,
+        semiring: &S,
+        events: &EventTable,
+        subset: I,
+    ) -> S::Value {
+        let mut acc = semiring.one();
+        for e in subset {
+            let literal = if self.get(e) {
+                Literal::pos(e)
+            } else {
+                Literal::neg(e)
+            };
+            acc = semiring.mul(acc, semiring.literal(literal, events));
+        }
+        acc
     }
 }
 

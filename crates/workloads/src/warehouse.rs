@@ -14,17 +14,19 @@
 //! claims). The result is a realistic prob-tree whose event variables are
 //! exactly the update confidences.
 
+use std::collections::BTreeSet;
+
 use rand::Rng;
 
 use pxml_core::probtree::ProbTree;
 use pxml_core::query::pattern::PatternQuery;
-use pxml_core::query::{AnswerSet, MaintainOutcome, MaintainStats, QueryEngine};
+use pxml_core::query::{AnswerSet, MaintainOutcome, MaintainStats, PreparedQuery, QueryEngine};
 use pxml_core::update::{
     ProbabilisticUpdate, ScriptReport, UpdateEngine, UpdateOperation, UpdateScript,
 };
 use pxml_core::Document;
 use pxml_dtd::{ChildConstraint, Dtd};
-use pxml_events::Condition;
+use pxml_events::{Condition, EventId, Lineage, Possibility};
 use pxml_tree::DataTree;
 
 /// Parameters of the warehouse scenario.
@@ -175,10 +177,40 @@ pub fn services_with_endpoint_and_contact() -> PatternQuery {
 pub fn analyze(warehouse: &Warehouse, k: usize, min_confidence: f64) -> WarehouseAnalysis {
     let query = services_with_endpoint_and_contact();
     let prepared = QueryEngine::new().prepare(&warehouse.tree, &query);
+    analysis_views(&prepared, k, min_confidence)
+}
+
+/// Builds every view of [`WarehouseAnalysis`] from one prepared state:
+/// the ranked/threshold/aggregate probability views, plus the
+/// [`Possibility`] and [`Lineage`] provenance views served by the same
+/// match set through [`PreparedQuery::answers_in`] — no re-matching per
+/// semiring.
+fn analysis_views(
+    prepared: &PreparedQuery<'_>,
+    k: usize,
+    min_confidence: f64,
+) -> WarehouseAnalysis {
+    let top = prepared.top_k(k);
+    let top_lineage = top
+        .iter()
+        .map(|answer| {
+            prepared
+                .probability_of_in(&Lineage, &answer.subtree)
+                .flatten()
+                .unwrap_or_default()
+        })
+        .collect();
+    let possible_services = prepared
+        .answers_in(&Possibility)
+        .into_iter()
+        .filter(|(_, possible)| *possible)
+        .count();
     WarehouseAnalysis {
         expected_services: prepared.expected_matches(),
         confident: prepared.above(min_confidence),
-        top: prepared.top_k(k),
+        top,
+        top_lineage,
+        possible_services,
     }
 }
 
@@ -203,6 +235,12 @@ pub struct WarehouseAnalysis {
     pub confident: AnswerSet,
     /// Expected number of fully-described services over the worlds.
     pub expected_services: f64,
+    /// Per-answer provenance of `top`: the update-confidence events each
+    /// top answer's presence depends on ([`Lineage`] semiring view).
+    pub top_lineage: Vec<BTreeSet<EventId>>,
+    /// Number of matched services that are possible at all — present in
+    /// some positive-probability world ([`Possibility`] semiring view).
+    pub possible_services: usize,
 }
 
 /// One extraction round of [`run_scenario_live`]: the analysis served
@@ -265,11 +303,7 @@ pub fn run_scenario_live<R: Rng + ?Sized>(
             .maintain(&doc)
             .expect("prepared against this document");
         rounds.push(LiveRound {
-            analysis: WarehouseAnalysis {
-                expected_services: prepared.expected_matches(),
-                confident: prepared.above(min_confidence),
-                top: prepared.top_k(k),
-            },
+            analysis: analysis_views(&prepared, k, min_confidence),
             outcome,
         });
     }
@@ -395,6 +429,35 @@ mod tests {
             .confident
             .windows(2)
             .all(|w| w[0].probability >= w[1].probability));
+    }
+
+    #[test]
+    fn provenance_views_ride_the_same_prepared_state() {
+        let mut rng = StdRng::seed_from_u64(0x77);
+        let config = WarehouseConfig {
+            services: 3,
+            extraction_rounds: 12,
+            deletion_ratio: 0.1,
+        };
+        let warehouse = run_scenario(&config, &mut rng);
+        let analysis = analyze(&warehouse, 3, 0.0);
+        assert_eq!(analysis.top_lineage.len(), analysis.top.len());
+        for (answer, lineage) in analysis.top.iter().zip(&analysis.top_lineage) {
+            // An uncertain answer must depend on at least one update
+            // confidence, and every lineage event is a declared one.
+            if answer.probability < 1.0 {
+                assert!(!lineage.is_empty(), "uncertain answer with no lineage");
+            }
+            for &event in lineage {
+                assert!(event.index() < warehouse.tree.events().len());
+            }
+        }
+        // Possibility counts exactly the answers with positive probability.
+        let query = services_with_endpoint_and_contact();
+        let prepared = QueryEngine::new().prepare(&warehouse.tree, &query);
+        let positive = prepared.answers().filter(|a| a.probability > 0.0).count();
+        assert_eq!(analysis.possible_services, positive);
+        assert!(analysis.possible_services > 0);
     }
 
     #[test]
