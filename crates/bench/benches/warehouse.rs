@@ -1,0 +1,216 @@
+//! E16 — the warehouse server: shared view maintenance and the concurrent
+//! read path.
+//!
+//! The untimed **invariant block** first proves the maintenance hub's
+//! sharing claim with exact counters: under a traffic shape of `R` read
+//! rounds × `D` off-footprint commits per round × `V` registered views,
+//! the hub performs `V × R` maintenance passes (one composed window per
+//! stale view per read round) where the pre-hub pattern — every view
+//! re-threading every delta — performs `V × D × R`. The remap-work ratio
+//! is asserted (`≥ 4×` with `D = 8`, leaving slack), along with the raw
+//! hub counters.
+//!
+//! The timed groups then measure the served read path as the document
+//! grows, and the O(1) epoch-snapshot pin contrasted against it.
+//!
+//! Set `PXML_BENCH_QUICK=1` (as CI's `bench-smoke` job does) for a fast
+//! smoke run; the invariant block runs (and asserts) in both modes.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pxml_core::update::{ProbabilisticUpdate, UpdateEngine, UpdateOperation};
+use pxml_core::{Document, PatternQuery, QueryEngine};
+use pxml_server::Warehouse;
+use pxml_tree::DataTree;
+use pxml_workloads::warehouse::{services_with_endpoint_and_contact, skeleton};
+
+fn quick() -> bool {
+    pxml_core::config::env::flag(pxml_core::config::env::BENCH_QUICK)
+}
+
+/// Views registered per document.
+const VIEWS: usize = 4;
+/// Read rounds in the invariant traffic shape.
+const ROUNDS: usize = 5;
+/// Off-footprint commits between read rounds.
+const DELTAS_PER_ROUND: usize = 8;
+
+fn insert_under(label: &str, inserted: &str, confidence: f64) -> ProbabilisticUpdate {
+    let q = PatternQuery::new(Some(label));
+    let at = q.root();
+    ProbabilisticUpdate::new(
+        UpdateOperation::insert(q, at, DataTree::new(inserted)),
+        confidence,
+    )
+}
+
+/// Gives every service an `endpoint` and a `contact` so the query has
+/// live answers; returns the two content updates.
+fn content_updates() -> [ProbabilisticUpdate; 2] {
+    [
+        insert_under("service", "endpoint", 0.9),
+        insert_under("service", "contact", 0.8),
+    ]
+}
+
+/// A warehouse with one settled document of `services` services and
+/// `VIEWS` registered (and already-served, hence current) views.
+fn settled_warehouse(services: usize) -> Warehouse {
+    let warehouse = Warehouse::new();
+    warehouse.register("doc", skeleton(services)).unwrap();
+    for update in &content_updates() {
+        warehouse.commit("doc", update).unwrap();
+    }
+    let query = Arc::new(services_with_endpoint_and_contact());
+    for v in 0..VIEWS {
+        warehouse
+            .register_view("doc", &format!("v{v}"), query.clone())
+            .unwrap();
+    }
+    for v in 0..VIEWS {
+        warehouse.expected_matches("doc", &format!("v{v}")).unwrap();
+    }
+    warehouse
+}
+
+/// The invariant block: hub counters under the `R × D × V` traffic shape,
+/// against the pre-hub per-view-per-delta baseline. Returns the settled
+/// warehouse for the timed read-path group.
+fn hub_sharing_invariants(services: usize) -> Warehouse {
+    // Hub side: D off-footprint commits per round, then one read of each
+    // view. Maintenance happens lazily on the reads, once per view per
+    // round, through one composed window per round.
+    let warehouse = settled_warehouse(services);
+    for _ in 0..ROUNDS {
+        for _ in 0..DELTAS_PER_ROUND {
+            warehouse
+                .commit("doc", &insert_under("service", "keyword", 0.7))
+                .unwrap();
+        }
+        for v in 0..VIEWS {
+            warehouse.expected_matches("doc", &format!("v{v}")).unwrap();
+        }
+    }
+    let hub = warehouse.hub_stats("doc").unwrap();
+    let commits = (2 + ROUNDS * DELTAS_PER_ROUND) as u64;
+    assert_eq!(hub.deltas_observed, commits);
+    assert_eq!(
+        hub.flags_fanned,
+        ((ROUNDS * DELTAS_PER_ROUND) * VIEWS) as u64,
+        "setup commits precede view registration"
+    );
+    assert_eq!(
+        hub.view_maintains,
+        (VIEWS * ROUNDS) as u64,
+        "lazy: one maintenance pass per stale view per read round, not per view-delta pair"
+    );
+    assert_eq!(
+        hub.windows_composed, ROUNDS as u64,
+        "shared: all views lagging by the same span reuse one composed window"
+    );
+
+    // Baseline (the pre-hub pattern): every view re-threads every delta.
+    let engine = UpdateEngine::new();
+    let queries = QueryEngine::new();
+    let query = services_with_endpoint_and_contact();
+    let mut doc = Document::new(skeleton(services));
+    for update in &content_updates() {
+        engine.apply_doc(&mut doc, update);
+    }
+    let mut views: Vec<_> = (0..VIEWS)
+        .map(|_| queries.prepare_doc(&doc, &query))
+        .collect();
+    for _ in 0..ROUNDS {
+        for _ in 0..DELTAS_PER_ROUND {
+            engine.apply_doc(&mut doc, &insert_under("service", "keyword", 0.7));
+            for view in &mut views {
+                view.maintain(&doc).unwrap();
+            }
+        }
+    }
+    let baseline_remapped: u64 = views
+        .iter()
+        .map(|view| view.maintenance_stats().answers_remapped as u64)
+        .sum();
+
+    assert!(
+        baseline_remapped >= 4 * hub.answers_remapped,
+        "hub shares the delta thread: baseline remapped {baseline_remapped} answers, \
+         hub only {} (D = {DELTAS_PER_ROUND} deltas per composed window)",
+        hub.answers_remapped
+    );
+    warehouse
+}
+
+/// E16a: the served read path — a current view behind the hub — as the
+/// document grows. The invariant block runs first (it asserts; a failure
+/// fails the bench) and its warehouse is reused for the smallest size.
+fn bench_served_reads(c: &mut Criterion) {
+    let sizes: &[usize] = if quick() { &[4, 8] } else { &[4, 8, 16, 32] };
+    let mut group = c.benchmark_group("e16_warehouse_served_read");
+    for (i, &services) in sizes.iter().enumerate() {
+        let warehouse = if i == 0 {
+            hub_sharing_invariants(services)
+        } else {
+            settled_warehouse(services)
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(services),
+            &warehouse,
+            |b, warehouse| {
+                b.iter(|| warehouse.expected_matches("doc", "v0").unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+/// E16b: pinning an epoch snapshot is O(1) — an `Arc` clone under the
+/// reader lock — regardless of document size.
+fn bench_snapshot_pin(c: &mut Criterion) {
+    let sizes: &[usize] = if quick() { &[4, 8] } else { &[4, 8, 16, 32] };
+    let mut group = c.benchmark_group("e16_warehouse_snapshot_pin");
+    for &services in sizes {
+        let warehouse = settled_warehouse(services);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(services),
+            &warehouse,
+            |b, warehouse| {
+                b.iter(|| warehouse.snapshot("doc").unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+/// E16c: the commit path — stage under shared access, swap under the
+/// short writer lock, fan dirty flags — for an off-footprint insert.
+fn bench_commit_path(c: &mut Criterion) {
+    let sizes: &[usize] = if quick() { &[4, 8] } else { &[4, 8, 16, 32] };
+    let mut group = c.benchmark_group("e16_warehouse_commit");
+    for &services in sizes {
+        let warehouse = settled_warehouse(services);
+        let update = insert_under("service", "keyword", 0.7);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(services),
+            &warehouse,
+            |b, warehouse| {
+                b.iter(|| warehouse.commit("doc", &update).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_millis(1500));
+    targets = bench_served_reads, bench_snapshot_pin, bench_commit_path
+}
+criterion_main!(benches);

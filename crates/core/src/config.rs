@@ -18,7 +18,14 @@ pub mod env {
     //! * [`WORLDS_MAX_JOINT`] — cap on joint cross-product assignments a
     //!   shard-combining consumer may materialize;
     //! * [`BENCH_QUICK`] — truthy flag shrinking benchmark workloads to
-    //!   smoke-test size (any value except `0`, `false`, `off`, `no`).
+    //!   smoke-test size (any value except `0`, `false`, `off`, `no`);
+    //! * [`SERVER_THREADS`] — worker-thread cap of the warehouse traffic
+    //!   driver (`pxml-server`; `1` runs tenants sequentially);
+    //! * [`SERVER_TENANTS`] — tenant (lane) count of the warehouse
+    //!   traffic driver;
+    //! * [`SERVER_LOG_CAPACITY`] — delta-log capacity of documents
+    //!   registered in a warehouse (how far behind a view may fall
+    //!   before maintenance falls back to a full re-prepare).
 
     use std::fmt;
     use std::str::FromStr;
@@ -29,6 +36,12 @@ pub mod env {
     pub const WORLDS_MAX_JOINT: &str = "PXML_WORLDS_MAX_JOINT";
     /// Truthy flag shrinking benchmark workloads to smoke-test size.
     pub const BENCH_QUICK: &str = "PXML_BENCH_QUICK";
+    /// Worker-thread cap of the warehouse traffic driver.
+    pub const SERVER_THREADS: &str = "PXML_SERVER_THREADS";
+    /// Tenant (lane) count of the warehouse traffic driver.
+    pub const SERVER_TENANTS: &str = "PXML_SERVER_TENANTS";
+    /// Delta-log capacity of warehouse-registered documents.
+    pub const SERVER_LOG_CAPACITY: &str = "PXML_SERVER_LOG_CAPACITY";
 
     /// Why an environment override could not be read as a `T`.
     #[derive(Clone, Debug, PartialEq, Eq)]

@@ -161,10 +161,177 @@ impl UpdateDelta {
     }
 }
 
+/// A composed view of consecutive [`UpdateDelta`]s: one node mapping, one
+/// label footprint and one rewritten set covering the whole
+/// `from_epoch → to_epoch` span, so prepared state can be threaded to the
+/// current epoch in a **single** pass instead of once per delta.
+///
+/// The warehouse server's maintenance hub composes each span once and
+/// shares it across every registered view
+/// ([`PreparedQuery::maintain_windowed`](crate::PreparedQuery::maintain_windowed)):
+/// `N` views behind the same epoch no longer re-thread the same deltas
+/// `N` times.
+#[derive(Clone, Debug)]
+pub struct DeltaWindow {
+    /// The epoch a consumer must currently be at to apply this window.
+    pub from_epoch: Epoch,
+    /// The epoch the window advances to.
+    pub to_epoch: Epoch,
+    /// Composed mapping from surviving `from_epoch`-frame node ids to
+    /// their `to_epoch`-frame ids; `None` when every composed step was an
+    /// identity. Ids absent from a `Some` map were removed somewhere in
+    /// the span.
+    pub node_map: Option<HashMap<NodeId, NodeId>>,
+    /// Union of the removed labels across the span.
+    pub removed_labels: BTreeSet<String>,
+    /// Union of the inserted labels across the span.
+    pub inserted_labels: BTreeSet<String>,
+    /// `to_epoch`-frame ids of surviving nodes whose condition changed at
+    /// any step of the span (per-step rewritten sets threaded forward
+    /// through the later mappings).
+    pub rewritten: BTreeSet<NodeId>,
+    /// Number of deltas composed into the window.
+    pub steps: usize,
+}
+
+impl DeltaWindow {
+    /// Composes consecutive deltas (oldest first, starting right after
+    /// `from_epoch`) into one window.
+    ///
+    /// # Panics
+    /// Panics if the deltas are not consecutive from `from_epoch`.
+    pub fn compose(from_epoch: Epoch, deltas: &[Arc<UpdateDelta>]) -> DeltaWindow {
+        let mut window = DeltaWindow {
+            from_epoch,
+            to_epoch: from_epoch,
+            node_map: None,
+            removed_labels: BTreeSet::new(),
+            inserted_labels: BTreeSet::new(),
+            rewritten: BTreeSet::new(),
+            steps: 0,
+        };
+        for delta in deltas {
+            assert_eq!(
+                delta.epoch,
+                window.to_epoch + 1,
+                "windows compose consecutive deltas"
+            );
+            window.to_epoch = delta.epoch;
+            window.steps += 1;
+            window
+                .removed_labels
+                .extend(delta.removed_labels.iter().cloned());
+            window
+                .inserted_labels
+                .extend(delta.inserted_labels.iter().cloned());
+            // Rewritten nodes collected so far live in the previous frame:
+            // thread the survivors forward, then add this step's own.
+            window.rewritten = window
+                .rewritten
+                .iter()
+                .filter_map(|&n| delta.map_node(n))
+                .chain(delta.rewritten.iter().copied())
+                .collect();
+            match (&mut window.node_map, &delta.node_map) {
+                (_, None) => {} // identity step: the composition is unchanged
+                (acc @ None, Some(map)) => *acc = Some(map.clone()),
+                (Some(acc), Some(map)) => {
+                    *acc = acc
+                        .iter()
+                        .filter_map(|(&old, mid)| map.get(mid).map(|&new| (old, new)))
+                        .collect();
+                }
+            }
+        }
+        window
+    }
+
+    /// The spine-intersection test of [`UpdateDelta::touches`], over the
+    /// whole span at once.
+    pub fn touches(&self, footprint: &BTreeSet<String>) -> bool {
+        self.removed_labels
+            .iter()
+            .chain(self.inserted_labels.iter())
+            .any(|label| footprint.contains(label))
+    }
+
+    /// Sends a `from_epoch`-frame node id through the whole span, `None`
+    /// if it was removed anywhere along the way.
+    pub fn map_node(&self, node: NodeId) -> Option<NodeId> {
+        match &self.node_map {
+            None => Some(node),
+            Some(map) => map.get(&node).copied(),
+        }
+    }
+}
+
 /// Default number of deltas a [`Document`] retains; older entries are
 /// trimmed and maintenance against a pre-trim epoch falls back to a full
 /// re-prepare.
 pub const DEFAULT_DELTA_LOG_CAPACITY: usize = 256;
+
+/// A fully-applied but not-yet-committed update step: the new tree, the
+/// engine telemetry and the traced node mapping, stamped with the
+/// document identity and epoch it was staged against.
+///
+/// Produced by [`UpdateEngine::stage_doc`](crate::UpdateEngine::stage_doc)
+/// — which does the expensive work (matching, grafting, simplification)
+/// against the current snapshot — and committed by
+/// [`Document::commit_staged`], which only diffs and swaps the `Arc`.
+/// The split is what lets the warehouse server stage steps under a
+/// *read* lock and keep its writer lock to the cheap commit.
+#[derive(Debug)]
+pub struct StagedStep {
+    pub(crate) doc: DocumentId,
+    pub(crate) base_epoch: Epoch,
+    pub(crate) tree: ProbTree,
+    pub(crate) report: StepReport,
+    pub(crate) mapping: NodeMapping,
+}
+
+impl StagedStep {
+    /// The document the step was staged against.
+    pub fn document(&self) -> DocumentId {
+        self.doc
+    }
+
+    /// The epoch the step was staged against — the epoch the document
+    /// must still be at for [`Document::commit_staged`] to accept it.
+    pub fn base_epoch(&self) -> Epoch {
+        self.base_epoch
+    }
+}
+
+/// Why [`Document::commit_staged`] refused a staged step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StageConflict {
+    /// The step was staged against a different document.
+    DocumentMismatch,
+    /// Another step committed in between: the staged base epoch no longer
+    /// matches the document. Re-stage against the current snapshot.
+    EpochConflict {
+        /// The epoch the step was staged against.
+        staged: Epoch,
+        /// The document's current epoch.
+        current: Epoch,
+    },
+}
+
+impl std::fmt::Display for StageConflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageConflict::DocumentMismatch => {
+                write!(f, "step was staged against a different document")
+            }
+            StageConflict::EpochConflict { staged, current } => write!(
+                f,
+                "step staged against epoch {staged} but the document is at {current}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StageConflict {}
 
 /// A versioned prob-tree handle: the current tree behind an [`Arc`]
 /// snapshot, an [`Epoch`] stamp, and the log of [`UpdateDelta`]s that
@@ -247,6 +414,49 @@ impl Document {
         }
         let skip = (epoch - self.base_epoch) as usize;
         Some(self.log.iter().skip(skip).cloned().collect())
+    }
+
+    /// [`Document::deltas_since`] composed into one [`DeltaWindow`]
+    /// covering `epoch → current`, or `None` when the log no longer
+    /// covers `epoch`.
+    pub fn window_since(&self, epoch: Epoch) -> Option<DeltaWindow> {
+        let deltas = self.deltas_since(epoch)?;
+        Some(DeltaWindow::compose(epoch, &deltas))
+    }
+
+    /// Forks the current state into a fresh document: new identity, epoch
+    /// 0, empty delta log, **sharing** the current snapshot `Arc` — the
+    /// tree is never mutated in place (commits swap in a new `Arc`), so a
+    /// fork is O(1) and copy-on-write falls out: the branches' trees only
+    /// diverge when one of them commits.
+    pub fn fork(&self) -> Document {
+        Document {
+            id: DocumentId::fresh(),
+            epoch: 0,
+            tree: Arc::clone(&self.tree),
+            log: VecDeque::new(),
+            base_epoch: 0,
+            log_capacity: self.log_capacity,
+        }
+    }
+
+    /// Commits a [`StagedStep`] as the next epoch, after checking it was
+    /// staged against this document's current state (identity *and*
+    /// epoch): the optimistic half of the stage/commit split — a
+    /// concurrent commit in between surfaces as
+    /// [`StageConflict::EpochConflict`] instead of silently applying a
+    /// step computed from a stale snapshot.
+    pub fn commit_staged(&mut self, staged: StagedStep) -> Result<Arc<UpdateDelta>, StageConflict> {
+        if staged.doc != self.id {
+            return Err(StageConflict::DocumentMismatch);
+        }
+        if staged.base_epoch != self.epoch {
+            return Err(StageConflict::EpochConflict {
+                staged: staged.base_epoch,
+                current: self.epoch,
+            });
+        }
+        Ok(self.commit(staged.tree, staged.report, staged.mapping))
     }
 
     /// Commits the result of one engine step as the next epoch, diffing
@@ -414,6 +624,91 @@ mod tests {
         let before = doc.snapshot();
         UpdateEngine::new().apply_doc(&mut doc, &insert_under("C", "E", 1.0));
         assert_eq!(before.num_nodes() + 1, doc.tree().num_nodes());
+    }
+
+    #[test]
+    fn forks_share_the_snapshot_and_diverge_independently() {
+        let mut doc = Document::new(figure1_example());
+        UpdateEngine::new().apply_doc(&mut doc, &insert_under("C", "E", 0.9));
+        let mut branch = doc.fork();
+        assert_ne!(branch.id(), doc.id(), "a fork is its own document");
+        assert_eq!(branch.epoch(), 0, "forks restart their epoch line");
+        assert_eq!(branch.log_len(), 0);
+        assert!(
+            Arc::ptr_eq(&doc.snapshot(), &branch.snapshot()),
+            "forking is O(1): the tree Arc is shared, not cloned"
+        );
+        // Divergence on the branch never leaks back: commits swap in a
+        // fresh Arc, they do not mutate the shared snapshot.
+        UpdateEngine::new().apply_doc(&mut branch, &insert_under("E", "F", 1.0));
+        assert_eq!(branch.tree().num_nodes(), doc.tree().num_nodes() + 1);
+        assert_eq!(doc.epoch(), 1, "the origin document is untouched");
+    }
+
+    #[test]
+    fn windows_compose_consecutive_deltas() {
+        let mut doc = Document::new(figure1_example());
+        let before = doc.snapshot();
+        let engine = UpdateEngine::new();
+        engine.apply_doc(&mut doc, &insert_under("C", "E", 0.9));
+        engine.apply_doc(&mut doc, &delete_at("B", 0.5));
+        let deltas = doc.deltas_since(0).unwrap();
+        let window = doc.window_since(0).expect("epoch 0 still covered");
+        assert_eq!((window.from_epoch, window.to_epoch), (0, 2));
+        assert_eq!(window.steps, 2);
+        assert_eq!(
+            window.inserted_labels,
+            BTreeSet::from(["B".to_owned(), "E".to_owned()])
+        );
+        assert_eq!(window.removed_labels, BTreeSet::from(["B".to_owned()]));
+        assert!(window.touches(&BTreeSet::from(["E".to_owned()])));
+        assert!(!window.touches(&BTreeSet::from(["D".to_owned()])));
+        // The composed node map agrees with threading through each delta.
+        for node in before.tree().iter() {
+            let threaded = deltas[0].map_node(node).and_then(|n| deltas[1].map_node(n));
+            assert_eq!(window.map_node(node), threaded);
+        }
+        // Rewrites surfaced by any delta survive composition (mapped into
+        // the final frame).
+        let per_delta: usize = deltas.iter().map(|d| d.rewritten.len()).sum();
+        assert!(window.rewritten.len() <= per_delta + deltas.len());
+        // A window over an empty span is the identity.
+        let idle = doc.window_since(2).unwrap();
+        assert_eq!(idle.steps, 0);
+        assert!(idle.node_map.is_none());
+        assert!(doc.window_since(3).is_none(), "future epochs are rejected");
+    }
+
+    #[test]
+    fn staged_steps_commit_once_and_conflict_after_racing_commits() {
+        let mut doc = Document::new(figure1_example());
+        let engine = UpdateEngine::new();
+        // Two steps staged against the same epoch: the first commits, the
+        // second must surface the lost race instead of silently applying
+        // a step built against a stale tree.
+        let first = engine.stage_doc(&doc, &insert_under("C", "E", 0.9));
+        let second = engine.stage_doc(&doc, &insert_under("C", "F", 0.8));
+        assert_eq!(first.base_epoch(), 0);
+        let delta = doc.commit_staged(first).expect("first commit wins");
+        assert_eq!(delta.epoch, 1);
+        assert_eq!(
+            doc.commit_staged(second).unwrap_err(),
+            StageConflict::EpochConflict {
+                staged: 0,
+                current: 1
+            }
+        );
+        // Steps staged against one document never land on another.
+        let mut other = Document::new(figure1_example());
+        let foreign = engine.stage_doc(&doc, &insert_under("C", "G", 0.7));
+        assert_eq!(
+            other.commit_staged(foreign).unwrap_err(),
+            StageConflict::DocumentMismatch
+        );
+        // The stage/commit split computes the same result as apply_doc.
+        let mut reference = Document::new(figure1_example());
+        engine.apply_doc(&mut reference, &insert_under("C", "E", 0.9));
+        assert_eq!(doc.tree().num_nodes(), reference.tree().num_nodes());
     }
 
     #[test]

@@ -59,14 +59,17 @@ pub mod update;
 pub mod variants;
 pub mod worlds;
 
-pub use document::{Document, DocumentId, Epoch, UpdateDelta, DEFAULT_DELTA_LOG_CAPACITY};
+pub use document::{
+    DeltaWindow, Document, DocumentId, Epoch, StageConflict, StagedStep, UpdateDelta,
+    DEFAULT_DELTA_LOG_CAPACITY,
+};
 pub use probtree::ProbTree;
 pub use pwset::PossibleWorldSet;
 pub use query::pattern::PatternQuery;
 pub use query::{
     AnswerSet, FallbackReason, MaintainError, MaintainOutcome, MaintainStats,
     MonotonicityCertificate, PreparedQuery, QueryEngine, QueryEngineConfig, QueryHints,
-    Theorem1Error, TieBreak,
+    SemiringCacheStats, Theorem1Error, TieBreak,
 };
 pub use update::{
     DeletionForecast, ProbabilisticUpdate, SurvivorBudgetExceeded, UpdateAction, UpdateEngine,

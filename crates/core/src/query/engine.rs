@@ -29,19 +29,20 @@
 //! ([`Condition::union_of`]) instead of the quadratic repeated
 //! [`Condition::and`] fold.
 
+use std::any::{Any, TypeId};
 use std::borrow::Cow;
 use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeSet, BinaryHeap, HashMap};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use pxml_events::{Condition, Semiring};
 use pxml_tree::canon::Semantics;
 use pxml_tree::subtree::SubDataTree;
 use pxml_tree::NodeId;
 
-use crate::document::{Document, DocumentId, Epoch};
+use crate::document::{DeltaWindow, Document, DocumentId, Epoch};
 use crate::probtree::ProbTree;
 use crate::pwset::PossibleWorldSet;
 use crate::semantics::possible_worlds_factorized;
@@ -200,7 +201,7 @@ impl QueryEngine {
         build_prepared(
             self.config.clone(),
             TreeSlot::Borrowed(Box::new(tree.expanded())),
-            query,
+            QuerySlot::Borrowed(query),
             hints,
             None,
         )
@@ -226,7 +227,38 @@ impl QueryEngine {
         build_prepared(
             self.config.clone(),
             TreeSlot::Shared(doc.snapshot()),
-            query,
+            QuerySlot::Borrowed(query),
+            hints,
+            Some((doc.id(), doc.epoch())),
+        )
+    }
+
+    /// [`QueryEngine::prepare_doc`] from a shared owning query handle:
+    /// the returned state borrows nothing (`PreparedQuery<'static>`), so
+    /// it can be stored in long-lived registries and moved or shared
+    /// across threads — the shape the warehouse server keeps per
+    /// registered view. `Query` is `Send + Sync` by supertrait, so the
+    /// state stays shareable.
+    pub fn prepare_doc_shared(
+        &self,
+        doc: &Document,
+        query: Arc<dyn Query>,
+    ) -> PreparedQuery<'static> {
+        self.prepare_doc_shared_with_hints(doc, query, &QueryHints::default())
+    }
+
+    /// [`QueryEngine::prepare_doc_shared`] with static-analysis
+    /// [`QueryHints`] (replayed on every maintenance fallback).
+    pub fn prepare_doc_shared_with_hints(
+        &self,
+        doc: &Document,
+        query: Arc<dyn Query>,
+        hints: &QueryHints,
+    ) -> PreparedQuery<'static> {
+        build_prepared(
+            self.config.clone(),
+            TreeSlot::Shared(doc.snapshot()),
+            QuerySlot::Shared(query),
             hints,
             Some((doc.id(), doc.epoch())),
         )
@@ -240,14 +272,14 @@ impl QueryEngine {
 fn build_prepared<'a>(
     config: QueryEngineConfig,
     tree: TreeSlot<'a>,
-    query: &'a dyn Query,
+    query: QuerySlot<'a>,
     hints: &QueryHints,
     doc: Option<(DocumentId, Epoch)>,
 ) -> PreparedQuery<'a> {
     let subtrees = if hints.statically_empty {
         Vec::new()
     } else {
-        query.evaluate(tree.get().tree())
+        query.get().evaluate(tree.get().tree())
     };
     let mut intern: HashMap<Condition, usize> = HashMap::new();
     let mut conditions: Vec<Condition> = Vec::new();
@@ -272,10 +304,11 @@ fn build_prepared<'a>(
     let tie_keys = std::iter::repeat_with(OnceLock::new)
         .take(answers.len())
         .collect();
+    let footprint = query.get().label_footprint();
     PreparedQuery {
         tree,
         query,
-        footprint: query.label_footprint(),
+        footprint,
         hints: hints.clone(),
         doc,
         maint: MaintainStats::default(),
@@ -285,6 +318,7 @@ fn build_prepared<'a>(
         probabilities,
         tie_keys,
         by_subtree: OnceLock::new(),
+        semiring: Mutex::new(SemiringCaches::default()),
     }
 }
 
@@ -317,6 +351,51 @@ impl TreeSlot<'_> {
     }
 }
 
+/// How a [`PreparedQuery`] holds its query: a borrow for the legacy
+/// entry points, or a shared owning handle so the state can outlive the
+/// caller and cross threads ([`QueryEngine::prepare_doc_shared`]).
+#[derive(Clone)]
+enum QuerySlot<'a> {
+    /// Borrow-based preparation.
+    Borrowed(&'a dyn Query),
+    /// Owning preparation; `'static` states are built from this.
+    Shared(Arc<dyn Query>),
+}
+
+impl QuerySlot<'_> {
+    fn get(&self) -> &dyn Query {
+        match self {
+            QuerySlot::Borrowed(query) => *query,
+            QuerySlot::Shared(query) => &**query,
+        }
+    }
+}
+
+/// Cumulative telemetry of the per-semiring value caches: the non-`f64`
+/// twin of the probability cache, proving the warehouse's lineage and
+/// possibility views recompute only what maintenance dirtied.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SemiringCacheStats {
+    /// Condition values computed by a semiring fold (cache misses).
+    pub computed: u64,
+    /// Condition values served from the cache.
+    pub hits: u64,
+}
+
+/// Cached per-condition semiring values, keyed by semiring type and
+/// [`Semiring::cache_token`]: one slot per interned condition, `None`
+/// until computed — and back to `None` when maintenance rebuilds the
+/// union (the same dirty flags that drop the cached `f64`).
+#[derive(Default)]
+struct SemiringCaches {
+    slots: HashMap<(TypeId, u64), Vec<CachedSemiringValue>>,
+    stats: SemiringCacheStats,
+}
+
+/// One interned condition's cached value for one semiring instance:
+/// `None` until computed, type-erased so every semiring shares the map.
+type CachedSemiringValue = Option<Box<dyn Any + Send>>;
+
 /// Cumulative maintenance telemetry of one [`PreparedQuery`] — the
 /// counters the cross-check suites use to prove the patched path did not
 /// silently fall back ([`fallbacks`](MaintainStats::fallbacks) stays 0 on
@@ -338,6 +417,11 @@ pub struct MaintainStats {
     pub unions_carried: usize,
     /// Answers remapped to new-frame node ids by patching.
     pub answers_remapped: usize,
+    /// Patches applied through a composed [`DeltaWindow`]
+    /// ([`PreparedQuery::maintain_windowed`]): the span's deltas counted
+    /// once in [`steps_patched`](MaintainStats::steps_patched) but
+    /// threaded in a single pass.
+    pub windows_applied: usize,
 }
 
 /// What one [`PreparedQuery::maintain`] call did.
@@ -420,7 +504,7 @@ pub struct PreparedQuery<'a> {
     /// The queried tree — a borrow/owned-expansion for the legacy entry
     /// points, an owning snapshot for document-backed preparation.
     tree: TreeSlot<'a>,
-    query: &'a dyn Query,
+    query: QuerySlot<'a>,
     /// The query's label footprint, computed once at prepare time — the
     /// label set [`PreparedQuery::maintain`] checks deltas against.
     footprint: Option<BTreeSet<String>>,
@@ -442,6 +526,13 @@ pub struct PreparedQuery<'a> {
     /// Answer indices sorted by node set — built lazily on the first
     /// point lookup, so one-shot consumers never pay for the sort.
     by_subtree: OnceLock<Vec<usize>>,
+    /// Lazily-computed per-condition values of non-`f64` semirings,
+    /// keyed by semiring type and token (see
+    /// [`PreparedQuery::answers_in_cached`]). A `Mutex` rather than a
+    /// `RefCell` so the state stays `Sync` for the warehouse server's
+    /// shared views; the lock is only held for the duration of one cache
+    /// sweep.
+    semiring: Mutex<SemiringCaches>,
 }
 
 impl<'a> PreparedQuery<'a> {
@@ -532,38 +623,110 @@ impl<'a> PreparedQuery<'a> {
             }
             steps += 1;
         }
-        // Phase 2 — commit: rebuild each answer against the new snapshot.
-        // Clean answers keep their condition union (and its cached
-        // probability — the union is over unchanged node conditions, and
-        // the event table only ever grows, so the value is bit-identical
-        // to what a fresh prepare would compute); dirty answers recompute
-        // the union from the new tree.
+        Ok(self.commit_patch(id, doc, node_sets, dirty, steps))
+    }
+
+    /// Like [`PreparedQuery::maintain`], but threads the answers through a
+    /// single pre-composed [`DeltaWindow`] instead of every pending delta
+    /// in turn — the warehouse hub composes each document's pending span
+    /// once and every registered view pays one pass, not one per delta.
+    /// Equivalent to `maintain` (per-delta node maps are injective, so a
+    /// window-composed map reaches the same node sets, and displaced or
+    /// dirty answers are classified identically); delegates to `maintain`
+    /// when the window does not span exactly this state's epoch range.
+    pub fn maintain_windowed(
+        &mut self,
+        doc: &Document,
+        window: &DeltaWindow,
+    ) -> Result<MaintainOutcome, MaintainError> {
+        let Some((id, epoch)) = self.doc else {
+            return Err(MaintainError::NotDocumentBacked);
+        };
+        if id != doc.id() {
+            return Err(MaintainError::DocumentMismatch);
+        }
+        if doc.epoch() < epoch {
+            return Err(MaintainError::EpochRewound);
+        }
+        if doc.epoch() == epoch {
+            return Ok(MaintainOutcome::UpToDate);
+        }
+        if window.from_epoch != epoch || window.to_epoch != doc.epoch() {
+            return self.maintain(doc);
+        }
+        let Some(footprint) = self.footprint.clone() else {
+            return Ok(self.reprepare(doc, FallbackReason::UnboundedFootprint));
+        };
+        if window.touches(&footprint) {
+            return Ok(self.reprepare(doc, FallbackReason::SpineTouched));
+        }
+        let mut node_sets: Vec<Vec<NodeId>> = self
+            .answers
+            .iter()
+            .map(|a| a.subtree.nodes().collect())
+            .collect();
+        let mut dirty = vec![false; self.answers.len()];
+        for (index, nodes) in node_sets.iter_mut().enumerate() {
+            for node in nodes.iter_mut() {
+                match window.map_node(*node) {
+                    Some(mapped) => *node = mapped,
+                    None => return Ok(self.reprepare(doc, FallbackReason::AnswerDisplaced)),
+                }
+            }
+            if nodes.iter().any(|n| window.rewritten.contains(n)) {
+                dirty[index] = true;
+            }
+        }
+        self.maint.windows_applied += 1;
+        Ok(self.commit_patch(id, doc, node_sets, dirty, window.steps))
+    }
+
+    /// Phase 2 of maintenance — commit a remap plan: rebuild each answer
+    /// against the new snapshot. Clean answers keep their condition union
+    /// (and its cached probability — the union is over unchanged node
+    /// conditions, and the event table only ever grows, so the value is
+    /// bit-identical to what a fresh prepare would compute); dirty
+    /// answers recompute the union from the new tree.
+    fn commit_patch(
+        &mut self,
+        id: DocumentId,
+        doc: &Document,
+        node_sets: Vec<Vec<NodeId>>,
+        dirty: Vec<bool>,
+        steps: usize,
+    ) -> MaintainOutcome {
         let snapshot = doc.snapshot();
         struct Patched {
             subtree: SubDataTree,
             condition: Condition,
             cached_probability: Option<f64>,
+            /// Old condition slot a clean answer carried its union from —
+            /// `None` for dirty answers, whose cached semiring values are
+            /// stale.
+            carried_from: Option<usize>,
         }
         let mut patched: Vec<Patched> = Vec::with_capacity(self.answers.len());
         for (index, nodes) in node_sets.into_iter().enumerate() {
             let subtree = SubDataTree::from_nodes(snapshot.tree(), nodes);
-            let (condition, cached_probability) = if dirty[index] {
+            let (condition, cached_probability, carried_from) = if dirty[index] {
                 self.maint.unions_rebuilt += 1;
                 let union =
                     Condition::union_of(subtree.nodes().filter_map(|n| snapshot.condition_ref(n)));
-                (union, None)
+                (union, None, None)
             } else {
                 self.maint.unions_carried += 1;
                 let slot = self.answers[index].condition;
                 (
                     self.conditions[slot].clone(),
                     self.probabilities[slot].get().copied(),
+                    Some(slot),
                 )
             };
             patched.push(Patched {
                 subtree,
                 condition,
                 cached_probability,
+                carried_from,
             });
         }
         // Re-sort and re-intern in the new answer order: `Query::evaluate`
@@ -575,6 +738,10 @@ impl<'a> PreparedQuery<'a> {
         let mut conditions: Vec<Condition> = Vec::new();
         let mut probabilities: Vec<OnceLock<f64>> = Vec::new();
         let mut answers: Vec<AnswerState> = Vec::with_capacity(patched.len());
+        // For each *new* condition slot, the old slot its cached semiring
+        // values may be carried from (first-writer wins, mirroring the
+        // `OnceLock::set` semantics of the f64 cache below).
+        let mut carry: Vec<Option<usize>> = Vec::new();
         for p in patched {
             let condition = match intern.entry(p.condition) {
                 Entry::Occupied(slot) => *slot.get(),
@@ -582,6 +749,7 @@ impl<'a> PreparedQuery<'a> {
                     let index = conditions.len();
                     conditions.push(slot.key().clone());
                     probabilities.push(OnceLock::new());
+                    carry.push(None);
                     slot.insert(index);
                     index
                 }
@@ -589,10 +757,40 @@ impl<'a> PreparedQuery<'a> {
             if let Some(probability) = p.cached_probability {
                 let _ = probabilities[condition].set(probability);
             }
+            if carry[condition].is_none() {
+                carry[condition] = p.carried_from;
+            }
             answers.push(AnswerState {
                 subtree: p.subtree,
                 condition,
             });
+        }
+        // Remap the per-semiring caches along the carry map: clean slots
+        // move their computed values to the new layout, dirty or fresh
+        // slots start empty. `take` is sound because equal conditions
+        // intern to one slot, so `carry` is injective on its `Some`s.
+        //
+        // Unlike the `f64` cache, a generic semiring value can depend on
+        // the *size* of the event table even for an unchanged condition
+        // (e.g. `Counting` doubles per unmentioned event, where
+        // probability multiplies by 1) — so when the step introduced new
+        // events, every carried value is stale and the caches are cleared
+        // instead.
+        {
+            let events_grew = snapshot.events().len() != self.tree.get().events().len();
+            let caches = self.semiring.get_mut().expect("semiring cache poisoned");
+            for slots in caches.slots.values_mut() {
+                if events_grew {
+                    slots.clear();
+                    slots.resize_with(carry.len(), || None);
+                } else {
+                    let mut old = std::mem::take(slots);
+                    *slots = carry
+                        .iter()
+                        .map(|from| from.and_then(|i| old.get_mut(i).and_then(Option::take)))
+                        .collect();
+                }
+            }
         }
         self.maint.steps_patched += steps;
         self.maint.answers_remapped += answers.len();
@@ -605,7 +803,7 @@ impl<'a> PreparedQuery<'a> {
         self.by_subtree = OnceLock::new();
         self.tree = TreeSlot::Shared(snapshot);
         self.doc = Some((id, doc.epoch()));
-        Ok(MaintainOutcome::Patched { steps })
+        MaintainOutcome::Patched { steps }
     }
 
     /// The maintenance fallback: rebuild everything against the
@@ -614,21 +812,30 @@ impl<'a> PreparedQuery<'a> {
     fn reprepare(&mut self, doc: &Document, reason: FallbackReason) -> MaintainOutcome {
         let mut maint = self.maint;
         maint.fallbacks += 1;
+        let semiring_stats = self
+            .semiring
+            .get_mut()
+            .expect("semiring cache poisoned")
+            .stats;
         let hints = self.hints.clone();
         *self = build_prepared(
             self.config.clone(),
             TreeSlot::Shared(doc.snapshot()),
-            self.query,
+            self.query.clone(),
             &hints,
             Some((doc.id(), doc.epoch())),
         );
         self.maint = maint;
+        self.semiring
+            .get_mut()
+            .expect("semiring cache poisoned")
+            .stats = semiring_stats;
         MaintainOutcome::Fallback { reason }
     }
 
     /// The prepared query.
-    pub fn query(&self) -> &'a dyn Query {
-        self.query
+    pub fn query(&self) -> &dyn Query {
+        self.query.get()
     }
 
     /// Number of answers in the match set (including zero-probability
@@ -774,6 +981,80 @@ impl<'a> PreparedQuery<'a> {
             .iter()
             .map(|a| (&a.subtree, values[a.condition].clone()))
             .collect()
+    }
+
+    /// [`PreparedQuery::answers_in`] with a **persistent** per-condition
+    /// value cache, keyed by the semiring's type and
+    /// [token](Semiring::cache_token): repeated drains under the same
+    /// semiring reuse the stored per-slot values instead of re-folding
+    /// each condition, and [`PreparedQuery::maintain`] carries clean
+    /// slots' values across epochs exactly as it carries the `f64`
+    /// probability cache (dirty slots are invalidated by the same flags).
+    pub fn answers_in_cached<S>(&self, semiring: &S) -> Vec<(&SubDataTree, S::Value)>
+    where
+        S: Semiring + 'static,
+        S::Value: Send + 'static,
+    {
+        let values = self.condition_values_cached(semiring);
+        self.answers
+            .iter()
+            .map(|a| (&a.subtree, values[a.condition].clone()))
+            .collect()
+    }
+
+    /// Evaluates every distinct interned condition union under `semiring`,
+    /// consulting and filling the persistent per-semiring cache.
+    fn condition_values_cached<S>(&self, semiring: &S) -> Vec<S::Value>
+    where
+        S: Semiring + 'static,
+        S::Value: Send + 'static,
+    {
+        let events = self.tree.get().events();
+        let mut caches = self.semiring.lock().expect("semiring cache poisoned");
+        let caches = &mut *caches;
+        let slots = caches
+            .slots
+            .entry((TypeId::of::<S>(), semiring.cache_token()))
+            .or_default();
+        slots.resize_with(self.conditions.len(), || None);
+        self.conditions
+            .iter()
+            .zip(slots.iter_mut())
+            .map(|(condition, slot)| {
+                let cached = slot
+                    .as_deref()
+                    .and_then(|boxed| (boxed as &dyn Any).downcast_ref::<S::Value>());
+                if let Some(value) = cached {
+                    caches.stats.hits += 1;
+                    return value.clone();
+                }
+                caches.stats.computed += 1;
+                let value = condition.eval_in(semiring, events);
+                *slot = Some(Box::new(value.clone()));
+                value
+            })
+            .collect()
+    }
+
+    /// Cumulative hit/miss telemetry of the per-semiring value caches
+    /// (preserved across maintenance fallbacks, like
+    /// [`PreparedQuery::maintenance_stats`]).
+    pub fn semiring_cache_stats(&self) -> SemiringCacheStats {
+        self.semiring.lock().expect("semiring cache poisoned").stats
+    }
+
+    /// Number of cached values currently held for `semiring` (telemetry:
+    /// shows what maintenance carried across an epoch).
+    pub fn num_cached_semiring_values<S>(&self, semiring: &S) -> usize
+    where
+        S: Semiring + 'static,
+    {
+        self.semiring
+            .lock()
+            .expect("semiring cache poisoned")
+            .slots
+            .get(&(TypeId::of::<S>(), semiring.cache_token()))
+            .map_or(0, |slots| slots.iter().flatten().count())
     }
 
     /// The semiring value of the answer with exactly this node set, or
@@ -942,7 +1223,7 @@ impl<'a> PreparedQuery<'a> {
     /// enumerated. `Certified` and `Unknown` queries proceed to the
     /// cross-check.
     pub fn theorem1_check(&self) -> Result<bool, Theorem1Error> {
-        if let MonotonicityCertificate::Rejected { reason } = self.query.monotonicity() {
+        if let MonotonicityCertificate::Rejected { reason } = self.query.get().monotonicity() {
             return Err(Theorem1Error::NotCertifiedMonotone { reason });
         }
         let direct = self.as_pw_set();
@@ -951,7 +1232,7 @@ impl<'a> PreparedQuery<'a> {
             self.config.max_events,
             &self.config.worlds,
         )?;
-        let via_worlds = query_pw_set(self.query, &worlds);
+        let via_worlds = query_pw_set(self.query.get(), &worlds);
         Ok(direct.normalized().isomorphic(&via_worlds.normalized()))
     }
 }
@@ -1125,17 +1406,19 @@ mod tests {
     use crate::query::pattern::PatternQuery;
     use pxml_events::{prob_eq, Literal};
     use pxml_tree::DataTree;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     /// A query wrapper counting `evaluate` calls — proves the match set
-    /// is computed exactly once per prepared state.
+    /// is computed exactly once per prepared state. Counts with an atomic
+    /// (not `Cell`) because `Query` requires `Sync`.
     struct CountingQuery<'q> {
         inner: &'q PatternQuery,
-        evaluations: Cell<usize>,
+        evaluations: AtomicUsize,
     }
 
     impl Query for CountingQuery<'_> {
         fn evaluate(&self, tree: &DataTree) -> Vec<SubDataTree> {
-            self.evaluations.set(self.evaluations.get() + 1);
+            self.evaluations.fetch_add(1, Ordering::Relaxed);
             self.inner.evaluate(tree)
         }
 
@@ -1168,7 +1451,7 @@ mod tests {
         let q = PatternQuery::new(Some("item"));
         let counting = CountingQuery {
             inner: &q,
-            evaluations: Cell::new(0),
+            evaluations: AtomicUsize::new(0),
         };
         let prepared = QueryEngine::new().prepare(&tree, &counting);
         // Serve every prepared-state consumer from the one match set.
@@ -1182,12 +1465,16 @@ mod tests {
         assert!(expected > 0.0);
         assert_eq!(streamed.len(), prepared.len());
         assert!(point.is_some());
-        assert_eq!(counting.evaluations.get(), 1, "match set computed once");
+        assert_eq!(
+            counting.evaluations.load(Ordering::Relaxed),
+            1,
+            "match set computed once"
+        );
         // The Theorem 1 cross-check necessarily re-runs the query on
         // every expanded world — but never re-evaluates the match set on
         // the prob-tree itself.
         assert!(prepared.theorem1_check().unwrap());
-        assert!(counting.evaluations.get() > 1);
+        assert!(counting.evaluations.load(Ordering::Relaxed) > 1);
     }
 
     #[test]
@@ -1399,13 +1686,17 @@ mod tests {
         let q = PatternQuery::new(Some("nope"));
         let counting = CountingQuery {
             inner: &q,
-            evaluations: Cell::new(0),
+            evaluations: AtomicUsize::new(0),
         };
         let hints = QueryHints {
             statically_empty: true,
         };
         let prepared = QueryEngine::new().prepare_with_hints(&tree, &counting, &hints);
-        assert_eq!(counting.evaluations.get(), 0, "matcher never ran");
+        assert_eq!(
+            counting.evaluations.load(Ordering::Relaxed),
+            0,
+            "matcher never ran"
+        );
         assert!(prepared.is_empty());
         assert_eq!(prepared.ranked().stats().enumerated, 0);
         assert_eq!(prepared.expected_matches(), 0.0);
@@ -1591,6 +1882,211 @@ mod tests {
         assert!(prob_eq(prepared.probability(0), 0.5));
         assert!(prob_eq(prepared.probability(1), 0.5));
         assert_agrees_with_fresh(&prepared, &doc, &q);
+    }
+
+    #[test]
+    fn semiring_value_caches_hit_on_redrains_and_survive_maintenance() {
+        use pxml_events::semiring::{Counting, TopKProofs};
+        let q = PatternQuery::new(Some("item"));
+        let mut doc = Document::new(ladder(6));
+        let mut prepared = QueryEngine::new().prepare_doc(&doc, &q);
+        let n = prepared.num_distinct_conditions() as u64;
+        assert_eq!(
+            prepared.semiring_cache_stats(),
+            SemiringCacheStats::default()
+        );
+        let first = prepared.answers_in_cached(&Counting);
+        assert_eq!(
+            prepared.semiring_cache_stats(),
+            SemiringCacheStats {
+                computed: n,
+                hits: 0
+            },
+            "first drain folds every distinct condition"
+        );
+        let second = prepared.answers_in_cached(&Counting);
+        assert_eq!(
+            prepared.semiring_cache_stats(),
+            SemiringCacheStats {
+                computed: n,
+                hits: n
+            },
+            "second drain is all hits"
+        );
+        assert_eq!(first, second);
+        assert_eq!(first, prepared.answers_in(&Counting));
+        // Parameterized semirings cache per token: top-1 and top-2 proofs
+        // are different values for the same conditions.
+        let top1 = prepared.answers_in_cached(&TopKProofs::new(1));
+        let top2 = prepared.answers_in_cached(&TopKProofs::new(2));
+        assert_eq!(
+            prepared.num_cached_semiring_values(&TopKProofs::new(1)),
+            n as usize
+        );
+        assert_eq!(
+            prepared.num_cached_semiring_values(&TopKProofs::new(2)),
+            n as usize
+        );
+        assert_eq!(top1, prepared.answers_in(&TopKProofs::new(1)));
+        assert_eq!(top2, prepared.answers_in(&TopKProofs::new(2)));
+        // Off-footprint *certain* maintenance (no fresh event) carries
+        // every clean slot's value, so the next drain recomputes nothing.
+        UpdateEngine::new().apply_doc(&mut doc, &doc_insert("catalog", "annex", 1.0));
+        assert_eq!(
+            prepared.maintain(&doc),
+            Ok(MaintainOutcome::Patched { steps: 1 })
+        );
+        assert_eq!(prepared.num_cached_semiring_values(&Counting), n as usize);
+        let stats_before = prepared.semiring_cache_stats();
+        let after = prepared.answers_in_cached(&Counting);
+        assert_eq!(
+            prepared.semiring_cache_stats().computed,
+            stats_before.computed,
+            "carried values are not recomputed"
+        );
+        assert_eq!(after, prepared.answers_in(&Counting));
+        assert_eq!(
+            after,
+            QueryEngine::new()
+                .prepare_doc(&doc, &q)
+                .answers_in(&Counting),
+            "cached drain agrees with a fresh prepare"
+        );
+        // A sub-1-confidence step introduces a fresh event, which changes
+        // every Counting value (each unmentioned event doubles the world
+        // count) even though no condition was rewritten — maintenance
+        // must drop the carried values, not serve stale ones.
+        UpdateEngine::new().apply_doc(&mut doc, &doc_insert("catalog", "memo", 0.4));
+        assert_eq!(
+            prepared.maintain(&doc),
+            Ok(MaintainOutcome::Patched { steps: 1 })
+        );
+        assert_eq!(
+            prepared.num_cached_semiring_values(&Counting),
+            0,
+            "event growth invalidates the whole cache"
+        );
+        assert_eq!(
+            prepared.answers_in_cached(&Counting),
+            QueryEngine::new()
+                .prepare_doc(&doc, &q)
+                .answers_in(&Counting),
+            "re-folded values agree with a fresh prepare"
+        );
+    }
+
+    #[test]
+    fn dirty_condition_rewrites_invalidate_carried_semiring_values() {
+        use pxml_events::semiring::Lineage;
+        // The prune-certain scenario of
+        // `off_footprint_condition_rewrites_patch_and_rebuild_only_dirty_unions`:
+        // the first item's condition is rewritten in place, the second is
+        // untouched.
+        let mut tree = ProbTree::new("catalog");
+        let root = tree.tree().root();
+        let c = tree.events_mut().insert("c", 1.0);
+        let w1 = tree.events_mut().insert("w1", 0.5);
+        let w2 = tree.events_mut().insert("w2", 0.5);
+        tree.add_child(
+            root,
+            "item",
+            Condition::from_literals([Literal::pos(w1), Literal::pos(c)]),
+        );
+        tree.add_child(root, "item", Condition::of(Literal::pos(w2)));
+        let q = PatternQuery::new(Some("item"));
+        let mut doc = Document::new(tree);
+        let mut prepared = QueryEngine::new().prepare_doc(&doc, &q);
+        prepared.answers_in_cached(&Lineage);
+        assert_eq!(prepared.num_cached_semiring_values(&Lineage), 2);
+        // A *certain* insert: no fresh event, so carried values stay
+        // valid and only the rewritten answer's slot is dropped.
+        UpdateEngine::new().apply_doc(&mut doc, &doc_insert("catalog", "note", 1.0));
+        let window = doc.window_since(0).unwrap();
+        assert!(!window.rewritten.is_empty(), "prune-certain rewrote a node");
+        assert_eq!(
+            prepared.maintain_windowed(&doc, &window),
+            Ok(MaintainOutcome::Patched { steps: 1 })
+        );
+        assert_eq!(prepared.maintenance_stats().unions_rebuilt, 1);
+        assert_eq!(
+            prepared.num_cached_semiring_values(&Lineage),
+            1,
+            "the rewritten answer's cached value was dropped"
+        );
+        let drained = prepared.answers_in_cached(&Lineage);
+        assert_eq!(
+            prepared.semiring_cache_stats(),
+            SemiringCacheStats {
+                computed: 3,
+                hits: 1
+            },
+            "exactly the dirty slot was re-folded"
+        );
+        assert_eq!(
+            drained,
+            QueryEngine::new()
+                .prepare_doc(&doc, &q)
+                .answers_in(&Lineage)
+        );
+    }
+
+    #[test]
+    fn windowed_maintenance_matches_the_per_delta_path() {
+        let q = PatternQuery::new(Some("item"));
+        let mut doc = Document::new(ladder(6));
+        let mut windowed = QueryEngine::new().prepare_doc(&doc, &q);
+        let mut stepped = QueryEngine::new().prepare_doc(&doc, &q);
+        windowed.expected_matches();
+        stepped.expected_matches();
+        let engine = UpdateEngine::new();
+        engine.apply_doc(&mut doc, &doc_insert("sku0", "note", 0.9));
+        engine.apply_doc(&mut doc, &doc_insert("catalog", "annex", 0.4));
+        let window = doc.window_since(0).unwrap();
+        assert_eq!(
+            windowed.maintain_windowed(&doc, &window),
+            Ok(MaintainOutcome::Patched { steps: 2 })
+        );
+        assert_eq!(
+            stepped.maintain(&doc),
+            Ok(MaintainOutcome::Patched { steps: 2 })
+        );
+        let wstats = windowed.maintenance_stats();
+        assert_eq!(wstats.windows_applied, 1);
+        assert_eq!(wstats.steps_patched, 2, "the window's span counts once");
+        assert_eq!(stepped.maintenance_stats().windows_applied, 0);
+        assert_eq!(
+            windowed.num_cached_probabilities(),
+            stepped.num_cached_probabilities(),
+            "the window carries the same probability cache"
+        );
+        assert_agrees_with_fresh(&windowed, &doc, &q);
+        assert_agrees_with_fresh(&stepped, &doc, &q);
+        // A window that does not span this state's epoch range delegates
+        // to the per-delta path instead of mis-applying.
+        engine.apply_doc(&mut doc, &doc_insert("sku1", "memo", 0.6));
+        assert_eq!(
+            windowed.maintain_windowed(&doc, &window),
+            Ok(MaintainOutcome::Patched { steps: 1 })
+        );
+        assert_eq!(
+            windowed.maintenance_stats().windows_applied,
+            1,
+            "the stale window was not applied as a window"
+        );
+        assert_agrees_with_fresh(&windowed, &doc, &q);
+        // Spine-touching windows fall back exactly like spine-touching
+        // deltas.
+        engine.apply_doc(&mut doc, &doc_insert("catalog", "item", 0.85));
+        let touching = doc
+            .window_since(windowed.document_stamp().unwrap().1)
+            .unwrap();
+        assert_eq!(
+            windowed.maintain_windowed(&doc, &touching),
+            Ok(MaintainOutcome::Fallback {
+                reason: FallbackReason::SpineTouched
+            })
+        );
+        assert_agrees_with_fresh(&windowed, &doc, &q);
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod ranked;
 
 pub use engine::{
     AnswerSet, FallbackReason, MaintainError, MaintainOutcome, MaintainStats, PreparedQuery,
-    QueryEngine, QueryEngineConfig, QueryHints, SelectionStats, TieBreak,
+    QueryEngine, QueryEngineConfig, QueryHints, SelectionStats, SemiringCacheStats, TieBreak,
 };
 
 use pxml_events::valuation::TooManyValuations;
@@ -100,7 +100,12 @@ impl From<TooManyValuations> for Theorem1Error {
 ///
 /// Implementations must return each sub-datatree at most once (set
 /// semantics on node-sets).
-pub trait Query {
+///
+/// `Send + Sync` is a supertrait: queries are immutable descriptions, and
+/// the warehouse server shares `Arc<dyn Query>`-backed prepared state
+/// across reader threads ([`engine::QueryEngine::prepare_doc_shared`]).
+/// Impls that count calls for tests use atomics, not `Cell`.
+pub trait Query: Send + Sync {
     /// Evaluates the query, returning the answer sub-datatrees.
     fn evaluate(&self, tree: &DataTree) -> Vec<SubDataTree>;
 

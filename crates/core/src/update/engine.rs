@@ -475,8 +475,33 @@ impl UpdateEngine {
         doc: &mut crate::Document,
         update: &ProbabilisticUpdate,
     ) -> std::sync::Arc<crate::UpdateDelta> {
-        let (updated, report, mapping) = self.apply_traced(doc.tree(), update, true);
-        doc.commit(updated, report, mapping)
+        let staged = self.stage_doc(doc, update);
+        doc.commit_staged(staged)
+            .expect("staged against the same exclusive document state")
+    }
+
+    /// The first half of [`UpdateEngine::apply_doc`], split off: applies
+    /// `update` against the document's current snapshot **without
+    /// committing**. All the expensive work (matching, grafting,
+    /// simplification) happens here under shared access; the returned
+    /// [`StagedStep`](crate::StagedStep) carries the document identity
+    /// and base epoch and commits — cheaply — via
+    /// [`Document::commit_staged`](crate::Document::commit_staged). A
+    /// commit that lands in between is detected there as an epoch
+    /// conflict, so staging is safe to run optimistically.
+    pub fn stage_doc(
+        &self,
+        doc: &crate::Document,
+        update: &ProbabilisticUpdate,
+    ) -> crate::StagedStep {
+        let (tree, report, mapping) = self.apply_traced(doc.tree(), update, true);
+        crate::StagedStep {
+            doc: doc.id(),
+            base_epoch: doc.epoch(),
+            tree,
+            report,
+            mapping,
+        }
     }
 
     /// Applies a batched script to a [`Document`](crate::Document), one

@@ -312,6 +312,12 @@ impl Condition {
         let mut acc = semiring.one();
         for &literal in &self.literals {
             acc = semiring.mul(acc, semiring.literal(literal, events));
+            if semiring.is_zero(&acc) {
+                // `0` annihilates the rest of the fold (and the
+                // unmentioned-event sweep: `mul(0, _) = 0` is a semiring
+                // law), so the accumulator can no longer change.
+                return acc;
+            }
         }
         if semiring.constrains_unmentioned() {
             for event in events.iter() {

@@ -110,6 +110,32 @@ pub trait Semiring {
     fn literal_certain(&self, literal: Literal, events: &EventTable) -> bool {
         self.is_zero(&self.literal(literal.negated(), events))
     }
+
+    /// `true` iff `value` is **additively absorbing**: `add(value, b) =
+    /// value` for every `b` this instance can produce, so an `⊕`-fold that
+    /// reaches it may stop early. Exponential DNF sweeps
+    /// ([`crate::Dnf::eval_in`]) key on this to short-circuit: under
+    /// [`Possibility`], `true` absorbs after the first satisfying world.
+    ///
+    /// Defaults to `false` — always sound, never early-exits. Instances
+    /// must only return `true` for values no reachable `add` can change
+    /// ([`Probability`] and [`Counting`] have no such value short of
+    /// overflow; [`TopKProofs`] only at `k = 1` once the rank-minimal
+    /// empty proof is held).
+    fn is_absorbing(&self, value: &Self::Value) -> bool {
+        let _ = value;
+        false
+    }
+
+    /// Distinguishes differently-parameterized instances of the **same**
+    /// semiring type for value caching (the prepared-query maintenance
+    /// cache keys on `(TypeId, cache_token)`): two instances sharing a
+    /// type and token must produce identical values for identical inputs.
+    /// Parameter-free instances keep the default `0`; [`TopKProofs`]
+    /// returns its bound `k`.
+    fn cache_token(&self) -> u64 {
+        0
+    }
 }
 
 /// The probability semiring `([0, 1], +, ·, 0, 1)` — Definition 8's
@@ -181,6 +207,12 @@ impl Semiring for Possibility {
 
     fn is_zero(&self, value: &bool) -> bool {
         !*value
+    }
+
+    fn is_absorbing(&self, value: &bool) -> bool {
+        // `true ∨ b = true` for every `b`: one satisfying world settles
+        // the possibility question.
+        *value
     }
 }
 
@@ -437,6 +469,18 @@ impl Semiring for TopKProofs {
     fn is_zero(&self, value: &Vec<Proof>) -> bool {
         value.is_empty()
     }
+
+    fn is_absorbing(&self, value: &Vec<Proof>) -> bool {
+        // Only `k = 1` admits an absorbing value: the empty proof has
+        // weight 1 and is rank-minimal (ties on weight break toward the
+        // lexicographically smaller literal list), so no merged proof can
+        // displace it. For `k > 1` any value can still gain proofs.
+        self.k == 1 && value.first().is_some_and(Proof::is_empty)
+    }
+
+    fn cache_token(&self) -> u64 {
+        self.k as u64
+    }
 }
 
 #[cfg(test)]
@@ -511,6 +555,36 @@ mod tests {
         assert_eq!(s.mul(b, s.zero()), None);
         assert!(s.is_zero(&s.zero()));
         assert!(!s.is_zero(&s.one()));
+    }
+
+    #[test]
+    fn absorbing_values_are_add_fixpoints() {
+        let (t, w1, w2, _) = table();
+        // Probability, Counting and Lineage have no absorbing values.
+        assert!(!Probability.is_absorbing(&1.0));
+        assert!(!Counting.is_absorbing(&u64::MAX));
+        assert!(!Lineage.is_absorbing(&Lineage.one()));
+        // Possibility: `true` absorbs, `false` does not.
+        assert!(Possibility.is_absorbing(&true));
+        assert!(!Possibility.is_absorbing(&false));
+        // Top-1: only the rank-minimal empty proof absorbs — merging any
+        // proof into it leaves it in place.
+        let top1 = TopKProofs::new(1);
+        assert!(top1.is_absorbing(&top1.one()));
+        let single = top1.literal(Literal::pos(w1), &t);
+        assert!(!top1.is_absorbing(&single));
+        assert!(!top1.is_absorbing(&top1.zero()));
+        assert_eq!(top1.add(top1.one(), single.clone()), top1.one());
+        assert_eq!(
+            top1.add(top1.one(), top1.literal(Literal::pos(w2), &t)),
+            top1.one()
+        );
+        // Top-2 values can always gain a proof: nothing absorbs.
+        let top2 = TopKProofs::new(2);
+        assert!(!top2.is_absorbing(&top2.one()));
+        // Cache tokens distinguish differently-bounded instances.
+        assert_eq!(Probability.cache_token(), 0);
+        assert_ne!(top1.cache_token(), top2.cache_token());
     }
 
     #[test]

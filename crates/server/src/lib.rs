@@ -1,0 +1,40 @@
+//! # pxml-server — a concurrent p-document warehouse
+//!
+//! The motivating application of the paper (Section 1) is a *warehouse*:
+//! crawlers and extractors keep committing probabilistic updates while
+//! applications keep querying the accumulated document. `pxml-core` gives
+//! the single-document machinery — versioned [`pxml_core::Document`]s,
+//! structured [`pxml_core::UpdateDelta`]s, incrementally-maintained
+//! [`pxml_core::PreparedQuery`] views; this crate serves that machinery
+//! **concurrently**, to many readers and writers at once:
+//!
+//! * [`Warehouse`] — a registry of named documents
+//!   behind **epoch snapshots**: every committed epoch is an immutable
+//!   `Arc<ProbTree>`, so readers pin an epoch and never block (and are
+//!   never torn) while writers stage expensive update work under shared
+//!   access and commit under a short exclusive swap;
+//! * [`MaintenanceHub`](hub) — per-document shared view maintenance: each
+//!   committed span is composed into **one**
+//!   [`pxml_core::DeltaWindow`] that every registered view threads in a
+//!   single pass, instead of `views × deltas` independent re-threads;
+//! * **scenario branches** ([`warehouse::Warehouse::branch`]) — O(1)
+//!   copy-on-write forks for what-if update scripts, with answer-level
+//!   [diff analyses](warehouse::Warehouse::diff) between branches;
+//! * a multi-tenant **traffic driver** ([`driver`]) — a deterministic
+//!   seeded workload mix over a scoped-thread worker pool, reporting
+//!   throughput and p50/p95/p99 latencies.
+//!
+//! Tunables come from typed `PXML_SERVER_*` environment switches parsed
+//! by [`pxml_core::config::env`]: `PXML_SERVER_THREADS`,
+//! `PXML_SERVER_TENANTS` and `PXML_SERVER_LOG_CAPACITY`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod hub;
+pub mod warehouse;
+
+pub use driver::{run_traffic, LatencySummary, TrafficConfig, TrafficReport};
+pub use hub::HubStats;
+pub use warehouse::{BranchDiff, ServerError, Snapshot, Warehouse};

@@ -1,0 +1,382 @@
+//! Property suite for the `pxml_server` warehouse.
+//!
+//! Three contracts over random (tree, pattern, script) triples:
+//!
+//! 1. **Snapshot isolation** — a pinned [`Snapshot`] is bit-identically
+//!    unaffected by any number of later commits: preparing the same query
+//!    against the pinned tree before and after a commit storm yields the
+//!    same answers with the same probability bits.
+//! 2. **Hub equivalence** — a hub-maintained view served after a random
+//!    interleaving of commits and reads is indistinguishable from a fresh
+//!    prepare against the current epoch (same answers, same order,
+//!    bit-identical probabilities), no matter how far the view fell
+//!    behind between reads.
+//! 3. **Branch-then-diff** — forking a branch and applying a divergent
+//!    suffix is equivalent to building the two documents independently
+//!    from scratch: the canonical answer diff of the branched pair equals
+//!    the diff of the independently built pair.
+
+use proptest::prelude::*;
+
+use pxml_core::probtree::ProbTree;
+use pxml_core::query::pattern::{Axis, PatternQuery};
+use pxml_core::update::{ProbabilisticUpdate, UpdateOperation};
+use pxml_core::QueryEngine;
+use pxml_events::{Condition, EventId, Literal};
+use pxml_server::{ServerError, Warehouse};
+use pxml_tree::builder::TreeSpec;
+use pxml_tree::DataTree;
+use pxml_tree::SubDataTree;
+use std::sync::Arc;
+
+/// Node labels used below the root (the root is always `R`, so label
+/// patterns can never select it for deletion).
+const LABELS: [&str; 4] = ["A", "B", "C", "D"];
+
+// ---------------------------------------------------------------------------
+// Strategies (same small-world construction as the maintenance suite)
+// ---------------------------------------------------------------------------
+
+fn tree_spec_strategy() -> impl Strategy<Value = TreeSpec> {
+    let leaf = prop::sample::select(LABELS.to_vec()).prop_map(TreeSpec::leaf);
+    leaf.prop_recursive(3, 10, 3, |inner| {
+        (
+            prop::sample::select(LABELS.to_vec()),
+            prop::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(label, children)| TreeSpec::node(label, children))
+    })
+}
+
+#[derive(Clone, Debug)]
+struct ProbTreeSpec {
+    children: Vec<TreeSpec>,
+    num_events: usize,
+    conditions: Vec<Vec<(usize, bool)>>,
+}
+
+fn probtree_strategy() -> impl Strategy<Value = ProbTreeSpec> {
+    (
+        prop::collection::vec(tree_spec_strategy(), 1..3),
+        1usize..=3,
+    )
+        .prop_flat_map(|(children, num_events)| {
+            let nodes: usize = children.iter().map(TreeSpec::size).sum();
+            prop::collection::vec(
+                prop::collection::vec((0..num_events, any::<bool>()), 0..=2),
+                nodes + 1,
+            )
+            .prop_map(move |conditions| ProbTreeSpec {
+                children: children.clone(),
+                num_events,
+                conditions,
+            })
+        })
+}
+
+fn build_probtree(spec: &ProbTreeSpec) -> ProbTree {
+    let mut data = DataTree::new("R");
+    let root = data.root();
+    for child in &spec.children {
+        data.graft(root, &child.build());
+    }
+    let mut tree = ProbTree::from_data_tree(data, pxml_events::EventTable::new());
+    let events: Vec<EventId> = (0..spec.num_events)
+        .map(|i| {
+            tree.events_mut()
+                .insert(format!("e{i}"), 0.4 + 0.05 * i as f64)
+        })
+        .collect();
+    let nodes: Vec<_> = tree.tree().iter().collect();
+    for (idx, node) in nodes.into_iter().enumerate() {
+        if node == tree.tree().root() {
+            continue;
+        }
+        let literals = spec.conditions[idx % spec.conditions.len()]
+            .iter()
+            .map(|&(e, positive)| Literal {
+                event: events[e % events.len()],
+                positive,
+            });
+        tree.set_condition(node, Condition::from_literals(literals));
+    }
+    tree.validate_invariants().expect("generated tree invalid");
+    tree
+}
+
+#[derive(Clone, Debug)]
+struct PatternSpec {
+    anchored: bool,
+    root_label: Option<&'static str>,
+    nodes: Vec<(usize, bool, Option<&'static str>)>,
+}
+
+fn pattern_strategy() -> impl Strategy<Value = PatternSpec> {
+    let label = prop::sample::select(vec![None, Some("A"), Some("B"), Some("C"), Some("D")]);
+    (
+        any::<bool>(),
+        label.clone(),
+        prop::collection::vec((0usize..4, any::<bool>(), label), 0..3),
+    )
+        .prop_map(|(anchored, root_label, nodes)| PatternSpec {
+            anchored,
+            root_label,
+            nodes,
+        })
+}
+
+fn build_pattern(spec: &PatternSpec) -> PatternQuery {
+    let mut q = if spec.anchored {
+        PatternQuery::anchored(spec.root_label)
+    } else {
+        PatternQuery::new(spec.root_label)
+    };
+    let mut ids = vec![q.root()];
+    for &(parent, descendant, label) in &spec.nodes {
+        let parent = ids[parent % ids.len()];
+        let axis = if descendant {
+            Axis::Descendant
+        } else {
+            Axis::Child
+        };
+        ids.push(q.add_node(parent, axis, label));
+    }
+    q
+}
+
+fn update_strategy() -> impl Strategy<Value = ProbabilisticUpdate> {
+    (
+        0usize..4,
+        prop::sample::select(LABELS.to_vec()),
+        prop::sample::select(LABELS.to_vec()),
+        prop::sample::select(vec![0.5f64, 0.8, 1.0]),
+    )
+        .prop_map(|(shape, l1, l2, confidence)| {
+            let operation = match shape {
+                0 => {
+                    let q = PatternQuery::new(Some(l1));
+                    let at = q.root();
+                    UpdateOperation::delete(q, at)
+                }
+                1 => {
+                    let mut q = PatternQuery::new(Some(l1));
+                    let at = q.root();
+                    q.add_child(at, l2);
+                    UpdateOperation::delete(q, at)
+                }
+                2 => {
+                    let mut q = PatternQuery::new(Some(l1));
+                    let at = q.add_descendant(q.root(), l2);
+                    UpdateOperation::delete(q, at)
+                }
+                _ => {
+                    let mut q = PatternQuery::new(Some(l1));
+                    let at = q.root();
+                    q.add_child(at, l2);
+                    let mut sub = DataTree::new("new");
+                    let sub_root = sub.root();
+                    sub.add_child(sub_root, "leaf");
+                    UpdateOperation::insert(q, at, sub)
+                }
+            };
+            ProbabilisticUpdate::new(operation, confidence)
+        })
+}
+
+/// The answers of `query` against a pinned tree, as comparable data:
+/// `(subtree, probability bits)` in engine order.
+fn answers_against(tree: &ProbTree, query: &PatternQuery) -> Vec<(SubDataTree, u64)> {
+    let prepared = QueryEngine::new().prepare(tree, query);
+    (0..prepared.len())
+        .map(|i| {
+            (
+                prepared.subtree(i).clone(),
+                prepared.probability(i).to_bits(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Contract 1: a pinned snapshot is unaffected — bit for bit — by
+    /// any number of subsequent commits to the same document.
+    #[test]
+    fn snapshots_are_isolated_from_later_commits(
+        spec in probtree_strategy(),
+        pattern in pattern_strategy(),
+        updates in prop::collection::vec(update_strategy(), 1..5),
+    ) {
+        let warehouse = Warehouse::new();
+        warehouse.register("doc", build_probtree(&spec)).unwrap();
+        let query = build_pattern(&pattern);
+
+        let pinned = warehouse.snapshot("doc").unwrap();
+        let before = answers_against(&pinned.tree, &query);
+        for update in &updates {
+            warehouse.commit("doc", update).unwrap();
+        }
+        prop_assert_eq!(warehouse.epoch("doc").unwrap(), updates.len() as u64);
+        prop_assert_eq!(pinned.epoch, 0);
+        let after = answers_against(&pinned.tree, &query);
+        prop_assert_eq!(before, after);
+    }
+
+    /// Contract 2: after a random interleaving of commits and view reads,
+    /// a hub-served view is indistinguishable from a fresh prepare
+    /// against the current epoch.
+    #[test]
+    fn hub_served_views_equal_fresh_prepares_after_interleavings(
+        spec in probtree_strategy(),
+        pattern in pattern_strategy(),
+        // Each step: one commit, then (optionally) a read of each view —
+        // so views fall behind by random spans between serves.
+        steps in prop::collection::vec((update_strategy(), any::<bool>()), 1..5),
+    ) {
+        let warehouse = Warehouse::new();
+        warehouse.register("doc", build_probtree(&spec)).unwrap();
+        let query = build_pattern(&pattern);
+        let shared: Arc<dyn pxml_core::query::Query> = Arc::new(query.clone());
+        warehouse.register_view("doc", "a", shared.clone()).unwrap();
+        warehouse.register_view("doc", "b", shared).unwrap();
+
+        for (update, read_between) in &steps {
+            warehouse.commit("doc", update).unwrap();
+            if *read_between {
+                // Only view "a" is read here: "b" falls further behind.
+                warehouse.expected_matches("doc", "a").unwrap();
+            }
+        }
+
+        let snapshot = warehouse.snapshot("doc").unwrap();
+        let fresh = answers_against(&snapshot.tree, &query);
+        for view in ["a", "b"] {
+            let served = warehouse
+                .with_view("doc", view, |prepared| {
+                    (0..prepared.len())
+                        .map(|i| (prepared.subtree(i).clone(), prepared.probability(i).to_bits()))
+                        .collect::<Vec<_>>()
+                })
+                .unwrap();
+            prop_assert_eq!(&served, &fresh, "view {} diverged from fresh prepare", view);
+        }
+    }
+
+    /// Contract 3: branch-then-commit is equivalent to building the two
+    /// documents independently — the canonical diff of the branched pair
+    /// equals the diff of the from-scratch pair.
+    #[test]
+    fn branch_then_diff_equals_independently_built_documents(
+        spec in probtree_strategy(),
+        pattern in pattern_strategy(),
+        prefix in prop::collection::vec(update_strategy(), 0..3),
+        trunk_suffix in prop::collection::vec(update_strategy(), 0..3),
+        branch_suffix in prop::collection::vec(update_strategy(), 0..3),
+    ) {
+        let query = build_pattern(&pattern);
+
+        // Branched pair: prefix on the trunk, fork, divergent suffixes.
+        let branched = Warehouse::new();
+        branched.register("trunk", build_probtree(&spec)).unwrap();
+        for update in &prefix {
+            branched.commit("trunk", update).unwrap();
+        }
+        branched.branch("trunk", "branch").unwrap();
+        for update in &trunk_suffix {
+            branched.commit("trunk", update).unwrap();
+        }
+        for update in &branch_suffix {
+            branched.commit("branch", update).unwrap();
+        }
+        let via_branch = branched.diff("trunk", "branch", &query).unwrap();
+
+        // Independent pair: each document replays its full script from
+        // the same base tree in its own warehouse.
+        let independent = Warehouse::new();
+        independent.register("left", build_probtree(&spec)).unwrap();
+        independent.register("right", build_probtree(&spec)).unwrap();
+        for update in prefix.iter().chain(&trunk_suffix) {
+            independent.commit("left", update).unwrap();
+        }
+        for update in prefix.iter().chain(&branch_suffix) {
+            independent.commit("right", update).unwrap();
+        }
+        let via_scratch = independent.diff("left", "right", &query).unwrap();
+
+        prop_assert_eq!(&via_branch.only_left, &via_scratch.only_left);
+        prop_assert_eq!(&via_branch.only_right, &via_scratch.only_right);
+        prop_assert_eq!(via_branch.unchanged, via_scratch.unchanged);
+        prop_assert_eq!(via_branch.shifted.len(), via_scratch.shifted.len());
+        for ((ca, la, ra), (cb, lb, rb)) in
+            via_branch.shifted.iter().zip(via_scratch.shifted.iter())
+        {
+            prop_assert_eq!(ca, cb);
+            prop_assert_eq!(la.to_bits(), lb.to_bits());
+            prop_assert_eq!(ra.to_bits(), rb.to_bits());
+        }
+        // Same suffixes => no divergence at all.
+        if trunk_suffix.is_empty() && branch_suffix.is_empty() {
+            prop_assert!(via_branch.is_empty());
+        }
+    }
+}
+
+/// Concurrency smoke: reader threads pin snapshots and serve views while
+/// a writer commits — nothing tears, and the served answers always match
+/// a fresh prepare against the epoch they were served at.
+#[test]
+fn concurrent_readers_never_block_or_tear() {
+    let warehouse = Warehouse::new();
+    let tree = pxml_workloads::warehouse::skeleton(4);
+    warehouse.register("doc", tree).unwrap();
+    let query = pxml_workloads::warehouse::services_with_endpoint_and_contact();
+    warehouse
+        .register_view("doc", "q", Arc::new(query.clone()))
+        .unwrap();
+
+    let commits = 16;
+    std::thread::scope(|scope| {
+        let warehouse = &warehouse;
+        let query = &query;
+        scope.spawn(move || {
+            for i in 0..commits {
+                let label = if i % 2 == 0 { "endpoint" } else { "contact" };
+                let q = PatternQuery::new(Some("service"));
+                let at = q.root();
+                let update = ProbabilisticUpdate::new(
+                    UpdateOperation::insert(q, at, DataTree::new(label)),
+                    0.9,
+                );
+                warehouse.commit("doc", &update).unwrap();
+            }
+        });
+        for _ in 0..3 {
+            scope.spawn(move || {
+                for _ in 0..32 {
+                    // A pinned snapshot and a served view each must be
+                    // internally consistent with *some* epoch.
+                    let snapshot = warehouse.snapshot("doc").unwrap();
+                    let pinned = QueryEngine::new()
+                        .prepare(&snapshot.tree, query)
+                        .expected_matches();
+                    assert!(pinned.is_finite());
+                    let served = warehouse.expected_matches("doc", "q").unwrap();
+                    assert!(served.is_finite());
+                }
+            });
+        }
+    });
+
+    assert_eq!(warehouse.epoch("doc").unwrap(), commits);
+    let snapshot = warehouse.snapshot("doc").unwrap();
+    let fresh = QueryEngine::new()
+        .prepare(&snapshot.tree, &query)
+        .expected_matches();
+    let served = warehouse.expected_matches("doc", "q").unwrap();
+    assert_eq!(served.to_bits(), fresh.to_bits());
+    assert!(matches!(
+        warehouse.expected_matches("missing", "q"),
+        Err(ServerError::UnknownDocument(_))
+    ));
+}
